@@ -1,0 +1,28 @@
+//! Ablation sweeps as Criterion benchmarks: default Aikido vs free-fault and
+//! no-fast-path cost models. The paper-style output comes from
+//! `--bin ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aikido::{CostModel, Mode, Simulator, Workload, WorkloadSpec};
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let spec = WorkloadSpec::parsec("vips").unwrap().scaled(0.05);
+    let workload = Workload::generate(&spec);
+    let configs: [(&str, Simulator); 3] = [
+        ("default", Simulator::default()),
+        ("free-faults", Simulator::new(CostModel::default().with_free_faults())),
+        ("no-indirect-fast-path", Simulator::new(CostModel::default().without_indirect_fast_path())),
+    ];
+    for (label, sim) in configs {
+        group.bench_with_input(BenchmarkId::new("aikido", label), &workload, |b, w| {
+            b.iter(|| sim.run(w, Mode::Aikido));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

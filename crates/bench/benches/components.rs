@@ -1,0 +1,109 @@
+//! Component microbenchmarks: the building blocks of the Aikido stack.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aikido::fasttrack::FastTrack;
+use aikido::shadow::{DualShadow, RegionKind, ShadowStore, TranslationCache};
+use aikido::types::{AccessKind, Addr, BlockId, InstrId, LockId, Prot, ThreadId};
+use aikido::vm::{AikidoVm, Hypercall, VmConfig};
+use aikido::dbi::{DbiEngine, Program, StaticInstr};
+use aikido::types::AddrMode;
+
+fn bench_vector_clock_detector(c: &mut Criterion) {
+    c.bench_function("fasttrack/same_epoch_write", |b| {
+        let mut ft = FastTrack::new();
+        let t = ThreadId::new(0);
+        ft.write(t, Addr::new(0x1000));
+        b.iter(|| ft.write(black_box(t), black_box(Addr::new(0x1000))));
+    });
+    c.bench_function("fasttrack/lock_handover", |b| {
+        let mut ft = FastTrack::new();
+        let l = LockId::new(1);
+        let mut i = 0u32;
+        b.iter(|| {
+            let t = ThreadId::new(i % 4);
+            ft.acquire(t, l);
+            ft.write(t, Addr::new(0x2000));
+            ft.release(t, l);
+            i += 1;
+        });
+    });
+}
+
+fn bench_shadow(c: &mut Criterion) {
+    c.bench_function("shadow/translation_cached", |b| {
+        let mut shadow = DualShadow::new();
+        shadow.register_region(Addr::new(0x10_0000), 64, RegionKind::Heap).unwrap();
+        let mut cache = TranslationCache::new();
+        let region = shadow.region_of(Addr::new(0x10_0000)).unwrap().id;
+        let instr = InstrId::new(BlockId::new(0), 0);
+        b.iter(|| {
+            let level = cache.access(ThreadId::new(0), instr, region);
+            black_box(shadow.mirror_addr(Addr::new(0x10_0040)).unwrap());
+            black_box(level)
+        });
+    });
+    c.bench_function("shadow/store_update", |b| {
+        let mut store: ShadowStore<u64> = ShadowStore::new(8);
+        let mut i = 0u64;
+        b.iter(|| {
+            *store.get_or_default(Addr::new(0x1000 + (i % 512) * 8)) += 1;
+            i += 1;
+        });
+    });
+}
+
+fn bench_vm(c: &mut Criterion) {
+    c.bench_function("vm/unprotected_touch", |b| {
+        let mut vm = AikidoVm::new(VmConfig::default());
+        let t = ThreadId::new(0);
+        vm.register_thread(t).unwrap();
+        vm.mmap(Addr::new(0x40_0000), 16, Prot::RW_USER).unwrap();
+        vm.touch(t, Addr::new(0x40_0000), AccessKind::Write).unwrap();
+        b.iter(|| vm.touch(black_box(t), black_box(Addr::new(0x40_0100)), AccessKind::Read).unwrap());
+    });
+    c.bench_function("vm/protect_fault_unprotect_cycle", |b| {
+        let mut vm = AikidoVm::new(VmConfig::default());
+        let t = ThreadId::new(0);
+        vm.register_thread(t).unwrap();
+        let base = Addr::new(0x50_0000);
+        vm.mmap(base, 1, Prot::RW_USER).unwrap();
+        vm.touch(t, base, AccessKind::Write).unwrap();
+        b.iter(|| {
+            vm.hypercall(Hypercall::ProtectRange { thread: t, base, pages: 1, prot: Prot::NONE }).unwrap();
+            let fault = vm.touch(t, base, AccessKind::Read).unwrap();
+            vm.hypercall(Hypercall::UnprotectRange { thread: t, base, pages: 1 }).unwrap();
+            black_box(fault)
+        });
+    });
+}
+
+fn bench_dbi(c: &mut Criterion) {
+    c.bench_function("dbi/cached_block_execution", |b| {
+        let mut program = Program::new();
+        let block = program.add_block(vec![
+            StaticInstr::Compute,
+            StaticInstr::Mem { kind: AccessKind::Read, mode: AddrMode::Indirect },
+            StaticInstr::Mem { kind: AccessKind::Write, mode: AddrMode::Indirect },
+        ]);
+        let mut engine = DbiEngine::new(program);
+        engine.execute_block(block);
+        b.iter(|| black_box(engine.execute_block(black_box(block))));
+    });
+    c.bench_function("dbi/flush_and_rejit", |b| {
+        let mut program = Program::new();
+        let block = program.add_block(vec![StaticInstr::Mem {
+            kind: AccessKind::Write,
+            mode: AddrMode::Indirect,
+        }]);
+        let instr = InstrId::new(block, 0);
+        let mut engine = DbiEngine::new(program);
+        b.iter(|| {
+            engine.request_instrumentation(instr);
+            black_box(engine.execute_block(block));
+        });
+    });
+}
+
+criterion_group!(benches, bench_vector_clock_detector, bench_shadow, bench_vm, bench_dbi);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! End-to-end Figure 5 sweep (small scale) as a Criterion benchmark: measures
+//! the wall-clock cost of simulating each benchmark under the three modes.
+//! The paper-style table itself is produced by `--bin fig5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aikido::{Mode, Simulator, Workload, WorkloadSpec};
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for name in ["blackscholes", "raytrace", "fluidanimate"] {
+        let spec = WorkloadSpec::parsec(name).unwrap().scaled(0.05);
+        let workload = Workload::generate(&spec);
+        for (mode, label) in [
+            (Mode::Native, "native"),
+            (Mode::FullInstrumentation, "fasttrack"),
+            (Mode::Aikido, "aikido-fasttrack"),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, name), &workload, |b, w| {
+                b.iter(|| Simulator::default().run(w, mode));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

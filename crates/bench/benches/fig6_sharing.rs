@@ -1,0 +1,23 @@
+//! Figure 6 sweep as a Criterion benchmark: cost of the Aikido sharing
+//! detection pass per benchmark. The paper-style output comes from
+//! `--bin fig6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aikido::{Mode, Simulator, Workload, WorkloadSpec};
+
+fn fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    for name in ["freqmine", "canneal", "swaptions"] {
+        let spec = WorkloadSpec::parsec(name).unwrap().scaled(0.05);
+        let workload = Workload::generate(&spec);
+        group.bench_with_input(BenchmarkId::new("aikido", name), &workload, |b, w| {
+            b.iter(|| Simulator::default().run(w, Mode::Aikido).counts.shared_access_fraction());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table 1 sweep as a Criterion benchmark: thread-scaling runs for
+//! fluidanimate and vips. The paper-style output comes from `--bin table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aikido::{Mode, Simulator, Workload, WorkloadSpec};
+
+fn table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for name in ["fluidanimate", "vips"] {
+        for threads in [2u32, 8] {
+            let spec = WorkloadSpec::parsec(name).unwrap().scaled(0.05).with_threads(threads);
+            let workload = Workload::generate(&spec);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{threads}threads")),
+                &workload,
+                |b, w| {
+                    b.iter(|| Simulator::default().run(w, Mode::Aikido));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 2 sweep as a Criterion benchmark: the statistics-gathering Aikido
+//! run. The paper-style output comes from `--bin table2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aikido::{Mode, Simulator, Workload, WorkloadSpec};
+
+fn table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for name in ["bodytrack", "x264"] {
+        let spec = WorkloadSpec::parsec(name).unwrap().scaled(0.05);
+        let workload = Workload::generate(&spec);
+        group.bench_with_input(BenchmarkId::new("aikido-stats", name), &workload, |b, w| {
+            b.iter(|| {
+                let report = Simulator::default().run(w, Mode::Aikido);
+                (report.counts.instrumented_accesses, report.counts.segfaults)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

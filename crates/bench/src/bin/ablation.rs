@@ -1,0 +1,89 @@
+//! Ablations of the design choices the paper calls out (§3.3, §6):
+//!
+//! 1. **Per-thread vs process-wide page protection** — with process-wide
+//!    protection every page that *any* thread touched is protected for all
+//!    threads, so the first access by every thread faults and, crucially,
+//!    there is no private fast path: all accesses to pages touched by two
+//!    threads must be instrumented. Modelled by forcing instrumentation of
+//!    every access to the shared region.
+//! 2. **Fault/trap machinery cost** — rerun with free hypervisor faults to
+//!    show how much of Aikido's overhead is page-protection traps.
+//! 3. **Indirect-check fast path** — remove the emitted shared/private branch
+//!    so instrumented indirect instructions always pay redirection.
+//! 4. **FastTrack epoch optimisation** — run the analysis with full vector
+//!    clocks everywhere.
+//!
+//! Run with `cargo run --release -p aikido-bench --bin ablation`.
+
+use aikido::{
+    CostModel, FastTrack, FastTrackConfig, Mode, Simulator, Workload, WorkloadSpec,
+};
+use aikido_bench::{fmt_slowdown, print_header, print_row, scale_from_env};
+
+fn slowdown(sim: &Simulator, workload: &Workload, mode: Mode) -> f64 {
+    let native = sim.run(workload, Mode::Native);
+    sim.run(workload, mode).slowdown_vs(&native)
+}
+
+fn main() {
+    let scale = scale_from_env();
+    println!("# Ablations, scale {scale}");
+    println!();
+
+    let benchmarks = ["blackscholes", "vips", "fluidanimate"];
+    let widths = [34usize, 14, 10, 14];
+    print_header(&["configuration", "benchmark", "slowdown", "vs aikido"], &widths);
+
+    for name in benchmarks {
+        let spec = WorkloadSpec::parsec(name).unwrap().scaled(scale);
+        let workload = Workload::generate(&spec);
+        let default_sim = Simulator::default();
+        let aikido = slowdown(&default_sim, &workload, Mode::Aikido);
+
+        let row = |label: &str, value: f64| {
+            print_row(
+                &[
+                    label.to_string(),
+                    name.to_string(),
+                    fmt_slowdown(value),
+                    format!("{:+.1}%", (value / aikido - 1.0) * 100.0),
+                ],
+                &widths,
+            );
+        };
+
+        row("aikido (default)", aikido);
+
+        // 1. Process-wide protection: everything that is shared between any
+        // pair of threads is instrumented for everyone, and private data of
+        // other threads cannot be left unprotected — the conventional
+        // full-instrumentation pipeline is the limit of this design.
+        let process_wide = slowdown(&default_sim, &workload, Mode::FullInstrumentation);
+        row("process-wide protection (full instr.)", process_wide);
+
+        // 2. Free fault machinery.
+        let free_faults = Simulator::new(CostModel::default().with_free_faults());
+        row("free page-protection traps", slowdown(&free_faults, &workload, Mode::Aikido));
+
+        // 3. No indirect-check fast path.
+        let no_fast_path = Simulator::new(CostModel::default().without_indirect_fast_path());
+        row(
+            "no indirect shared/private fast path",
+            slowdown(&no_fast_path, &workload, Mode::Aikido),
+        );
+
+        // 4. FastTrack without the epoch optimisation.
+        let native = default_sim.run(&workload, Mode::Native);
+        let mut no_epochs = FastTrack::with_config(FastTrackConfig::without_epochs());
+        let report = default_sim.run_with_analysis(&workload, Mode::Aikido, &mut no_epochs);
+        row("fasttrack without epochs", report.slowdown_vs(&native));
+    }
+
+    println!();
+    println!(
+        "Reading: per-thread protection (the Aikido default) beats process-wide protection \
+         wherever sharing is not total; the trap machinery accounts for a modest share of the \
+         remaining overhead; the indirect fast path matters most when instrumented instructions \
+         frequently touch private data; epochs matter most when accesses are mostly unshared."
+    );
+}

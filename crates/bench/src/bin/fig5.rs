@@ -1,0 +1,57 @@
+//! Figure 5: performance of the FastTrack race detector with and without
+//! Aikido, normalised to native execution (lower is better).
+//!
+//! Run with `cargo run --release -p aikido-bench --bin fig5`. Set
+//! `AIKIDO_SCALE` to shrink or grow the workloads.
+
+use aikido::PARSEC_BENCHMARKS;
+use aikido_bench::{fmt_slowdown, geometric_mean, print_header, print_row, run_benchmark, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("# Figure 5 — slowdown vs native (lower is better), scale {scale}");
+    println!();
+    let widths = [14usize, 12, 18, 10];
+    print_header(&["benchmark", "FastTrack", "Aikido-FastTrack", "speedup"], &widths);
+
+    let mut full_slowdowns = Vec::new();
+    let mut aikido_slowdowns = Vec::new();
+    let mut speedups = Vec::new();
+    for name in PARSEC_BENCHMARKS {
+        let cmp = run_benchmark(name, scale);
+        let full = cmp.full_slowdown();
+        let aikido = cmp.aikido_slowdown();
+        let speedup = cmp.aikido_speedup();
+        full_slowdowns.push(full);
+        aikido_slowdowns.push(aikido);
+        speedups.push(speedup);
+        print_row(
+            &[
+                name.to_string(),
+                fmt_slowdown(full),
+                fmt_slowdown(aikido),
+                format!("{speedup:.2}x"),
+            ],
+            &widths,
+        );
+    }
+    print_row(
+        &[
+            "geomean".to_string(),
+            fmt_slowdown(geometric_mean(&full_slowdowns)),
+            fmt_slowdown(geometric_mean(&aikido_slowdowns)),
+            format!("{:.2}x", geometric_mean(&speedups)),
+        ],
+        &widths,
+    );
+    println!();
+    println!(
+        "Paper: Aikido speeds FastTrack up by 76% on average and up to 6.0x (raytrace); \
+         slight loss on fluidanimate."
+    );
+    println!(
+        "Here: average speedup {:.0}%, best {:.2}x.",
+        (geometric_mean(&speedups) - 1.0) * 100.0,
+        speedups.iter().cloned().fold(f64::MIN, f64::max)
+    );
+}

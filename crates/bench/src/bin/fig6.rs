@@ -1,0 +1,49 @@
+//! Figure 6: percentage of memory accesses that target shared pages, per
+//! benchmark, as measured by the Aikido sharing detector.
+//!
+//! Run with `cargo run --release -p aikido-bench --bin fig6`.
+
+use aikido::{Mode, PARSEC_BENCHMARKS};
+use aikido_bench::{fmt_percent, print_header, print_row, run_mode, scale_from_env};
+
+/// The values read off the paper's Figure 6 / derived from Table 2, for
+/// side-by-side comparison (fraction of accesses to shared pages).
+const PAPER_SHARED_FRACTION: [(&str, f64); 10] = [
+    ("freqmine", 0.557),
+    ("blackscholes", 0.069),
+    ("bodytrack", 0.200),
+    ("raytrace", 0.0011),
+    ("swaptions", 0.119),
+    ("fluidanimate", 0.481),
+    ("vips", 0.222),
+    ("x264", 0.293),
+    ("canneal", 0.122),
+    ("streamcluster", 0.371),
+];
+
+fn main() {
+    let scale = scale_from_env();
+    println!("# Figure 6 — accesses targeting shared pages, scale {scale}");
+    println!();
+    let widths = [14usize, 12, 12];
+    print_header(&["benchmark", "measured", "paper"], &widths);
+    for name in PARSEC_BENCHMARKS {
+        let report = run_mode(name, scale, Mode::Aikido);
+        let measured = report.counts.shared_access_fraction();
+        let paper = PAPER_SHARED_FRACTION
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN);
+        print_row(
+            &[
+                name.to_string(),
+                fmt_percent(measured),
+                fmt_percent(paper),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!("Paper: raytrace shares almost nothing (0.11%); fluidanimate and freqmine share the most.");
+}

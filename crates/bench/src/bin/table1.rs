@@ -1,0 +1,71 @@
+//! Table 1: overheads of FastTrack and Aikido-FastTrack on fluidanimate and
+//! vips at 2, 4 and 8 threads.
+//!
+//! Run with `cargo run --release -p aikido-bench --bin table1`.
+
+use aikido::{Simulator, Workload, WorkloadSpec};
+use aikido_bench::{fmt_slowdown, print_header, print_row, scale_from_env};
+
+/// Paper values (slowdown vs native) for comparison.
+const PAPER: [(&str, &str, [f64; 3]); 4] = [
+    ("fluidanimate", "FastTrack", [55.79, 127.62, 178.60]),
+    ("fluidanimate", "Aikido-FastTrack", [48.11, 110.65, 184.33]),
+    ("vips", "FastTrack", [45.52, 53.34, 67.24]),
+    ("vips", "Aikido-FastTrack", [31.50, 35.96, 66.37]),
+];
+
+fn main() {
+    let scale = scale_from_env();
+    println!("# Table 1 — thread scaling for fluidanimate and vips, scale {scale}");
+    println!();
+    let widths = [14usize, 18, 10, 10, 10];
+    print_header(&["benchmark", "tool", "2 threads", "4 threads", "8 threads"], &widths);
+
+    for name in ["fluidanimate", "vips"] {
+        let mut full_rows = Vec::new();
+        let mut aikido_rows = Vec::new();
+        for threads in [2u32, 4, 8] {
+            let spec = WorkloadSpec::parsec(name)
+                .expect("known benchmark")
+                .scaled(scale)
+                .with_threads(threads);
+            let workload = Workload::generate(&spec);
+            let cmp = Simulator::default().compare(&workload);
+            full_rows.push(cmp.full_slowdown());
+            aikido_rows.push(cmp.aikido_slowdown());
+        }
+        for (tool, rows) in [("FastTrack", &full_rows), ("Aikido-FastTrack", &aikido_rows)] {
+            print_row(
+                &[
+                    name.to_string(),
+                    tool.to_string(),
+                    fmt_slowdown(rows[0]),
+                    fmt_slowdown(rows[1]),
+                    fmt_slowdown(rows[2]),
+                ],
+                &widths,
+            );
+        }
+    }
+
+    println!();
+    println!("Paper values for reference:");
+    print_header(&["benchmark", "tool", "2 threads", "4 threads", "8 threads"], &widths);
+    for (bench, tool, vals) in PAPER {
+        print_row(
+            &[
+                bench.to_string(),
+                tool.to_string(),
+                fmt_slowdown(vals[0]),
+                fmt_slowdown(vals[1]),
+                fmt_slowdown(vals[2]),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!(
+        "Shape to check: overheads grow with thread count, Aikido wins at 2 and 4 threads, \
+         and the advantage shrinks (or flips for fluidanimate) at 8 threads."
+    );
+}

@@ -1,0 +1,130 @@
+//! Shared helpers for the benchmark harnesses that regenerate the paper's
+//! tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one artefact of the evaluation
+//! section (run them with `cargo run --release -p aikido-bench --bin <name>`):
+//!
+//! | binary   | paper artefact |
+//! |----------|----------------|
+//! | `fig5`   | Figure 5 — slowdown vs native, FastTrack vs Aikido-FastTrack |
+//! | `fig6`   | Figure 6 — % of accesses targeting shared pages |
+//! | `table1` | Table 1 — fluidanimate/vips overheads at 2/4/8 threads |
+//! | `table2` | Table 2 — instrumentation statistics |
+//! | `races`  | §5.3 — races found by both tools |
+//! | `ablation` | §3.3/§6 design-choice ablations |
+//!
+//! The Criterion benches under `benches/` measure the reproduction itself
+//! (component microbenchmarks and small end-to-end sweeps).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aikido::{Comparison, Mode, RunReport, Simulator, Workload, WorkloadSpec};
+
+/// Workload scale used by the harnesses when the `AIKIDO_SCALE` environment
+/// variable is not set. 1.0 is the calibrated default size (a few hundred
+/// thousand to a few million simulated accesses per benchmark).
+pub const DEFAULT_SCALE: f64 = 1.0;
+
+/// Reads the workload scale from `AIKIDO_SCALE` (falling back to
+/// [`DEFAULT_SCALE`]). The harnesses use this so CI can run quick passes.
+pub fn scale_from_env() -> f64 {
+    std::env::var("AIKIDO_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(DEFAULT_SCALE)
+}
+
+/// Runs the native / FastTrack / Aikido-FastTrack comparison for one PARSEC
+/// preset at `scale`.
+///
+/// # Panics
+///
+/// Panics if `name` is not a known PARSEC preset.
+pub fn run_benchmark(name: &str, scale: f64) -> Comparison {
+    let spec = WorkloadSpec::parsec(name)
+        .unwrap_or_else(|| panic!("unknown PARSEC benchmark {name}"))
+        .scaled(scale);
+    let workload = Workload::generate(&spec);
+    Simulator::default().compare(&workload)
+}
+
+/// Runs a single mode for one PARSEC preset at `scale`.
+///
+/// # Panics
+///
+/// Panics if `name` is not a known PARSEC preset.
+pub fn run_mode(name: &str, scale: f64, mode: Mode) -> RunReport {
+    let spec = WorkloadSpec::parsec(name)
+        .unwrap_or_else(|| panic!("unknown PARSEC benchmark {name}"))
+        .scaled(scale);
+    let workload = Workload::generate(&spec);
+    Simulator::default().run(&workload, mode)
+}
+
+/// Geometric mean of a sequence of positive values (0.0 for an empty input).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a slowdown as the paper prints it, e.g. `67.2x`.
+pub fn fmt_slowdown(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage, e.g. `22.3%`.
+pub fn fmt_percent(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Prints a Markdown-style table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let row: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("| {} |", row.join(" | "));
+}
+
+/// Prints a Markdown-style table header (header row plus separator).
+pub fn print_header(cells: &[&str], widths: &[usize]) {
+    print_row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>(), widths);
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("| {} |", sep.join(" | "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_of_constants_is_the_constant() {
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_matches_hand_computation() {
+        let g = geometric_mean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_slowdown(6.0), "6.00x");
+        assert_eq!(fmt_percent(0.113), "11.30%");
+    }
+
+    #[test]
+    fn run_benchmark_smoke_test() {
+        let cmp = run_benchmark("blackscholes", 0.02);
+        assert!(cmp.full_slowdown() > 1.0);
+        assert!(cmp.aikido_slowdown() > 1.0);
+    }
+}

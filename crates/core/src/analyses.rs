@@ -1,0 +1,357 @@
+//! Additional shared data analyses built on the Aikido framework.
+//!
+//! The paper positions Aikido as a *framework* for shared data analyses, with
+//! the FastTrack race detector as the flagship client (§4) and other tools —
+//! lockset race detectors, atomicity checkers, sharing profilers — as further
+//! candidates (§1, §7.3). This module provides two such clients:
+//!
+//! * [`LockSet`] — an Eraser-style lockset race detector (Savage et al.,
+//!   cited as [31] in the paper). Unlike FastTrack it can report false
+//!   positives, but it is schedule-insensitive for the accesses it observes,
+//!   which makes it a useful cross-check.
+//! * [`SharingProfile`] — a page/variable-granularity sharing profiler, the
+//!   kind of "understand your program's communication" tool the paper's
+//!   introduction motivates.
+//!
+//! Both implement [`SharedDataAnalysis`], so they can be driven by the Aikido
+//! pipeline (shared accesses only) or by full instrumentation, exactly like
+//! FastTrack.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use aikido_types::{
+    AccessContext, AccessKind, Addr, AnalysisReport, InstrId, LockId, ReportKind,
+    SharedDataAnalysis, ThreadId, Vpn,
+};
+
+/// The per-variable state of the Eraser lockset algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum LocksetState {
+    /// Only one thread has touched the variable so far. The candidate set is
+    /// refined on every access but violations are not reported yet (this is
+    /// Eraser's allowance for unlocked initialisation).
+    Exclusive {
+        owner: ThreadId,
+        candidates: BTreeSet<LockId>,
+    },
+    /// Several threads read the variable, no writes since it became shared.
+    SharedRead { candidates: BTreeSet<LockId> },
+    /// Several threads access the variable with writes; the candidate set
+    /// must stay non-empty.
+    SharedModified { candidates: BTreeSet<LockId> },
+}
+
+/// An Eraser-style lockset race detector.
+///
+/// For every variable (8-byte block) it intersects the set of locks held at
+/// each access; if the candidate set becomes empty while the variable is
+/// written by multiple threads, a potential race is reported.
+///
+/// # Examples
+///
+/// ```
+/// use aikido::analyses::LockSet;
+/// use aikido::types::{AccessContext, AccessKind, Addr, BlockId, InstrId, LockId, SharedDataAnalysis, ThreadId};
+///
+/// let mut eraser = LockSet::new();
+/// let cx = |t: u32, kind| AccessContext {
+///     thread: ThreadId::new(t),
+///     addr: Addr::new(0x100),
+///     kind,
+///     size: 8,
+///     instr: InstrId::new(BlockId::new(0), 0),
+/// };
+/// eraser.on_acquire(ThreadId::new(0), LockId::new(1));
+/// eraser.on_access(cx(0, AccessKind::Write));
+/// eraser.on_release(ThreadId::new(0), LockId::new(1));
+/// // Second thread writes without any lock: candidate set empties.
+/// eraser.on_access(cx(1, AccessKind::Write));
+/// assert_eq!(eraser.reports().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct LockSet {
+    granularity: u64,
+    held: HashMap<ThreadId, BTreeSet<LockId>>,
+    vars: HashMap<u64, LocksetState>,
+    reported: HashSet<u64>,
+    reports: Vec<AnalysisReport>,
+}
+
+impl LockSet {
+    /// Creates a lockset detector with the paper's 8-byte variable blocks.
+    pub fn new() -> Self {
+        LockSet {
+            granularity: 8,
+            ..Default::default()
+        }
+    }
+
+    fn block_of(&self, addr: Addr) -> u64 {
+        addr.raw() / self.granularity.max(1)
+    }
+
+    fn held_by(&self, thread: ThreadId) -> BTreeSet<LockId> {
+        self.held.get(&thread).cloned().unwrap_or_default()
+    }
+
+    /// Number of variables currently tracked.
+    pub fn tracked_variables(&self) -> usize {
+        self.vars.len()
+    }
+
+    fn report(&mut self, cx: &AccessContext, block: u64) {
+        if !self.reported.insert(block) {
+            return;
+        }
+        self.reports.push(AnalysisReport {
+            kind: ReportKind::DataRace,
+            addr: Addr::new(block * self.granularity.max(1)),
+            thread: cx.thread,
+            other_thread: None,
+            instr: Some(cx.instr),
+            message: "lockset became empty for a shared-modified variable".to_string(),
+        });
+    }
+}
+
+impl SharedDataAnalysis for LockSet {
+    fn name(&self) -> &'static str {
+        "eraser-lockset"
+    }
+
+    fn on_access(&mut self, cx: AccessContext) {
+        let block = self.block_of(cx.addr);
+        let held = self.held_by(cx.thread);
+        let state = self.vars.entry(block).or_insert(LocksetState::Exclusive {
+            owner: cx.thread,
+            candidates: held.clone(),
+        });
+        let mut racy = false;
+        let next = match state {
+            LocksetState::Exclusive { owner, candidates } if *owner == cx.thread => {
+                // Keep refining the candidate set during the exclusive phase,
+                // but never report: single-thread histories are race free.
+                *candidates = candidates.intersection(&held).copied().collect();
+                None
+            }
+            LocksetState::Exclusive { candidates, .. } => {
+                // Second thread: the candidate set carries over from the
+                // exclusive phase and is intersected with the locks held now.
+                let intersection: BTreeSet<LockId> =
+                    candidates.intersection(&held).copied().collect();
+                if cx.kind.is_write() {
+                    racy = intersection.is_empty();
+                    Some(LocksetState::SharedModified { candidates: intersection })
+                } else {
+                    Some(LocksetState::SharedRead { candidates: intersection })
+                }
+            }
+            LocksetState::SharedRead { candidates } => {
+                let intersection: BTreeSet<LockId> =
+                    candidates.intersection(&held).copied().collect();
+                if cx.kind.is_write() {
+                    racy = intersection.is_empty();
+                    Some(LocksetState::SharedModified { candidates: intersection })
+                } else {
+                    Some(LocksetState::SharedRead { candidates: intersection })
+                }
+            }
+            LocksetState::SharedModified { candidates } => {
+                let intersection: BTreeSet<LockId> =
+                    candidates.intersection(&held).copied().collect();
+                racy = intersection.is_empty();
+                Some(LocksetState::SharedModified { candidates: intersection })
+            }
+        };
+        if let Some(next) = next {
+            *state = next;
+        }
+        if racy {
+            self.report(&cx, block);
+        }
+    }
+
+    fn on_acquire(&mut self, thread: ThreadId, lock: LockId) {
+        self.held.entry(thread).or_default().insert(lock);
+    }
+
+    fn on_release(&mut self, thread: ThreadId, lock: LockId) {
+        if let Some(set) = self.held.get_mut(&thread) {
+            set.remove(&lock);
+        }
+    }
+
+    fn reports(&self) -> Vec<AnalysisReport> {
+        self.reports.clone()
+    }
+
+    fn access_cost_cycles(&self) -> u64 {
+        // A lockset intersection is cheaper than a vector-clock comparison.
+        38
+    }
+}
+
+/// A sharing profile: per-page and per-instruction communication statistics.
+#[derive(Debug, Default, Clone)]
+pub struct SharingProfile {
+    reads: BTreeMap<Vpn, u64>,
+    writes: BTreeMap<Vpn, u64>,
+    instr_pages: BTreeMap<InstrId, BTreeSet<Vpn>>,
+    threads_per_page: BTreeMap<Vpn, BTreeSet<ThreadId>>,
+}
+
+impl SharingProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total accesses observed for `page`.
+    pub fn page_accesses(&self, page: Vpn) -> u64 {
+        self.reads.get(&page).copied().unwrap_or(0) + self.writes.get(&page).copied().unwrap_or(0)
+    }
+
+    /// Pages touched by more than one thread, with their access counts,
+    /// sorted hottest first.
+    pub fn hottest_shared_pages(&self) -> Vec<(Vpn, u64)> {
+        let mut pages: Vec<(Vpn, u64)> = self
+            .threads_per_page
+            .iter()
+            .filter(|(_, threads)| threads.len() > 1)
+            .map(|(&p, _)| (p, self.page_accesses(p)))
+            .collect();
+        pages.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+        pages
+    }
+
+    /// Number of distinct static instructions that touched `page`.
+    pub fn instructions_touching(&self, page: Vpn) -> usize {
+        self.instr_pages.values().filter(|pages| pages.contains(&page)).count()
+    }
+
+    /// Write fraction over all profiled accesses (0 when nothing was seen).
+    pub fn write_fraction(&self) -> f64 {
+        let writes: u64 = self.writes.values().sum();
+        let total: u64 = writes + self.reads.values().sum::<u64>();
+        if total == 0 {
+            0.0
+        } else {
+            writes as f64 / total as f64
+        }
+    }
+}
+
+impl SharedDataAnalysis for SharingProfile {
+    fn name(&self) -> &'static str {
+        "sharing-profile"
+    }
+
+    fn on_access(&mut self, cx: AccessContext) {
+        let page = cx.addr.page();
+        match cx.kind {
+            AccessKind::Read => *self.reads.entry(page).or_default() += 1,
+            AccessKind::Write => *self.writes.entry(page).or_default() += 1,
+        }
+        self.instr_pages.entry(cx.instr).or_default().insert(page);
+        self.threads_per_page.entry(page).or_default().insert(cx.thread);
+    }
+
+    fn reports(&self) -> Vec<AnalysisReport> {
+        Vec::new()
+    }
+
+    fn access_cost_cycles(&self) -> u64 {
+        15
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aikido_types::BlockId;
+
+    fn cx(thread: u32, addr: u64, kind: AccessKind) -> AccessContext {
+        AccessContext {
+            thread: ThreadId::new(thread),
+            addr: Addr::new(addr),
+            kind,
+            size: 8,
+            instr: InstrId::new(BlockId::new(1), 0),
+        }
+    }
+
+    #[test]
+    fn lockset_accepts_consistently_locked_accesses() {
+        let mut eraser = LockSet::new();
+        let lock = LockId::new(7);
+        for t in 0..3u32 {
+            eraser.on_acquire(ThreadId::new(t), lock);
+            eraser.on_access(cx(t, 0x100, AccessKind::Write));
+            eraser.on_release(ThreadId::new(t), lock);
+        }
+        assert!(eraser.reports().is_empty());
+        assert_eq!(eraser.tracked_variables(), 1);
+    }
+
+    #[test]
+    fn lockset_reports_unprotected_shared_writes() {
+        let mut eraser = LockSet::new();
+        eraser.on_access(cx(0, 0x200, AccessKind::Write));
+        eraser.on_access(cx(1, 0x200, AccessKind::Write));
+        assert_eq!(eraser.reports().len(), 1);
+        // Duplicate reports for the same block are suppressed.
+        eraser.on_access(cx(0, 0x200, AccessKind::Write));
+        assert_eq!(eraser.reports().len(), 1);
+    }
+
+    #[test]
+    fn lockset_reports_inconsistent_lock_usage() {
+        let mut eraser = LockSet::new();
+        let (l1, l2) = (LockId::new(1), LockId::new(2));
+        eraser.on_acquire(ThreadId::new(0), l1);
+        eraser.on_access(cx(0, 0x300, AccessKind::Write));
+        eraser.on_release(ThreadId::new(0), l1);
+        eraser.on_acquire(ThreadId::new(1), l2);
+        eraser.on_access(cx(1, 0x300, AccessKind::Write));
+        eraser.on_release(ThreadId::new(1), l2);
+        assert_eq!(eraser.reports().len(), 1, "disjoint locksets must be flagged");
+    }
+
+    #[test]
+    fn lockset_read_sharing_without_writes_is_fine() {
+        let mut eraser = LockSet::new();
+        for t in 0..4u32 {
+            eraser.on_access(cx(t, 0x400, AccessKind::Read));
+        }
+        assert!(eraser.reports().is_empty());
+    }
+
+    #[test]
+    fn lockset_exclusive_phase_never_reports() {
+        let mut eraser = LockSet::new();
+        for i in 0..10 {
+            eraser.on_access(cx(0, 0x500 + i * 8, AccessKind::Write));
+        }
+        assert!(eraser.reports().is_empty());
+    }
+
+    #[test]
+    fn sharing_profile_tracks_pages_threads_and_instructions() {
+        let mut profile = SharingProfile::new();
+        profile.on_access(cx(0, 0x1000, AccessKind::Write));
+        profile.on_access(cx(1, 0x1008, AccessKind::Read));
+        profile.on_access(cx(1, 0x2000, AccessKind::Read));
+        let page = Addr::new(0x1000).page();
+        assert_eq!(profile.page_accesses(page), 2);
+        assert_eq!(profile.hottest_shared_pages(), vec![(page, 2)]);
+        assert_eq!(profile.instructions_touching(page), 1);
+        assert!((profile.write_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharing_profile_handles_empty_state() {
+        let profile = SharingProfile::new();
+        assert_eq!(profile.write_fraction(), 0.0);
+        assert!(profile.hottest_shared_pages().is_empty());
+    }
+}

@@ -1,0 +1,308 @@
+//! The basic-block code cache, block linking and trace promotion.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+use aikido_types::{BlockId, InstrId};
+
+use crate::isa::Program;
+
+/// Statistics maintained by the code cache; the cost model converts these
+/// into cycles (block build cost, dispatch cost, flush cost).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodeCacheStats {
+    /// Blocks copied into the cache (including rebuilds after a flush).
+    pub blocks_built: u64,
+    /// Instructions emitted while building blocks.
+    pub instrs_emitted: u64,
+    /// Dispatches, i.e. block executions entering through the cache.
+    pub dispatches: u64,
+    /// Dispatches that found the block already cached and linked.
+    pub linked_dispatches: u64,
+    /// Flush requests received.
+    pub flush_requests: u64,
+    /// Blocks actually removed by flushes.
+    pub blocks_flushed: u64,
+    /// Blocks promoted into traces.
+    pub traces_built: u64,
+}
+
+impl CodeCacheStats {
+    /// Merges another set of statistics into this one.
+    pub fn merge(&mut self, other: &CodeCacheStats) {
+        self.blocks_built += other.blocks_built;
+        self.instrs_emitted += other.instrs_emitted;
+        self.dispatches += other.dispatches;
+        self.linked_dispatches += other.linked_dispatches;
+        self.flush_requests += other.flush_requests;
+        self.blocks_flushed += other.blocks_flushed;
+        self.traces_built += other.traces_built;
+    }
+}
+
+/// A basic block resident in the code cache.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachedBlock {
+    /// The static block this cache entry was built from.
+    pub block: BlockId,
+    /// Per-instruction flag: `true` if instrumentation was emitted for the
+    /// instruction when the block was built.
+    pub instrumented: Vec<bool>,
+    /// Number of times the cached copy has been executed.
+    pub executions: u64,
+    /// How many times the block has been (re)built; generation 1 is the first
+    /// build.
+    pub generation: u32,
+    /// True once the block has been stitched into a trace.
+    pub in_trace: bool,
+}
+
+impl CachedBlock {
+    /// Number of instrumented instructions in this cached copy.
+    pub fn instrumented_count(&self) -> usize {
+        self.instrumented.iter().filter(|&&b| b).count()
+    }
+}
+
+/// The thread-shared basic-block code cache.
+#[derive(Debug, Default)]
+pub struct CodeCache {
+    blocks: HashMap<BlockId, CachedBlock>,
+    generations: HashMap<BlockId, u32>,
+    hot_threshold: u64,
+    stats: CodeCacheStats,
+}
+
+impl CodeCache {
+    /// Default number of executions after which a block is promoted into a
+    /// trace.
+    pub const DEFAULT_HOT_THRESHOLD: u64 = 50;
+
+    /// Creates an empty code cache with the default trace-promotion
+    /// threshold.
+    pub fn new() -> Self {
+        Self::with_hot_threshold(Self::DEFAULT_HOT_THRESHOLD)
+    }
+
+    /// Creates an empty code cache promoting blocks to traces after
+    /// `hot_threshold` executions.
+    pub fn with_hot_threshold(hot_threshold: u64) -> Self {
+        CodeCache {
+            blocks: HashMap::new(),
+            generations: HashMap::new(),
+            hot_threshold: hot_threshold.max(1),
+            stats: CodeCacheStats::default(),
+        }
+    }
+
+    /// True if `block` is currently cached.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.blocks.contains_key(&block)
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CodeCacheStats {
+        &self.stats
+    }
+
+    /// The cached copy of `block`, if present.
+    pub fn get(&self, block: BlockId) -> Option<&CachedBlock> {
+        self.blocks.get(&block)
+    }
+
+    /// Executes `block` through the cache, building it first if necessary.
+    ///
+    /// `should_instrument` is consulted for every instruction when the block
+    /// is built (this is the tool callback DynamoRIO gives its clients).
+    /// Returns `(was_built, &CachedBlock)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` does not exist in `program`.
+    pub fn execute<F>(
+        &mut self,
+        program: &Program,
+        block: BlockId,
+        mut should_instrument: F,
+    ) -> (bool, &CachedBlock)
+    where
+        F: FnMut(InstrId) -> bool,
+    {
+        self.stats.dispatches += 1;
+        let mut built = false;
+        if !self.blocks.contains_key(&block) {
+            let static_block = program
+                .block(block)
+                .unwrap_or_else(|| panic!("{block:?} not present in program"));
+            let instrumented: Vec<bool> = static_block
+                .iter_ids()
+                .map(|(id, _)| should_instrument(id))
+                .collect();
+            let generation = self.generations.entry(block).or_insert(0);
+            *generation += 1;
+            self.stats.blocks_built += 1;
+            self.stats.instrs_emitted += static_block.len() as u64;
+            self.blocks.insert(
+                block,
+                CachedBlock {
+                    block,
+                    instrumented,
+                    executions: 0,
+                    generation: *generation,
+                    in_trace: false,
+                },
+            );
+            built = true;
+        } else {
+            self.stats.linked_dispatches += 1;
+        }
+
+        let hot_threshold = self.hot_threshold;
+        let entry = self.blocks.get_mut(&block).expect("just inserted");
+        entry.executions += 1;
+        if !entry.in_trace && entry.executions >= hot_threshold {
+            entry.in_trace = true;
+            self.stats.traces_built += 1;
+        }
+        (built, self.blocks.get(&block).expect("just inserted"))
+    }
+
+    /// Flushes every cached block containing `instr` (in this model, the one
+    /// block the instruction belongs to). Returns the number of blocks
+    /// removed.
+    pub fn flush_instr(&mut self, instr: InstrId) -> usize {
+        self.stats.flush_requests += 1;
+        if self.blocks.remove(&instr.block()).is_some() {
+            self.stats.blocks_flushed += 1;
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Flushes a set of blocks (e.g. every block touching a page whose
+    /// contents changed). Returns the number of blocks removed.
+    pub fn flush_blocks(&mut self, blocks: &HashSet<BlockId>) -> usize {
+        self.stats.flush_requests += 1;
+        let mut removed = 0;
+        for b in blocks {
+            if self.blocks.remove(b).is_some() {
+                removed += 1;
+            }
+        }
+        self.stats.blocks_flushed += removed as u64;
+        removed
+    }
+
+    /// Empties the whole cache (used on reset).
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::StaticInstr;
+    use aikido_types::{AccessKind, AddrMode};
+
+    fn program() -> (Program, BlockId) {
+        let mut p = Program::new();
+        let b = p.add_block(vec![
+            StaticInstr::Mem {
+                kind: AccessKind::Read,
+                mode: AddrMode::Direct,
+            },
+            StaticInstr::Compute,
+            StaticInstr::Mem {
+                kind: AccessKind::Write,
+                mode: AddrMode::Indirect,
+            },
+        ]);
+        (p, b)
+    }
+
+    #[test]
+    fn first_execution_builds_then_reuses() {
+        let (p, b) = program();
+        let mut c = CodeCache::new();
+        let (built, _) = c.execute(&p, b, |_| false);
+        assert!(built);
+        let (built, cached) = c.execute(&p, b, |_| false);
+        assert!(!built);
+        assert_eq!(cached.executions, 2);
+        assert_eq!(c.stats().blocks_built, 1);
+        assert_eq!(c.stats().dispatches, 2);
+        assert_eq!(c.stats().linked_dispatches, 1);
+    }
+
+    #[test]
+    fn instrumentation_decisions_are_recorded_at_build_time() {
+        let (p, b) = program();
+        let mut c = CodeCache::new();
+        let target = p.block(b).unwrap().instr_id(2);
+        let (_, cached) = c.execute(&p, b, |id| id == target);
+        assert_eq!(cached.instrumented, vec![false, false, true]);
+        assert_eq!(cached.instrumented_count(), 1);
+    }
+
+    #[test]
+    fn flush_and_rebuild_bumps_generation() {
+        let (p, b) = program();
+        let mut c = CodeCache::new();
+        c.execute(&p, b, |_| false);
+        let target = p.block(b).unwrap().instr_id(0);
+        assert_eq!(c.flush_instr(target), 1);
+        assert!(!c.contains(b));
+        let (built, cached) = c.execute(&p, b, |id| id == target);
+        assert!(built);
+        assert_eq!(cached.generation, 2);
+        assert!(cached.instrumented[0]);
+        assert_eq!(c.stats().blocks_flushed, 1);
+    }
+
+    #[test]
+    fn flushing_uncached_block_is_a_noop() {
+        let (_p, _b) = program();
+        let mut c = CodeCache::new();
+        assert_eq!(c.flush_instr(InstrId::new(BlockId::new(7), 0)), 0);
+        assert_eq!(c.stats().blocks_flushed, 0);
+        assert_eq!(c.stats().flush_requests, 1);
+    }
+
+    #[test]
+    fn hot_blocks_are_promoted_to_traces_once() {
+        let (p, b) = program();
+        let mut c = CodeCache::with_hot_threshold(3);
+        for _ in 0..5 {
+            c.execute(&p, b, |_| false);
+        }
+        assert!(c.get(b).unwrap().in_trace);
+        assert_eq!(c.stats().traces_built, 1);
+    }
+
+    #[test]
+    fn flush_blocks_removes_listed_blocks_only() {
+        let mut p = Program::new();
+        let b0 = p.add_block(vec![StaticInstr::Compute]);
+        let b1 = p.add_block(vec![StaticInstr::Compute]);
+        let mut c = CodeCache::new();
+        c.execute(&p, b0, |_| false);
+        c.execute(&p, b1, |_| false);
+        let mut set = HashSet::new();
+        set.insert(b0);
+        assert_eq!(c.flush_blocks(&set), 1);
+        assert!(!c.contains(b0));
+        assert!(c.contains(b1));
+    }
+}

@@ -1,0 +1,217 @@
+//! The instrumentation engine: program + code cache + instrumentation
+//! decisions.
+
+use std::collections::HashSet;
+
+use aikido_types::{BlockId, InstrId};
+
+use crate::cache::{CodeCache, CodeCacheStats};
+use crate::isa::Program;
+
+/// What happened when a block was executed through the engine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BlockExecution {
+    /// The block that was executed.
+    pub block: BlockId,
+    /// True if the block had to be (re)built on this execution.
+    pub built: bool,
+    /// Number of instructions in the block.
+    pub instr_count: usize,
+    /// Number of memory instructions carrying instrumentation in the cached
+    /// copy that ran.
+    pub instrumented_mem_instrs: usize,
+    /// True if the cached copy belongs to a trace.
+    pub in_trace: bool,
+}
+
+/// The DynamoRIO-style engine driving a [`Program`] through a [`CodeCache`]
+/// with a dynamic set of instrumentation decisions.
+#[derive(Debug)]
+pub struct DbiEngine {
+    program: Program,
+    cache: CodeCache,
+    instrumented: HashSet<InstrId>,
+}
+
+impl DbiEngine {
+    /// Creates an engine for `program` with an empty code cache and no
+    /// instrumentation decisions.
+    pub fn new(program: Program) -> Self {
+        DbiEngine {
+            program,
+            cache: CodeCache::new(),
+            instrumented: HashSet::new(),
+        }
+    }
+
+    /// Creates an engine with a custom trace-promotion threshold.
+    pub fn with_hot_threshold(program: Program, hot_threshold: u64) -> Self {
+        DbiEngine {
+            program,
+            cache: CodeCache::with_hot_threshold(hot_threshold),
+            instrumented: HashSet::new(),
+        }
+    }
+
+    /// The static program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The code cache statistics.
+    pub fn cache_stats(&self) -> &CodeCacheStats {
+        self.cache.stats()
+    }
+
+    /// The set of instructions currently marked for instrumentation.
+    pub fn instrumented_instrs(&self) -> &HashSet<InstrId> {
+        &self.instrumented
+    }
+
+    /// True if `instr` is currently marked for instrumentation.
+    pub fn is_instrumented(&self, instr: InstrId) -> bool {
+        self.instrumented.contains(&instr)
+    }
+
+    /// Executes `block` through the code cache, building (and instrumenting
+    /// according to current decisions) if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not part of the program.
+    pub fn execute_block(&mut self, block: BlockId) -> BlockExecution {
+        let instrumented = &self.instrumented;
+        let (built, cached) = self
+            .cache
+            .execute(&self.program, block, |id| instrumented.contains(&id));
+        let static_block = self.program.block(block).expect("checked by cache");
+        let instrumented_mem_instrs = cached
+            .instrumented
+            .iter()
+            .zip(static_block.instrs())
+            .filter(|(&inst, si)| inst && si.is_mem())
+            .count();
+        BlockExecution {
+            block,
+            built,
+            instr_count: static_block.len(),
+            instrumented_mem_instrs,
+            in_trace: cached.in_trace,
+        }
+    }
+
+    /// Marks `instr` for instrumentation and flushes its block so the next
+    /// execution re-JITs it with the instrumentation included. Returns `true`
+    /// if this was a new decision (the instruction was not already
+    /// instrumented).
+    pub fn request_instrumentation(&mut self, instr: InstrId) -> bool {
+        let newly = self.instrumented.insert(instr);
+        if newly {
+            self.cache.flush_instr(instr);
+        }
+        newly
+    }
+
+    /// True if the cached copy of `block` (if any) already carries the
+    /// instrumentation for every currently instrumented instruction it
+    /// contains — i.e. no rebuild is pending.
+    pub fn block_up_to_date(&self, block: BlockId) -> bool {
+        match self.cache.get(block) {
+            None => false,
+            Some(cached) => {
+                let static_block = match self.program.block(block) {
+                    Some(b) => b,
+                    None => return false,
+                };
+                static_block.iter_ids().all(|(id, _)| {
+                    let want = self.instrumented.contains(&id);
+                    let have = cached.instrumented[id.index() as usize];
+                    have == want
+                })
+            }
+        }
+    }
+
+    /// Number of blocks resident in the code cache.
+    pub fn cached_blocks(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::StaticInstr;
+    use aikido_types::{AccessKind, AddrMode};
+
+    fn engine() -> (DbiEngine, BlockId) {
+        let mut p = Program::new();
+        let b = p.add_block(vec![
+            StaticInstr::Mem {
+                kind: AccessKind::Read,
+                mode: AddrMode::Direct,
+            },
+            StaticInstr::Compute,
+            StaticInstr::Mem {
+                kind: AccessKind::Write,
+                mode: AddrMode::Indirect,
+            },
+        ]);
+        (DbiEngine::new(p), b)
+    }
+
+    #[test]
+    fn execution_before_any_decision_has_no_instrumentation() {
+        let (mut e, b) = engine();
+        let exec = e.execute_block(b);
+        assert!(exec.built);
+        assert_eq!(exec.instr_count, 3);
+        assert_eq!(exec.instrumented_mem_instrs, 0);
+        assert!(e.block_up_to_date(b));
+    }
+
+    #[test]
+    fn requesting_instrumentation_flushes_and_rebuilds() {
+        let (mut e, b) = engine();
+        e.execute_block(b);
+        let instr = e.program().block(b).unwrap().instr_id(2);
+        assert!(e.request_instrumentation(instr));
+        assert!(!e.block_up_to_date(b), "flush leaves the block uncached");
+        let exec = e.execute_block(b);
+        assert!(exec.built);
+        assert_eq!(exec.instrumented_mem_instrs, 1);
+        assert!(e.is_instrumented(instr));
+        assert!(e.block_up_to_date(b));
+    }
+
+    #[test]
+    fn duplicate_instrumentation_requests_do_not_flush_again() {
+        let (mut e, b) = engine();
+        let instr = e.program().block(b).unwrap().instr_id(0);
+        assert!(e.request_instrumentation(instr));
+        e.execute_block(b);
+        let flushes_before = e.cache_stats().flush_requests;
+        assert!(!e.request_instrumentation(instr));
+        assert_eq!(e.cache_stats().flush_requests, flushes_before);
+        assert!(e.block_up_to_date(b));
+    }
+
+    #[test]
+    fn instrumented_set_grows_monotonically() {
+        let (mut e, b) = engine();
+        let i0 = e.program().block(b).unwrap().instr_id(0);
+        let i2 = e.program().block(b).unwrap().instr_id(2);
+        e.request_instrumentation(i0);
+        e.request_instrumentation(i2);
+        assert_eq!(e.instrumented_instrs().len(), 2);
+        let exec = e.execute_block(b);
+        assert_eq!(exec.instrumented_mem_instrs, 2);
+    }
+
+    #[test]
+    fn up_to_date_is_false_for_never_executed_blocks() {
+        let (e, b) = engine();
+        assert!(!e.block_up_to_date(b));
+        assert_eq!(e.cached_blocks(), 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The synthetic instruction set and static program representation.
+//!
+//! Only the properties Aikido cares about are modelled: whether an
+//! instruction references memory, whether it reads or writes, and whether its
+//! effective address is an immediate (direct) or computed from a register
+//! (indirect). Everything else (ALU, branches, calls) is a [`StaticInstr::Compute`].
+
+use serde::{Deserialize, Serialize};
+
+use aikido_types::{AccessKind, AddrMode, BlockId, InstrId};
+
+/// One static instruction in a basic block.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StaticInstr {
+    /// A memory-referencing instruction.
+    Mem {
+        /// Whether the instruction reads or writes.
+        kind: AccessKind,
+        /// Direct (immediate address) or indirect (register) addressing.
+        mode: AddrMode,
+    },
+    /// A register-only instruction (ALU, branch, call).
+    Compute,
+    /// A call into a synchronisation wrapper (lock, unlock, fork, join,
+    /// barrier). Always instrumented by shared data analyses.
+    Sync,
+}
+
+impl StaticInstr {
+    /// True if the instruction references memory.
+    pub const fn is_mem(&self) -> bool {
+        matches!(self, StaticInstr::Mem { .. })
+    }
+}
+
+/// A static basic block: a straight-line sequence of instructions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticBlock {
+    id: BlockId,
+    instrs: Vec<StaticInstr>,
+}
+
+impl StaticBlock {
+    /// Creates a block. Normally constructed through [`Program::add_block`].
+    pub fn new(id: BlockId, instrs: Vec<StaticInstr>) -> Self {
+        StaticBlock { id, instrs }
+    }
+
+    /// The block's identity.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// The instructions of the block.
+    pub fn instrs(&self) -> &[StaticInstr] {
+        &self.instrs
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the block has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The [`InstrId`] of the instruction at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the block.
+    pub fn instr_id(&self, index: usize) -> InstrId {
+        assert!(index < self.instrs.len(), "instruction index out of range");
+        InstrId::new(self.id, index as u16)
+    }
+
+    /// Number of memory-referencing instructions in the block.
+    pub fn mem_instr_count(&self) -> usize {
+        self.instrs.iter().filter(|i| i.is_mem()).count()
+    }
+
+    /// Iterates over `(InstrId, &StaticInstr)` pairs.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (InstrId, &StaticInstr)> {
+        self.instrs
+            .iter()
+            .enumerate()
+            .map(move |(i, instr)| (InstrId::new(self.id, i as u16), instr))
+    }
+}
+
+/// The static code of the target application: an indexed set of basic blocks.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    blocks: Vec<StaticBlock>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a basic block and returns its id.
+    pub fn add_block(&mut self, instrs: Vec<StaticInstr>) -> BlockId {
+        let id = BlockId::new(self.blocks.len() as u32);
+        self.blocks.push(StaticBlock::new(id, instrs));
+        id
+    }
+
+    /// Looks a block up by id.
+    pub fn block(&self, id: BlockId) -> Option<&StaticBlock> {
+        self.blocks.get(id.raw() as usize)
+    }
+
+    /// Number of blocks in the program.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the program has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total number of static instructions.
+    pub fn total_instrs(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    /// Total number of static memory-referencing instructions.
+    pub fn total_mem_instrs(&self) -> usize {
+        self.blocks.iter().map(|b| b.mem_instr_count()).sum()
+    }
+
+    /// Iterates over the blocks in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &StaticBlock> {
+        self.blocks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Program {
+        let mut p = Program::new();
+        p.add_block(vec![
+            StaticInstr::Compute,
+            StaticInstr::Mem {
+                kind: AccessKind::Read,
+                mode: AddrMode::Direct,
+            },
+            StaticInstr::Mem {
+                kind: AccessKind::Write,
+                mode: AddrMode::Indirect,
+            },
+        ]);
+        p.add_block(vec![StaticInstr::Sync, StaticInstr::Compute]);
+        p
+    }
+
+    #[test]
+    fn blocks_get_sequential_ids() {
+        let p = sample_program();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.block(BlockId::new(0)).unwrap().id(), BlockId::new(0));
+        assert_eq!(p.block(BlockId::new(1)).unwrap().id(), BlockId::new(1));
+        assert!(p.block(BlockId::new(2)).is_none());
+    }
+
+    #[test]
+    fn instruction_counts() {
+        let p = sample_program();
+        assert_eq!(p.total_instrs(), 5);
+        assert_eq!(p.total_mem_instrs(), 2);
+        assert_eq!(p.block(BlockId::new(0)).unwrap().mem_instr_count(), 2);
+        assert_eq!(p.block(BlockId::new(1)).unwrap().mem_instr_count(), 0);
+    }
+
+    #[test]
+    fn instr_ids_identify_block_and_offset() {
+        let p = sample_program();
+        let b = p.block(BlockId::new(0)).unwrap();
+        let id = b.instr_id(2);
+        assert_eq!(id.block(), BlockId::new(0));
+        assert_eq!(id.index(), 2);
+        let ids: Vec<_> = b.iter_ids().map(|(i, _)| i.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_instr_id_panics() {
+        let p = sample_program();
+        let _ = p.block(BlockId::new(1)).unwrap().instr_id(5);
+    }
+}

@@ -1,0 +1,132 @@
+//! The modified master signal handler (§3.4).
+//!
+//! DynamoRIO installs its own signal handler. Aikido's changes make it
+//! distinguish two cases for an Aikido page fault:
+//!
+//! * the faulting access was performed by the *application* code running in
+//!   the code cache — the fault is forwarded to the sharing detector;
+//! * the faulting access was performed by DynamoRIO itself or by the tool
+//!   (both routinely read application memory) — the page is unprotected for
+//!   the current thread, remembered, and re-protected when control returns to
+//!   the application.
+
+use std::collections::{BTreeSet, HashMap};
+
+use aikido_types::{ThreadId, Vpn};
+
+/// Who performed the faulting access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultOrigin {
+    /// The target application, executing out of the code cache.
+    Application,
+    /// DynamoRIO or the instrumentation tool itself.
+    Runtime,
+}
+
+/// Routing decision produced by the master handler for an Aikido fault.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HandlerAction {
+    /// Forward the fault to the sharing detector.
+    ForwardToSharingDetector,
+    /// Unprotect the page for this thread; it will be re-protected when
+    /// control returns to the application.
+    UnprotectForRuntime,
+}
+
+/// The master signal handler state: per-thread lists of pages unprotected on
+/// behalf of the runtime.
+#[derive(Debug, Default)]
+pub struct MasterHandler {
+    unprotected: HashMap<ThreadId, BTreeSet<Vpn>>,
+}
+
+impl MasterHandler {
+    /// Creates a handler with no outstanding unprotected pages.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handles an Aikido fault raised by `origin` on `thread` for `page`.
+    pub fn on_aikido_fault(&mut self, thread: ThreadId, page: Vpn, origin: FaultOrigin) -> HandlerAction {
+        match origin {
+            FaultOrigin::Application => HandlerAction::ForwardToSharingDetector,
+            FaultOrigin::Runtime => {
+                self.unprotected.entry(thread).or_default().insert(page);
+                HandlerAction::UnprotectForRuntime
+            }
+        }
+    }
+
+    /// Pages currently unprotected for the runtime on `thread`.
+    pub fn pending_pages(&self, thread: ThreadId) -> Vec<Vpn> {
+        self.unprotected
+            .get(&thread)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Called when control returns from the runtime to the application on
+    /// `thread`: drains and returns the pages that must be re-protected.
+    pub fn return_to_application(&mut self, thread: ThreadId) -> Vec<Vpn> {
+        self.unprotected
+            .remove(&thread)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// True if no thread has outstanding runtime-unprotected pages.
+    pub fn is_clean(&self) -> bool {
+        self.unprotected.values().all(|s| s.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn application_faults_are_forwarded() {
+        let mut h = MasterHandler::new();
+        let action = h.on_aikido_fault(ThreadId::new(0), Vpn::new(5), FaultOrigin::Application);
+        assert_eq!(action, HandlerAction::ForwardToSharingDetector);
+        assert!(h.is_clean());
+    }
+
+    #[test]
+    fn runtime_faults_record_pages_per_thread() {
+        let mut h = MasterHandler::new();
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        assert_eq!(
+            h.on_aikido_fault(t0, Vpn::new(5), FaultOrigin::Runtime),
+            HandlerAction::UnprotectForRuntime
+        );
+        h.on_aikido_fault(t0, Vpn::new(6), FaultOrigin::Runtime);
+        h.on_aikido_fault(t1, Vpn::new(7), FaultOrigin::Runtime);
+        assert_eq!(h.pending_pages(t0), vec![Vpn::new(5), Vpn::new(6)]);
+        assert_eq!(h.pending_pages(t1), vec![Vpn::new(7)]);
+        assert!(!h.is_clean());
+    }
+
+    #[test]
+    fn returning_to_application_drains_only_that_thread() {
+        let mut h = MasterHandler::new();
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        h.on_aikido_fault(t0, Vpn::new(5), FaultOrigin::Runtime);
+        h.on_aikido_fault(t1, Vpn::new(9), FaultOrigin::Runtime);
+        let drained = h.return_to_application(t0);
+        assert_eq!(drained, vec![Vpn::new(5)]);
+        assert!(h.pending_pages(t0).is_empty());
+        assert_eq!(h.pending_pages(t1), vec![Vpn::new(9)]);
+    }
+
+    #[test]
+    fn duplicate_pages_are_deduplicated() {
+        let mut h = MasterHandler::new();
+        let t = ThreadId::new(2);
+        h.on_aikido_fault(t, Vpn::new(4), FaultOrigin::Runtime);
+        h.on_aikido_fault(t, Vpn::new(4), FaultOrigin::Runtime);
+        assert_eq!(h.return_to_application(t), vec![Vpn::new(4)]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Vector clocks and epochs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use aikido_types::ThreadId;
+
+/// A scalar logical clock value.
+pub type ClockValue = u32;
+
+/// An *epoch*: a single `clock@thread` pair, FastTrack's compact
+/// representation of a totally ordered access history.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Epoch {
+    clock: ClockValue,
+    thread: ThreadId,
+}
+
+impl Epoch {
+    /// The "never accessed" epoch: clock 0 of thread 0, which happens-before
+    /// everything.
+    pub const ZERO: Epoch = Epoch {
+        clock: 0,
+        thread: ThreadId::new(0),
+    };
+
+    /// Creates an epoch `clock@thread`.
+    pub const fn new(clock: ClockValue, thread: ThreadId) -> Self {
+        Epoch { clock, thread }
+    }
+
+    /// The clock component.
+    pub const fn clock(self) -> ClockValue {
+        self.clock
+    }
+
+    /// The thread component.
+    pub const fn thread(self) -> ThreadId {
+        self.thread
+    }
+
+    /// True if this epoch happens-before (or equals) the state captured in
+    /// `vc`: `clock <= vc[thread]`.
+    pub fn happens_before(self, vc: &VectorClock) -> bool {
+        self.clock <= vc.get(self.thread)
+    }
+}
+
+impl Default for Epoch {
+    fn default() -> Self {
+        Epoch::ZERO
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.clock, self.thread.raw())
+    }
+}
+
+/// A vector clock: one logical clock per thread, indexed by
+/// [`ThreadId::index`]. Missing entries are implicitly zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    clocks: Vec<ClockValue>,
+}
+
+impl VectorClock {
+    /// Creates an all-zero vector clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The clock of `thread` (zero if never set).
+    pub fn get(&self, thread: ThreadId) -> ClockValue {
+        self.clocks.get(thread.index()).copied().unwrap_or(0)
+    }
+
+    /// Sets the clock of `thread` to `value`.
+    pub fn set(&mut self, thread: ThreadId, value: ClockValue) {
+        let idx = thread.index();
+        if idx >= self.clocks.len() {
+            self.clocks.resize(idx + 1, 0);
+        }
+        self.clocks[idx] = value;
+    }
+
+    /// Increments the clock of `thread` by one and returns the new value.
+    pub fn increment(&mut self, thread: ThreadId) -> ClockValue {
+        let new = self.get(thread) + 1;
+        self.set(thread, new);
+        new
+    }
+
+    /// Pointwise maximum: `self := self ⊔ other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.clocks.len() > self.clocks.len() {
+            self.clocks.resize(other.clocks.len(), 0);
+        }
+        for (i, &c) in other.clocks.iter().enumerate() {
+            if c > self.clocks[i] {
+                self.clocks[i] = c;
+            }
+        }
+    }
+
+    /// True if `self ⊑ other` (pointwise less-or-equal): every event known to
+    /// `self` happens-before (or equals) the state of `other`.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.clocks
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c <= other.clocks.get(i).copied().unwrap_or(0))
+    }
+
+    /// The epoch of `thread` in this clock: `self[thread]@thread`.
+    pub fn epoch_of(&self, thread: ThreadId) -> Epoch {
+        Epoch::new(self.get(thread), thread)
+    }
+
+    /// Number of threads with a non-zero entry.
+    pub fn nonzero_entries(&self) -> usize {
+        self.clocks.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Iterates over `(thread, clock)` pairs with non-zero clocks.
+    pub fn iter(&self) -> impl Iterator<Item = (ThreadId, ClockValue)> + '_ {
+        self.clocks
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (ThreadId::new(i as u32), c))
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, c) in self.clocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl FromIterator<(ThreadId, ClockValue)> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = (ThreadId, ClockValue)>>(iter: I) -> Self {
+        let mut vc = VectorClock::new();
+        for (t, c) in iter {
+            vc.set(t, c);
+        }
+        vc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn get_of_unset_thread_is_zero() {
+        let vc = VectorClock::new();
+        assert_eq!(vc.get(t(3)), 0);
+        assert_eq!(vc.nonzero_entries(), 0);
+    }
+
+    #[test]
+    fn set_and_increment() {
+        let mut vc = VectorClock::new();
+        vc.set(t(2), 5);
+        assert_eq!(vc.get(t(2)), 5);
+        assert_eq!(vc.increment(t(2)), 6);
+        assert_eq!(vc.increment(t(0)), 1);
+        assert_eq!(vc.nonzero_entries(), 2);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let a: VectorClock = [(t(0), 3), (t(1), 1)].into_iter().collect();
+        let b: VectorClock = [(t(1), 4), (t(2), 2)].into_iter().collect();
+        let mut j = a.clone();
+        j.join(&b);
+        assert_eq!(j.get(t(0)), 3);
+        assert_eq!(j.get(t(1)), 4);
+        assert_eq!(j.get(t(2)), 2);
+        // Join is an upper bound of both.
+        assert!(a.le(&j));
+        assert!(b.le(&j));
+    }
+
+    #[test]
+    fn le_is_a_partial_order() {
+        let a: VectorClock = [(t(0), 1)].into_iter().collect();
+        let b: VectorClock = [(t(0), 2), (t(1), 1)].into_iter().collect();
+        let c: VectorClock = [(t(1), 3)].into_iter().collect();
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        // Incomparable clocks (concurrent states).
+        assert!(!b.le(&c));
+        assert!(!c.le(&b));
+        // Reflexive.
+        assert!(a.le(&a));
+    }
+
+    #[test]
+    fn le_handles_different_lengths() {
+        let short: VectorClock = [(t(0), 1)].into_iter().collect();
+        let long: VectorClock = [(t(0), 1), (t(5), 7)].into_iter().collect();
+        assert!(short.le(&long));
+        assert!(!long.le(&short));
+    }
+
+    #[test]
+    fn epoch_happens_before_checks_single_entry() {
+        let vc: VectorClock = [(t(1), 5)].into_iter().collect();
+        assert!(Epoch::new(5, t(1)).happens_before(&vc));
+        assert!(Epoch::new(4, t(1)).happens_before(&vc));
+        assert!(!Epoch::new(6, t(1)).happens_before(&vc));
+        assert!(!Epoch::new(1, t(2)).happens_before(&vc));
+        assert!(Epoch::ZERO.happens_before(&vc));
+        assert!(Epoch::ZERO.happens_before(&VectorClock::new()));
+    }
+
+    #[test]
+    fn epoch_of_extracts_thread_entry() {
+        let vc: VectorClock = [(t(2), 9)].into_iter().collect();
+        assert_eq!(vc.epoch_of(t(2)), Epoch::new(9, t(2)));
+        assert_eq!(vc.epoch_of(t(0)), Epoch::new(0, t(0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let vc: VectorClock = [(t(0), 1), (t(1), 2)].into_iter().collect();
+        assert_eq!(vc.to_string(), "<1,2>");
+        assert_eq!(Epoch::new(3, t(1)).to_string(), "3@1");
+    }
+}

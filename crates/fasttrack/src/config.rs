@@ -1,0 +1,64 @@
+//! Configuration of the FastTrack detector.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the [`crate::FastTrack`] detector.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FastTrackConfig {
+    /// Bytes per "variable" block (the paper uses 8-byte blocks, §4.2). Must
+    /// be a power of two.
+    pub granularity: u64,
+    /// Enable FastTrack's epoch fast paths. Disabling them forces the
+    /// detector to keep full vector clocks for every read history (the
+    /// DJIT+-style baseline FastTrack was designed to improve on); used by
+    /// the ablation benchmark.
+    pub epoch_optimization: bool,
+    /// Maximum number of distinct race reports to keep (further races at new
+    /// locations are still *counted* but not stored).
+    pub max_reports: usize,
+    /// Report at most one race per variable block (the paper's tools do this
+    /// to avoid drowning the user in duplicates).
+    pub dedup_by_block: bool,
+}
+
+impl Default for FastTrackConfig {
+    fn default() -> Self {
+        FastTrackConfig {
+            granularity: 8,
+            epoch_optimization: true,
+            max_reports: 10_000,
+            dedup_by_block: true,
+        }
+    }
+}
+
+impl FastTrackConfig {
+    /// A configuration with the epoch optimisation disabled (vector clocks
+    /// everywhere), for the ablation experiment.
+    pub fn without_epochs() -> Self {
+        FastTrackConfig {
+            epoch_optimization: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = FastTrackConfig::default();
+        assert_eq!(c.granularity, 8);
+        assert!(c.epoch_optimization);
+        assert!(c.dedup_by_block);
+    }
+
+    #[test]
+    fn without_epochs_only_toggles_the_optimization() {
+        let c = FastTrackConfig::without_epochs();
+        assert!(!c.epoch_optimization);
+        assert_eq!(c.granularity, FastTrackConfig::default().granularity);
+    }
+}

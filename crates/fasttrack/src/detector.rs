@@ -1,0 +1,654 @@
+//! The FastTrack detector itself.
+
+use std::collections::{HashMap, HashSet};
+
+use aikido_shadow::ShadowStore;
+use aikido_types::{
+    AccessContext, AccessKind, Addr, AnalysisReport, InstrId, LockId, ReportKind,
+    SharedDataAnalysis, ThreadId,
+};
+
+use crate::clock::VectorClock;
+use crate::config::FastTrackConfig;
+use crate::state::{ReadState, VarState};
+use crate::stats::FastTrackStats;
+
+/// The FastTrack happens-before race detector.
+///
+/// See the crate-level documentation for the algorithm overview and an
+/// example. The detector can be driven either directly
+/// ([`FastTrack::read`], [`FastTrack::write`], [`FastTrack::acquire`], …) or
+/// through the [`SharedDataAnalysis`] trait when plugged into the Aikido or
+/// full-instrumentation pipelines.
+#[derive(Debug)]
+pub struct FastTrack {
+    config: FastTrackConfig,
+    /// Per-thread vector clocks.
+    threads: HashMap<ThreadId, VectorClock>,
+    /// Per-lock vector clocks.
+    locks: HashMap<LockId, VectorClock>,
+    /// Per-variable (8-byte block) metadata, in shadow memory.
+    vars: ShadowStore<VarState>,
+    /// Blocks for which a race has already been reported (deduplication).
+    reported_blocks: HashSet<u64>,
+    reports: Vec<AnalysisReport>,
+    stats: FastTrackStats,
+    /// Cycles attributable to the most recent read/write check (depends on
+    /// the path taken; used by the simulator's cost model).
+    last_cost: u64,
+}
+
+/// Cycle costs of the different FastTrack code paths, used to report
+/// [`SharedDataAnalysis::last_access_cost_cycles`]. Calibrated so that full
+/// instrumentation of every access lands in the paper's tens-to-hundreds-of-x
+/// slowdown band, with the vector-clock slow paths (which grow with thread
+/// count) substantially more expensive than the epoch fast path.
+mod cost {
+    /// Same-epoch fast path (one comparison).
+    pub const SAME_EPOCH: u64 = 30;
+    /// Exclusive-epoch check and update.
+    pub const EXCLUSIVE: u64 = 78;
+    /// Promotion of a read history to a vector clock.
+    pub const PROMOTE_SHARED: u64 = 160;
+    /// Per-thread extra cost of any operation over a read-shared vector clock.
+    pub const SHARED_PER_THREAD: u64 = 16;
+    /// Base cost of an operation over a read-shared vector clock.
+    pub const SHARED_BASE: u64 = 95;
+    /// Extra cost of constructing and emitting a race report.
+    pub const REPORT: u64 = 220;
+}
+
+impl Default for FastTrack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FastTrack {
+    /// Creates a detector with the default configuration (8-byte blocks,
+    /// epoch optimisation enabled).
+    pub fn new() -> Self {
+        Self::with_config(FastTrackConfig::default())
+    }
+
+    /// Creates a detector with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured granularity is not a power of two.
+    pub fn with_config(config: FastTrackConfig) -> Self {
+        FastTrack {
+            vars: ShadowStore::new(config.granularity),
+            config,
+            threads: HashMap::new(),
+            locks: HashMap::new(),
+            reported_blocks: HashSet::new(),
+            reports: Vec::new(),
+            stats: FastTrackStats::new(),
+            last_cost: 0,
+        }
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &FastTrackConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &FastTrackStats {
+        &self.stats
+    }
+
+    /// All race reports recorded so far.
+    pub fn races(&self) -> &[AnalysisReport] {
+        &self.reports
+    }
+
+    /// Total races detected, including ones deduplicated out of the report
+    /// list.
+    pub fn races_detected(&self) -> u64 {
+        self.stats.races_detected
+    }
+
+    /// The vector clock of `thread` (creating it on first use).
+    fn thread_vc(&mut self, thread: ThreadId) -> &mut VectorClock {
+        self.threads.entry(thread).or_insert_with(|| {
+            let mut vc = VectorClock::new();
+            vc.set(thread, 1);
+            vc
+        })
+    }
+
+    /// Ensures a thread exists and returns a snapshot of its vector clock.
+    fn thread_vc_snapshot(&mut self, thread: ThreadId) -> VectorClock {
+        self.thread_vc(thread).clone()
+    }
+
+    /// Processes a read of the block containing `addr` by `thread`.
+    pub fn read(&mut self, thread: ThreadId, addr: Addr) {
+        self.read_at(thread, addr, None)
+    }
+
+    /// Processes a read, recording the static instruction for reports.
+    pub fn read_at(&mut self, thread: ThreadId, addr: Addr, instr: Option<InstrId>) {
+        self.stats.reads += 1;
+        let threads_known = self.threads.len().max(1) as u64;
+        let vc = self.thread_vc_snapshot(thread);
+        let epoch = vc.epoch_of(thread);
+        let use_epochs = self.config.epoch_optimization;
+        let is_new = self.vars.get(addr).is_none();
+        if is_new {
+            self.stats.blocks_tracked += 1;
+        }
+        let state = self.vars.get_or_default(addr);
+
+        // Same-epoch fast path.
+        if use_epochs {
+            match &state.read {
+                ReadState::Exclusive(e) if *e == epoch => {
+                    self.stats.read_same_epoch += 1;
+                    self.last_cost = cost::SAME_EPOCH;
+                    return;
+                }
+                ReadState::Shared(rvc) if rvc.get(thread) == epoch.clock() => {
+                    self.stats.read_same_epoch += 1;
+                    self.last_cost = cost::SAME_EPOCH;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.last_cost = cost::EXCLUSIVE;
+
+        // Write-read race check: the last write must happen-before this read.
+        let write_races = !state.write.happens_before(&vc);
+        let prior_writer = state.write.thread();
+
+        // Update the read history.
+        match (&mut state.read, use_epochs) {
+            (ReadState::Exclusive(e), true) if e.happens_before(&vc) => {
+                *e = epoch;
+            }
+            (ReadState::Exclusive(e), _) => {
+                // Concurrent (or epoch optimisation disabled): promote to a
+                // vector clock.
+                let mut rvc = VectorClock::new();
+                if e.clock() > 0 {
+                    rvc.set(e.thread(), e.clock());
+                }
+                rvc.set(thread, epoch.clock());
+                state.read = ReadState::Shared(rvc);
+                self.stats.read_share_promotions += 1;
+                self.last_cost = cost::PROMOTE_SHARED;
+            }
+            (ReadState::Shared(rvc), _) => {
+                rvc.set(thread, epoch.clock());
+                self.last_cost = cost::SHARED_BASE + cost::SHARED_PER_THREAD * threads_known;
+            }
+        }
+
+        if write_races {
+            self.last_cost += cost::REPORT;
+            self.report(
+                thread,
+                addr,
+                AccessKind::Read,
+                Some(prior_writer),
+                instr,
+                "read is concurrent with a prior write",
+            );
+        }
+    }
+
+    /// Processes a write of the block containing `addr` by `thread`.
+    pub fn write(&mut self, thread: ThreadId, addr: Addr) {
+        self.write_at(thread, addr, None)
+    }
+
+    /// Processes a write, recording the static instruction for reports.
+    pub fn write_at(&mut self, thread: ThreadId, addr: Addr, instr: Option<InstrId>) {
+        self.stats.writes += 1;
+        let threads_known = self.threads.len().max(1) as u64;
+        let vc = self.thread_vc_snapshot(thread);
+        let epoch = vc.epoch_of(thread);
+        let use_epochs = self.config.epoch_optimization;
+        let is_new = self.vars.get(addr).is_none();
+        if is_new {
+            self.stats.blocks_tracked += 1;
+        }
+        let state = self.vars.get_or_default(addr);
+
+        // Same-epoch fast path.
+        if use_epochs && state.write == epoch {
+            self.stats.write_same_epoch += 1;
+            self.last_cost = cost::SAME_EPOCH;
+            return;
+        }
+        self.last_cost = if state.read.is_shared() {
+            cost::SHARED_BASE + cost::SHARED_PER_THREAD * threads_known
+        } else {
+            cost::EXCLUSIVE
+        };
+
+        let write_races = !state.write.happens_before(&vc);
+        let prior_writer = state.write.thread();
+        let read_races = !state.read.happens_before(&vc);
+        let prior_reader = match &state.read {
+            ReadState::Exclusive(e) => Some(e.thread()),
+            ReadState::Shared(rvc) => rvc
+                .iter()
+                .find(|(t, c)| *c > vc.get(*t))
+                .map(|(t, _)| t),
+        };
+
+        // Update: record this write; once all concurrent reads have been
+        // checked the read history can collapse back to the writer's epoch
+        // (FastTrack's "write shared" rule).
+        state.write = epoch;
+        if state.read.is_shared() {
+            state.read = ReadState::Exclusive(epoch);
+        }
+
+        if write_races {
+            self.last_cost += cost::REPORT;
+            self.report(
+                thread,
+                addr,
+                AccessKind::Write,
+                Some(prior_writer),
+                instr,
+                "write is concurrent with a prior write",
+            );
+        } else if read_races {
+            self.last_cost += cost::REPORT;
+            self.report(
+                thread,
+                addr,
+                AccessKind::Write,
+                prior_reader,
+                instr,
+                "write is concurrent with a prior read",
+            );
+        }
+    }
+
+    /// Processes `thread` acquiring `lock`.
+    pub fn acquire(&mut self, thread: ThreadId, lock: LockId) {
+        self.stats.acquires += 1;
+        if let Some(lvc) = self.locks.get(&lock).cloned() {
+            self.thread_vc(thread).join(&lvc);
+        } else {
+            // Touch the thread so it exists.
+            self.thread_vc(thread);
+        }
+    }
+
+    /// Processes `thread` releasing `lock`.
+    pub fn release(&mut self, thread: ThreadId, lock: LockId) {
+        self.stats.releases += 1;
+        let vc = self.thread_vc_snapshot(thread);
+        self.locks.insert(lock, vc);
+        self.thread_vc(thread).increment(thread);
+    }
+
+    /// Processes `parent` spawning `child`: the child inherits the parent's
+    /// history.
+    pub fn fork(&mut self, parent: ThreadId, child: ThreadId) {
+        self.stats.forks += 1;
+        let pvc = self.thread_vc_snapshot(parent);
+        let cvc = self.thread_vc(child);
+        cvc.join(&pvc);
+        let child_clock = cvc.get(child).max(1);
+        cvc.set(child, child_clock);
+        self.thread_vc(parent).increment(parent);
+    }
+
+    /// Processes `parent` joining `child`: the parent inherits the child's
+    /// history.
+    pub fn join(&mut self, parent: ThreadId, child: ThreadId) {
+        self.stats.joins += 1;
+        let cvc = self.thread_vc_snapshot(child);
+        self.thread_vc(parent).join(&cvc);
+        self.thread_vc(child).increment(child);
+    }
+
+    /// Processes a barrier joining all `threads`: everyone's history is
+    /// merged and every participant starts a new epoch.
+    pub fn barrier(&mut self, threads: &[ThreadId]) {
+        self.stats.barriers += 1;
+        let mut merged = VectorClock::new();
+        for &t in threads {
+            let vc = self.thread_vc_snapshot(t);
+            merged.join(&vc);
+        }
+        for &t in threads {
+            let vc = self.thread_vc(t);
+            vc.join(&merged);
+            vc.increment(t);
+        }
+    }
+
+    fn report(
+        &mut self,
+        thread: ThreadId,
+        addr: Addr,
+        kind: AccessKind,
+        other_thread: Option<ThreadId>,
+        instr: Option<InstrId>,
+        message: &str,
+    ) {
+        self.stats.races_detected += 1;
+        let block = addr.raw() / self.config.granularity;
+        if self.config.dedup_by_block && !self.reported_blocks.insert(block) {
+            return;
+        }
+        if self.reports.len() >= self.config.max_reports {
+            return;
+        }
+        self.reports.push(AnalysisReport {
+            kind: ReportKind::DataRace,
+            addr: Addr::new(block * self.config.granularity),
+            thread,
+            other_thread,
+            instr,
+            message: format!("{kind}: {message}"),
+        });
+    }
+}
+
+impl SharedDataAnalysis for FastTrack {
+    fn name(&self) -> &'static str {
+        "fasttrack"
+    }
+
+    fn on_access(&mut self, cx: AccessContext) {
+        match cx.kind {
+            AccessKind::Read => self.read_at(cx.thread, cx.addr, Some(cx.instr)),
+            AccessKind::Write => self.write_at(cx.thread, cx.addr, Some(cx.instr)),
+        }
+    }
+
+    fn on_acquire(&mut self, thread: ThreadId, lock: LockId) {
+        self.acquire(thread, lock);
+    }
+
+    fn on_release(&mut self, thread: ThreadId, lock: LockId) {
+        self.release(thread, lock);
+    }
+
+    fn on_fork(&mut self, parent: ThreadId, child: ThreadId) {
+        self.fork(parent, child);
+    }
+
+    fn on_join(&mut self, parent: ThreadId, child: ThreadId) {
+        self.join(parent, child);
+    }
+
+    fn on_barrier(&mut self, threads: &[ThreadId], _id: u32) {
+        self.barrier(threads);
+    }
+
+    fn reports(&self) -> Vec<AnalysisReport> {
+        self.reports.clone()
+    }
+
+    fn access_cost_cycles(&self) -> u64 {
+        // Calibrated so that full instrumentation of every memory access lands
+        // in the tens-to-hundreds-of-x slowdown band the paper reports for
+        // binary-level FastTrack.
+        55
+    }
+
+    fn last_access_cost_cycles(&self) -> u64 {
+        self.last_cost.max(cost::SAME_EPOCH)
+    }
+
+    fn sync_cost_cycles(&self) -> u64 {
+        120
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    fn addr(raw: u64) -> Addr {
+        Addr::new(raw)
+    }
+
+    #[test]
+    fn single_thread_never_races() {
+        let mut ft = FastTrack::new();
+        for i in 0..100 {
+            ft.write(t(0), addr(0x1000 + 8 * i));
+            ft.read(t(0), addr(0x1000 + 8 * i));
+        }
+        assert!(ft.races().is_empty());
+        assert_eq!(ft.races_detected(), 0);
+    }
+
+    #[test]
+    fn write_write_race_is_detected() {
+        let mut ft = FastTrack::new();
+        ft.write(t(0), addr(0x10));
+        ft.write(t(1), addr(0x10));
+        assert_eq!(ft.races().len(), 1);
+        assert_eq!(ft.races()[0].kind, ReportKind::DataRace);
+        assert_eq!(ft.races()[0].other_thread, Some(t(0)));
+    }
+
+    #[test]
+    fn read_write_race_is_detected() {
+        let mut ft = FastTrack::new();
+        ft.read(t(0), addr(0x20));
+        ft.write(t(1), addr(0x20));
+        assert_eq!(ft.races().len(), 1);
+        assert!(ft.races()[0].message.contains("prior read"));
+    }
+
+    #[test]
+    fn write_read_race_is_detected() {
+        let mut ft = FastTrack::new();
+        ft.write(t(0), addr(0x30));
+        ft.read(t(1), addr(0x30));
+        assert_eq!(ft.races().len(), 1);
+        assert!(ft.races()[0].message.contains("prior write"));
+    }
+
+    #[test]
+    fn concurrent_reads_do_not_race() {
+        let mut ft = FastTrack::new();
+        ft.read(t(0), addr(0x40));
+        ft.read(t(1), addr(0x40));
+        ft.read(t(2), addr(0x40));
+        assert!(ft.races().is_empty());
+        assert!(ft.stats().read_share_promotions >= 1);
+    }
+
+    #[test]
+    fn lock_discipline_prevents_races() {
+        let mut ft = FastTrack::new();
+        let l = LockId::new(7);
+        for round in 0..3 {
+            for i in 0..2 {
+                let th = t(i);
+                ft.acquire(th, l);
+                ft.write(th, addr(0x50));
+                ft.read(th, addr(0x50));
+                ft.release(th, l);
+            }
+            let _ = round;
+        }
+        assert!(ft.races().is_empty());
+    }
+
+    #[test]
+    fn different_locks_do_not_synchronise() {
+        let mut ft = FastTrack::new();
+        ft.acquire(t(0), LockId::new(1));
+        ft.write(t(0), addr(0x60));
+        ft.release(t(0), LockId::new(1));
+        ft.acquire(t(1), LockId::new(2));
+        ft.write(t(1), addr(0x60));
+        ft.release(t(1), LockId::new(2));
+        assert_eq!(ft.races().len(), 1);
+    }
+
+    #[test]
+    fn fork_orders_parent_before_child() {
+        let mut ft = FastTrack::new();
+        ft.write(t(0), addr(0x70));
+        ft.fork(t(0), t(1));
+        ft.write(t(1), addr(0x70));
+        assert!(ft.races().is_empty());
+        // But the parent's *subsequent* write is concurrent with the child's.
+        ft.write(t(0), addr(0x78));
+        ft.write(t(1), addr(0x78));
+        assert_eq!(ft.races().len(), 1);
+    }
+
+    #[test]
+    fn join_orders_child_before_parent() {
+        let mut ft = FastTrack::new();
+        ft.fork(t(0), t(1));
+        ft.write(t(1), addr(0x80));
+        ft.join(t(0), t(1));
+        ft.write(t(0), addr(0x80));
+        assert!(ft.races().is_empty());
+    }
+
+    #[test]
+    fn barrier_orders_all_participants() {
+        let mut ft = FastTrack::new();
+        let threads = [t(0), t(1), t(2), t(3)];
+        for &th in &threads {
+            ft.write(th, addr(0x100 + 8 * th.raw() as u64));
+        }
+        ft.barrier(&threads);
+        // After the barrier any thread may read any slot without racing.
+        for &th in &threads {
+            for other in 0..4u64 {
+                ft.read(th, addr(0x100 + 8 * other));
+            }
+        }
+        assert!(ft.races().is_empty());
+    }
+
+    #[test]
+    fn accesses_in_same_block_are_conflated() {
+        // 8-byte granularity: offsets 0 and 4 share a block, which the paper
+        // accepts as a potential source of false positives.
+        let mut ft = FastTrack::new();
+        ft.write(t(0), addr(0x200));
+        ft.write(t(1), addr(0x204));
+        assert_eq!(ft.races().len(), 1);
+    }
+
+    #[test]
+    fn accesses_in_different_blocks_are_independent() {
+        let mut ft = FastTrack::new();
+        ft.write(t(0), addr(0x200));
+        ft.write(t(1), addr(0x208));
+        assert!(ft.races().is_empty());
+    }
+
+    #[test]
+    fn duplicate_races_on_same_block_are_deduplicated() {
+        let mut ft = FastTrack::new();
+        ft.write(t(0), addr(0x300));
+        ft.write(t(1), addr(0x300));
+        ft.write(t(0), addr(0x300));
+        ft.write(t(1), addr(0x300));
+        assert_eq!(ft.races().len(), 1);
+        assert!(ft.races_detected() >= 2);
+    }
+
+    #[test]
+    fn same_epoch_fast_path_is_taken_for_repeated_accesses() {
+        let mut ft = FastTrack::new();
+        ft.write(t(0), addr(0x400));
+        ft.write(t(0), addr(0x400));
+        ft.write(t(0), addr(0x400));
+        ft.read(t(0), addr(0x400));
+        // Reads after a write in the same epoch: the first read updates the
+        // read epoch, subsequent ones hit the fast path.
+        ft.read(t(0), addr(0x400));
+        assert_eq!(ft.stats().write_same_epoch, 2);
+        assert!(ft.stats().read_same_epoch >= 1);
+        assert!(ft.stats().fast_path_rate() > 0.0);
+    }
+
+    #[test]
+    fn epoch_optimization_can_be_disabled() {
+        let mut ft = FastTrack::with_config(FastTrackConfig::without_epochs());
+        ft.write(t(0), addr(0x500));
+        ft.write(t(0), addr(0x500));
+        ft.read(t(0), addr(0x500));
+        ft.read(t(0), addr(0x500));
+        assert_eq!(ft.stats().write_same_epoch, 0);
+        assert_eq!(ft.stats().read_same_epoch, 0);
+        assert!(ft.races().is_empty());
+
+        // Races are still detected without the optimisation.
+        ft.write(t(1), addr(0x500));
+        assert_eq!(ft.races().len(), 1);
+    }
+
+    #[test]
+    fn release_acquire_chain_transfers_happens_before_transitively() {
+        let mut ft = FastTrack::new();
+        let l1 = LockId::new(1);
+        let l2 = LockId::new(2);
+        ft.write(t(0), addr(0x600));
+        ft.release(t(0), l1);
+        ft.acquire(t(1), l1);
+        ft.release(t(1), l2);
+        ft.acquire(t(2), l2);
+        ft.write(t(2), addr(0x600));
+        assert!(ft.races().is_empty());
+    }
+
+    #[test]
+    fn shared_data_analysis_trait_drives_the_detector() {
+        use aikido_types::{BlockId, InstrId};
+        let mut ft = FastTrack::new();
+        let cx = |thread: u32, kind: AccessKind| AccessContext {
+            thread: t(thread),
+            addr: addr(0x700),
+            kind,
+            size: 8,
+            instr: InstrId::new(BlockId::new(3), 1),
+        };
+        ft.on_access(cx(0, AccessKind::Write));
+        ft.on_access(cx(1, AccessKind::Write));
+        let reports = SharedDataAnalysis::reports(&ft);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].instr, Some(InstrId::new(BlockId::new(3), 1)));
+        assert_eq!(ft.name(), "fasttrack");
+        assert!(ft.access_cost_cycles() > 0);
+    }
+
+    #[test]
+    fn write_after_shared_reads_collapses_read_state() {
+        let mut ft = FastTrack::new();
+        let l = LockId::new(9);
+        ft.read(t(0), addr(0x800));
+        ft.read(t(1), addr(0x800));
+        // Synchronise both readers with the writer so the write is ordered.
+        ft.release(t(0), l);
+        ft.acquire(t(2), l);
+        ft.release(t(1), l);
+        ft.acquire(t(2), l);
+        ft.write(t(2), addr(0x800));
+        assert!(ft.races().is_empty());
+        // After the write the variable is back in exclusive (epoch) mode.
+        assert!(!ft
+            .stats()
+            .read_share_promotions
+            .eq(&0));
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-variable metadata: FastTrack's adaptive epoch/vector-clock
+//! representation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{Epoch, VectorClock};
+
+/// The read history of a variable.
+///
+/// FastTrack's key optimisation: while reads are totally ordered (each new
+/// read happens-after the previous one) a single [`Epoch`] suffices; only
+/// when genuinely concurrent reads appear is the representation promoted to a
+/// full [`VectorClock`] ("read-shared").
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadState {
+    /// Reads so far are totally ordered; only the last one is kept.
+    Exclusive(Epoch),
+    /// Concurrent reads have been observed; one clock per reading thread.
+    Shared(VectorClock),
+}
+
+impl Default for ReadState {
+    fn default() -> Self {
+        ReadState::Exclusive(Epoch::ZERO)
+    }
+}
+
+impl ReadState {
+    /// True if the representation has been promoted to a vector clock.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, ReadState::Shared(_))
+    }
+
+    /// True if every recorded read happens-before the state in `vc`.
+    pub fn happens_before(&self, vc: &VectorClock) -> bool {
+        match self {
+            ReadState::Exclusive(e) => e.happens_before(vc),
+            ReadState::Shared(rvc) => rvc.le(vc),
+        }
+    }
+}
+
+/// The full metadata FastTrack keeps for one variable (one 8-byte block in
+/// the Aikido race detector).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarState {
+    /// Epoch of the last write.
+    pub write: Epoch,
+    /// Read history.
+    pub read: ReadState,
+}
+
+impl VarState {
+    /// A fresh, never-accessed variable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aikido_types::ThreadId;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn default_state_happens_before_everything() {
+        let s = VarState::new();
+        let empty = VectorClock::new();
+        assert!(s.read.happens_before(&empty));
+        assert!(s.write.happens_before(&empty));
+        assert!(!s.read.is_shared());
+    }
+
+    #[test]
+    fn exclusive_read_state_uses_epoch_comparison() {
+        let r = ReadState::Exclusive(Epoch::new(3, t(1)));
+        let vc: VectorClock = [(t(1), 3)].into_iter().collect();
+        assert!(r.happens_before(&vc));
+        let behind: VectorClock = [(t(1), 2)].into_iter().collect();
+        assert!(!r.happens_before(&behind));
+    }
+
+    #[test]
+    fn shared_read_state_requires_all_entries_ordered() {
+        let rvc: VectorClock = [(t(0), 1), (t(1), 2)].into_iter().collect();
+        let r = ReadState::Shared(rvc);
+        assert!(r.is_shared());
+        let covers: VectorClock = [(t(0), 1), (t(1), 5)].into_iter().collect();
+        assert!(r.happens_before(&covers));
+        let misses_one: VectorClock = [(t(0), 1)].into_iter().collect();
+        assert!(!r.happens_before(&misses_one));
+    }
+}

@@ -1,0 +1,72 @@
+//! Detector statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by [`crate::FastTrack`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FastTrackStats {
+    /// Read checks performed.
+    pub reads: u64,
+    /// Write checks performed.
+    pub writes: u64,
+    /// Reads satisfied by the same-epoch fast path.
+    pub read_same_epoch: u64,
+    /// Writes satisfied by the same-epoch fast path.
+    pub write_same_epoch: u64,
+    /// Read histories promoted from an epoch to a vector clock.
+    pub read_share_promotions: u64,
+    /// Lock acquires processed.
+    pub acquires: u64,
+    /// Lock releases processed.
+    pub releases: u64,
+    /// Thread forks processed.
+    pub forks: u64,
+    /// Thread joins processed.
+    pub joins: u64,
+    /// Barrier episodes processed.
+    pub barriers: u64,
+    /// Races detected (including ones deduplicated out of the report list).
+    pub races_detected: u64,
+    /// Distinct variable blocks that ever received metadata.
+    pub blocks_tracked: u64,
+}
+
+impl FastTrackStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of memory checks (reads + writes) that took a same-epoch fast
+    /// path, in `[0, 1]`.
+    pub fn fast_path_rate(&self) -> f64 {
+        let total = self.reads + self.writes;
+        if total == 0 {
+            0.0
+        } else {
+            (self.read_same_epoch + self.write_same_epoch) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_path_rate_is_zero_without_accesses() {
+        assert_eq!(FastTrackStats::new().fast_path_rate(), 0.0);
+    }
+
+    #[test]
+    fn fast_path_rate_counts_reads_and_writes() {
+        let s = FastTrackStats {
+            reads: 6,
+            writes: 4,
+            read_same_epoch: 3,
+            write_same_epoch: 2,
+            ..FastTrackStats::new()
+        };
+        assert!((s.fast_path_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the vector-clock algebra and the FastTrack
+//! detector's soundness on synchronised histories.
+
+use aikido_fasttrack::{FastTrack, FastTrackConfig, VectorClock};
+use aikido_types::{Addr, LockId, ThreadId};
+use proptest::prelude::*;
+
+fn arb_vc() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u32..50, 1..6).prop_map(|clocks| {
+        clocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (ThreadId::new(i as u32), c))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Join is an upper bound of both operands.
+    #[test]
+    fn join_is_upper_bound(a in arb_vc(), b in arb_vc()) {
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+    }
+
+    /// Join is commutative.
+    #[test]
+    fn join_is_commutative(a in arb_vc(), b in arb_vc()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Join is associative.
+    #[test]
+    fn join_is_associative(a in arb_vc(), b in arb_vc(), c in arb_vc()) {
+        let mut left = a.clone();
+        left.join(&b);
+        left.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut right = a.clone();
+        right.join(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Join is idempotent.
+    #[test]
+    fn join_is_idempotent(a in arb_vc()) {
+        let mut j = a.clone();
+        j.join(&a);
+        prop_assert_eq!(j, a);
+    }
+
+    /// `le` is antisymmetric up to equality.
+    #[test]
+    fn le_antisymmetric(a in arb_vc(), b in arb_vc()) {
+        if a.le(&b) && b.le(&a) {
+            for i in 0..8u32 {
+                prop_assert_eq!(a.get(ThreadId::new(i)), b.get(ThreadId::new(i)));
+            }
+        }
+    }
+}
+
+/// One step of a randomly generated multithreaded history.
+#[derive(Clone, Debug)]
+enum Step {
+    Read { thread: u32, var: u64 },
+    Write { thread: u32, var: u64 },
+}
+
+fn arb_steps(threads: u32, vars: u64) -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (0..threads, 0..vars, prop::bool::ANY).prop_map(|(thread, var, is_write)| {
+            if is_write {
+                Step::Write { thread, var }
+            } else {
+                Step::Read { thread, var }
+            }
+        }),
+        0..120,
+    )
+}
+
+proptest! {
+    /// A history in which every access is protected by one global lock is
+    /// race-free: FastTrack must never report a false positive for it.
+    #[test]
+    fn global_lock_discipline_is_race_free(steps in arb_steps(4, 8)) {
+        let mut ft = FastTrack::new();
+        let lock = LockId::new(1);
+        for step in &steps {
+            let (thread, var, write) = match *step {
+                Step::Read { thread, var } => (thread, var, false),
+                Step::Write { thread, var } => (thread, var, true),
+            };
+            let t = ThreadId::new(thread);
+            let a = Addr::new(0x1_0000 + var * 8);
+            ft.acquire(t, lock);
+            if write {
+                ft.write(t, a);
+            } else {
+                ft.read(t, a);
+            }
+            ft.release(t, lock);
+        }
+        prop_assert!(ft.races().is_empty(), "false positive: {:?}", ft.races());
+    }
+
+    /// A purely single-threaded history is race-free.
+    #[test]
+    fn single_thread_is_race_free(steps in arb_steps(1, 16)) {
+        let mut ft = FastTrack::new();
+        for step in &steps {
+            match *step {
+                Step::Read { var, .. } => ft.read(ThreadId::new(0), Addr::new(var * 8)),
+                Step::Write { var, .. } => ft.write(ThreadId::new(0), Addr::new(var * 8)),
+            }
+        }
+        prop_assert_eq!(ft.races_detected(), 0);
+    }
+
+    /// Threads that only touch disjoint variable blocks never race.
+    #[test]
+    fn disjoint_footprints_are_race_free(steps in arb_steps(4, 4)) {
+        let mut ft = FastTrack::new();
+        for step in &steps {
+            let (thread, var, write) = match *step {
+                Step::Read { thread, var } => (thread, var, false),
+                Step::Write { thread, var } => (thread, var, true),
+            };
+            let t = ThreadId::new(thread);
+            // Give each thread its own address range.
+            let a = Addr::new(0x10_0000 * (thread as u64 + 1) + var * 8);
+            if write {
+                ft.write(t, a);
+            } else {
+                ft.read(t, a);
+            }
+        }
+        prop_assert_eq!(ft.races_detected(), 0);
+    }
+
+    /// The epoch optimisation never changes *whether* races are detected on a
+    /// given history (it is a pure representation optimisation).
+    #[test]
+    fn epoch_optimization_preserves_verdict(steps in arb_steps(3, 6)) {
+        let run = |config: FastTrackConfig| {
+            let mut ft = FastTrack::with_config(config);
+            for step in &steps {
+                match *step {
+                    Step::Read { thread, var } => {
+                        ft.read(ThreadId::new(thread), Addr::new(var * 8))
+                    }
+                    Step::Write { thread, var } => {
+                        ft.write(ThreadId::new(thread), Addr::new(var * 8))
+                    }
+                }
+            }
+            ft.races_detected() > 0
+        };
+        let with_epochs = run(FastTrackConfig::default());
+        let without_epochs = run(FastTrackConfig::without_epochs());
+        prop_assert_eq!(with_epochs, without_epochs);
+    }
+
+    /// Unsynchronised writes to the same block by two different threads are
+    /// always reported (no false negatives on the simplest racy pattern).
+    #[test]
+    fn direct_write_write_conflicts_are_always_caught(
+        t0 in 0u32..4,
+        t1 in 0u32..4,
+        var in 0u64..8,
+    ) {
+        prop_assume!(t0 != t1);
+        let mut ft = FastTrack::new();
+        let a = Addr::new(0x2000 + var * 8);
+        ft.write(ThreadId::new(t0), a);
+        ft.write(ThreadId::new(t1), a);
+        prop_assert_eq!(ft.races().len(), 1);
+    }
+}

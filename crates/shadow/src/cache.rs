@@ -1,0 +1,177 @@
+//! The layered translation caches Umbra places in front of the full region
+//! lookup (§2.2).
+//!
+//! In the real system the first level is an inline memoization cache patched
+//! into the instrumented application code (one entry per instrumented
+//! instruction), followed by small thread-local caches consulted in a lean
+//! procedure, and finally a full lookup requiring a complete context switch.
+//! The simulation models one inline entry per *static instruction* and one
+//! small FIFO of recently used regions per thread; everything else is a full
+//! lookup. The [`CacheLevel`] returned for each translation lets the cost
+//! model charge the right number of cycles.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use aikido_types::{InstrId, ThreadId};
+
+use crate::region::RegionId;
+use crate::stats::ShadowStats;
+
+/// Which level of the translation machinery satisfied a lookup.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheLevel {
+    /// The inline memoization cache embedded at the instrumented instruction.
+    Inline,
+    /// A thread-local cache consulted without a full context switch.
+    ThreadLocal,
+    /// The full region-table lookup.
+    Full,
+}
+
+/// Per-thread, per-instruction translation cache model.
+#[derive(Debug, Default)]
+pub struct TranslationCache {
+    /// instruction -> last region it translated (the inline cache).
+    inline: HashMap<(ThreadId, InstrId), RegionId>,
+    /// thread -> recently used regions (the thread-local caches).
+    recent: HashMap<ThreadId, Vec<RegionId>>,
+    stats: ShadowStats,
+    thread_local_entries: usize,
+}
+
+impl TranslationCache {
+    /// Default number of entries in the thread-local cache.
+    pub const DEFAULT_THREAD_LOCAL_ENTRIES: usize = 8;
+
+    /// Creates a cache with the default thread-local capacity.
+    pub fn new() -> Self {
+        Self::with_thread_local_entries(Self::DEFAULT_THREAD_LOCAL_ENTRIES)
+    }
+
+    /// Creates a cache with `entries` thread-local slots per thread.
+    pub fn with_thread_local_entries(entries: usize) -> Self {
+        TranslationCache {
+            inline: HashMap::new(),
+            recent: HashMap::new(),
+            stats: ShadowStats::default(),
+            thread_local_entries: entries.max(1),
+        }
+    }
+
+    /// Records a translation of `instr` on `thread` resolving to `region` and
+    /// returns which cache level satisfied it.
+    pub fn access(&mut self, thread: ThreadId, instr: InstrId, region: RegionId) -> CacheLevel {
+        self.stats.translations += 1;
+        let key = (thread, instr);
+        let level = if self.inline.get(&key) == Some(&region) {
+            self.stats.inline_hits += 1;
+            CacheLevel::Inline
+        } else if self
+            .recent
+            .get(&thread)
+            .map(|v| v.contains(&region))
+            .unwrap_or(false)
+        {
+            self.stats.thread_local_hits += 1;
+            CacheLevel::ThreadLocal
+        } else {
+            self.stats.full_lookups += 1;
+            CacheLevel::Full
+        };
+
+        // Update both levels (the real system installs the result in the
+        // inline cache and the thread-local caches on the way out).
+        self.inline.insert(key, region);
+        let recent = self.recent.entry(thread).or_default();
+        if let Some(pos) = recent.iter().position(|&r| r == region) {
+            recent.remove(pos);
+        }
+        recent.push(region);
+        if recent.len() > self.thread_local_entries {
+            recent.remove(0);
+        }
+        level
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &ShadowStats {
+        &self.stats
+    }
+
+    /// Drops every cached entry (used when the code cache is flushed).
+    pub fn flush(&mut self) {
+        self.inline.clear();
+        self.recent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aikido_types::BlockId;
+
+    fn instr(n: u16) -> InstrId {
+        InstrId::new(BlockId::new(1), n)
+    }
+
+    #[test]
+    fn repeated_translation_by_same_instruction_hits_inline() {
+        let mut c = TranslationCache::new();
+        let t = ThreadId::new(0);
+        assert_eq!(c.access(t, instr(0), RegionId::new(0)), CacheLevel::Full);
+        assert_eq!(c.access(t, instr(0), RegionId::new(0)), CacheLevel::Inline);
+        assert_eq!(c.access(t, instr(0), RegionId::new(0)), CacheLevel::Inline);
+        assert_eq!(c.stats().inline_hits, 2);
+        assert_eq!(c.stats().full_lookups, 1);
+    }
+
+    #[test]
+    fn different_instruction_same_region_hits_thread_local() {
+        let mut c = TranslationCache::new();
+        let t = ThreadId::new(0);
+        c.access(t, instr(0), RegionId::new(3));
+        assert_eq!(c.access(t, instr(1), RegionId::new(3)), CacheLevel::ThreadLocal);
+    }
+
+    #[test]
+    fn region_change_misses_inline_cache() {
+        let mut c = TranslationCache::new();
+        let t = ThreadId::new(0);
+        c.access(t, instr(0), RegionId::new(0));
+        assert_eq!(c.access(t, instr(0), RegionId::new(1)), CacheLevel::Full);
+        // Flip-flopping between regions keeps missing inline but hits the
+        // thread-local cache once both regions are recent.
+        assert_eq!(c.access(t, instr(0), RegionId::new(0)), CacheLevel::ThreadLocal);
+    }
+
+    #[test]
+    fn caches_are_per_thread() {
+        let mut c = TranslationCache::new();
+        c.access(ThreadId::new(0), instr(0), RegionId::new(0));
+        assert_eq!(
+            c.access(ThreadId::new(1), instr(0), RegionId::new(0)),
+            CacheLevel::Full
+        );
+    }
+
+    #[test]
+    fn thread_local_cache_evicts_in_fifo_order() {
+        let mut c = TranslationCache::with_thread_local_entries(2);
+        let t = ThreadId::new(0);
+        c.access(t, instr(0), RegionId::new(0));
+        c.access(t, instr(1), RegionId::new(1));
+        c.access(t, instr(2), RegionId::new(2)); // evicts region 0
+        assert_eq!(c.access(t, instr(3), RegionId::new(0)), CacheLevel::Full);
+        assert_eq!(c.access(t, instr(4), RegionId::new(2)), CacheLevel::ThreadLocal);
+    }
+
+    #[test]
+    fn flush_clears_all_levels() {
+        let mut c = TranslationCache::new();
+        let t = ThreadId::new(0);
+        c.access(t, instr(0), RegionId::new(0));
+        c.flush();
+        assert_eq!(c.access(t, instr(0), RegionId::new(0)), CacheLevel::Full);
+    }
+}

@@ -1,0 +1,247 @@
+//! The dual shadow mapping Aikido adds to Umbra (§3.3.1): metadata plus
+//! mirror addresses for every registered application region.
+
+use serde::{Deserialize, Serialize};
+
+use aikido_types::{Addr, AikidoError, Result};
+
+use crate::region::{Region, RegionId, RegionKind, RegionTable};
+
+/// Start of the reserved area where metadata shadow regions are laid out.
+const METADATA_AREA_BASE: u64 = 0x5000_0000_0000;
+/// Start of the reserved area where mirror regions are laid out.
+const MIRROR_AREA_BASE: u64 = 0x6000_0000_0000;
+/// Guard gap (bytes) left between consecutive shadow regions.
+const REGION_GAP: u64 = 1 << 30;
+
+/// The Aikido-extended Umbra shadow memory: application addresses translate
+/// to a metadata address (for the analysis tool) and to a mirror address
+/// (aliasing the same frames, never protected by the sharing detector).
+///
+/// The mapping is purely arithmetic per region — a displacement assigned at
+/// registration — exactly like Umbra's offset table. The struct does not own
+/// any metadata contents; see [`crate::ShadowStore`] for storage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DualShadow {
+    regions: RegionTable,
+    /// Displacement from application base to metadata base, per region.
+    metadata_bases: Vec<Addr>,
+    /// Displacement from application base to mirror base, per region.
+    mirror_bases: Vec<Addr>,
+    next_metadata: u64,
+    next_mirror: u64,
+}
+
+impl Default for DualShadow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DualShadow {
+    /// Creates an empty dual shadow mapping.
+    pub fn new() -> Self {
+        DualShadow {
+            regions: RegionTable::new(),
+            metadata_bases: Vec::new(),
+            mirror_bases: Vec::new(),
+            next_metadata: METADATA_AREA_BASE,
+            next_mirror: MIRROR_AREA_BASE,
+        }
+    }
+
+    /// Registers an application region and assigns it metadata and mirror
+    /// areas.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`RegionTable::register`]; additionally
+    /// rejects regions that fall inside the reserved shadow areas.
+    pub fn register_region(&mut self, base: Addr, pages: u64, kind: RegionKind) -> Result<RegionId> {
+        if base.raw() >= METADATA_AREA_BASE {
+            return Err(AikidoError::InvalidConfig {
+                reason: format!("application region at {base} collides with the shadow area"),
+            });
+        }
+        let region = self.regions.register(base, pages, kind)?;
+        let meta = Addr::new(self.next_metadata);
+        let mirror = Addr::new(self.next_mirror);
+        self.next_metadata += region.bytes() + REGION_GAP;
+        self.next_mirror += region.bytes() + REGION_GAP;
+        self.metadata_bases.push(meta);
+        self.mirror_bases.push(mirror);
+        Ok(region.id)
+    }
+
+    /// The registered region containing `addr`, if any.
+    pub fn region_of(&self, addr: Addr) -> Option<&Region> {
+        self.regions.find(addr)
+    }
+
+    /// The region table.
+    pub fn regions(&self) -> &RegionTable {
+        &self.regions
+    }
+
+    /// Translates an application address to its metadata address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AikidoError::NoShadowRegion`] if no registered region covers
+    /// `addr`.
+    pub fn metadata_addr(&self, addr: Addr) -> Result<Addr> {
+        let region = self
+            .regions
+            .find(addr)
+            .ok_or(AikidoError::NoShadowRegion { addr })?;
+        let base = self.metadata_bases[region.id.raw() as usize];
+        Ok(base.offset(region.offset_of(addr)))
+    }
+
+    /// Translates an application address to its mirror address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AikidoError::NoShadowRegion`] if no registered region covers
+    /// `addr`.
+    pub fn mirror_addr(&self, addr: Addr) -> Result<Addr> {
+        let region = self
+            .regions
+            .find(addr)
+            .ok_or(AikidoError::NoShadowRegion { addr })?;
+        let base = self.mirror_bases[region.id.raw() as usize];
+        Ok(base.offset(region.offset_of(addr)))
+    }
+
+    /// The base address of the metadata area assigned to `region`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AikidoError::InvalidConfig`] if `region` is unknown.
+    pub fn metadata_base(&self, region: RegionId) -> Result<Addr> {
+        self.metadata_bases
+            .get(region.raw() as usize)
+            .copied()
+            .ok_or_else(|| AikidoError::InvalidConfig {
+                reason: format!("{region} is not registered"),
+            })
+    }
+
+    /// The base address of the mirror area assigned to `region`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AikidoError::InvalidConfig`] if `region` is unknown.
+    pub fn mirror_base(&self, region: RegionId) -> Result<Addr> {
+        self.mirror_bases
+            .get(region.raw() as usize)
+            .copied()
+            .ok_or_else(|| AikidoError::InvalidConfig {
+                reason: format!("{region} is not registered"),
+            })
+    }
+
+    /// Translates a mirror address back to the application address it aliases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AikidoError::NoShadowRegion`] if `mirror` does not fall in
+    /// any region's mirror area.
+    pub fn app_addr_of_mirror(&self, mirror: Addr) -> Result<Addr> {
+        for region in self.regions.iter() {
+            let base = self.mirror_bases[region.id.raw() as usize];
+            if mirror.in_range(base, region.bytes()) {
+                return Ok(region.base.offset(mirror.raw() - base.raw()));
+            }
+        }
+        Err(AikidoError::NoShadowRegion { addr: mirror })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shadow_with_two_regions() -> (DualShadow, RegionId, RegionId) {
+        let mut s = DualShadow::new();
+        let heap = s
+            .register_region(Addr::new(0x10_0000), 16, RegionKind::Heap)
+            .unwrap();
+        let stack = s
+            .register_region(Addr::new(0x7f00_0000), 8, RegionKind::Stack)
+            .unwrap();
+        (s, heap, stack)
+    }
+
+    #[test]
+    fn translations_preserve_offsets_within_regions() {
+        let (s, heap, _) = shadow_with_two_regions();
+        let app = Addr::new(0x10_0123);
+        let meta = s.metadata_addr(app).unwrap();
+        let mirror = s.mirror_addr(app).unwrap();
+        assert_eq!(meta.raw() - s.metadata_base(heap).unwrap().raw(), 0x123);
+        assert_eq!(mirror.raw() - s.mirror_base(heap).unwrap().raw(), 0x123);
+    }
+
+    #[test]
+    fn metadata_and_mirror_areas_do_not_overlap_each_other_or_the_app() {
+        let (s, heap, stack) = shadow_with_two_regions();
+        let bases = [
+            s.metadata_base(heap).unwrap(),
+            s.metadata_base(stack).unwrap(),
+            s.mirror_base(heap).unwrap(),
+            s.mirror_base(stack).unwrap(),
+        ];
+        for (i, a) in bases.iter().enumerate() {
+            for (j, b) in bases.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b);
+                }
+            }
+            // Far away from the application regions.
+            assert!(a.raw() >= METADATA_AREA_BASE);
+        }
+    }
+
+    #[test]
+    fn unknown_addresses_report_no_region() {
+        let (s, _, _) = shadow_with_two_regions();
+        assert!(matches!(
+            s.metadata_addr(Addr::new(0x9999_0000)),
+            Err(AikidoError::NoShadowRegion { .. })
+        ));
+        assert!(matches!(
+            s.mirror_addr(Addr::new(0x9999_0000)),
+            Err(AikidoError::NoShadowRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn mirror_translation_roundtrips() {
+        let (s, _, _) = shadow_with_two_regions();
+        for &raw in &[0x10_0000u64, 0x10_0fff, 0x10_ffff, 0x7f00_0008] {
+            let app = Addr::new(raw);
+            let mirror = s.mirror_addr(app).unwrap();
+            assert_eq!(s.app_addr_of_mirror(mirror).unwrap(), app);
+        }
+        assert!(s.app_addr_of_mirror(Addr::new(0x123)).is_err());
+    }
+
+    #[test]
+    fn regions_inside_shadow_area_are_rejected() {
+        let mut s = DualShadow::new();
+        assert!(matches!(
+            s.register_region(Addr::new(METADATA_AREA_BASE + 0x1000), 1, RegionKind::Other),
+            Err(AikidoError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn region_of_finds_the_right_region() {
+        let (s, heap, stack) = shadow_with_two_regions();
+        assert_eq!(s.region_of(Addr::new(0x10_8000)).unwrap().id, heap);
+        assert_eq!(s.region_of(Addr::new(0x7f00_1000)).unwrap().id, stack);
+        assert!(s.region_of(Addr::new(0x1)).is_none());
+        assert_eq!(s.regions().len(), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Densely populated application memory regions — Umbra's unit of shadow
+//! translation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use aikido_types::{Addr, AikidoError, Result, Vpn, PAGE_SIZE};
+
+/// Identity of a registered region.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(u32);
+
+impl RegionId {
+    /// Creates a region id from its raw index.
+    pub const fn new(raw: u32) -> Self {
+        RegionId(raw)
+    }
+
+    /// Raw index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region {}", self.0)
+    }
+}
+
+/// What a region holds; only used for reporting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// A thread stack.
+    Stack,
+    /// The process heap.
+    Heap,
+    /// Static data (.data/.bss).
+    Data,
+    /// Executable code / read-only data.
+    Code,
+    /// Anything else (anonymous mmaps, files).
+    Other,
+}
+
+impl fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionKind::Stack => write!(f, "stack"),
+            RegionKind::Heap => write!(f, "heap"),
+            RegionKind::Data => write!(f, "data"),
+            RegionKind::Code => write!(f, "code"),
+            RegionKind::Other => write!(f, "other"),
+        }
+    }
+}
+
+/// A densely populated application memory region.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Identity of the region.
+    pub id: RegionId,
+    /// First address of the region (page aligned).
+    pub base: Addr,
+    /// Number of pages.
+    pub pages: u64,
+    /// What the region holds.
+    pub kind: RegionKind,
+}
+
+impl Region {
+    /// Size of the region in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.pages * PAGE_SIZE
+    }
+
+    /// True if `addr` falls inside this region.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.in_range(self.base, self.bytes())
+    }
+
+    /// Byte offset of `addr` within the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `addr` is not inside the region.
+    pub fn offset_of(&self, addr: Addr) -> u64 {
+        debug_assert!(self.contains(addr));
+        addr.raw() - self.base.raw()
+    }
+
+    /// The pages spanned by the region.
+    pub fn page_span(&self) -> impl Iterator<Item = Vpn> {
+        self.base.page().span(self.pages)
+    }
+}
+
+/// The table of registered regions (Umbra's "Shadow Metadata Manager" view of
+/// the application address space).
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct RegionTable {
+    regions: Vec<Region>,
+}
+
+impl RegionTable {
+    /// Creates an empty region table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a region of `pages` pages starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AikidoError::MappingOverlap`] if it overlaps a registered
+    /// region, and [`AikidoError::InvalidConfig`] if `pages` is zero or `base`
+    /// is not page aligned.
+    pub fn register(&mut self, base: Addr, pages: u64, kind: RegionKind) -> Result<Region> {
+        if pages == 0 {
+            return Err(AikidoError::InvalidConfig {
+                reason: "region must span at least one page".to_string(),
+            });
+        }
+        if base.offset_in_page() != 0 {
+            return Err(AikidoError::InvalidConfig {
+                reason: format!("region base {base} is not page aligned"),
+            });
+        }
+        let bytes = pages * PAGE_SIZE;
+        for r in &self.regions {
+            let overlap = base.raw() < r.base.raw() + r.bytes() && r.base.raw() < base.raw() + bytes;
+            if overlap {
+                return Err(AikidoError::MappingOverlap { page: base.page() });
+            }
+        }
+        let region = Region {
+            id: RegionId(self.regions.len() as u32),
+            base,
+            pages,
+            kind,
+        };
+        self.regions.push(region);
+        Ok(region)
+    }
+
+    /// The region containing `addr`, if any.
+    pub fn find(&self, addr: Addr) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    /// Looks a region up by id.
+    pub fn get(&self, id: RegionId) -> Option<&Region> {
+        self.regions.get(id.0 as usize)
+    }
+
+    /// Number of registered regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True if no regions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Iterates over registered regions in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_find() {
+        let mut t = RegionTable::new();
+        let r = t.register(Addr::new(0x10_0000), 16, RegionKind::Heap).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.find(Addr::new(0x10_0000)).unwrap().id, r.id);
+        assert_eq!(t.find(Addr::new(0x10_ffff)).unwrap().id, r.id);
+        assert!(t.find(Addr::new(0x11_0000)).is_none());
+        assert!(t.find(Addr::new(0xf_ffff)).is_none());
+        assert_eq!(t.get(r.id).unwrap().kind, RegionKind::Heap);
+    }
+
+    #[test]
+    fn overlapping_regions_are_rejected() {
+        let mut t = RegionTable::new();
+        t.register(Addr::new(0x10_0000), 16, RegionKind::Heap).unwrap();
+        assert!(matches!(
+            t.register(Addr::new(0x10_f000), 2, RegionKind::Other),
+            Err(AikidoError::MappingOverlap { .. })
+        ));
+        // Adjacent (non-overlapping) is fine.
+        assert!(t.register(Addr::new(0x11_0000), 1, RegionKind::Other).is_ok());
+    }
+
+    #[test]
+    fn invalid_registrations_are_rejected() {
+        let mut t = RegionTable::new();
+        assert!(matches!(
+            t.register(Addr::new(0x10_0000), 0, RegionKind::Heap),
+            Err(AikidoError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            t.register(Addr::new(0x10_0001), 1, RegionKind::Heap),
+            Err(AikidoError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn offsets_are_relative_to_region_base() {
+        let mut t = RegionTable::new();
+        let r = t.register(Addr::new(0x20_0000), 4, RegionKind::Stack).unwrap();
+        assert_eq!(r.offset_of(Addr::new(0x20_0123)), 0x123);
+        assert_eq!(r.bytes(), 4 * PAGE_SIZE);
+        assert_eq!(r.page_span().count(), 4);
+    }
+}

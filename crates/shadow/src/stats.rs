@@ -1,0 +1,78 @@
+//! Shadow-memory statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for shadow translations and the cache levels that served them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShadowStats {
+    /// Total translations performed.
+    pub translations: u64,
+    /// Translations served by the inline memoization cache.
+    pub inline_hits: u64,
+    /// Translations served by a thread-local cache.
+    pub thread_local_hits: u64,
+    /// Translations that required the full region lookup.
+    pub full_lookups: u64,
+}
+
+impl ShadowStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of translations served by the inline cache, in `[0, 1]`.
+    pub fn inline_hit_rate(&self) -> f64 {
+        if self.translations == 0 {
+            0.0
+        } else {
+            self.inline_hits as f64 / self.translations as f64
+        }
+    }
+
+    /// Adds another set of statistics to this one.
+    pub fn merge(&mut self, other: &ShadowStats) {
+        self.translations += other.translations;
+        self.inline_hits += other.inline_hits;
+        self.thread_local_hits += other.thread_local_hits;
+        self.full_lookups += other.full_lookups;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_translations() {
+        assert_eq!(ShadowStats::new().inline_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_is_fraction_of_total() {
+        let s = ShadowStats {
+            translations: 10,
+            inline_hits: 7,
+            thread_local_hits: 2,
+            full_lookups: 1,
+        };
+        assert!((s.inline_hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = ShadowStats {
+            translations: 1,
+            inline_hits: 1,
+            ..ShadowStats::new()
+        };
+        a.merge(&ShadowStats {
+            translations: 2,
+            full_lookups: 2,
+            ..ShadowStats::new()
+        });
+        assert_eq!(a.translations, 3);
+        assert_eq!(a.full_lookups, 2);
+        assert_eq!(a.inline_hits, 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Typed shadow metadata storage.
+//!
+//! Shadow value tools keep a piece of metadata for every unit of application
+//! data; FastTrack keeps one record per 8-byte "variable" block (§4.2). The
+//! store is sparse — entries are created on first access — which mirrors the
+//! lazy allocation of shadow memory in Umbra without committing the simulator
+//! to huge dense allocations.
+
+use std::collections::HashMap;
+
+use aikido_types::Addr;
+
+/// Sparse shadow metadata store, keyed by application address at a fixed
+/// granularity (e.g. 8 bytes per entry).
+#[derive(Debug, Clone)]
+pub struct ShadowStore<T> {
+    granularity: u64,
+    entries: HashMap<u64, T>,
+}
+
+impl<T> ShadowStore<T> {
+    /// Creates a store with one entry per `granularity` bytes of application
+    /// memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity` is zero or not a power of two.
+    pub fn new(granularity: u64) -> Self {
+        assert!(granularity.is_power_of_two(), "granularity must be a power of two");
+        ShadowStore {
+            granularity,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The configured granularity in bytes.
+    pub fn granularity(&self) -> u64 {
+        self.granularity
+    }
+
+    /// The key (block index) for `addr`.
+    pub fn block_of(&self, addr: Addr) -> u64 {
+        addr.raw() / self.granularity
+    }
+
+    /// Number of blocks that currently hold metadata.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no block holds metadata.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Shared access to the metadata of the block containing `addr`.
+    pub fn get(&self, addr: Addr) -> Option<&T> {
+        self.entries.get(&self.block_of(addr))
+    }
+
+    /// Mutable access to the metadata of the block containing `addr`.
+    pub fn get_mut(&mut self, addr: Addr) -> Option<&mut T> {
+        let key = self.block_of(addr);
+        self.entries.get_mut(&key)
+    }
+
+    /// Mutable access to the metadata of the block containing `addr`,
+    /// inserting `T::default()` if none exists.
+    pub fn get_or_default(&mut self, addr: Addr) -> &mut T
+    where
+        T: Default,
+    {
+        let key = self.block_of(addr);
+        self.entries.entry(key).or_default()
+    }
+
+    /// Stores metadata for the block containing `addr`, returning the old
+    /// value if present.
+    pub fn insert(&mut self, addr: Addr, value: T) -> Option<T> {
+        let key = self.block_of(addr);
+        self.entries.insert(key, value)
+    }
+
+    /// Removes the metadata for the block containing `addr`.
+    pub fn remove(&mut self, addr: Addr) -> Option<T> {
+        let key = self.block_of(addr);
+        self.entries.remove(&key)
+    }
+
+    /// Iterates over `(block_base_address, metadata)` pairs in arbitrary
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, &T)> {
+        self.entries
+            .iter()
+            .map(move |(&k, v)| (Addr::new(k * self.granularity), v))
+    }
+}
+
+impl<T> Default for ShadowStore<T> {
+    fn default() -> Self {
+        ShadowStore::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_in_same_block_share_metadata() {
+        let mut s: ShadowStore<u32> = ShadowStore::new(8);
+        s.insert(Addr::new(0x1000), 7);
+        assert_eq!(s.get(Addr::new(0x1007)), Some(&7));
+        assert_eq!(s.get(Addr::new(0x1008)), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn get_or_default_creates_entries_lazily() {
+        let mut s: ShadowStore<u64> = ShadowStore::default();
+        assert!(s.is_empty());
+        *s.get_or_default(Addr::new(0x2000)) += 1;
+        *s.get_or_default(Addr::new(0x2004)) += 1;
+        assert_eq!(s.get(Addr::new(0x2000)), Some(&2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let mut s: ShadowStore<&str> = ShadowStore::new(8);
+        s.insert(Addr::new(64), "a");
+        assert_eq!(s.remove(Addr::new(64)), Some("a"));
+        assert_eq!(s.get(Addr::new(64)), None);
+    }
+
+    #[test]
+    fn iter_reports_block_base_addresses() {
+        let mut s: ShadowStore<u8> = ShadowStore::new(16);
+        s.insert(Addr::new(0x35), 1); // block base 0x30
+        let items: Vec<_> = s.iter().collect();
+        assert_eq!(items, vec![(Addr::new(0x30), &1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_granularity_panics() {
+        let _ = ShadowStore::<u8>::new(12);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut s: ShadowStore<u32> = ShadowStore::new(8);
+        s.insert(Addr::new(8), 1);
+        *s.get_mut(Addr::new(12)).unwrap() = 5;
+        assert_eq!(s.get(Addr::new(8)), Some(&5));
+        assert!(s.get_mut(Addr::new(0)).is_none());
+    }
+}

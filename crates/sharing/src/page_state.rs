@@ -1,0 +1,187 @@
+//! The per-page sharing state machine (Figure 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+use aikido_types::{ThreadId, Vpn};
+
+/// The sharing state of one page.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageState {
+    /// No thread has touched the page yet.
+    Unused,
+    /// Exactly one thread has touched the page so far.
+    Private(ThreadId),
+    /// At least two threads have touched the page; it stays shared forever.
+    Shared,
+}
+
+impl fmt::Display for PageState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageState::Unused => write!(f, "unused"),
+            PageState::Private(t) => write!(f, "private to {t}"),
+            PageState::Shared => write!(f, "shared"),
+        }
+    }
+}
+
+/// What a fault did to the page's state.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transition {
+    /// Unused → Private(faulting thread).
+    MadePrivate,
+    /// Private(other) → Shared.
+    MadeShared,
+    /// The page was already shared; no state change.
+    AlreadyShared,
+    /// The page was already private to the faulting thread (a spurious fault,
+    /// e.g. after protections were restored following a kernel emulation).
+    AlreadyPrivateToFaultingThread,
+}
+
+impl Transition {
+    /// True if after this transition the page is shared.
+    pub fn page_is_shared(self) -> bool {
+        matches!(self, Transition::MadeShared | Transition::AlreadyShared)
+    }
+}
+
+/// The table of page states maintained by the sharing detector.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct PageStateTable {
+    states: HashMap<Vpn, PageState>,
+}
+
+impl PageStateTable {
+    /// Creates an empty table: every page is implicitly [`PageState::Unused`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The state of `page`.
+    pub fn get(&self, page: Vpn) -> PageState {
+        self.states.get(&page).copied().unwrap_or(PageState::Unused)
+    }
+
+    /// True if `page` is currently shared.
+    pub fn is_shared(&self, page: Vpn) -> bool {
+        matches!(self.get(page), PageState::Shared)
+    }
+
+    /// Applies the state machine for a fault by `thread` on `page` and
+    /// returns what happened. The transition is atomic with respect to the
+    /// table (the paper performs it with an atomic compare-and-swap).
+    pub fn on_fault(&mut self, page: Vpn, thread: ThreadId) -> Transition {
+        match self.get(page) {
+            PageState::Unused => {
+                self.states.insert(page, PageState::Private(thread));
+                Transition::MadePrivate
+            }
+            PageState::Private(owner) if owner == thread => {
+                Transition::AlreadyPrivateToFaultingThread
+            }
+            PageState::Private(_) => {
+                self.states.insert(page, PageState::Shared);
+                Transition::MadeShared
+            }
+            PageState::Shared => Transition::AlreadyShared,
+        }
+    }
+
+    /// Number of pages in each state: `(private, shared)`.
+    pub fn counts(&self) -> (usize, usize) {
+        let mut private = 0;
+        let mut shared = 0;
+        for state in self.states.values() {
+            match state {
+                PageState::Private(_) => private += 1,
+                PageState::Shared => shared += 1,
+                PageState::Unused => {}
+            }
+        }
+        (private, shared)
+    }
+
+    /// Iterates over all pages with a non-`Unused` state.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, PageState)> + '_ {
+        self.states.iter().map(|(&p, &s)| (p, s))
+    }
+
+    /// Number of pages ever touched.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if no page has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn unused_to_private_to_shared() {
+        let mut table = PageStateTable::new();
+        let p = Vpn::new(5);
+        assert_eq!(table.get(p), PageState::Unused);
+        assert_eq!(table.on_fault(p, t(0)), Transition::MadePrivate);
+        assert_eq!(table.get(p), PageState::Private(t(0)));
+        assert_eq!(table.on_fault(p, t(1)), Transition::MadeShared);
+        assert_eq!(table.get(p), PageState::Shared);
+        assert!(table.is_shared(p));
+    }
+
+    #[test]
+    fn same_thread_fault_on_private_page_is_spurious() {
+        let mut table = PageStateTable::new();
+        let p = Vpn::new(9);
+        table.on_fault(p, t(2));
+        assert_eq!(
+            table.on_fault(p, t(2)),
+            Transition::AlreadyPrivateToFaultingThread
+        );
+        assert_eq!(table.get(p), PageState::Private(t(2)));
+    }
+
+    #[test]
+    fn shared_pages_never_downgrade() {
+        let mut table = PageStateTable::new();
+        let p = Vpn::new(1);
+        table.on_fault(p, t(0));
+        table.on_fault(p, t(1));
+        for i in 0..4 {
+            assert_eq!(table.on_fault(p, t(i)), Transition::AlreadyShared);
+            assert_eq!(table.get(p), PageState::Shared);
+        }
+    }
+
+    #[test]
+    fn counts_reflect_states() {
+        let mut table = PageStateTable::new();
+        table.on_fault(Vpn::new(1), t(0));
+        table.on_fault(Vpn::new(2), t(0));
+        table.on_fault(Vpn::new(2), t(1));
+        let (private, shared) = table.counts();
+        assert_eq!(private, 1);
+        assert_eq!(shared, 1);
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn transition_shared_predicate() {
+        assert!(Transition::MadeShared.page_is_shared());
+        assert!(Transition::AlreadyShared.page_is_shared());
+        assert!(!Transition::MadePrivate.page_is_shared());
+        assert!(!Transition::AlreadyPrivateToFaultingThread.page_is_shared());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types shared across the Aikido crates.
+
+use std::fmt;
+
+use crate::{Addr, ThreadId, Vpn};
+
+/// Result alias using [`AikidoError`].
+pub type Result<T> = std::result::Result<T, AikidoError>;
+
+/// Errors surfaced by the Aikido components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AikidoError {
+    /// An address was used that is not mapped in the guest address space.
+    UnmappedAddress {
+        /// The offending address.
+        addr: Addr,
+    },
+    /// A page was referenced that is not mapped in the guest address space.
+    UnmappedPage {
+        /// The offending page.
+        page: Vpn,
+    },
+    /// An operation referenced a thread unknown to the component.
+    UnknownThread {
+        /// The offending thread id.
+        thread: ThreadId,
+    },
+    /// A thread was registered twice.
+    ThreadAlreadyRegistered {
+        /// The offending thread id.
+        thread: ThreadId,
+    },
+    /// A mapping request overlaps an existing mapping.
+    MappingOverlap {
+        /// First page of the conflicting request.
+        page: Vpn,
+    },
+    /// A configuration value was invalid (e.g. zero threads).
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The hypercall interface was used before initialisation.
+    NotInitialized,
+    /// A shadow-memory translation was requested for an address outside any
+    /// registered region.
+    NoShadowRegion {
+        /// The offending address.
+        addr: Addr,
+    },
+}
+
+impl fmt::Display for AikidoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AikidoError::UnmappedAddress { addr } => write!(f, "address {addr} is not mapped"),
+            AikidoError::UnmappedPage { page } => write!(f, "{page} is not mapped"),
+            AikidoError::UnknownThread { thread } => write!(f, "{thread} is not registered"),
+            AikidoError::ThreadAlreadyRegistered { thread } => {
+                write!(f, "{thread} is already registered")
+            }
+            AikidoError::MappingOverlap { page } => {
+                write!(f, "mapping overlaps existing mapping at {page}")
+            }
+            AikidoError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            AikidoError::NotInitialized => write!(f, "aikido library not initialised"),
+            AikidoError::NoShadowRegion { addr } => {
+                write!(f, "no shadow region covers address {addr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AikidoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_useful_messages() {
+        let e = AikidoError::UnmappedAddress { addr: Addr::new(0xdead) };
+        assert!(e.to_string().contains("0xdead"));
+        let e = AikidoError::UnknownThread { thread: ThreadId::new(9) };
+        assert!(e.to_string().contains("thread 9"));
+        let e = AikidoError::InvalidConfig { reason: "zero threads".into() };
+        assert!(e.to_string().contains("zero threads"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<AikidoError>();
+    }
+}

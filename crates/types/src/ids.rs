@@ -1,0 +1,355 @@
+//! Identifier newtypes: addresses, pages, threads, locks, instructions and
+//! basic blocks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size of a virtual-memory page in bytes (4 KiB, as on x86-64).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A virtual address in the guest application's address space.
+///
+/// # Examples
+///
+/// ```
+/// use aikido_types::Addr;
+/// let a = Addr::new(0x1000).offset(8);
+/// assert_eq!(a.raw(), 0x1008);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw 64-bit value of the address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the virtual page number containing this address.
+    pub const fn page(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Returns the byte offset of this address within its page.
+    pub const fn offset_in_page(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Returns this address advanced by `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the addition overflows.
+    pub const fn offset(self, bytes: u64) -> Self {
+        Addr(self.0 + bytes)
+    }
+
+    /// Returns the address aligned down to `align` bytes (`align` must be a
+    /// power of two).
+    pub const fn align_down(self, align: u64) -> Self {
+        Addr(self.0 & !(align - 1))
+    }
+
+    /// True if this address lies in `[start, start + len)`.
+    pub const fn in_range(self, start: Addr, len: u64) -> bool {
+        self.0 >= start.0 && self.0 < start.0 + len
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+/// A virtual page number (a virtual address shifted right by [`PAGE_SHIFT`]).
+///
+/// # Examples
+///
+/// ```
+/// use aikido_types::{Addr, Vpn};
+/// let p = Vpn::containing(Addr::new(0x5000 + 17));
+/// assert_eq!(p.base(), Addr::new(0x5000));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Vpn(u64);
+
+impl Vpn {
+    /// Creates a page number from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        Vpn(raw)
+    }
+
+    /// Returns the page containing `addr`.
+    pub const fn containing(addr: Addr) -> Self {
+        addr.page()
+    }
+
+    /// Raw page number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First address of the page.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 << PAGE_SHIFT)
+    }
+
+    /// Size of the page in bytes.
+    pub const fn size(self) -> u64 {
+        PAGE_SIZE
+    }
+
+    /// The page `n` pages after this one.
+    pub const fn add(self, n: u64) -> Self {
+        Vpn(self.0 + n)
+    }
+
+    /// Iterates over the `count` pages starting at this one.
+    pub fn span(self, count: u64) -> impl Iterator<Item = Vpn> {
+        (self.0..self.0 + count).map(Vpn)
+    }
+}
+
+impl fmt::Debug for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vpn({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page {:#x}", self.0)
+    }
+}
+
+/// Identity of a guest thread.
+///
+/// Thread 0 is conventionally the main thread of the target application.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// Creates a thread id.
+    pub const fn new(raw: u32) -> Self {
+        ThreadId(raw)
+    }
+
+    /// Raw numeric id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The conventional main thread.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Index usable for dense per-thread arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread {}", self.0)
+    }
+}
+
+impl From<u32> for ThreadId {
+    fn from(raw: u32) -> Self {
+        ThreadId(raw)
+    }
+}
+
+/// Identity of a lock (mutex) object in the target application.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct LockId(u64);
+
+impl LockId {
+    /// Creates a lock id.
+    pub const fn new(raw: u64) -> Self {
+        LockId(raw)
+    }
+
+    /// Raw numeric id.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lock {}", self.0)
+    }
+}
+
+impl From<u64> for LockId {
+    fn from(raw: u64) -> Self {
+        LockId(raw)
+    }
+}
+
+/// Identity of a *static* basic block in the target application's code.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a basic-block id.
+    pub const fn new(raw: u32) -> Self {
+        BlockId(raw)
+    }
+
+    /// Raw numeric id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block {}", self.0)
+    }
+}
+
+/// Identity of a *static* instruction: a position inside a static basic block.
+///
+/// Dynamic executions of the same program point share one `InstrId`; this is
+/// what Aikido's sharing detector records when it decides which instructions
+/// must be instrumented.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct InstrId {
+    block: BlockId,
+    index: u16,
+}
+
+impl InstrId {
+    /// Creates an instruction id from its block and position within it.
+    pub const fn new(block: BlockId, index: u16) -> Self {
+        InstrId { block, index }
+    }
+
+    /// The static basic block that contains this instruction.
+    pub const fn block(self) -> BlockId {
+        self.block
+    }
+
+    /// The position of the instruction within its block.
+    pub const fn index(self) -> u16 {
+        self.index
+    }
+}
+
+impl fmt::Debug for InstrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}.{}", self.block.raw(), self.index)
+    }
+}
+
+impl fmt::Display for InstrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "instr {}:{}", self.block.raw(), self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_page_arithmetic() {
+        let a = Addr::new(3 * PAGE_SIZE + 123);
+        assert_eq!(a.page(), Vpn::new(3));
+        assert_eq!(a.offset_in_page(), 123);
+        assert_eq!(a.page().base(), Addr::new(3 * PAGE_SIZE));
+        assert_eq!(a.align_down(8), Addr::new(3 * PAGE_SIZE + 120));
+    }
+
+    #[test]
+    fn addr_range_membership() {
+        let start = Addr::new(0x1000);
+        assert!(Addr::new(0x1000).in_range(start, 0x100));
+        assert!(Addr::new(0x10ff).in_range(start, 0x100));
+        assert!(!Addr::new(0x1100).in_range(start, 0x100));
+        assert!(!Addr::new(0xfff).in_range(start, 0x100));
+    }
+
+    #[test]
+    fn vpn_span_iterates_consecutive_pages() {
+        let pages: Vec<_> = Vpn::new(10).span(3).collect();
+        assert_eq!(pages, vec![Vpn::new(10), Vpn::new(11), Vpn::new(12)]);
+    }
+
+    #[test]
+    fn instr_id_roundtrip() {
+        let id = InstrId::new(BlockId::new(7), 3);
+        assert_eq!(id.block(), BlockId::new(7));
+        assert_eq!(id.index(), 3);
+        assert_eq!(format!("{id:?}"), "I7.3");
+    }
+
+    #[test]
+    fn thread_id_display_and_index() {
+        let t = ThreadId::new(5);
+        assert_eq!(t.index(), 5);
+        assert_eq!(format!("{t:?}"), "T5");
+        assert_eq!(ThreadId::MAIN.raw(), 0);
+    }
+
+    #[test]
+    fn debug_representations_are_nonempty() {
+        assert!(!format!("{:?}", Addr::default()).is_empty());
+        assert!(!format!("{:?}", Vpn::default()).is_empty());
+        assert!(!format!("{:?}", LockId::default()).is_empty());
+        assert!(!format!("{:?}", BlockId::default()).is_empty());
+    }
+}

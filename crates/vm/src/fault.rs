@@ -1,0 +1,179 @@
+//! Page-fault classification and the information delivered for each kind of
+//! fault.
+//!
+//! AikidoVM must distinguish faults caused by Aikido-requested per-thread
+//! protections from faults caused by regular guest behaviour (§3.2.4): the
+//! former are delivered to the Aikido library via the fake-fault mechanism,
+//! the latter go to the guest operating system as usual.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use aikido_types::{AccessKind, Addr, ThreadId, Vpn};
+
+/// Why a page fault occurred, from the hypervisor's point of view.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultCause {
+    /// The guest page table has no entry for the page and the guest OS must
+    /// demand-page it in (normal behaviour, invisible to Aikido tools).
+    NativeNotPresent,
+    /// The guest page table denies the access (e.g. a write to a read-only
+    /// page); the guest OS handles it (copy-on-write upgrade or SIGSEGV).
+    NativeProtection,
+    /// The access was denied purely because of a protection installed through
+    /// the Aikido hypercall interface; the fault is delivered to the Aikido
+    /// library, not the guest OS.
+    AikidoProtection,
+    /// The thread's shadow page table had no entry although the guest page
+    /// table does; the hypervisor fills it in (a "shadow miss" VM exit).
+    ShadowMiss,
+    /// A userspace access hit a page that had been *temporarily unprotected*
+    /// for the guest kernel (user bit cleared, §3.2.6); the hypervisor
+    /// restores the original protections and retries.
+    TempUnprotectTrip,
+}
+
+impl fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultCause::NativeNotPresent => write!(f, "page not present"),
+            FaultCause::NativeProtection => write!(f, "guest protection violation"),
+            FaultCause::AikidoProtection => write!(f, "aikido per-thread protection"),
+            FaultCause::ShadowMiss => write!(f, "shadow page table miss"),
+            FaultCause::TempUnprotectTrip => write!(f, "temporarily unprotected page"),
+        }
+    }
+}
+
+/// A page fault as recorded by the hypervisor (any cause).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageFault {
+    /// Thread whose access faulted.
+    pub thread: ThreadId,
+    /// Faulting virtual address.
+    pub addr: Addr,
+    /// Kind of access that faulted.
+    pub kind: AccessKind,
+    /// Classification of the fault.
+    pub cause: FaultCause,
+}
+
+impl PageFault {
+    /// The page containing the faulting address.
+    pub fn page(&self) -> Vpn {
+        self.addr.page()
+    }
+}
+
+impl fmt::Display for PageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} at {} ({})",
+            self.thread, self.kind, self.addr, self.cause
+        )
+    }
+}
+
+/// An Aikido fault as delivered to the guest userspace application.
+///
+/// The hypervisor cannot simply deliver a SIGSEGV at the true faulting
+/// address — the guest OS might handle or suppress it — so it injects a fake
+/// fault at one of two pre-registered addresses (one that is never readable,
+/// one that is never writable) and writes the *true* faulting address into a
+/// mailbox shared with the Aikido library (§3.2.5).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AikidoFault {
+    /// Thread whose access faulted.
+    pub thread: ThreadId,
+    /// The fake address the fault appears to occur at (one of the two pages
+    /// registered by [`crate::AikidoLib`] at initialisation).
+    pub fake_addr: Addr,
+    /// The true faulting address, as recorded in the mailbox.
+    pub true_addr: Addr,
+    /// Kind of access that faulted.
+    pub kind: AccessKind,
+}
+
+impl AikidoFault {
+    /// The page containing the true faulting address.
+    pub fn page(&self) -> Vpn {
+        self.true_addr.page()
+    }
+}
+
+impl fmt::Display for AikidoFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "aikido fault: {} {} at {} (delivered at {})",
+            self.thread, self.kind, self.true_addr, self.fake_addr
+        )
+    }
+}
+
+/// A fatal segmentation fault: the access hit memory with no mapping at all,
+/// or violated a guest protection the guest OS will not repair.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segv {
+    /// Thread whose access faulted.
+    pub thread: ThreadId,
+    /// Faulting address.
+    pub addr: Addr,
+    /// Kind of access that faulted.
+    pub kind: AccessKind,
+}
+
+impl fmt::Display for Segv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SIGSEGV: {} {} at {}", self.thread, self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_page_matches_address() {
+        let f = PageFault {
+            thread: ThreadId::new(1),
+            addr: Addr::new(0x5123),
+            kind: AccessKind::Read,
+            cause: FaultCause::AikidoProtection,
+        };
+        assert_eq!(f.page(), Addr::new(0x5123).page());
+        assert!(f.to_string().contains("aikido"));
+    }
+
+    #[test]
+    fn aikido_fault_reports_true_address() {
+        let f = AikidoFault {
+            thread: ThreadId::new(2),
+            fake_addr: Addr::new(0x1000),
+            true_addr: Addr::new(0xabcd_e000),
+            kind: AccessKind::Write,
+        };
+        assert_eq!(f.page(), Vpn::new(0xabcde));
+        assert!(f.to_string().contains("0xabcde000"));
+    }
+
+    #[test]
+    fn cause_display_is_distinct() {
+        let causes = [
+            FaultCause::NativeNotPresent,
+            FaultCause::NativeProtection,
+            FaultCause::AikidoProtection,
+            FaultCause::ShadowMiss,
+            FaultCause::TempUnprotectTrip,
+        ];
+        let strings: Vec<_> = causes.iter().map(|c| c.to_string()).collect();
+        for (i, a) in strings.iter().enumerate() {
+            for (j, b) in strings.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The hypercall interface and the userspace Aikido library model (§3.2.5).
+//!
+//! The real AikidoLib is linked into the guest process (inside DynamoRIO) and
+//! talks to the hypervisor with hypercalls that bypass the guest OS. At
+//! initialisation it registers two specially allocated pages — one mapped
+//! without read access and one without write access — that the hypervisor
+//! uses as the *fake* fault addresses when injecting Aikido page faults, plus
+//! a mailbox address where the hypervisor writes the *true* faulting address.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use aikido_types::{AccessKind, Addr, Prot, ThreadId};
+
+/// A request from the guest userspace Aikido library to the hypervisor.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Hypercall {
+    /// Register the fake-fault pages and the true-address mailbox; must be the
+    /// first hypercall issued.
+    Init {
+        /// Page with no read access; faults that were reads are injected here.
+        read_fault_page: Addr,
+        /// Page with no write access; faults that were writes are injected here.
+        write_fault_page: Addr,
+        /// Address at which the hypervisor reports the true faulting address.
+        mailbox: Addr,
+    },
+    /// Register a thread so the hypervisor creates a shadow page table and
+    /// protection table for it.
+    RegisterThread {
+        /// The new thread.
+        thread: ThreadId,
+    },
+    /// Set the per-thread protection of a contiguous range of pages.
+    ProtectRange {
+        /// Thread whose view is being restricted.
+        thread: ThreadId,
+        /// First address of the range (page aligned).
+        base: Addr,
+        /// Number of pages.
+        pages: u64,
+        /// Requested protection (intersected with the guest protection).
+        prot: Prot,
+    },
+    /// Remove any per-thread restriction from a contiguous range of pages.
+    UnprotectRange {
+        /// Thread whose restriction is removed.
+        thread: ThreadId,
+        /// First address of the range (page aligned).
+        base: Addr,
+        /// Number of pages.
+        pages: u64,
+    },
+    /// Set the protection of a page for *every* registered thread (used when a
+    /// page becomes shared and must be globally inaccessible).
+    ProtectAllThreads {
+        /// First address of the range (page aligned).
+        base: Addr,
+        /// Number of pages.
+        pages: u64,
+        /// Requested protection.
+        prot: Prot,
+    },
+    /// Notify the hypervisor of a guest context switch between two threads of
+    /// the Aikido-enabled process (the paper inserts this hypercall into the
+    /// guest scheduler because CR3 does not change on same-address-space
+    /// switches).
+    ContextSwitch {
+        /// Thread being switched out.
+        from: ThreadId,
+        /// Thread being switched in.
+        to: ThreadId,
+    },
+}
+
+impl fmt::Display for Hypercall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Hypercall::Init { .. } => write!(f, "init"),
+            Hypercall::RegisterThread { thread } => write!(f, "register {thread}"),
+            Hypercall::ProtectRange {
+                thread,
+                base,
+                pages,
+                prot,
+            } => write!(f, "protect {pages} pages at {base} for {thread} as {prot}"),
+            Hypercall::UnprotectRange { thread, base, pages } => {
+                write!(f, "unprotect {pages} pages at {base} for {thread}")
+            }
+            Hypercall::ProtectAllThreads { base, pages, prot } => {
+                write!(f, "protect {pages} pages at {base} for all threads as {prot}")
+            }
+            Hypercall::ContextSwitch { from, to } => write!(f, "context switch {from} -> {to}"),
+        }
+    }
+}
+
+/// The mailbox shared between the hypervisor and the Aikido library: fake
+/// fault pages plus the location of the last true faulting address.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMailbox {
+    /// Page used as the fake address for faulting *reads*.
+    pub read_fault_page: Addr,
+    /// Page used as the fake address for faulting *writes*.
+    pub write_fault_page: Addr,
+    /// Address of the mailbox word itself.
+    pub mailbox: Addr,
+    /// Last true faulting address written by the hypervisor.
+    pub last_true_addr: Option<Addr>,
+    /// Last faulting access kind written by the hypervisor.
+    pub last_kind: Option<AccessKind>,
+}
+
+impl FaultMailbox {
+    /// The fake address the hypervisor will use for a fault of kind `kind`.
+    pub fn fake_addr_for(&self, kind: AccessKind) -> Addr {
+        match kind {
+            AccessKind::Read => self.read_fault_page,
+            AccessKind::Write => self.write_fault_page,
+        }
+    }
+
+    /// Records a fault delivery (hypervisor side).
+    pub fn record(&mut self, true_addr: Addr, kind: AccessKind) {
+        self.last_true_addr = Some(true_addr);
+        self.last_kind = Some(kind);
+    }
+}
+
+/// Guest-side view of the Aikido library (`aikido_is_aikido_pagefault()` and
+/// friends): lets a signal handler decide whether a delivered fault came from
+/// Aikido and recover the true faulting address.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AikidoLib {
+    mailbox: FaultMailbox,
+}
+
+impl AikidoLib {
+    /// Creates the library view over an initialised mailbox.
+    pub fn new(mailbox: FaultMailbox) -> Self {
+        AikidoLib { mailbox }
+    }
+
+    /// Returns `true` if a fault delivered at `fault_addr` is an Aikido fault
+    /// (it was injected at one of the two registered fake-fault pages).
+    pub fn is_aikido_pagefault(&self, fault_addr: Addr) -> bool {
+        fault_addr.page() == self.mailbox.read_fault_page.page()
+            || fault_addr.page() == self.mailbox.write_fault_page.page()
+    }
+
+    /// The true faulting address of the last Aikido fault, if any.
+    pub fn true_fault_addr(&self) -> Option<Addr> {
+        self.mailbox.last_true_addr
+    }
+
+    /// The access kind of the last Aikido fault, if any.
+    pub fn last_fault_kind(&self) -> Option<AccessKind> {
+        self.mailbox.last_kind
+    }
+
+    /// Updates the library's view of the mailbox (the simulator calls this
+    /// after the hypervisor records a fault; in the real system the library
+    /// simply reads the shared memory).
+    pub fn sync(&mut self, mailbox: FaultMailbox) {
+        self.mailbox = mailbox;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mailbox() -> FaultMailbox {
+        FaultMailbox {
+            read_fault_page: Addr::new(0x7000_0000),
+            write_fault_page: Addr::new(0x7000_1000),
+            mailbox: Addr::new(0x7000_2000),
+            last_true_addr: None,
+            last_kind: None,
+        }
+    }
+
+    #[test]
+    fn fake_addr_depends_on_access_kind() {
+        let m = mailbox();
+        assert_eq!(m.fake_addr_for(AccessKind::Read), Addr::new(0x7000_0000));
+        assert_eq!(m.fake_addr_for(AccessKind::Write), Addr::new(0x7000_1000));
+    }
+
+    #[test]
+    fn library_recognises_aikido_faults_by_fake_page() {
+        let mut m = mailbox();
+        m.record(Addr::new(0xdead_beef), AccessKind::Write);
+        let lib = AikidoLib::new(m);
+        assert!(lib.is_aikido_pagefault(Addr::new(0x7000_0004)));
+        assert!(lib.is_aikido_pagefault(Addr::new(0x7000_1ff8)));
+        assert!(!lib.is_aikido_pagefault(Addr::new(0xdead_beef)));
+        assert_eq!(lib.true_fault_addr(), Some(Addr::new(0xdead_beef)));
+        assert_eq!(lib.last_fault_kind(), Some(AccessKind::Write));
+    }
+
+    #[test]
+    fn hypercall_display_is_informative() {
+        let h = Hypercall::ProtectRange {
+            thread: ThreadId::new(3),
+            base: Addr::new(0x4000),
+            pages: 2,
+            prot: Prot::NONE,
+        };
+        let s = h.to_string();
+        assert!(s.contains("thread 3"));
+        assert!(s.contains("2 pages"));
+    }
+}

@@ -1,0 +1,415 @@
+//! A minimal model of the guest operating system.
+//!
+//! The guest kernel owns the process's *single* page table (the whole point
+//! of AikidoVM is that the guest OS only has one), its virtual memory areas,
+//! and the demand-paging policy. The hypervisor intercepts every write the
+//! kernel makes to the page table (in the real system by write-protecting the
+//! page-table pages); in the simulation the kernel returns those writes as
+//! [`KernelEvent`]s so the hypervisor can synchronise every thread's shadow
+//! page table.
+//!
+//! Mirror pages are modelled exactly as the paper builds them (§3.3.3): a
+//! *backing object* (the backing file) owns the frames, and two VMAs — the
+//! original mapping and the mirror mapping — reference the same backing
+//! object, so demand-paging either of them resolves to the same machine
+//! frame.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use aikido_types::{AccessKind, Addr, AikidoError, Prot, Result, Vpn};
+
+use crate::frames::{FrameAllocator, FrameId};
+
+/// Identity of a backing object (an anonymous region or backing file).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BackingId(u64);
+
+/// How a VMA is backed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmaBacking {
+    /// A private anonymous mapping with its own backing object.
+    Private(BackingId),
+    /// A shared mapping of an existing backing object (used for mirror pages
+    /// and for the second mapping AikidoSD creates over the original range).
+    Shared(BackingId),
+}
+
+impl VmaBacking {
+    /// The backing object referenced by this VMA.
+    pub fn id(self) -> BackingId {
+        match self {
+            VmaBacking::Private(id) | VmaBacking::Shared(id) => id,
+        }
+    }
+}
+
+/// A virtual memory area: a contiguous range of pages with one protection and
+/// one backing object.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vma {
+    /// First page of the area.
+    pub start: Vpn,
+    /// Number of pages.
+    pub pages: u64,
+    /// Protection the guest OS grants the area.
+    pub prot: Prot,
+    /// Backing object.
+    pub backing: VmaBacking,
+}
+
+impl Vma {
+    /// True if `page` falls inside this area.
+    pub fn contains(&self, page: Vpn) -> bool {
+        page.raw() >= self.start.raw() && page.raw() < self.start.raw() + self.pages
+    }
+
+    /// Offset (in pages) of `page` within the area.
+    pub fn page_offset(&self, page: Vpn) -> u64 {
+        page.raw() - self.start.raw()
+    }
+}
+
+/// A guest page-table entry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuestPte {
+    /// Machine frame backing the page (the simulation collapses guest-physical
+    /// and machine frames into one identifier; the extra indirection of
+    /// guest-physical addresses does not affect any Aikido-visible behaviour).
+    pub frame: FrameId,
+    /// Protection recorded by the guest OS.
+    pub prot: Prot,
+}
+
+/// A page-table update performed by the guest kernel, as observed by the
+/// hypervisor through write-protection of the page-table pages.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelEvent {
+    /// The kernel installed or replaced a PTE.
+    PteInstalled {
+        /// Page whose entry changed.
+        page: Vpn,
+        /// The new entry.
+        pte: GuestPte,
+    },
+    /// The kernel removed a PTE (unmap).
+    PteRemoved {
+        /// Page whose entry was removed.
+        page: Vpn,
+    },
+}
+
+/// Outcome of asking the kernel to resolve a native page fault.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum KernelFaultResolution {
+    /// The kernel installed a mapping (demand paging / protection upgrade) and
+    /// the access should be retried.
+    Resolved,
+    /// The access is illegal; the kernel would deliver SIGSEGV.
+    Fatal,
+}
+
+/// The guest operating system model.
+#[derive(Debug, Default)]
+pub struct GuestKernel {
+    vmas: Vec<Vma>,
+    page_table: BTreeMap<Vpn, GuestPte>,
+    backings: BTreeMap<BackingId, BTreeMap<u64, FrameId>>,
+    next_backing: u64,
+    frames: FrameAllocator,
+    /// Events not yet drained by the hypervisor.
+    pending_events: Vec<KernelEvent>,
+}
+
+impl GuestKernel {
+    /// Creates a guest kernel with an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a new anonymous mapping of `pages` pages at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AikidoError::MappingOverlap`] if the range overlaps an
+    /// existing VMA, and [`AikidoError::InvalidConfig`] if `pages` is zero.
+    pub fn mmap(&mut self, base: Addr, pages: u64, prot: Prot) -> Result<Vma> {
+        let backing = self.new_backing();
+        self.map_with_backing(base, pages, prot, VmaBacking::Private(backing))
+    }
+
+    /// Creates a shared mapping of the backing object of `source_base` at
+    /// `mirror_base`. This is how AikidoSD constructs mirror pages: both
+    /// mappings resolve to the same frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AikidoError::UnmappedAddress`] if `source_base` is not inside
+    /// any VMA, and [`AikidoError::MappingOverlap`] if the mirror range
+    /// overlaps an existing VMA.
+    pub fn mmap_shared_of(&mut self, source_base: Addr, mirror_base: Addr) -> Result<Vma> {
+        let source = *self
+            .find_vma(source_base.page())
+            .ok_or(AikidoError::UnmappedAddress { addr: source_base })?;
+        self.map_with_backing(
+            mirror_base,
+            source.pages,
+            source.prot,
+            VmaBacking::Shared(source.backing.id()),
+        )
+    }
+
+    fn map_with_backing(
+        &mut self,
+        base: Addr,
+        pages: u64,
+        prot: Prot,
+        backing: VmaBacking,
+    ) -> Result<Vma> {
+        if pages == 0 {
+            return Err(AikidoError::InvalidConfig {
+                reason: "cannot map zero pages".to_string(),
+            });
+        }
+        let start = base.page();
+        for p in start.span(pages) {
+            if self.find_vma(p).is_some() {
+                return Err(AikidoError::MappingOverlap { page: p });
+            }
+        }
+        let vma = Vma {
+            start,
+            pages,
+            prot,
+            backing,
+        };
+        self.backings.entry(backing.id()).or_default();
+        self.vmas.push(vma);
+        Ok(vma)
+    }
+
+    fn new_backing(&mut self) -> BackingId {
+        let id = BackingId(self.next_backing);
+        self.next_backing += 1;
+        self.backings.insert(id, BTreeMap::new());
+        id
+    }
+
+    /// The VMA covering `page`, if any.
+    pub fn find_vma(&self, page: Vpn) -> Option<&Vma> {
+        self.vmas.iter().find(|v| v.contains(page))
+    }
+
+    /// All VMAs, in creation order.
+    pub fn vmas(&self) -> &[Vma] {
+        &self.vmas
+    }
+
+    /// The guest page-table entry for `page`, if present.
+    pub fn pte(&self, page: Vpn) -> Option<GuestPte> {
+        self.page_table.get(&page).copied()
+    }
+
+    /// Number of PTEs currently installed.
+    pub fn installed_ptes(&self) -> usize {
+        self.page_table.len()
+    }
+
+    /// Number of machine frames allocated so far.
+    pub fn frames_allocated(&self) -> u64 {
+        self.frames.allocated()
+    }
+
+    /// Handles a native page fault (not caused by Aikido protections).
+    ///
+    /// Demand-pages the page in if a VMA covers it and the access is
+    /// permitted by the VMA's protection; upgrades a read-only PTE to the VMA
+    /// protection for a write to a writable VMA (the copy-on-write path);
+    /// otherwise reports the access as fatal.
+    pub fn handle_fault(&mut self, addr: Addr, kind: AccessKind) -> KernelFaultResolution {
+        let page = addr.page();
+        let Some(vma) = self.find_vma(page).copied() else {
+            return KernelFaultResolution::Fatal;
+        };
+        if !vma.prot.allows(kind) {
+            return KernelFaultResolution::Fatal;
+        }
+        let offset = vma.page_offset(page);
+        let frame = self.frame_for(vma.backing.id(), offset);
+        let pte = GuestPte {
+            frame,
+            prot: vma.prot,
+        };
+        self.page_table.insert(page, pte);
+        self.pending_events.push(KernelEvent::PteInstalled { page, pte });
+        KernelFaultResolution::Resolved
+    }
+
+    fn frame_for(&mut self, backing: BackingId, offset: u64) -> FrameId {
+        let frames = &mut self.frames;
+        *self
+            .backings
+            .entry(backing)
+            .or_default()
+            .entry(offset)
+            .or_insert_with(|| frames.alloc())
+    }
+
+    /// Removes the mapping for `pages` pages starting at `base`, dropping any
+    /// PTEs that covered it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AikidoError::UnmappedAddress`] if no VMA starts exactly at
+    /// `base`.
+    pub fn munmap(&mut self, base: Addr) -> Result<()> {
+        let start = base.page();
+        let idx = self
+            .vmas
+            .iter()
+            .position(|v| v.start == start)
+            .ok_or(AikidoError::UnmappedAddress { addr: base })?;
+        let vma = self.vmas.remove(idx);
+        for p in vma.start.span(vma.pages) {
+            if self.page_table.remove(&p).is_some() {
+                self.pending_events.push(KernelEvent::PteRemoved { page: p });
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains the page-table updates performed since the last call; the
+    /// hypervisor uses these to synchronise the per-thread shadow page tables.
+    pub fn drain_events(&mut self) -> Vec<KernelEvent> {
+        std::mem::take(&mut self.pending_events)
+    }
+
+    /// True if there are undrained page-table updates.
+    pub fn has_pending_events(&self) -> bool {
+        !self.pending_events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(page: u64) -> Addr {
+        Vpn::new(page).base()
+    }
+
+    #[test]
+    fn mmap_then_fault_installs_pte() {
+        let mut k = GuestKernel::new();
+        k.mmap(addr(16), 4, Prot::RW_USER).unwrap();
+        assert!(k.pte(Vpn::new(16)).is_none());
+        assert_eq!(
+            k.handle_fault(addr(16), AccessKind::Write),
+            KernelFaultResolution::Resolved
+        );
+        let pte = k.pte(Vpn::new(16)).unwrap();
+        assert_eq!(pte.prot, Prot::RW_USER);
+        let events = k.drain_events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], KernelEvent::PteInstalled { page, .. } if page == Vpn::new(16)));
+        assert!(!k.has_pending_events());
+    }
+
+    #[test]
+    fn fault_outside_any_vma_is_fatal() {
+        let mut k = GuestKernel::new();
+        assert_eq!(
+            k.handle_fault(addr(100), AccessKind::Read),
+            KernelFaultResolution::Fatal
+        );
+    }
+
+    #[test]
+    fn write_to_readonly_vma_is_fatal() {
+        let mut k = GuestKernel::new();
+        k.mmap(addr(8), 1, Prot::R_USER).unwrap();
+        assert_eq!(
+            k.handle_fault(addr(8), AccessKind::Write),
+            KernelFaultResolution::Fatal
+        );
+        assert_eq!(
+            k.handle_fault(addr(8), AccessKind::Read),
+            KernelFaultResolution::Resolved
+        );
+    }
+
+    #[test]
+    fn overlapping_mmap_is_rejected() {
+        let mut k = GuestKernel::new();
+        k.mmap(addr(32), 4, Prot::RW_USER).unwrap();
+        let err = k.mmap(addr(34), 4, Prot::RW_USER).unwrap_err();
+        assert!(matches!(err, AikidoError::MappingOverlap { .. }));
+    }
+
+    #[test]
+    fn zero_page_mmap_is_rejected() {
+        let mut k = GuestKernel::new();
+        assert!(matches!(
+            k.mmap(addr(32), 0, Prot::RW_USER),
+            Err(AikidoError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn mirror_mapping_shares_frames_with_original() {
+        let mut k = GuestKernel::new();
+        k.mmap(addr(64), 2, Prot::RW_USER).unwrap();
+        k.mmap_shared_of(addr(64), addr(1024)).unwrap();
+
+        k.handle_fault(addr(64), AccessKind::Write);
+        k.handle_fault(addr(1024), AccessKind::Write);
+        let orig = k.pte(Vpn::new(64)).unwrap();
+        let mirror = k.pte(Vpn::new(1024)).unwrap();
+        assert_eq!(orig.frame, mirror.frame, "mirror must alias the same frame");
+
+        // Second page of each mapping also aliases, and differs from page 0.
+        k.handle_fault(addr(65), AccessKind::Write);
+        k.handle_fault(addr(1025), AccessKind::Write);
+        assert_eq!(
+            k.pte(Vpn::new(65)).unwrap().frame,
+            k.pte(Vpn::new(1025)).unwrap().frame
+        );
+        assert_ne!(orig.frame, k.pte(Vpn::new(65)).unwrap().frame);
+    }
+
+    #[test]
+    fn mirror_of_unmapped_source_fails() {
+        let mut k = GuestKernel::new();
+        assert!(matches!(
+            k.mmap_shared_of(addr(7), addr(2048)),
+            Err(AikidoError::UnmappedAddress { .. })
+        ));
+    }
+
+    #[test]
+    fn munmap_removes_ptes_and_emits_events() {
+        let mut k = GuestKernel::new();
+        k.mmap(addr(10), 2, Prot::RW_USER).unwrap();
+        k.handle_fault(addr(10), AccessKind::Read);
+        k.handle_fault(addr(11), AccessKind::Read);
+        k.drain_events();
+        k.munmap(addr(10)).unwrap();
+        assert!(k.pte(Vpn::new(10)).is_none());
+        assert!(k.find_vma(Vpn::new(10)).is_none());
+        let events = k.drain_events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| matches!(e, KernelEvent::PteRemoved { .. })));
+    }
+
+    #[test]
+    fn demand_paging_is_lazy_per_page() {
+        let mut k = GuestKernel::new();
+        k.mmap(addr(200), 8, Prot::RW_USER).unwrap();
+        k.handle_fault(addr(203), AccessKind::Read);
+        assert_eq!(k.installed_ptes(), 1);
+        assert_eq!(k.frames_allocated(), 1);
+        k.handle_fault(addr(207), AccessKind::Read);
+        assert_eq!(k.installed_ptes(), 2);
+        assert_eq!(k.frames_allocated(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! The per-thread protection table (§3.2.4).
+//!
+//! AikidoVM maintains one of these tables for every thread of the
+//! Aikido-enabled guest process. It records, for each page, the protection
+//! requested through the hypercall interface. The effective protection of a
+//! shadow page-table entry is the intersection of the guest page-table
+//! protection and the entry in this table; pages with no entry are
+//! unrestricted.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use aikido_types::{Prot, Vpn};
+
+/// Per-thread table of Aikido-requested page protections.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct ThreadProtTable {
+    entries: BTreeMap<Vpn, Prot>,
+}
+
+impl ThreadProtTable {
+    /// Creates an empty table (no restrictions).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the requested protection for `page`.
+    pub fn set(&mut self, page: Vpn, prot: Prot) {
+        self.entries.insert(page, prot);
+    }
+
+    /// Removes any restriction on `page`.
+    pub fn clear(&mut self, page: Vpn) {
+        self.entries.remove(&page);
+    }
+
+    /// The restriction on `page`, if one is installed.
+    pub fn get(&self, page: Vpn) -> Option<Prot> {
+        self.entries.get(&page).copied()
+    }
+
+    /// The *effective* protection of `page` given the guest protection:
+    /// the intersection of the guest protection and any installed restriction.
+    pub fn effective(&self, page: Vpn, guest: Prot) -> Prot {
+        match self.get(page) {
+            Some(restriction) => guest.intersect(restriction),
+            None => guest,
+        }
+    }
+
+    /// True if the table restricts `page` (i.e. an entry exists whose
+    /// intersection with `guest` forbids something `guest` would allow).
+    pub fn restricts(&self, page: Vpn, guest: Prot) -> bool {
+        self.effective(page, guest) != guest
+    }
+
+    /// Number of pages with an installed restriction.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no restrictions are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all restrictions.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, Prot)> + '_ {
+        self.entries.iter().map(|(&p, &v)| (p, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrestricted_pages_keep_guest_protection() {
+        let t = ThreadProtTable::new();
+        assert_eq!(t.effective(Vpn::new(5), Prot::RW_USER), Prot::RW_USER);
+        assert!(!t.restricts(Vpn::new(5), Prot::RW_USER));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn restriction_intersects_with_guest_protection() {
+        let mut t = ThreadProtTable::new();
+        t.set(Vpn::new(5), Prot::NONE);
+        assert_eq!(t.effective(Vpn::new(5), Prot::RW_USER), Prot::NONE);
+        assert!(t.restricts(Vpn::new(5), Prot::RW_USER));
+
+        t.set(Vpn::new(6), Prot::R_USER);
+        assert_eq!(t.effective(Vpn::new(6), Prot::RW_USER), Prot::R_USER);
+    }
+
+    #[test]
+    fn restriction_cannot_grant_more_than_guest() {
+        let mut t = ThreadProtTable::new();
+        t.set(Vpn::new(9), Prot::RW_USER);
+        // Guest says read-only; the table cannot add write permission.
+        assert_eq!(t.effective(Vpn::new(9), Prot::R_USER), Prot::R_USER);
+        assert!(!t.restricts(Vpn::new(9), Prot::R_USER));
+    }
+
+    #[test]
+    fn clear_removes_restriction() {
+        let mut t = ThreadProtTable::new();
+        t.set(Vpn::new(3), Prot::NONE);
+        assert_eq!(t.len(), 1);
+        t.clear(Vpn::new(3));
+        assert_eq!(t.effective(Vpn::new(3), Prot::RW_USER), Prot::RW_USER);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let mut t = ThreadProtTable::new();
+        t.set(Vpn::new(1), Prot::NONE);
+        t.set(Vpn::new(2), Prot::R_USER);
+        let entries: Vec<_> = t.iter().collect();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.contains(&(Vpn::new(1), Prot::NONE)));
+        assert!(entries.contains(&(Vpn::new(2), Prot::R_USER)));
+    }
+}

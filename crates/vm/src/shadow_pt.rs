@@ -1,0 +1,136 @@
+//! Per-thread shadow page tables (§3.2.3).
+//!
+//! A traditional hypervisor keeps one shadow page table per guest page table;
+//! AikidoVM keeps one per *thread* sharing that guest page table, each
+//! performing the same virtual→machine translation but potentially with
+//! different protection bits (the intersection of the guest protection and
+//! the thread's protection-table entry).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use aikido_types::{Prot, Vpn};
+
+use crate::frames::FrameId;
+
+/// A shadow page-table entry: the machine frame plus the *effective*
+/// protection enforced by the (simulated) hardware for one thread.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShadowPte {
+    /// Machine frame the page translates to.
+    pub frame: FrameId,
+    /// Effective protection (guest ∩ per-thread restriction), possibly with
+    /// the user bit cleared while the page is temporarily unprotected for the
+    /// guest kernel.
+    pub prot: Prot,
+}
+
+/// One thread's shadow page table.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct ShadowPageTable {
+    entries: BTreeMap<Vpn, ShadowPte>,
+}
+
+impl ShadowPageTable {
+    /// Creates an empty shadow page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the entry for `page`.
+    pub fn lookup(&self, page: Vpn) -> Option<ShadowPte> {
+        self.entries.get(&page).copied()
+    }
+
+    /// Installs or replaces the entry for `page`.
+    pub fn install(&mut self, page: Vpn, pte: ShadowPte) {
+        self.entries.insert(page, pte);
+    }
+
+    /// Removes the entry for `page` (invalidation), returning the old entry.
+    pub fn invalidate(&mut self, page: Vpn) -> Option<ShadowPte> {
+        self.entries.remove(&page)
+    }
+
+    /// Updates just the protection of an existing entry; returns `true` if an
+    /// entry existed.
+    pub fn set_prot(&mut self, page: Vpn, prot: Prot) -> bool {
+        if let Some(e) = self.entries.get_mut(&page) {
+            e.prot = prot;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes every entry (used on address-space teardown).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates over the installed entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, ShadowPte)> + '_ {
+        self.entries.iter().map(|(&p, &e)| (p, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pte(frame: u64, prot: Prot) -> ShadowPte {
+        ShadowPte {
+            frame: FrameId::new(frame),
+            prot,
+        }
+    }
+
+    #[test]
+    fn install_lookup_invalidate_roundtrip() {
+        let mut t = ShadowPageTable::new();
+        assert!(t.lookup(Vpn::new(1)).is_none());
+        t.install(Vpn::new(1), pte(7, Prot::RW_USER));
+        assert_eq!(t.lookup(Vpn::new(1)), Some(pte(7, Prot::RW_USER)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.invalidate(Vpn::new(1)), Some(pte(7, Prot::RW_USER)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn set_prot_only_touches_existing_entries() {
+        let mut t = ShadowPageTable::new();
+        assert!(!t.set_prot(Vpn::new(3), Prot::NONE));
+        t.install(Vpn::new(3), pte(1, Prot::RW_USER));
+        assert!(t.set_prot(Vpn::new(3), Prot::R_USER));
+        assert_eq!(t.lookup(Vpn::new(3)).unwrap().prot, Prot::R_USER);
+        assert_eq!(t.lookup(Vpn::new(3)).unwrap().frame, FrameId::new(1));
+    }
+
+    #[test]
+    fn clear_empties_the_table() {
+        let mut t = ShadowPageTable::new();
+        t.install(Vpn::new(1), pte(1, Prot::RW_USER));
+        t.install(Vpn::new(2), pte(2, Prot::RW_USER));
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_returns_all_entries_sorted_by_page() {
+        let mut t = ShadowPageTable::new();
+        t.install(Vpn::new(9), pte(1, Prot::RW_USER));
+        t.install(Vpn::new(2), pte(2, Prot::R_USER));
+        let pages: Vec<_> = t.iter().map(|(p, _)| p.raw()).collect();
+        assert_eq!(pages, vec![2, 9]);
+    }
+}

@@ -1,0 +1,205 @@
+//! The memory layout of a synthetic workload: one shared region divided into
+//! read-mostly, lock-protected and (optionally) racy areas, plus one private
+//! region per thread.
+
+use serde::{Deserialize, Serialize};
+
+use aikido_types::{Addr, ThreadId, PAGE_SIZE};
+
+use crate::spec::WorkloadSpec;
+
+/// Base of the shared region in the synthetic address space.
+const SHARED_BASE: u64 = 0x1000_0000;
+/// Base of the first private region.
+const PRIVATE_BASE: u64 = 0x20_0000_0000;
+/// Gap (in pages) between consecutive private regions.
+const PRIVATE_GAP_PAGES: u64 = 16;
+
+/// The address-space layout of a workload.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryLayout {
+    shared_base: Addr,
+    shared_pages: u64,
+    read_mostly_pages: u64,
+    locked_pages: u64,
+    racy_pages: u64,
+    locks: u32,
+    threads: u32,
+    private_pages_per_thread: u64,
+}
+
+impl MemoryLayout {
+    /// Computes the layout implied by `spec`.
+    pub fn from_spec(spec: &WorkloadSpec) -> Self {
+        let racy_pages = if spec.racy_pairs > 0 { 1 } else { 0 };
+        let usable = spec.shared_pages.max(racy_pages + 2);
+        let read_mostly_pages = ((usable - racy_pages) * 2 / 5).max(1);
+        let locked_pages = (usable - racy_pages - read_mostly_pages).max(1);
+        MemoryLayout {
+            shared_base: Addr::new(SHARED_BASE),
+            shared_pages: read_mostly_pages + locked_pages + racy_pages,
+            read_mostly_pages,
+            locked_pages,
+            racy_pages,
+            locks: spec.locks,
+            threads: spec.threads,
+            private_pages_per_thread: spec.private_pages_per_thread,
+        }
+    }
+
+    /// Base address of the shared region.
+    pub fn shared_base(&self) -> Addr {
+        self.shared_base
+    }
+
+    /// Total pages in the shared region.
+    pub fn shared_pages(&self) -> u64 {
+        self.shared_pages
+    }
+
+    /// Base and length (bytes) of the read-mostly area (written by the main
+    /// thread before forking, read by everyone).
+    pub fn read_mostly_area(&self) -> (Addr, u64) {
+        (self.shared_base, self.read_mostly_pages * PAGE_SIZE)
+    }
+
+    /// Base and length (bytes) of the lock-protected area.
+    pub fn locked_area(&self) -> (Addr, u64) {
+        (
+            self.shared_base.offset(self.read_mostly_pages * PAGE_SIZE),
+            self.locked_pages * PAGE_SIZE,
+        )
+    }
+
+    /// Base and length (bytes) of the slice of the locked area owned by
+    /// `lock` (an index below the spec's lock count). Accesses to the slice
+    /// are only generated while holding that lock, so they are race-free.
+    pub fn lock_slice(&self, lock: u32) -> (Addr, u64) {
+        let (base, len) = self.locked_area();
+        let slice = (len / self.locks as u64).max(8);
+        let offset = (lock as u64 % self.locks as u64) * slice;
+        (base.offset(offset.min(len.saturating_sub(slice))), slice)
+    }
+
+    /// Base and length (bytes) of the deliberately racy area (empty when the
+    /// workload is race-free).
+    pub fn racy_area(&self) -> (Addr, u64) {
+        (
+            self.shared_base
+                .offset((self.read_mostly_pages + self.locked_pages) * PAGE_SIZE),
+            self.racy_pages * PAGE_SIZE,
+        )
+    }
+
+    /// Base address of `thread`'s private region.
+    pub fn private_base(&self, thread: ThreadId) -> Addr {
+        let stride = (self.private_pages_per_thread + PRIVATE_GAP_PAGES) * PAGE_SIZE;
+        Addr::new(PRIVATE_BASE + thread.raw() as u64 * stride)
+    }
+
+    /// Pages in each private region.
+    pub fn private_pages(&self) -> u64 {
+        self.private_pages_per_thread
+    }
+
+    /// Number of threads in the workload.
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// Every region that must be mapped (and attached to the sharing
+    /// detector) before the workload runs: the shared region followed by one
+    /// private region per thread. Returned as `(base, pages)` pairs.
+    pub fn regions(&self) -> Vec<(Addr, u64)> {
+        let mut regions = vec![(self.shared_base, self.shared_pages)];
+        for t in 0..self.threads {
+            regions.push((self.private_base(ThreadId::new(t)), self.private_pages_per_thread));
+        }
+        regions
+    }
+
+    /// Total bytes of shared memory.
+    pub fn shared_bytes(&self) -> u64 {
+        self.shared_pages * PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> MemoryLayout {
+        MemoryLayout::from_spec(&WorkloadSpec::default())
+    }
+
+    #[test]
+    fn areas_partition_the_shared_region() {
+        let l = layout();
+        let (rm_base, rm_len) = l.read_mostly_area();
+        let (lk_base, lk_len) = l.locked_area();
+        let (ry_base, ry_len) = l.racy_area();
+        assert_eq!(rm_base, l.shared_base());
+        assert_eq!(lk_base.raw(), rm_base.raw() + rm_len);
+        assert_eq!(ry_base.raw(), lk_base.raw() + lk_len);
+        assert_eq!(rm_len + lk_len + ry_len, l.shared_bytes());
+    }
+
+    #[test]
+    fn race_free_specs_have_no_racy_area() {
+        let l = layout();
+        assert_eq!(l.racy_area().1, 0);
+        let mut spec = WorkloadSpec::default();
+        spec.racy_pairs = 2;
+        let l = MemoryLayout::from_spec(&spec);
+        assert_eq!(l.racy_area().1, PAGE_SIZE);
+    }
+
+    #[test]
+    fn lock_slices_are_disjoint() {
+        let l = layout();
+        let n = WorkloadSpec::default().locks;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (abase, alen) = l.lock_slice(a);
+                let (bbase, blen) = l.lock_slice(b);
+                let disjoint = abase.raw() + alen <= bbase.raw() || bbase.raw() + blen <= abase.raw();
+                assert!(disjoint, "slices {a} and {b} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn lock_slices_stay_inside_locked_area() {
+        let l = layout();
+        let (base, len) = l.locked_area();
+        for lock in 0..WorkloadSpec::default().locks {
+            let (sbase, slen) = l.lock_slice(lock);
+            assert!(sbase.raw() >= base.raw());
+            assert!(sbase.raw() + slen <= base.raw() + len);
+        }
+    }
+
+    #[test]
+    fn private_regions_do_not_overlap_each_other_or_shared() {
+        let l = layout();
+        let regions = l.regions();
+        assert_eq!(regions.len(), 1 + l.threads() as usize);
+        for (i, &(abase, apages)) in regions.iter().enumerate() {
+            for (j, &(bbase, bpages)) in regions.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let aend = abase.raw() + apages * PAGE_SIZE;
+                let bend = bbase.raw() + bpages * PAGE_SIZE;
+                assert!(aend <= bbase.raw() || bend <= abase.raw(), "regions {i} and {j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn private_bases_are_per_thread() {
+        let l = layout();
+        assert_ne!(l.private_base(ThreadId::new(0)), l.private_base(ThreadId::new(1)));
+        assert_eq!(l.private_pages(), WorkloadSpec::default().private_pages_per_thread);
+    }
+}

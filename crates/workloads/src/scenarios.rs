@@ -1,0 +1,142 @@
+//! Ready-made scenario workloads used by the examples, the integration tests
+//! and the §5.3/§6 experiments.
+
+use crate::spec::WorkloadSpec;
+
+/// A small workload with deliberately racy, unsynchronised accesses — the
+/// kind of history both FastTrack and Aikido-FastTrack must flag (§5.3). The
+/// canneal Mersenne-Twister race is modelled the same way (its preset sets
+/// `racy_pairs = 1`).
+pub fn racy_workload(threads: u32) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "racy".to_string(),
+        threads: threads.max(2),
+        mem_accesses_per_thread: 4_000,
+        instrumented_exec_fraction: 0.5,
+        shared_within_instrumented: 0.9,
+        read_fraction: 0.5,
+        compute_per_mem: 1.0,
+        shared_pages: 16,
+        private_pages_per_thread: 16,
+        locks: 4,
+        locked_shared_fraction: 0.4,
+        critical_section_blocks: 2,
+        racy_pairs: 4,
+        barrier_every: 0,
+        shared_static_blocks: 16,
+        private_static_blocks: 16,
+        block_mem_instrs: 4,
+        seed: 0xBAD_C0DE,
+    }
+}
+
+/// A producer/consumer style workload: heavy lock-protected sharing, no
+/// races. Exercises the lock-slice machinery and FastTrack's release/acquire
+/// edges.
+pub fn producer_consumer_workload(threads: u32) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "producer_consumer".to_string(),
+        threads: threads.max(2),
+        mem_accesses_per_thread: 6_000,
+        instrumented_exec_fraction: 0.7,
+        shared_within_instrumented: 0.9,
+        read_fraction: 0.5,
+        compute_per_mem: 0.8,
+        shared_pages: 24,
+        private_pages_per_thread: 8,
+        locks: 2,
+        locked_shared_fraction: 1.0,
+        critical_section_blocks: 4,
+        racy_pairs: 0,
+        barrier_every: 0,
+        shared_static_blocks: 24,
+        private_static_blocks: 8,
+        block_mem_instrs: 4,
+        seed: 0x50D0C0,
+    }
+}
+
+/// A workload where threads share data only by reading a large table
+/// initialised before the fork (raytrace-like). Aikido's best case: almost
+/// everything is private or read-mostly, and very few instructions need
+/// instrumentation.
+pub fn read_only_sharing_workload(threads: u32) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "read_only_sharing".to_string(),
+        threads: threads.max(2),
+        mem_accesses_per_thread: 10_000,
+        instrumented_exec_fraction: 0.05,
+        shared_within_instrumented: 0.95,
+        read_fraction: 0.9,
+        compute_per_mem: 2.0,
+        shared_pages: 16,
+        private_pages_per_thread: 24,
+        locks: 2,
+        locked_shared_fraction: 0.05,
+        critical_section_blocks: 2,
+        racy_pairs: 0,
+        barrier_every: 0,
+        shared_static_blocks: 12,
+        private_static_blocks: 64,
+        block_mem_instrs: 4,
+        seed: 0x0DD5EED,
+    }
+}
+
+/// The adversarial workload for the §6 discussion: exactly one racy pair
+/// whose *only* accesses are the first two accesses to their page — the
+/// documented false-negative window of the sharing detector.
+pub fn first_access_race_workload(threads: u32) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "first_access_race".to_string(),
+        threads: threads.max(2),
+        mem_accesses_per_thread: 1_000,
+        instrumented_exec_fraction: 0.02,
+        shared_within_instrumented: 1.0,
+        read_fraction: 0.5,
+        compute_per_mem: 1.0,
+        shared_pages: 16,
+        private_pages_per_thread: 16,
+        locks: 1,
+        locked_shared_fraction: 0.0,
+        critical_section_blocks: 1,
+        racy_pairs: 1,
+        barrier_every: 0,
+        shared_static_blocks: 4,
+        private_static_blocks: 8,
+        block_mem_instrs: 1,
+        seed: 0xF1257,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_specs_are_valid() {
+        for spec in [
+            racy_workload(4),
+            producer_consumer_workload(4),
+            read_only_sharing_workload(4),
+            first_access_race_workload(2),
+        ] {
+            spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn thread_counts_are_clamped_to_two() {
+        assert_eq!(racy_workload(0).threads, 2);
+        assert_eq!(producer_consumer_workload(1).threads, 2);
+        assert_eq!(read_only_sharing_workload(8).threads, 8);
+    }
+
+    #[test]
+    fn racy_scenarios_declare_racy_pairs_and_race_free_ones_do_not() {
+        assert!(racy_workload(4).racy_pairs > 0);
+        assert!(first_access_race_workload(2).racy_pairs > 0);
+        assert_eq!(producer_consumer_workload(4).racy_pairs, 0);
+        assert_eq!(read_only_sharing_workload(4).racy_pairs, 0);
+    }
+}

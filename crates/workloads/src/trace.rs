@@ -1,0 +1,614 @@
+//! Per-thread trace generation.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use aikido_types::{AccessKind, Addr, BlockId, LockId, MemRef, Operation, SyncOp, ThreadId};
+
+use crate::workload::Workload;
+
+/// One dynamic execution of a static basic block: the block id plus one
+/// [`Operation`] per static instruction (aligned by index).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockExec {
+    /// The static block being executed.
+    pub block: BlockId,
+    /// One operation per static instruction of the block.
+    pub ops: Vec<Operation>,
+}
+
+impl BlockExec {
+    /// Number of memory accesses in this execution.
+    pub fn mem_accesses(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_mem()).count()
+    }
+
+    /// Total dynamic instructions represented.
+    pub fn instruction_count(&self) -> u64 {
+        self.ops.iter().map(Operation::instruction_count).sum()
+    }
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Phase {
+    Init,
+    Fork,
+    Work,
+    Join,
+    Exit,
+    Done,
+}
+
+/// A deterministic iterator over one thread's block executions.
+#[derive(Debug)]
+pub struct ThreadTrace<'a> {
+    workload: &'a Workload,
+    thread: ThreadId,
+    rng: SmallRng,
+    phase: Phase,
+    pending: VecDeque<BlockExec>,
+    remaining_accesses: u64,
+    init_remaining: u64,
+    init_cursor: u64,
+    fork_next: u32,
+    join_next: u32,
+    work_blocks_emitted: u64,
+    barrier_counter: u32,
+    /// Barriers that became due while inside a critical section; emitted only
+    /// after the lock is released so no thread ever blocks on a barrier while
+    /// holding a lock.
+    barriers_due: u32,
+    forced_racy_write_pending: bool,
+}
+
+impl<'a> ThreadTrace<'a> {
+    pub(crate) fn new(workload: &'a Workload, thread: ThreadId) -> Self {
+        let spec = workload.spec();
+        let seed = spec.seed ^ (thread.raw() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let is_main = thread == ThreadId::MAIN;
+        let (rm_base, rm_len) = workload.layout().read_mostly_area();
+        let _ = rm_base;
+        let init_writes = if is_main {
+            (rm_len / 64).min((spec.mem_accesses_per_thread / 10).max(64))
+        } else {
+            0
+        };
+        ThreadTrace {
+            workload,
+            thread,
+            rng: SmallRng::seed_from_u64(seed),
+            phase: if is_main { Phase::Init } else { Phase::Work },
+            pending: VecDeque::new(),
+            remaining_accesses: spec.mem_accesses_per_thread,
+            init_remaining: init_writes,
+            init_cursor: 0,
+            fork_next: 1,
+            join_next: 1,
+            work_blocks_emitted: 0,
+            barrier_counter: 0,
+            barriers_due: 0,
+            forced_racy_write_pending: spec.racy_pairs > 0,
+        }
+    }
+
+    fn spec(&self) -> &crate::WorkloadSpec {
+        self.workload.spec()
+    }
+
+    fn sync_exec(&self, block: BlockId, op: Operation) -> BlockExec {
+        BlockExec { block, ops: vec![op] }
+    }
+
+    /// Fills a work block with operations; `pick` chooses the address and
+    /// access kind for each memory instruction.
+    fn work_exec<F>(&mut self, block: BlockId, mut pick: F) -> BlockExec
+    where
+        F: FnMut(&mut SmallRng) -> (Addr, AccessKind),
+    {
+        let static_block = self
+            .workload
+            .program()
+            .block(block)
+            .expect("workload blocks exist in the program");
+        let mut ops = Vec::with_capacity(static_block.len());
+        for (id, instr) in static_block.iter_ids() {
+            match instr {
+                aikido_dbi::StaticInstr::Compute => ops.push(Operation::Compute { count: 1 }),
+                aikido_dbi::StaticInstr::Sync => ops.push(Operation::Compute { count: 1 }),
+                aikido_dbi::StaticInstr::Mem { mode, .. } => {
+                    let (addr, kind) = pick(&mut self.rng);
+                    ops.push(Operation::Mem(MemRef {
+                        instr: id,
+                        addr,
+                        kind,
+                        size: 8,
+                        mode: *mode,
+                    }));
+                }
+            }
+        }
+        BlockExec { block, ops }
+    }
+
+    fn random_aligned(rng: &mut SmallRng, base: Addr, len: u64) -> Addr {
+        debug_assert!(len >= 8);
+        let slots = len / 8;
+        base.offset((rng.gen_range(0..slots)) * 8)
+    }
+
+    fn next_init(&mut self) -> BlockExec {
+        let spec_block_mem = self.spec().block_mem_instrs as u64;
+        let (rm_base, rm_len) = self.workload.layout().read_mostly_area();
+        let block = self.workload.block_sets().init_blocks
+            [(self.init_cursor as usize) % self.workload.block_sets().init_blocks.len()];
+        let mut cursor = self.init_cursor;
+        let exec = self.work_exec(block, |_rng| {
+            let addr = rm_base.offset((cursor * 64) % rm_len.max(64));
+            cursor += 1;
+            (addr, AccessKind::Write)
+        });
+        self.init_cursor = cursor;
+        self.init_remaining = self.init_remaining.saturating_sub(spec_block_mem);
+        exec
+    }
+
+    fn next_private(&mut self) -> BlockExec {
+        let blocks = &self.workload.block_sets().private_blocks;
+        let block = blocks[self.rng.gen_range(0..blocks.len())];
+        let layout_base = self.workload.layout().private_base(self.thread);
+        let layout_len = self.workload.layout().private_pages() * aikido_types::PAGE_SIZE;
+        let read_fraction = self.spec().read_fraction;
+        self.work_exec(block, |rng| {
+            let addr = Self::random_aligned(rng, layout_base, layout_len);
+            let kind = if rng.gen_bool(read_fraction) {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
+            (addr, kind)
+        })
+    }
+
+    /// A lock-protected shared block execution: acquire, accesses within the
+    /// lock's slice, release. Pushes the tail onto the pending queue and
+    /// returns the acquire.
+    fn next_locked_shared(&mut self) -> BlockExec {
+        let spec = self.spec().clone();
+        let sets = self.workload.block_sets();
+        let lock_index = self.rng.gen_range(0..spec.locks);
+        let lock = LockId::new(lock_index as u64 + 1);
+        let acquire = self.sync_exec(sets.acquire_block, Operation::Sync(SyncOp::Acquire(lock)));
+
+        let (slice_base, slice_len) = self.workload.layout().lock_slice(lock_index);
+        let private_base = self.workload.layout().private_base(self.thread);
+        let private_len = self.workload.layout().private_pages() * aikido_types::PAGE_SIZE;
+        let shared_within = spec.shared_within_instrumented;
+        let read_fraction = spec.read_fraction;
+        // A critical section amortises one acquire/release pair over several
+        // shared block executions, but never overruns the thread's access
+        // budget (which would desynchronise barrier cadences across threads).
+        for body_index in 0..spec.critical_section_blocks.max(1) {
+            if body_index > 0 && self.remaining_accesses == 0 {
+                break;
+            }
+            let blocks = &self.workload.block_sets().shared_blocks;
+            let block = blocks[self.rng.gen_range(0..blocks.len())];
+            let body = self.work_exec(block, |rng| {
+                if rng.gen_bool(shared_within) {
+                    let addr = Self::random_aligned(rng, slice_base, slice_len);
+                    let kind = if rng.gen_bool(read_fraction) {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
+                    };
+                    (addr, kind)
+                } else {
+                    let addr = Self::random_aligned(rng, private_base, private_len);
+                    let kind = if rng.gen_bool(read_fraction) {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
+                    };
+                    (addr, kind)
+                }
+            });
+            self.pending.push_back(body);
+            self.charge_work_block();
+        }
+        let release_block = self.workload.block_sets().release_block;
+        let release = self.sync_exec(release_block, Operation::Sync(SyncOp::Release(lock)));
+        self.pending.push_back(release);
+        self.flush_due_barriers();
+        acquire
+    }
+
+    /// Accounts one work block against the thread's access budget and barrier
+    /// cadence. Barriers are only recorded as *due* here; they are emitted by
+    /// [`ThreadTrace::flush_due_barriers`] once the thread holds no lock.
+    fn charge_work_block(&mut self) {
+        let spec_block_mem = self.spec().block_mem_instrs as u64;
+        let barrier_every = self.spec().barrier_every;
+        self.remaining_accesses = self.remaining_accesses.saturating_sub(spec_block_mem);
+        self.work_blocks_emitted += 1;
+        if barrier_every > 0 && self.work_blocks_emitted % barrier_every == 0 {
+            self.barriers_due += 1;
+        }
+    }
+
+    /// Emits any barriers that became due, outside of critical sections.
+    fn flush_due_barriers(&mut self) {
+        while self.barriers_due > 0 {
+            self.barriers_due -= 1;
+            let barrier = self.sync_exec(
+                self.workload.block_sets().barrier_block,
+                Operation::Sync(SyncOp::Barrier(self.barrier_counter)),
+            );
+            self.barrier_counter += 1;
+            self.pending.push_back(barrier);
+        }
+    }
+
+    /// An unsynchronised shared block execution: reads of read-mostly data
+    /// (race-free because it was written before the fork) plus, for racy
+    /// workloads, occasional unprotected accesses to the racy area.
+    fn next_unlocked_shared(&mut self) -> BlockExec {
+        let spec = self.spec().clone();
+        let sets = self.workload.block_sets();
+        let blocks = &sets.shared_blocks;
+        let block = blocks[self.rng.gen_range(0..blocks.len())];
+        let (rm_base, rm_len) = self.workload.layout().read_mostly_area();
+        let (racy_base, racy_len) = self.workload.layout().racy_area();
+        let private_base = self.workload.layout().private_base(self.thread);
+        let private_len = self.workload.layout().private_pages() * aikido_types::PAGE_SIZE;
+        let shared_within = spec.shared_within_instrumented;
+        let read_fraction = spec.read_fraction;
+        let racy_pairs = spec.racy_pairs;
+        let mut force_racy = self.forced_racy_write_pending && racy_len > 0;
+        self.forced_racy_write_pending = false;
+        self.work_exec(block, |rng| {
+            if rng.gen_bool(shared_within) {
+                if racy_pairs > 0 && racy_len > 0 && (force_racy || rng.gen_bool(0.02)) {
+                    force_racy = false;
+                    let pair = rng.gen_range(0..racy_pairs) as u64;
+                    let addr = racy_base.offset((pair * 64) % racy_len.max(64));
+                    let kind = if rng.gen_bool(0.5) {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    (addr, kind)
+                } else {
+                    (Self::random_aligned(rng, rm_base, rm_len), AccessKind::Read)
+                }
+            } else {
+                let addr = Self::random_aligned(rng, private_base, private_len);
+                let kind = if rng.gen_bool(read_fraction) {
+                    AccessKind::Read
+                } else {
+                    AccessKind::Write
+                };
+                (addr, kind)
+            }
+        })
+    }
+
+    fn next_work(&mut self) -> BlockExec {
+        let spec = self.spec().clone();
+        // A locked episode emits `critical_section_blocks` shared blocks while
+        // a private/unlocked choice emits one, so the per-decision probability
+        // must be corrected for the spec's *access-level* fraction to come out
+        // right.
+        let f = spec.instrumented_exec_fraction;
+        let weight = spec.locked_shared_fraction * spec.critical_section_blocks.max(1) as f64
+            + (1.0 - spec.locked_shared_fraction);
+        let choice_prob = if f <= 0.0 {
+            0.0
+        } else {
+            (f / (weight - weight * f + f)).clamp(0.0, 1.0)
+        };
+        if self.rng.gen_bool(choice_prob) {
+            if self.rng.gen_bool(spec.locked_shared_fraction) {
+                // The critical section charges its own body blocks.
+                self.next_locked_shared()
+            } else {
+                let exec = self.next_unlocked_shared();
+                self.charge_work_block();
+                self.flush_due_barriers();
+                exec
+            }
+        } else {
+            let exec = self.next_private();
+            self.charge_work_block();
+            self.flush_due_barriers();
+            exec
+        }
+    }
+}
+
+impl Iterator for ThreadTrace<'_> {
+    type Item = BlockExec;
+
+    fn next(&mut self) -> Option<BlockExec> {
+        if let Some(exec) = self.pending.pop_front() {
+            return Some(exec);
+        }
+        loop {
+            match self.phase {
+                Phase::Init => {
+                    if self.init_remaining > 0 {
+                        return Some(self.next_init());
+                    }
+                    self.phase = Phase::Fork;
+                }
+                Phase::Fork => {
+                    if self.fork_next < self.spec().threads {
+                        let child = ThreadId::new(self.fork_next);
+                        self.fork_next += 1;
+                        return Some(self.sync_exec(
+                            self.workload.block_sets().fork_block,
+                            Operation::Sync(SyncOp::Fork(child)),
+                        ));
+                    }
+                    self.phase = Phase::Work;
+                }
+                Phase::Work => {
+                    if self.remaining_accesses > 0 {
+                        return Some(self.next_work());
+                    }
+                    self.phase = if self.thread == ThreadId::MAIN {
+                        Phase::Join
+                    } else {
+                        Phase::Exit
+                    };
+                }
+                Phase::Join => {
+                    if self.join_next < self.spec().threads {
+                        let child = ThreadId::new(self.join_next);
+                        self.join_next += 1;
+                        return Some(self.sync_exec(
+                            self.workload.block_sets().join_block,
+                            Operation::Sync(SyncOp::Join(child)),
+                        ));
+                    }
+                    self.phase = Phase::Exit;
+                }
+                Phase::Exit => {
+                    self.phase = Phase::Done;
+                    return Some(
+                        self.sync_exec(self.workload.block_sets().exit_block, Operation::Exit),
+                    );
+                }
+                Phase::Done => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Workload, WorkloadSpec};
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            mem_accesses_per_thread: 2_000,
+            threads: 4,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    fn trace_of(spec: &WorkloadSpec, thread: u32) -> Vec<BlockExec> {
+        let w = Workload::generate(spec);
+        w.thread_trace(ThreadId::new(thread)).collect()
+    }
+
+    #[test]
+    fn main_thread_forks_every_worker_and_joins_them() {
+        let spec = small_spec();
+        let trace = trace_of(&spec, 0);
+        let forks: Vec<_> = trace
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter_map(|op| match op {
+                Operation::Sync(SyncOp::Fork(t)) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        let joins: Vec<_> = trace
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter_map(|op| match op {
+                Operation::Sync(SyncOp::Join(t)) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(forks, vec![ThreadId::new(1), ThreadId::new(2), ThreadId::new(3)]);
+        assert_eq!(joins, forks);
+    }
+
+    #[test]
+    fn workers_do_not_fork_or_join() {
+        let spec = small_spec();
+        let trace = trace_of(&spec, 2);
+        assert!(!trace.iter().flat_map(|b| &b.ops).any(|op| matches!(
+            op,
+            Operation::Sync(SyncOp::Fork(_)) | Operation::Sync(SyncOp::Join(_))
+        )));
+    }
+
+    #[test]
+    fn acquire_and_release_are_balanced_and_well_nested() {
+        let spec = small_spec();
+        for thread in 0..spec.threads {
+            let trace = trace_of(&spec, thread);
+            let mut held: Option<LockId> = None;
+            let mut acquires = 0;
+            for op in trace.iter().flat_map(|b| &b.ops) {
+                match op {
+                    Operation::Sync(SyncOp::Acquire(l)) => {
+                        assert!(held.is_none(), "nested acquire in generated trace");
+                        held = Some(*l);
+                        acquires += 1;
+                    }
+                    Operation::Sync(SyncOp::Release(l)) => {
+                        assert_eq!(held, Some(*l), "release of a lock not held");
+                        held = None;
+                    }
+                    _ => {}
+                }
+            }
+            assert!(held.is_none(), "trace ends while holding a lock");
+            if thread > 0 {
+                assert!(acquires > 0, "worker {thread} never used a lock");
+            }
+        }
+    }
+
+    #[test]
+    fn per_thread_access_budget_is_respected() {
+        let spec = small_spec();
+        let trace = trace_of(&spec, 1);
+        let accesses: usize = trace.iter().map(BlockExec::mem_accesses).sum();
+        let budget = spec.mem_accesses_per_thread as usize;
+        assert!(accesses >= budget, "must perform at least the requested accesses");
+        assert!(
+            accesses <= budget + spec.block_mem_instrs as usize,
+            "must not overshoot by more than one block"
+        );
+    }
+
+    #[test]
+    fn shared_fraction_roughly_matches_spec() {
+        let mut spec = WorkloadSpec::default();
+        spec.mem_accesses_per_thread = 20_000;
+        spec.instrumented_exec_fraction = 0.3;
+        spec.shared_within_instrumented = 0.9;
+        let w = Workload::generate(&spec);
+        let layout = w.layout();
+        let shared_base = layout.shared_base().raw();
+        let shared_end = shared_base + layout.shared_bytes();
+        let mut total = 0u64;
+        let mut shared = 0u64;
+        for exec in w.thread_trace(ThreadId::new(1)) {
+            for op in &exec.ops {
+                if let Operation::Mem(m) = op {
+                    total += 1;
+                    if m.addr.raw() >= shared_base && m.addr.raw() < shared_end {
+                        shared += 1;
+                    }
+                }
+            }
+        }
+        let measured = shared as f64 / total as f64;
+        let expected = spec.expected_shared_access_fraction();
+        assert!(
+            (measured - expected).abs() < 0.05,
+            "measured {measured:.3}, expected {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn locked_accesses_stay_inside_the_held_locks_slice() {
+        let spec = small_spec();
+        let w = Workload::generate(&spec);
+        let layout = w.layout();
+        for thread in 0..spec.threads {
+            let mut held: Option<u32> = None;
+            for exec in w.thread_trace(ThreadId::new(thread)) {
+                for op in &exec.ops {
+                    match op {
+                        Operation::Sync(SyncOp::Acquire(l)) => held = Some((l.raw() - 1) as u32),
+                        Operation::Sync(SyncOp::Release(_)) => held = None,
+                        Operation::Mem(m) => {
+                            let (lk_base, lk_len) = layout.locked_area();
+                            let in_locked_area = m.addr.raw() >= lk_base.raw()
+                                && m.addr.raw() < lk_base.raw() + lk_len;
+                            if in_locked_area {
+                                let lock = held.expect("locked-area access outside critical section");
+                                let (sbase, slen) = layout.lock_slice(lock);
+                                assert!(
+                                    m.addr.raw() >= sbase.raw() && m.addr.raw() < sbase.raw() + slen,
+                                    "access outside the held lock's slice"
+                                );
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barriers_are_emitted_at_the_same_cadence_on_every_thread() {
+        let mut spec = small_spec();
+        spec.barrier_every = 20;
+        let w = Workload::generate(&spec);
+        let barrier_count = |t: u32| {
+            w.thread_trace(ThreadId::new(t))
+                .flat_map(|b| b.ops)
+                .filter(|op| matches!(op, Operation::Sync(SyncOp::Barrier(_))))
+                .count()
+        };
+        let counts: Vec<_> = (0..spec.threads).map(barrier_count).collect();
+        assert!(counts[0] > 0);
+        assert!(counts.iter().all(|&c| c == counts[0]), "{counts:?}");
+    }
+
+    #[test]
+    fn racy_workloads_touch_the_racy_area_from_multiple_threads() {
+        let mut spec = small_spec();
+        spec.racy_pairs = 1;
+        let w = Workload::generate(&spec);
+        let (racy_base, racy_len) = w.layout().racy_area();
+        assert!(racy_len > 0);
+        let mut threads_touching = 0;
+        for t in 0..spec.threads {
+            let touches = w
+                .thread_trace(ThreadId::new(t))
+                .flat_map(|b| b.ops)
+                .any(|op| match op {
+                    Operation::Mem(m) => {
+                        m.addr.raw() >= racy_base.raw() && m.addr.raw() < racy_base.raw() + racy_len
+                    }
+                    _ => false,
+                });
+            if touches {
+                threads_touching += 1;
+            }
+        }
+        assert!(threads_touching >= 2, "need at least two threads for a race");
+    }
+
+    #[test]
+    fn read_mostly_area_is_only_written_before_the_fork() {
+        let spec = small_spec();
+        let w = Workload::generate(&spec);
+        let (rm_base, rm_len) = w.layout().read_mostly_area();
+        for t in 0..spec.threads {
+            let mut forked = t != 0; // workers run entirely after the fork
+            for exec in w.thread_trace(ThreadId::new(t)) {
+                for op in &exec.ops {
+                    match op {
+                        Operation::Sync(SyncOp::Fork(_)) => forked = true,
+                        Operation::Mem(m)
+                            if m.addr.raw() >= rm_base.raw()
+                                && m.addr.raw() < rm_base.raw() + rm_len =>
+                        {
+                            if forked {
+                                assert_eq!(
+                                    m.kind,
+                                    AccessKind::Read,
+                                    "read-mostly data written after fork would be a race"
+                                );
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Workload construction: the static program plus per-thread traces.
+
+use aikido_dbi::{Program, StaticInstr};
+use aikido_types::{AccessKind, AddrMode, BlockId, ThreadId};
+
+use crate::layout::MemoryLayout;
+use crate::spec::WorkloadSpec;
+use crate::trace::ThreadTrace;
+
+/// The static blocks a workload's threads execute, grouped by role.
+#[derive(Clone, Debug)]
+pub(crate) struct BlockSets {
+    pub(crate) init_blocks: Vec<BlockId>,
+    pub(crate) private_blocks: Vec<BlockId>,
+    pub(crate) shared_blocks: Vec<BlockId>,
+    pub(crate) acquire_block: BlockId,
+    pub(crate) release_block: BlockId,
+    pub(crate) fork_block: BlockId,
+    pub(crate) join_block: BlockId,
+    pub(crate) barrier_block: BlockId,
+    pub(crate) exit_block: BlockId,
+}
+
+/// A fully generated workload: specification, memory layout, static program
+/// and the ability to produce each thread's deterministic trace.
+#[derive(Debug)]
+pub struct Workload {
+    spec: WorkloadSpec,
+    layout: MemoryLayout,
+    program: Program,
+    blocks: BlockSets,
+}
+
+impl Workload {
+    /// Generates the workload described by `spec`. The result is a pure
+    /// function of the spec (including its seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`WorkloadSpec::validate`].
+    pub fn generate(spec: &WorkloadSpec) -> Self {
+        if let Err(problem) = spec.validate() {
+            panic!("invalid workload spec: {problem}");
+        }
+        let layout = MemoryLayout::from_spec(spec);
+        let mut program = Program::new();
+
+        let compute_per_block =
+            (spec.compute_per_mem * spec.block_mem_instrs as f64).round() as usize;
+
+        // Work blocks interleave compute and memory instructions so that the
+        // compute density of the original benchmark is preserved.
+        let make_work_block = |program: &mut Program, mode: AddrMode, write_bias: bool| -> BlockId {
+            let mut instrs = Vec::new();
+            let mem = spec.block_mem_instrs as usize;
+            for i in 0..mem {
+                // Spread the compute instructions between the memory ones.
+                let computes = (compute_per_block * (i + 1) / mem) - (compute_per_block * i / mem);
+                for _ in 0..computes {
+                    instrs.push(StaticInstr::Compute);
+                }
+                // Alternate reads and writes statically; the dynamic trace
+                // decides the actual kind per execution, but keeping both
+                // kinds in the static block mirrors real code.
+                let kind = if write_bias && i % 2 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                instrs.push(StaticInstr::Mem { kind, mode });
+            }
+            program.add_block(instrs)
+        };
+
+        let init_blocks: Vec<BlockId> = (0..2)
+            .map(|_| make_work_block(&mut program, AddrMode::Indirect, true))
+            .collect();
+        let private_blocks: Vec<BlockId> = (0..spec.private_static_blocks)
+            .map(|i| {
+                let mode = if i % 2 == 0 { AddrMode::Direct } else { AddrMode::Indirect };
+                make_work_block(&mut program, mode, i % 3 == 0)
+            })
+            .collect();
+        let shared_blocks: Vec<BlockId> = (0..spec.shared_static_blocks)
+            .map(|i| make_work_block(&mut program, AddrMode::Indirect, i % 2 == 0))
+            .collect();
+
+        let sync_block = |program: &mut Program| program.add_block(vec![StaticInstr::Sync]);
+        let blocks = BlockSets {
+            init_blocks,
+            private_blocks,
+            shared_blocks,
+            acquire_block: sync_block(&mut program),
+            release_block: sync_block(&mut program),
+            fork_block: sync_block(&mut program),
+            join_block: sync_block(&mut program),
+            barrier_block: sync_block(&mut program),
+            exit_block: sync_block(&mut program),
+        };
+
+        Workload {
+            spec: spec.clone(),
+            layout,
+            program,
+            blocks,
+        }
+    }
+
+    /// The specification the workload was generated from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The memory layout (regions to map before running).
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// The static program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Thread ids participating in the workload (`0..threads`).
+    pub fn threads(&self) -> Vec<ThreadId> {
+        (0..self.spec.threads).map(ThreadId::new).collect()
+    }
+
+    /// The deterministic operation trace of `thread`. Iterating it twice
+    /// yields identical block executions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is not one of [`Workload::threads`].
+    pub fn thread_trace(&self, thread: ThreadId) -> ThreadTrace<'_> {
+        assert!(
+            thread.raw() < self.spec.threads,
+            "{thread} is not part of this {}-thread workload",
+            self.spec.threads
+        );
+        ThreadTrace::new(self, thread)
+    }
+
+    /// Static blocks whose memory instructions only ever target private
+    /// pages. Exposed for tests and statistics.
+    pub fn private_block_ids(&self) -> &[BlockId] {
+        &self.blocks.private_blocks
+    }
+
+    /// Static blocks whose memory instructions may target shared pages.
+    pub fn shared_block_ids(&self) -> &[BlockId] {
+        &self.blocks.shared_blocks
+    }
+
+    pub(crate) fn block_sets(&self) -> &BlockSets {
+        &self.blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aikido_types::Operation;
+
+    #[test]
+    fn generated_program_contains_all_block_groups() {
+        let spec = WorkloadSpec::default();
+        let w = Workload::generate(&spec);
+        assert_eq!(
+            w.program().len(),
+            2 + spec.private_static_blocks as usize + spec.shared_static_blocks as usize + 6
+        );
+        assert_eq!(w.private_block_ids().len(), spec.private_static_blocks as usize);
+        assert_eq!(w.shared_block_ids().len(), spec.shared_static_blocks as usize);
+        assert_eq!(w.threads().len(), spec.threads as usize);
+    }
+
+    #[test]
+    fn work_blocks_have_requested_memory_density() {
+        let spec = WorkloadSpec {
+            block_mem_instrs: 4,
+            compute_per_mem: 1.5,
+            ..WorkloadSpec::default()
+        };
+        let w = Workload::generate(&spec);
+        let block = w.program().block(w.shared_block_ids()[0]).unwrap();
+        assert_eq!(block.mem_instr_count(), 4);
+        assert_eq!(block.len(), 4 + 6); // 4 mem + round(1.5*4) compute
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::parsec("swaptions").unwrap().scaled(0.02);
+        let a = Workload::generate(&spec);
+        let b = Workload::generate(&spec);
+        assert_eq!(a.program().len(), b.program().len());
+        let ta: Vec<_> = a.thread_trace(ThreadId::new(1)).collect();
+        let tb: Vec<_> = b.thread_trace(ThreadId::new(1)).collect();
+        assert_eq!(ta.len(), tb.len());
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn traces_end_with_exit() {
+        let spec = WorkloadSpec::default().scaled(0.05);
+        let w = Workload::generate(&spec);
+        for t in w.threads() {
+            let trace: Vec<_> = w.thread_trace(t).collect();
+            let last = trace.last().expect("trace is non-empty");
+            assert!(matches!(last.ops.last(), Some(Operation::Exit)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of this")]
+    fn trace_of_unknown_thread_panics() {
+        let w = Workload::generate(&WorkloadSpec::default());
+        let _ = w.thread_trace(ThreadId::new(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload spec")]
+    fn invalid_spec_panics() {
+        let mut spec = WorkloadSpec::default();
+        spec.shared_pages = 0;
+        let _ = Workload::generate(&spec);
+    }
+}

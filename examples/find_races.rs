@@ -1,0 +1,58 @@
+//! Hunt for data races in a racy workload with the Aikido-accelerated
+//! FastTrack detector, and show that the conventional (fully instrumented)
+//! detector agrees — the paper's §5.3 experiment in miniature.
+//!
+//! ```bash
+//! cargo run --release --example find_races
+//! ```
+
+use std::collections::BTreeSet;
+
+use aikido::prelude::*;
+use aikido::workloads::racy_workload;
+
+fn blocks(report: &RunReport) -> BTreeSet<u64> {
+    report.races.iter().map(|r| r.addr.raw() / 8).collect()
+}
+
+fn main() {
+    // A workload with a handful of deliberately unsynchronised address pairs
+    // (the way the paper models e.g. canneal's Mersenne-Twister RNG race).
+    let spec = racy_workload(8);
+    let workload = Workload::generate(&spec);
+    let system = AikidoSystem::new();
+
+    let full = system.run(&workload, Mode::FullInstrumentation);
+    let aikido = system.run(&workload, Mode::Aikido);
+
+    println!("=== conventional FastTrack (instruments every access) ===");
+    for race in &full.races {
+        println!("  {race}");
+    }
+    println!("  {} distinct racy blocks", blocks(&full).len());
+
+    println!();
+    println!("=== Aikido-FastTrack (instruments shared pages only) ===");
+    for race in &aikido.races {
+        println!("  {race}");
+    }
+    println!("  {} distinct racy blocks", blocks(&aikido).len());
+
+    println!();
+    let common = blocks(&full).intersection(&blocks(&aikido)).count();
+    println!("reported by both tools: {common}");
+    println!(
+        "aikido-only reports (would be false positives): {}",
+        blocks(&aikido).difference(&blocks(&full)).count()
+    );
+    println!(
+        "speed difference while finding them: {:.2}x fewer cycles under Aikido",
+        full.cycles as f64 / aikido.cycles as f64
+    );
+    println!();
+    println!(
+        "Note: Aikido may legitimately miss a race whose only two accesses are the first\n\
+         two accesses to a page (the documented §6 false-negative window); run the\n\
+         first_access_window example to see that case isolated."
+    );
+}

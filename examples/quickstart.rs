@@ -1,0 +1,63 @@
+//! Quickstart: run one PARSEC-like benchmark under the three configurations
+//! the paper compares and print what Aikido saved.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use aikido::prelude::*;
+
+fn main() {
+    // Pick the benchmark and scale (0.2 keeps the example under a second).
+    let spec = WorkloadSpec::parsec("vips")
+        .expect("vips is one of the ten PARSEC presets")
+        .scaled(0.2);
+    println!("workload: {} ({} threads)", spec.name, spec.threads);
+
+    let system = AikidoSystem::new();
+    let comparison = system.compare_spec(&spec);
+
+    let native = &comparison.native;
+    let full = &comparison.full;
+    let aikido = &comparison.aikido;
+
+    println!();
+    println!("native cycles:            {:>12}", native.cycles);
+    println!(
+        "FastTrack (full):         {:>12}  ({:.1}x slowdown)",
+        full.cycles,
+        comparison.full_slowdown()
+    );
+    println!(
+        "Aikido-FastTrack:         {:>12}  ({:.1}x slowdown)",
+        aikido.cycles,
+        comparison.aikido_slowdown()
+    );
+    println!();
+    println!(
+        "accesses instrumented:    {:>12} of {} ({:.1}%)",
+        aikido.counts.instrumented_accesses,
+        aikido.counts.mem_accesses,
+        aikido.counts.instrumented_fraction() * 100.0
+    );
+    println!(
+        "accesses to shared pages: {:>12} ({:.1}%)",
+        aikido.counts.shared_accesses,
+        aikido.counts.shared_access_fraction() * 100.0
+    );
+    println!("page-protection faults:   {:>12}", aikido.counts.segfaults);
+    println!(
+        "shared pages discovered:  {:>12}",
+        aikido.sharing.shared_transitions
+    );
+    println!();
+    println!(
+        "Aikido speed-up over full instrumentation: {:.2}x",
+        comparison.aikido_speedup()
+    );
+    println!(
+        "races found (full / aikido): {} / {}",
+        full.race_count(),
+        aikido.race_count()
+    );
+}

@@ -1,0 +1,100 @@
+//! Build a *custom* shared data analysis on top of Aikido: a sharing
+//! profiler that reports which pages are shared, how often they are written,
+//! and which static instructions touch them — the kind of tool the paper's
+//! framework is meant to enable beyond race detection.
+//!
+//! ```bash
+//! cargo run --release --example sharing_profiler
+//! ```
+
+use std::collections::HashMap;
+
+use aikido::prelude::*;
+use aikido::types::Vpn;
+
+/// A sharing profiler: counts reads/writes per shared page and tracks how
+/// many distinct static instructions touch each page.
+#[derive(Default, Debug)]
+struct SharingProfiler {
+    reads: HashMap<Vpn, u64>,
+    writes: HashMap<Vpn, u64>,
+    instrs: HashMap<Vpn, std::collections::HashSet<aikido::types::InstrId>>,
+}
+
+impl SharingProfiler {
+    fn hottest_pages(&self, n: usize) -> Vec<(Vpn, u64, u64, usize)> {
+        let mut pages: Vec<_> = self
+            .reads
+            .keys()
+            .chain(self.writes.keys())
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .map(|p| {
+                (
+                    p,
+                    self.reads.get(&p).copied().unwrap_or(0),
+                    self.writes.get(&p).copied().unwrap_or(0),
+                    self.instrs.get(&p).map(|s| s.len()).unwrap_or(0),
+                )
+            })
+            .collect();
+        pages.sort_by_key(|(_, r, w, _)| std::cmp::Reverse(r + w));
+        pages.truncate(n);
+        pages
+    }
+}
+
+impl SharedDataAnalysis for SharingProfiler {
+    fn name(&self) -> &'static str {
+        "sharing-profiler"
+    }
+
+    fn on_access(&mut self, cx: AccessContext) {
+        let page = cx.addr.page();
+        match cx.kind {
+            AccessKind::Read => *self.reads.entry(page).or_default() += 1,
+            AccessKind::Write => *self.writes.entry(page).or_default() += 1,
+        }
+        self.instrs.entry(page).or_default().insert(cx.instr);
+    }
+
+    fn reports(&self) -> Vec<AnalysisReport> {
+        Vec::new()
+    }
+
+    fn access_cost_cycles(&self) -> u64 {
+        12
+    }
+}
+
+fn main() {
+    let spec = WorkloadSpec::parsec("streamcluster")
+        .expect("known preset")
+        .scaled(0.2);
+    let workload = Workload::generate(&spec);
+    let system = AikidoSystem::new();
+
+    let mut profiler = SharingProfiler::default();
+    let report = system.run_with_analysis(&workload, Mode::Aikido, &mut profiler);
+
+    println!("workload: {} ({} threads)", spec.name, spec.threads);
+    println!(
+        "memory accesses: {} — delivered to the profiler: {} ({:.1}%)",
+        report.counts.mem_accesses,
+        report.counts.shared_accesses,
+        report.counts.shared_access_fraction() * 100.0
+    );
+    println!();
+    println!("hottest shared pages:");
+    println!("{:>18} {:>10} {:>10} {:>14}", "page", "reads", "writes", "instructions");
+    for (page, reads, writes, instrs) in profiler.hottest_pages(10) {
+        println!("{:>18} {reads:>10} {writes:>10} {instrs:>14}", format!("{page}"));
+    }
+    println!();
+    println!(
+        "Because the profiler only sees shared data, it ran with {:.1}x fewer analysis\n\
+         callbacks than a conventional full-instrumentation profiler would have.",
+        report.counts.mem_accesses as f64 / report.counts.shared_accesses.max(1) as f64
+    );
+}

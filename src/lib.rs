@@ -1,0 +1,10 @@
+//! Top-level crate of the Aikido reproduction workspace.
+//!
+//! The implementation lives in the `crates/` workspace members; this package
+//! only hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). Downstream users should depend on the
+//! [`aikido`] facade crate directly.
+
+#![forbid(unsafe_code)]
+
+pub use aikido;

@@ -1,0 +1,143 @@
+//! Cross-crate integration tests that exercise the substrates together
+//! without going through the simulator: the hypervisor, the sharing
+//! detector, the DBI engine and the shadow memory must compose exactly as
+//! the paper describes.
+
+use aikido::dbi::{DbiEngine, Program, StaticInstr};
+use aikido::sharing::{AikidoSd, PageState};
+use aikido::types::{AccessKind, Addr, AddrMode, InstrId, Prot, ThreadId};
+use aikido::vm::{AikidoVm, TouchOutcome, VmConfig};
+
+struct Stack {
+    vm: AikidoVm,
+    sd: AikidoSd,
+    engine: DbiEngine,
+    instr: InstrId,
+}
+
+fn build_stack(threads: u32, base: Addr, pages: u64) -> Stack {
+    let mut vm = AikidoVm::new(VmConfig::default());
+    for t in 0..threads {
+        vm.register_thread(ThreadId::new(t)).unwrap();
+    }
+    vm.mmap(base, pages, Prot::RW_USER).unwrap();
+
+    let mut program = Program::new();
+    let block = program.add_block(vec![StaticInstr::Mem {
+        kind: AccessKind::Write,
+        mode: AddrMode::Indirect,
+    }]);
+    let engine = DbiEngine::new(program);
+    let instr = InstrId::new(block, 0);
+
+    let mut sd = AikidoSd::new();
+    sd.attach_region(&mut vm, base, pages).unwrap();
+    Stack { vm, sd, engine, instr }
+}
+
+/// Drives one access through the protection machinery until it completes.
+fn access(stack: &mut Stack, thread: ThreadId, addr: Addr, kind: AccessKind) -> u32 {
+    let mut faults = 0;
+    for _ in 0..4 {
+        match stack.vm.touch(thread, addr, kind).unwrap().outcome {
+            TouchOutcome::Ok => return faults,
+            TouchOutcome::Fatal(segv) => panic!("unexpected fatal fault: {segv}"),
+            TouchOutcome::AikidoFault(fault) => {
+                faults += 1;
+                let disposition = stack
+                    .sd
+                    .handle_fault(&mut stack.vm, &mut stack.engine, &fault, stack.instr)
+                    .unwrap();
+                if disposition.instruments_instruction() {
+                    let mirror = stack.sd.mirror_addr(addr).unwrap();
+                    assert!(matches!(
+                        stack.vm.touch(thread, mirror, kind).unwrap().outcome,
+                        TouchOutcome::Ok
+                    ));
+                    return faults;
+                }
+            }
+        }
+    }
+    panic!("access did not converge");
+}
+
+#[test]
+fn full_lifecycle_of_a_page_from_unused_to_shared() {
+    let base = Addr::new(0x70_0000);
+    let mut stack = build_stack(3, base, 2);
+    let (t0, t1, t2) = (ThreadId::new(0), ThreadId::new(1), ThreadId::new(2));
+
+    assert_eq!(stack.sd.page_state(base.page()), PageState::Unused);
+    assert_eq!(access(&mut stack, t0, base, AccessKind::Write), 1);
+    assert_eq!(stack.sd.page_state(base.page()), PageState::Private(t0));
+    assert_eq!(access(&mut stack, t0, base.offset(64), AccessKind::Read), 0);
+
+    assert_eq!(access(&mut stack, t1, base.offset(8), AccessKind::Write), 1);
+    assert_eq!(stack.sd.page_state(base.page()), PageState::Shared);
+    assert!(stack.engine.is_instrumented(stack.instr));
+
+    // A third thread's access also faults once (new instruction discovery is
+    // per-instruction; here the same instruction is already instrumented, so
+    // the access simply goes through the mirror).
+    let faults = access(&mut stack, t2, base.offset(16), AccessKind::Read);
+    assert!(faults <= 1);
+    // The page never leaves the shared state.
+    assert_eq!(stack.sd.page_state(base.page()), PageState::Shared);
+}
+
+#[test]
+fn mirror_pages_alias_the_same_machine_frames_across_the_stack() {
+    let base = Addr::new(0x80_0000);
+    let mut stack = build_stack(2, base, 4);
+    let addr = base.offset(3 * 4096 + 24);
+    let mirror = stack.sd.mirror_addr(addr).unwrap();
+    let f_app = stack.vm.resolve_frame(addr).unwrap();
+    let f_mirror = stack.vm.resolve_frame(mirror).unwrap();
+    assert_eq!(f_app, f_mirror, "mirror must alias the application frame");
+    // Metadata lives elsewhere (its own shadow area, its own frames).
+    let metadata = stack.sd.metadata_addr(addr).unwrap();
+    assert_ne!(metadata.page(), mirror.page());
+}
+
+#[test]
+fn kernel_emulation_path_composes_with_sharing_detection() {
+    let base = Addr::new(0x90_0000);
+    let mut stack = build_stack(2, base, 1);
+    let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+
+    // Make the page shared so it is globally protected.
+    access(&mut stack, t0, base, AccessKind::Write);
+    access(&mut stack, t1, base, AccessKind::Write);
+    assert_eq!(stack.sd.page_state(base.page()), PageState::Shared);
+
+    // The guest kernel now copies a syscall argument into the protected page:
+    // the hypervisor emulates it and temporarily unprotects with the user bit
+    // cleared.
+    assert!(stack.vm.kernel_touch(t0, base, AccessKind::Write).unwrap());
+    assert_eq!(stack.vm.temp_unprotected_pages(), vec![base.page()]);
+
+    // The next userspace access restores protections and faults as an Aikido
+    // fault again — the sharing state is unchanged.
+    let faults = access(&mut stack, t0, base.offset(8), AccessKind::Read);
+    assert_eq!(faults, 1);
+    assert_eq!(stack.sd.page_state(base.page()), PageState::Shared);
+    assert!(stack.vm.temp_unprotected_pages().is_empty());
+}
+
+#[test]
+fn per_thread_protection_is_invisible_to_other_threads() {
+    let base = Addr::new(0xa0_0000);
+    let mut stack = build_stack(4, base, 4);
+    // Each thread claims its own page; nobody else ever faults on it.
+    for i in 0..4u32 {
+        let t = ThreadId::new(i);
+        let addr = base.offset(i as u64 * 4096);
+        assert_eq!(access(&mut stack, t, addr, AccessKind::Write), 1);
+        assert_eq!(access(&mut stack, t, addr.offset(128), AccessKind::Write), 0);
+    }
+    let (private, shared) = stack.sd.page_counts();
+    assert_eq!((private, shared), (4, 0));
+    assert_eq!(stack.engine.instrumented_instrs().len(), 0);
+    assert_eq!(stack.vm.stats().aikido_faults_delivered, 4);
+}

@@ -1,0 +1,100 @@
+//! Table 2 / Figure 6 invariants, checked for every PARSEC preset at a small
+//! scale: the statistics the paper reports must be internally consistent and
+//! the sharing fractions must match the calibration targets.
+
+use aikido::prelude::*;
+use aikido::PARSEC_BENCHMARKS;
+
+fn aikido_report(name: &str) -> (WorkloadSpec, RunReport) {
+    let spec = WorkloadSpec::parsec(name).unwrap().scaled(0.05);
+    let workload = Workload::generate(&spec);
+    (spec, AikidoSystem::new().run(&workload, Mode::Aikido))
+}
+
+#[test]
+fn instrumented_accesses_never_exceed_total_accesses() {
+    for name in PARSEC_BENCHMARKS {
+        let (_, report) = aikido_report(name);
+        let c = report.counts;
+        assert!(c.instrumented_accesses <= c.mem_accesses, "{name}");
+        assert!(c.shared_accesses <= c.instrumented_accesses, "{name}");
+    }
+}
+
+#[test]
+fn shared_access_fraction_matches_the_calibrated_figure6_value() {
+    for name in PARSEC_BENCHMARKS {
+        let (spec, report) = aikido_report(name);
+        let measured = report.counts.shared_access_fraction();
+        let expected = spec.expected_shared_access_fraction();
+        assert!(
+            (measured - expected).abs() < 0.08,
+            "{name}: measured {measured:.3}, calibrated {expected:.3}"
+        );
+    }
+}
+
+#[test]
+fn every_benchmark_takes_some_faults_but_orders_of_magnitude_fewer_than_accesses() {
+    for name in PARSEC_BENCHMARKS {
+        let (_, report) = aikido_report(name);
+        let c = report.counts;
+        assert!(c.segfaults > 0, "{name}: sharing detection cannot be free");
+        // At this reduced test scale the one-off per-page faults are less well
+        // amortised than at the full benchmark scale (where the table2 harness
+        // measures well under 0.5%), so the bound here is intentionally loose.
+        assert!(
+            (c.segfaults as f64) < (c.mem_accesses as f64) * 0.15,
+            "{name}: {} faults for {} accesses",
+            c.segfaults,
+            c.mem_accesses
+        );
+    }
+}
+
+#[test]
+fn sharing_detector_statistics_are_consistent() {
+    for name in PARSEC_BENCHMARKS {
+        let (_, report) = aikido_report(name);
+        let s = report.sharing;
+        assert_eq!(
+            s.faults_handled,
+            s.private_transitions + s.shared_transitions + s.shared_page_faults + s.spurious_faults,
+            "{name}: fault dispositions must partition the handled faults"
+        );
+        // Every shared page was privately owned by someone first.
+        assert!(s.shared_transitions <= s.private_transitions, "{name}");
+        assert_eq!(report.vm.aikido_faults_delivered, s.faults_handled, "{name}");
+    }
+}
+
+#[test]
+fn raytrace_has_the_least_sharing_and_freqmine_among_the_most() {
+    let fraction = |name: &str| aikido_report(name).1.counts.shared_access_fraction();
+    let raytrace = fraction("raytrace");
+    let freqmine = fraction("freqmine");
+    let blackscholes = fraction("blackscholes");
+    assert!(raytrace < 0.01);
+    assert!(raytrace < blackscholes);
+    assert!(blackscholes < freqmine);
+    assert!(freqmine > 0.4);
+}
+
+#[test]
+fn aikido_reduces_instrumentation_by_a_large_factor_on_average() {
+    // Paper: geometric mean 6.75x reduction in instructions needing
+    // instrumentation. At test scale we only require the reduction to be
+    // substantial (> 2x) and present for every benchmark with low sharing.
+    let mut product = 1.0_f64;
+    let mut count = 0u32;
+    for name in PARSEC_BENCHMARKS {
+        let (_, report) = aikido_report(name);
+        let c = report.counts;
+        let reduction = c.mem_accesses as f64 / c.instrumented_accesses.max(1) as f64;
+        assert!(reduction >= 1.0, "{name}");
+        product *= reduction;
+        count += 1;
+    }
+    let geomean = product.powf(1.0 / count as f64);
+    assert!(geomean > 2.0, "geometric-mean reduction {geomean:.2}x is too small");
+}
