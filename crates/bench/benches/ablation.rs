@@ -13,8 +13,14 @@ fn ablation(c: &mut Criterion) {
     let workload = Workload::generate(&spec);
     let configs: [(&str, Simulator); 3] = [
         ("default", Simulator::default()),
-        ("free-faults", Simulator::new(CostModel::default().with_free_faults())),
-        ("no-indirect-fast-path", Simulator::new(CostModel::default().without_indirect_fast_path())),
+        (
+            "free-faults",
+            Simulator::new(CostModel::default().with_free_faults()),
+        ),
+        (
+            "no-indirect-fast-path",
+            Simulator::new(CostModel::default().without_indirect_fast_path()),
+        ),
     ];
     for (label, sim) in configs {
         group.bench_with_input(BenchmarkId::new("aikido", label), &workload, |b, w| {

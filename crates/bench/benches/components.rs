@@ -2,12 +2,12 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
+use aikido::dbi::{DbiEngine, Program, StaticInstr};
 use aikido::fasttrack::FastTrack;
 use aikido::shadow::{DualShadow, RegionKind, ShadowStore, TranslationCache};
+use aikido::types::AddrMode;
 use aikido::types::{AccessKind, Addr, BlockId, InstrId, LockId, Prot, ThreadId};
 use aikido::vm::{AikidoVm, Hypercall, VmConfig};
-use aikido::dbi::{DbiEngine, Program, StaticInstr};
-use aikido::types::AddrMode;
 
 fn bench_vector_clock_detector(c: &mut Criterion) {
     c.bench_function("fasttrack/same_epoch_write", |b| {
@@ -33,7 +33,9 @@ fn bench_vector_clock_detector(c: &mut Criterion) {
 fn bench_shadow(c: &mut Criterion) {
     c.bench_function("shadow/translation_cached", |b| {
         let mut shadow = DualShadow::new();
-        shadow.register_region(Addr::new(0x10_0000), 64, RegionKind::Heap).unwrap();
+        shadow
+            .register_region(Addr::new(0x10_0000), 64, RegionKind::Heap)
+            .unwrap();
         let mut cache = TranslationCache::new();
         let region = shadow.region_of(Addr::new(0x10_0000)).unwrap().id;
         let instr = InstrId::new(BlockId::new(0), 0);
@@ -59,8 +61,16 @@ fn bench_vm(c: &mut Criterion) {
         let t = ThreadId::new(0);
         vm.register_thread(t).unwrap();
         vm.mmap(Addr::new(0x40_0000), 16, Prot::RW_USER).unwrap();
-        vm.touch(t, Addr::new(0x40_0000), AccessKind::Write).unwrap();
-        b.iter(|| vm.touch(black_box(t), black_box(Addr::new(0x40_0100)), AccessKind::Read).unwrap());
+        vm.touch(t, Addr::new(0x40_0000), AccessKind::Write)
+            .unwrap();
+        b.iter(|| {
+            vm.touch(
+                black_box(t),
+                black_box(Addr::new(0x40_0100)),
+                AccessKind::Read,
+            )
+            .unwrap()
+        });
     });
     c.bench_function("vm/protect_fault_unprotect_cycle", |b| {
         let mut vm = AikidoVm::new(VmConfig::default());
@@ -70,9 +80,20 @@ fn bench_vm(c: &mut Criterion) {
         vm.mmap(base, 1, Prot::RW_USER).unwrap();
         vm.touch(t, base, AccessKind::Write).unwrap();
         b.iter(|| {
-            vm.hypercall(Hypercall::ProtectRange { thread: t, base, pages: 1, prot: Prot::NONE }).unwrap();
+            vm.hypercall(Hypercall::ProtectRange {
+                thread: t,
+                base,
+                pages: 1,
+                prot: Prot::NONE,
+            })
+            .unwrap();
             let fault = vm.touch(t, base, AccessKind::Read).unwrap();
-            vm.hypercall(Hypercall::UnprotectRange { thread: t, base, pages: 1 }).unwrap();
+            vm.hypercall(Hypercall::UnprotectRange {
+                thread: t,
+                base,
+                pages: 1,
+            })
+            .unwrap();
             black_box(fault)
         });
     });
@@ -83,8 +104,14 @@ fn bench_dbi(c: &mut Criterion) {
         let mut program = Program::new();
         let block = program.add_block(vec![
             StaticInstr::Compute,
-            StaticInstr::Mem { kind: AccessKind::Read, mode: AddrMode::Indirect },
-            StaticInstr::Mem { kind: AccessKind::Write, mode: AddrMode::Indirect },
+            StaticInstr::Mem {
+                kind: AccessKind::Read,
+                mode: AddrMode::Indirect,
+            },
+            StaticInstr::Mem {
+                kind: AccessKind::Write,
+                mode: AddrMode::Indirect,
+            },
         ]);
         let mut engine = DbiEngine::new(program);
         engine.execute_block(block);
@@ -105,5 +132,11 @@ fn bench_dbi(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_vector_clock_detector, bench_shadow, bench_vm, bench_dbi);
+criterion_group!(
+    benches,
+    bench_vector_clock_detector,
+    bench_shadow,
+    bench_vm,
+    bench_dbi
+);
 criterion_main!(benches);

@@ -13,7 +13,12 @@ fn fig6(c: &mut Criterion) {
         let spec = WorkloadSpec::parsec(name).unwrap().scaled(0.05);
         let workload = Workload::generate(&spec);
         group.bench_with_input(BenchmarkId::new("aikido", name), &workload, |b, w| {
-            b.iter(|| Simulator::default().run(w, Mode::Aikido).counts.shared_access_fraction());
+            b.iter(|| {
+                Simulator::default()
+                    .run(w, Mode::Aikido)
+                    .counts
+                    .shared_access_fraction()
+            });
         });
     }
     group.finish();

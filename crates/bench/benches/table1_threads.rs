@@ -10,7 +10,10 @@ fn table1(c: &mut Criterion) {
     group.sample_size(10);
     for name in ["fluidanimate", "vips"] {
         for threads in [2u32, 8] {
-            let spec = WorkloadSpec::parsec(name).unwrap().scaled(0.05).with_threads(threads);
+            let spec = WorkloadSpec::parsec(name)
+                .unwrap()
+                .scaled(0.05)
+                .with_threads(threads);
             let workload = Workload::generate(&spec);
             group.bench_with_input(
                 BenchmarkId::new(name, format!("{threads}threads")),

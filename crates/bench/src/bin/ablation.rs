@@ -15,9 +15,7 @@
 //!
 //! Run with `cargo run --release -p aikido-bench --bin ablation`.
 
-use aikido::{
-    CostModel, FastTrack, FastTrackConfig, Mode, Simulator, Workload, WorkloadSpec,
-};
+use aikido::{CostModel, FastTrack, FastTrackConfig, Mode, Simulator, Workload, WorkloadSpec};
 use aikido_bench::{fmt_slowdown, print_header, print_row, scale_from_env};
 
 fn slowdown(sim: &Simulator, workload: &Workload, mode: Mode) -> f64 {
@@ -32,7 +30,10 @@ fn main() {
 
     let benchmarks = ["blackscholes", "vips", "fluidanimate"];
     let widths = [34usize, 14, 10, 14];
-    print_header(&["configuration", "benchmark", "slowdown", "vs aikido"], &widths);
+    print_header(
+        &["configuration", "benchmark", "slowdown", "vs aikido"],
+        &widths,
+    );
 
     for name in benchmarks {
         let spec = WorkloadSpec::parsec(name).unwrap().scaled(scale);
@@ -63,7 +64,10 @@ fn main() {
 
         // 2. Free fault machinery.
         let free_faults = Simulator::new(CostModel::default().with_free_faults());
-        row("free page-protection traps", slowdown(&free_faults, &workload, Mode::Aikido));
+        row(
+            "free page-protection traps",
+            slowdown(&free_faults, &workload, Mode::Aikido),
+        );
 
         // 3. No indirect-check fast path.
         let no_fast_path = Simulator::new(CostModel::default().without_indirect_fast_path());

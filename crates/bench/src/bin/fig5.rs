@@ -5,14 +5,19 @@
 //! `AIKIDO_SCALE` to shrink or grow the workloads.
 
 use aikido::PARSEC_BENCHMARKS;
-use aikido_bench::{fmt_slowdown, geometric_mean, print_header, print_row, run_benchmark, scale_from_env};
+use aikido_bench::{
+    fmt_slowdown, geometric_mean, print_header, print_row, run_benchmark, scale_from_env,
+};
 
 fn main() {
     let scale = scale_from_env();
     println!("# Figure 5 — slowdown vs native (lower is better), scale {scale}");
     println!();
     let widths = [14usize, 12, 18, 10];
-    print_header(&["benchmark", "FastTrack", "Aikido-FastTrack", "speedup"], &widths);
+    print_header(
+        &["benchmark", "FastTrack", "Aikido-FastTrack", "speedup"],
+        &widths,
+    );
 
     let mut full_slowdowns = Vec::new();
     let mut aikido_slowdowns = Vec::new();

@@ -36,14 +36,12 @@ fn main() {
             .map(|(_, v)| *v)
             .unwrap_or(f64::NAN);
         print_row(
-            &[
-                name.to_string(),
-                fmt_percent(measured),
-                fmt_percent(paper),
-            ],
+            &[name.to_string(), fmt_percent(measured), fmt_percent(paper)],
             &widths,
         );
     }
     println!();
-    println!("Paper: raytrace shares almost nothing (0.11%); fluidanimate and freqmine share the most.");
+    println!(
+        "Paper: raytrace shares almost nothing (0.11%); fluidanimate and freqmine share the most."
+    );
 }

@@ -25,8 +25,14 @@ fn compare(name: &str, workload: &Workload) {
     let aikido_blocks = race_blocks(&aikido);
     let common = full_blocks.intersection(&aikido_blocks).count();
     println!("## {name}");
-    println!("  FastTrack races (distinct 8-byte blocks): {}", full_blocks.len());
-    println!("  Aikido-FastTrack races:                   {}", aikido_blocks.len());
+    println!(
+        "  FastTrack races (distinct 8-byte blocks): {}",
+        full_blocks.len()
+    );
+    println!(
+        "  Aikido-FastTrack races:                   {}",
+        aikido_blocks.len()
+    );
     println!("  Reported by both:                         {common}");
     let only_aikido: Vec<_> = aikido_blocks.difference(&full_blocks).collect();
     println!(

@@ -19,7 +19,10 @@ fn main() {
     println!("# Table 1 — thread scaling for fluidanimate and vips, scale {scale}");
     println!();
     let widths = [14usize, 18, 10, 10, 10];
-    print_header(&["benchmark", "tool", "2 threads", "4 threads", "8 threads"], &widths);
+    print_header(
+        &["benchmark", "tool", "2 threads", "4 threads", "8 threads"],
+        &widths,
+    );
 
     for name in ["fluidanimate", "vips"] {
         let mut full_rows = Vec::new();
@@ -34,7 +37,10 @@ fn main() {
             full_rows.push(cmp.full_slowdown());
             aikido_rows.push(cmp.aikido_slowdown());
         }
-        for (tool, rows) in [("FastTrack", &full_rows), ("Aikido-FastTrack", &aikido_rows)] {
+        for (tool, rows) in [
+            ("FastTrack", &full_rows),
+            ("Aikido-FastTrack", &aikido_rows),
+        ] {
             print_row(
                 &[
                     name.to_string(),
@@ -50,7 +56,10 @@ fn main() {
 
     println!();
     println!("Paper values for reference:");
-    print_header(&["benchmark", "tool", "2 threads", "4 threads", "8 threads"], &widths);
+    print_header(
+        &["benchmark", "tool", "2 threads", "4 threads", "8 threads"],
+        &widths,
+    );
     for (bench, tool, vals) in PAPER {
         print_row(
             &[

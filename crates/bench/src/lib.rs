@@ -94,7 +94,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Prints a Markdown-style table header (header row plus separator).
 pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     println!("| {} |", sep.join(" | "));
 }

@@ -141,9 +141,13 @@ impl SharedDataAnalysis for LockSet {
                     candidates.intersection(&held).copied().collect();
                 if cx.kind.is_write() {
                     racy = intersection.is_empty();
-                    Some(LocksetState::SharedModified { candidates: intersection })
+                    Some(LocksetState::SharedModified {
+                        candidates: intersection,
+                    })
                 } else {
-                    Some(LocksetState::SharedRead { candidates: intersection })
+                    Some(LocksetState::SharedRead {
+                        candidates: intersection,
+                    })
                 }
             }
             LocksetState::SharedRead { candidates } => {
@@ -151,16 +155,22 @@ impl SharedDataAnalysis for LockSet {
                     candidates.intersection(&held).copied().collect();
                 if cx.kind.is_write() {
                     racy = intersection.is_empty();
-                    Some(LocksetState::SharedModified { candidates: intersection })
+                    Some(LocksetState::SharedModified {
+                        candidates: intersection,
+                    })
                 } else {
-                    Some(LocksetState::SharedRead { candidates: intersection })
+                    Some(LocksetState::SharedRead {
+                        candidates: intersection,
+                    })
                 }
             }
             LocksetState::SharedModified { candidates } => {
                 let intersection: BTreeSet<LockId> =
                     candidates.intersection(&held).copied().collect();
                 racy = intersection.is_empty();
-                Some(LocksetState::SharedModified { candidates: intersection })
+                Some(LocksetState::SharedModified {
+                    candidates: intersection,
+                })
             }
         };
         if let Some(next) = next {
@@ -226,7 +236,10 @@ impl SharingProfile {
 
     /// Number of distinct static instructions that touched `page`.
     pub fn instructions_touching(&self, page: Vpn) -> usize {
-        self.instr_pages.values().filter(|pages| pages.contains(&page)).count()
+        self.instr_pages
+            .values()
+            .filter(|pages| pages.contains(&page))
+            .count()
     }
 
     /// Write fraction over all profiled accesses (0 when nothing was seen).
@@ -253,7 +266,10 @@ impl SharedDataAnalysis for SharingProfile {
             AccessKind::Write => *self.writes.entry(page).or_default() += 1,
         }
         self.instr_pages.entry(cx.instr).or_default().insert(page);
-        self.threads_per_page.entry(page).or_default().insert(cx.thread);
+        self.threads_per_page
+            .entry(page)
+            .or_default()
+            .insert(cx.thread);
     }
 
     fn reports(&self) -> Vec<AnalysisReport> {
@@ -314,7 +330,11 @@ mod tests {
         eraser.on_acquire(ThreadId::new(1), l2);
         eraser.on_access(cx(1, 0x300, AccessKind::Write));
         eraser.on_release(ThreadId::new(1), l2);
-        assert_eq!(eraser.reports().len(), 1, "disjoint locksets must be flagged");
+        assert_eq!(
+            eraser.reports().len(),
+            1,
+            "disjoint locksets must be flagged"
+        );
     }
 
     #[test]

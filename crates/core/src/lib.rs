@@ -202,7 +202,10 @@ mod tests {
     #[test]
     fn system_builder_configures_quantum_and_cost_model() {
         let system = AikidoSystem::with_cost_model(CostModel::default()).quantum(2);
-        let spec = WorkloadSpec::parsec("canneal").unwrap().scaled(0.02).with_threads(2);
+        let spec = WorkloadSpec::parsec("canneal")
+            .unwrap()
+            .scaled(0.02)
+            .with_threads(2);
         let report = system.run(&Workload::generate(&spec), Mode::Aikido);
         assert!(report.cycles > 0);
         assert_eq!(report.threads, 2);

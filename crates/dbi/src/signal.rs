@@ -47,7 +47,12 @@ impl MasterHandler {
     }
 
     /// Handles an Aikido fault raised by `origin` on `thread` for `page`.
-    pub fn on_aikido_fault(&mut self, thread: ThreadId, page: Vpn, origin: FaultOrigin) -> HandlerAction {
+    pub fn on_aikido_fault(
+        &mut self,
+        thread: ThreadId,
+        page: Vpn,
+        origin: FaultOrigin,
+    ) -> HandlerAction {
         match origin {
             FaultOrigin::Application => HandlerAction::ForwardToSharingDetector,
             FaultOrigin::Runtime => {

@@ -235,10 +235,7 @@ impl FastTrack {
         let read_races = !state.read.happens_before(&vc);
         let prior_reader = match &state.read {
             ReadState::Exclusive(e) => Some(e.thread()),
-            ReadState::Shared(rvc) => rvc
-                .iter()
-                .find(|(t, c)| *c > vc.get(*t))
-                .map(|(t, _)| t),
+            ReadState::Shared(rvc) => rvc.iter().find(|(t, c)| *c > vc.get(*t)).map(|(t, _)| t),
         };
 
         // Update: record this write; once all concurrent reads have been
@@ -646,9 +643,6 @@ mod tests {
         ft.write(t(2), addr(0x800));
         assert!(ft.races().is_empty());
         // After the write the variable is back in exclusive (epoch) mode.
-        assert!(!ft
-            .stats()
-            .read_share_promotions
-            .eq(&0));
+        assert!(!ft.stats().read_share_promotions.eq(&0));
     }
 }

@@ -131,7 +131,10 @@ mod tests {
         let mut c = TranslationCache::new();
         let t = ThreadId::new(0);
         c.access(t, instr(0), RegionId::new(3));
-        assert_eq!(c.access(t, instr(1), RegionId::new(3)), CacheLevel::ThreadLocal);
+        assert_eq!(
+            c.access(t, instr(1), RegionId::new(3)),
+            CacheLevel::ThreadLocal
+        );
     }
 
     #[test]
@@ -142,7 +145,10 @@ mod tests {
         assert_eq!(c.access(t, instr(0), RegionId::new(1)), CacheLevel::Full);
         // Flip-flopping between regions keeps missing inline but hits the
         // thread-local cache once both regions are recent.
-        assert_eq!(c.access(t, instr(0), RegionId::new(0)), CacheLevel::ThreadLocal);
+        assert_eq!(
+            c.access(t, instr(0), RegionId::new(0)),
+            CacheLevel::ThreadLocal
+        );
     }
 
     #[test]
@@ -163,7 +169,10 @@ mod tests {
         c.access(t, instr(1), RegionId::new(1));
         c.access(t, instr(2), RegionId::new(2)); // evicts region 0
         assert_eq!(c.access(t, instr(3), RegionId::new(0)), CacheLevel::Full);
-        assert_eq!(c.access(t, instr(4), RegionId::new(2)), CacheLevel::ThreadLocal);
+        assert_eq!(
+            c.access(t, instr(4), RegionId::new(2)),
+            CacheLevel::ThreadLocal
+        );
     }
 
     #[test]

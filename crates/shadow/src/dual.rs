@@ -57,7 +57,12 @@ impl DualShadow {
     ///
     /// Propagates the errors of [`RegionTable::register`]; additionally
     /// rejects regions that fall inside the reserved shadow areas.
-    pub fn register_region(&mut self, base: Addr, pages: u64, kind: RegionKind) -> Result<RegionId> {
+    pub fn register_region(
+        &mut self,
+        base: Addr,
+        pages: u64,
+        kind: RegionKind,
+    ) -> Result<RegionId> {
         if base.raw() >= METADATA_AREA_BASE {
             return Err(AikidoError::InvalidConfig {
                 reason: format!("application region at {base} collides with the shadow area"),

@@ -128,7 +128,8 @@ impl RegionTable {
         }
         let bytes = pages * PAGE_SIZE;
         for r in &self.regions {
-            let overlap = base.raw() < r.base.raw() + r.bytes() && r.base.raw() < base.raw() + bytes;
+            let overlap =
+                base.raw() < r.base.raw() + r.bytes() && r.base.raw() < base.raw() + bytes;
             if overlap {
                 return Err(AikidoError::MappingOverlap { page: base.page() });
             }
@@ -176,7 +177,9 @@ mod tests {
     #[test]
     fn register_and_find() {
         let mut t = RegionTable::new();
-        let r = t.register(Addr::new(0x10_0000), 16, RegionKind::Heap).unwrap();
+        let r = t
+            .register(Addr::new(0x10_0000), 16, RegionKind::Heap)
+            .unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.find(Addr::new(0x10_0000)).unwrap().id, r.id);
         assert_eq!(t.find(Addr::new(0x10_ffff)).unwrap().id, r.id);
@@ -188,13 +191,16 @@ mod tests {
     #[test]
     fn overlapping_regions_are_rejected() {
         let mut t = RegionTable::new();
-        t.register(Addr::new(0x10_0000), 16, RegionKind::Heap).unwrap();
+        t.register(Addr::new(0x10_0000), 16, RegionKind::Heap)
+            .unwrap();
         assert!(matches!(
             t.register(Addr::new(0x10_f000), 2, RegionKind::Other),
             Err(AikidoError::MappingOverlap { .. })
         ));
         // Adjacent (non-overlapping) is fine.
-        assert!(t.register(Addr::new(0x11_0000), 1, RegionKind::Other).is_ok());
+        assert!(t
+            .register(Addr::new(0x11_0000), 1, RegionKind::Other)
+            .is_ok());
     }
 
     #[test]
@@ -213,7 +219,9 @@ mod tests {
     #[test]
     fn offsets_are_relative_to_region_base() {
         let mut t = RegionTable::new();
-        let r = t.register(Addr::new(0x20_0000), 4, RegionKind::Stack).unwrap();
+        let r = t
+            .register(Addr::new(0x20_0000), 4, RegionKind::Stack)
+            .unwrap();
         assert_eq!(r.offset_of(Addr::new(0x20_0123)), 0x123);
         assert_eq!(r.bytes(), 4 * PAGE_SIZE);
         assert_eq!(r.page_span().count(), 4);

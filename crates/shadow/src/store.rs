@@ -26,7 +26,10 @@ impl<T> ShadowStore<T> {
     ///
     /// Panics if `granularity` is zero or not a power of two.
     pub fn new(granularity: u64) -> Self {
-        assert!(granularity.is_power_of_two(), "granularity must be a power of two");
+        assert!(
+            granularity.is_power_of_two(),
+            "granularity must be a power of two"
+        );
         ShadowStore {
             granularity,
             entries: HashMap::new(),

@@ -126,7 +126,9 @@ impl AikidoSd {
     /// Propagates shadow-registration and hypervisor errors (overlapping
     /// regions, unmapped source, unknown threads).
     pub fn attach_region(&mut self, vm: &mut AikidoVm, base: Addr, pages: u64) -> Result<RegionId> {
-        let region = self.shadow.register_region(base, pages, RegionKind::Other)?;
+        let region = self
+            .shadow
+            .register_region(base, pages, RegionKind::Other)?;
         let mirror_base = self.shadow.mirror_base(region)?;
         vm.mmap_mirror(base, mirror_base)?;
         self.stats.pages_registered += pages;
@@ -293,7 +295,13 @@ mod tests {
 
     /// Drives one access through the VM + sharing detector until it succeeds,
     /// returning the number of Aikido faults it took.
-    fn access(rig: &mut Rig, thread: ThreadId, addr: Addr, kind: AccessKind, instr: InstrId) -> u32 {
+    fn access(
+        rig: &mut Rig,
+        thread: ThreadId,
+        addr: Addr,
+        kind: AccessKind,
+        instr: InstrId,
+    ) -> u32 {
         let mut faults = 0;
         for _ in 0..4 {
             let touch = rig.vm.touch(thread, addr, kind).unwrap();
@@ -329,7 +337,10 @@ mod tests {
         assert_eq!(rig.sd.page_state(base.page()), PageState::Private(t0));
         // Subsequent accesses by the same thread do not fault.
         for k in 1..10u64 {
-            assert_eq!(access(&mut rig, t0, base.offset(k * 8), AccessKind::Write, i0), 0);
+            assert_eq!(
+                access(&mut rig, t0, base.offset(k * 8), AccessKind::Write, i0),
+                0
+            );
         }
         assert_eq!(rig.sd.stats().faults_handled, 1);
         assert!(!rig.engine.is_instrumented(i0));

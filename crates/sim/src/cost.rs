@@ -192,7 +192,10 @@ mod tests {
     #[test]
     fn shadow_translation_costs_increase_with_cache_level() {
         let c = CostModel::default();
-        assert!(c.shadow_translation(CacheLevel::Inline) < c.shadow_translation(CacheLevel::ThreadLocal));
+        assert!(
+            c.shadow_translation(CacheLevel::Inline)
+                < c.shadow_translation(CacheLevel::ThreadLocal)
+        );
         assert!(
             c.shadow_translation(CacheLevel::ThreadLocal) < c.shadow_translation(CacheLevel::Full)
         );
@@ -210,10 +213,15 @@ mod tests {
         let c = CostModel::default();
         let free = aikido_vm::Charges::default();
         assert_eq!(c.vm_charges(&free), 0);
-        let mut charges = aikido_vm::Charges::default();
-        charges.vm_exits = 1;
-        charges.native_faults = 1;
-        assert_eq!(c.vm_charges(&charges), c.vm_exit_cycles + c.native_fault_cycles);
+        let charges = aikido_vm::Charges {
+            vm_exits: 1,
+            native_faults: 1,
+            ..aikido_vm::Charges::default()
+        };
+        assert_eq!(
+            c.vm_charges(&charges),
+            c.vm_exit_cycles + c.native_fault_cycles
+        );
     }
 
     #[test]

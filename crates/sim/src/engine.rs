@@ -4,8 +4,8 @@ use std::collections::{HashMap, HashSet};
 
 use aikido_dbi::DbiEngine;
 use aikido_fasttrack::FastTrack;
-use aikido_sharing::AikidoSd;
 use aikido_shadow::{DualShadow, RegionKind, TranslationCache};
+use aikido_sharing::AikidoSd;
 use aikido_types::{
     AccessContext, Addr, MemRef, Operation, Prot, SharedDataAnalysis, SyncOp, ThreadId,
 };
@@ -337,7 +337,10 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
         if let (Some(vm), Some(prev)) = (self.vm.as_mut(), self.last_scheduled) {
             // The guest scheduler notifies the hypervisor of same-address-space
             // context switches through the inserted hypercall (§3.2.3).
-            let _ = vm.hypercall(aikido_vm::Hypercall::ContextSwitch { from: prev, to: thread });
+            let _ = vm.hypercall(aikido_vm::Hypercall::ContextSwitch {
+                from: prev,
+                to: thread,
+            });
             self.cycles += self.sim.cost.context_switch_cycles;
         }
         self.last_scheduled = Some(thread);
@@ -393,7 +396,8 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                     if let (Some(vm), Some(sd)) = (self.vm.as_mut(), self.sd.as_mut()) {
                         let before = sd.stats().protection_hypercalls;
                         vm.register_thread(child).expect("forked thread is new");
-                        sd.protect_thread(vm, child).expect("thread protection succeeds");
+                        sd.protect_thread(vm, child)
+                            .expect("thread protection succeeds");
                         let hypercalls = sd.stats().protection_hypercalls - before + 1;
                         self.cycles += hypercalls * self.sim.cost.hypercall_cycles;
                     }
@@ -629,7 +633,9 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                     self.counts.segfaults += 1;
                     let (vm, sd, engine) = (
                         self.vm.as_mut().expect("aikido mode has a vm"),
-                        self.sd.as_mut().expect("aikido mode has a sharing detector"),
+                        self.sd
+                            .as_mut()
+                            .expect("aikido mode has a sharing detector"),
                         self.engine.as_mut().expect("aikido mode has a dbi engine"),
                     );
                     let hypercalls_before = sd.stats().protection_hypercalls;
@@ -647,7 +653,10 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                         0
                     };
                     let thread_count = self.threads.len() as u32;
-                    self.cycles += self.sim.cost.aikido_fault(hypercalls, thread_count, rebuilt_instrs);
+                    self.cycles +=
+                        self.sim
+                            .cost
+                            .aikido_fault(hypercalls, thread_count, rebuilt_instrs);
 
                     if disposition.instruments_instruction() {
                         // The block has been re-JITed with instrumentation;
@@ -715,7 +724,12 @@ mod tests {
     };
 
     fn small(name: &str) -> Workload {
-        Workload::generate(&WorkloadSpec::parsec(name).unwrap().scaled(0.02).with_threads(4))
+        Workload::generate(
+            &WorkloadSpec::parsec(name)
+                .unwrap()
+                .scaled(0.02)
+                .with_threads(4),
+        )
     }
 
     #[test]
@@ -733,7 +747,10 @@ mod tests {
     fn full_instrumentation_instruments_every_access() {
         let w = small("blackscholes");
         let report = Simulator::default().run(&w, Mode::FullInstrumentation);
-        assert_eq!(report.counts.instrumented_accesses, report.counts.mem_accesses);
+        assert_eq!(
+            report.counts.instrumented_accesses,
+            report.counts.mem_accesses
+        );
         assert!(report.fasttrack.unwrap().reads + report.fasttrack.unwrap().writes > 0);
     }
 
@@ -743,7 +760,10 @@ mod tests {
         let aikido = Simulator::default().run(&w, Mode::Aikido);
         assert!(aikido.counts.instrumented_accesses < aikido.counts.mem_accesses);
         assert!(aikido.counts.shared_accesses <= aikido.counts.instrumented_accesses);
-        assert!(aikido.counts.segfaults > 0, "sharing detection requires faults");
+        assert!(
+            aikido.counts.segfaults > 0,
+            "sharing detection requires faults"
+        );
         assert!(aikido.sharing.faults_handled > 0);
         assert_eq!(aikido.counts.segfaults, aikido.vm.aikido_faults_delivered);
     }
@@ -754,12 +774,18 @@ mod tests {
         let cmp = Simulator::default().compare(&w);
         assert!(cmp.full_slowdown() > cmp.aikido_slowdown());
         assert!(cmp.aikido_slowdown() > 1.0);
-        assert!(cmp.aikido_speedup() > 1.5, "raytrace-like workloads are Aikido's best case");
+        assert!(
+            cmp.aikido_speedup() > 1.5,
+            "raytrace-like workloads are Aikido's best case"
+        );
     }
 
     #[test]
     fn shared_access_fraction_tracks_the_spec() {
-        let spec = WorkloadSpec::parsec("vips").unwrap().scaled(0.02).with_threads(4);
+        let spec = WorkloadSpec::parsec("vips")
+            .unwrap()
+            .scaled(0.02)
+            .with_threads(4);
         let w = Workload::generate(&spec);
         let report = Simulator::default().run(&w, Mode::Aikido);
         let measured = report.counts.shared_access_fraction();
@@ -792,7 +818,11 @@ mod tests {
     fn read_only_sharing_is_aikidos_best_case() {
         let w = Workload::generate(&read_only_sharing_workload(4));
         let cmp = Simulator::default().compare(&w);
-        assert!(cmp.aikido_speedup() > 2.0, "speedup {}", cmp.aikido_speedup());
+        assert!(
+            cmp.aikido_speedup() > 2.0,
+            "speedup {}",
+            cmp.aikido_speedup()
+        );
     }
 
     #[test]
@@ -844,6 +874,9 @@ mod tests {
         };
         let two = slowdown_at(2);
         let eight = slowdown_at(8);
-        assert!(eight > two, "8-thread slowdown {eight:.1} <= 2-thread {two:.1}");
+        assert!(
+            eight > two,
+            "8-thread slowdown {eight:.1} <= 2-thread {two:.1}"
+        );
     }
 }

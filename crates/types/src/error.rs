@@ -80,11 +80,17 @@ mod tests {
 
     #[test]
     fn errors_display_useful_messages() {
-        let e = AikidoError::UnmappedAddress { addr: Addr::new(0xdead) };
+        let e = AikidoError::UnmappedAddress {
+            addr: Addr::new(0xdead),
+        };
         assert!(e.to_string().contains("0xdead"));
-        let e = AikidoError::UnknownThread { thread: ThreadId::new(9) };
+        let e = AikidoError::UnknownThread {
+            thread: ThreadId::new(9),
+        };
         assert!(e.to_string().contains("thread 9"));
-        let e = AikidoError::InvalidConfig { reason: "zero threads".into() };
+        let e = AikidoError::InvalidConfig {
+            reason: "zero threads".into(),
+        };
         assert!(e.to_string().contains("zero threads"));
     }
 

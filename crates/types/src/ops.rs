@@ -202,7 +202,12 @@ mod tests {
 
     #[test]
     fn memref_constructors() {
-        let m = MemRef::new(instr(), Addr::new(0x100), AccessKind::Write, AddrMode::Direct);
+        let m = MemRef::new(
+            instr(),
+            Addr::new(0x100),
+            AccessKind::Write,
+            AddrMode::Direct,
+        );
         assert_eq!(m.size, 8);
         assert_eq!(m.with_size(4).size, 4);
         assert!(m.kind.is_write());
@@ -222,7 +227,10 @@ mod tests {
             1
         );
         assert_eq!(Operation::Compute { count: 17 }.instruction_count(), 17);
-        assert_eq!(Operation::Sync(SyncOp::Acquire(LockId::new(1))).instruction_count(), 1);
+        assert_eq!(
+            Operation::Sync(SyncOp::Acquire(LockId::new(1))).instruction_count(),
+            1
+        );
         assert_eq!(Operation::Exit.instruction_count(), 1);
     }
 
@@ -242,8 +250,14 @@ mod tests {
 
     #[test]
     fn sync_and_operation_display() {
-        assert_eq!(SyncOp::Acquire(LockId::new(3)).to_string(), "acquire lock 3");
+        assert_eq!(
+            SyncOp::Acquire(LockId::new(3)).to_string(),
+            "acquire lock 3"
+        );
         assert_eq!(SyncOp::Barrier(2).to_string(), "barrier 2");
-        assert_eq!(Operation::Compute { count: 5 }.to_string(), "5 compute instrs");
+        assert_eq!(
+            Operation::Compute { count: 5 }.to_string(),
+            "5 compute instrs"
+        );
     }
 }

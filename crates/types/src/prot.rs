@@ -36,11 +36,17 @@ impl Prot {
     /// No access at all (page not present).
     pub const NONE: Prot = Prot { bits: 0 };
     /// Present / readable.
-    pub const READ: Prot = Prot { bits: Self::READ_BIT };
+    pub const READ: Prot = Prot {
+        bits: Self::READ_BIT,
+    };
     /// Writable (implies nothing about present; combine with [`Prot::READ`]).
-    pub const WRITE: Prot = Prot { bits: Self::WRITE_BIT };
+    pub const WRITE: Prot = Prot {
+        bits: Self::WRITE_BIT,
+    };
     /// Userspace accessible.
-    pub const USER: Prot = Prot { bits: Self::USER_BIT };
+    pub const USER: Prot = Prot {
+        bits: Self::USER_BIT,
+    };
     /// Read + write + user: the normal protection of an application data page.
     pub const RW_USER: Prot = Prot {
         bits: Self::READ_BIT | Self::WRITE_BIT | Self::USER_BIT,

@@ -84,11 +84,18 @@ impl fmt::Display for Hypercall {
                 pages,
                 prot,
             } => write!(f, "protect {pages} pages at {base} for {thread} as {prot}"),
-            Hypercall::UnprotectRange { thread, base, pages } => {
+            Hypercall::UnprotectRange {
+                thread,
+                base,
+                pages,
+            } => {
                 write!(f, "unprotect {pages} pages at {base} for {thread}")
             }
             Hypercall::ProtectAllThreads { base, pages, prot } => {
-                write!(f, "protect {pages} pages at {base} for all threads as {prot}")
+                write!(
+                    f,
+                    "protect {pages} pages at {base} for all threads as {prot}"
+                )
             }
             Hypercall::ContextSwitch { from, to } => write!(f, "context switch {from} -> {to}"),
         }

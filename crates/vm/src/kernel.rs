@@ -241,7 +241,8 @@ impl GuestKernel {
             prot: vma.prot,
         };
         self.page_table.insert(page, pte);
-        self.pending_events.push(KernelEvent::PteInstalled { page, pte });
+        self.pending_events
+            .push(KernelEvent::PteInstalled { page, pte });
         KernelFaultResolution::Resolved
     }
 
@@ -272,7 +273,8 @@ impl GuestKernel {
         let vma = self.vmas.remove(idx);
         for p in vma.start.span(vma.pages) {
             if self.page_table.remove(&p).is_some() {
-                self.pending_events.push(KernelEvent::PteRemoved { page: p });
+                self.pending_events
+                    .push(KernelEvent::PteRemoved { page: p });
             }
         }
         Ok(())
@@ -311,7 +313,9 @@ mod tests {
         assert_eq!(pte.prot, Prot::RW_USER);
         let events = k.drain_events();
         assert_eq!(events.len(), 1);
-        assert!(matches!(events[0], KernelEvent::PteInstalled { page, .. } if page == Vpn::new(16)));
+        assert!(
+            matches!(events[0], KernelEvent::PteInstalled { page, .. } if page == Vpn::new(16))
+        );
         assert!(!k.has_pending_events());
     }
 
@@ -398,7 +402,9 @@ mod tests {
         assert!(k.find_vma(Vpn::new(10)).is_none());
         let events = k.drain_events();
         assert_eq!(events.len(), 2);
-        assert!(events.iter().all(|e| matches!(e, KernelEvent::PteRemoved { .. })));
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, KernelEvent::PteRemoved { .. })));
     }
 
     #[test]

@@ -197,7 +197,11 @@ impl AikidoVm {
                 }
                 Ok(())
             }
-            Hypercall::UnprotectRange { thread, base, pages } => {
+            Hypercall::UnprotectRange {
+                thread,
+                base,
+                pages,
+            } => {
                 self.require_init()?;
                 self.require_thread(thread)?;
                 for page in base.page().span(pages) {
@@ -337,11 +341,7 @@ impl AikidoVm {
                 continue;
             }
 
-            let guest_prot = self
-                .kernel
-                .pte(page)
-                .map(|g| g.prot)
-                .unwrap_or(Prot::NONE);
+            let guest_prot = self.kernel.pte(page).map(|g| g.prot).unwrap_or(Prot::NONE);
 
             if guest_prot.allows_user(kind) {
                 // The guest would have allowed it: this is an Aikido fault.
@@ -430,7 +430,13 @@ impl AikidoVm {
         let frame = self.kernel.pte(page).map(|g| g.frame);
         if let Some(frame) = frame {
             for state in self.threads.values_mut() {
-                state.shadow.install(page, ShadowPte { frame, prot: temp_prot });
+                state.shadow.install(
+                    page,
+                    ShadowPte {
+                        frame,
+                        prot: temp_prot,
+                    },
+                );
             }
             self.stats.shadow_syncs += self.threads.len() as u64;
         }
@@ -469,7 +475,10 @@ impl AikidoVm {
         if let Some(pte) = state.shadow.lookup(page) {
             return Ok(Some(pte.prot));
         }
-        Ok(self.kernel.pte(page).map(|g| state.prot.effective(page, g.prot)))
+        Ok(self
+            .kernel
+            .pte(page)
+            .map(|g| state.prot.effective(page, g.prot)))
     }
 
     /// Resolves `addr` to the machine frame backing it for `thread`, demand
@@ -535,7 +544,13 @@ impl AikidoVm {
     fn install_shadow(&mut self, thread: ThreadId, page: Vpn, frame: FrameId, guest_prot: Prot) {
         let state = self.threads.get_mut(&thread).expect("checked by caller");
         let effective = state.prot.effective(page, guest_prot);
-        state.shadow.install(page, ShadowPte { frame, prot: effective });
+        state.shadow.install(
+            page,
+            ShadowPte {
+                frame,
+                prot: effective,
+            },
+        );
         self.stats.shadow_syncs += 1;
     }
 
@@ -588,7 +603,12 @@ impl AikidoVm {
         }
     }
 
-    fn deliver_aikido_fault(&mut self, thread: ThreadId, addr: Addr, kind: AccessKind) -> AikidoFault {
+    fn deliver_aikido_fault(
+        &mut self,
+        thread: ThreadId,
+        addr: Addr,
+        kind: AccessKind,
+    ) -> AikidoFault {
         self.stats.aikido_faults_delivered += 1;
         self.mailbox.record(addr, kind);
         AikidoFault {
@@ -626,9 +646,15 @@ mod tests {
         assert!(matches!(first.outcome, TouchOutcome::Ok));
         assert!(first.charges.native_faults >= 1);
 
-        let second = vm.touch(t[0], page_addr(100).offset(8), AccessKind::Read).unwrap();
+        let second = vm
+            .touch(t[0], page_addr(100).offset(8), AccessKind::Read)
+            .unwrap();
         assert!(matches!(second.outcome, TouchOutcome::Ok));
-        assert!(second.charges.is_free(), "second touch must be free: {:?}", second.charges);
+        assert!(
+            second.charges.is_free(),
+            "second touch must be free: {:?}",
+            second.charges
+        );
     }
 
     #[test]
@@ -888,7 +914,11 @@ mod tests {
         for &tid in &t {
             let touch = vm.touch(tid, base, AccessKind::Read).unwrap();
             assert!(matches!(touch.outcome, TouchOutcome::Ok));
-            assert!(touch.charges.is_free(), "{tid:?} should not fault: {:?}", touch.charges);
+            assert!(
+                touch.charges.is_free(),
+                "{tid:?} should not fault: {:?}",
+                touch.charges
+            );
         }
         assert!(vm.stats().guest_pte_writes >= 1);
     }
@@ -896,7 +926,11 @@ mod tests {
     #[test]
     fn context_switch_hypercall_is_counted() {
         let (mut vm, t) = setup(2);
-        vm.hypercall(Hypercall::ContextSwitch { from: t[0], to: t[1] }).unwrap();
+        vm.hypercall(Hypercall::ContextSwitch {
+            from: t[0],
+            to: t[1],
+        })
+        .unwrap();
         assert_eq!(vm.stats().context_switches, 1);
     }
 

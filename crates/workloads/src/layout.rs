@@ -113,7 +113,10 @@ impl MemoryLayout {
     pub fn regions(&self) -> Vec<(Addr, u64)> {
         let mut regions = vec![(self.shared_base, self.shared_pages)];
         for t in 0..self.threads {
-            regions.push((self.private_base(ThreadId::new(t)), self.private_pages_per_thread));
+            regions.push((
+                self.private_base(ThreadId::new(t)),
+                self.private_pages_per_thread,
+            ));
         }
         regions
     }
@@ -148,8 +151,10 @@ mod tests {
     fn race_free_specs_have_no_racy_area() {
         let l = layout();
         assert_eq!(l.racy_area().1, 0);
-        let mut spec = WorkloadSpec::default();
-        spec.racy_pairs = 2;
+        let spec = WorkloadSpec {
+            racy_pairs: 2,
+            ..WorkloadSpec::default()
+        };
         let l = MemoryLayout::from_spec(&spec);
         assert_eq!(l.racy_area().1, PAGE_SIZE);
     }
@@ -162,7 +167,8 @@ mod tests {
             for b in (a + 1)..n {
                 let (abase, alen) = l.lock_slice(a);
                 let (bbase, blen) = l.lock_slice(b);
-                let disjoint = abase.raw() + alen <= bbase.raw() || bbase.raw() + blen <= abase.raw();
+                let disjoint =
+                    abase.raw() + alen <= bbase.raw() || bbase.raw() + blen <= abase.raw();
                 assert!(disjoint, "slices {a} and {b} overlap");
             }
         }
@@ -191,7 +197,10 @@ mod tests {
                 }
                 let aend = abase.raw() + apages * PAGE_SIZE;
                 let bend = bbase.raw() + bpages * PAGE_SIZE;
-                assert!(aend <= bbase.raw() || bend <= abase.raw(), "regions {i} and {j} overlap");
+                assert!(
+                    aend <= bbase.raw() || bend <= abase.raw(),
+                    "regions {i} and {j} overlap"
+                );
             }
         }
     }
@@ -199,7 +208,13 @@ mod tests {
     #[test]
     fn private_bases_are_per_thread() {
         let l = layout();
-        assert_ne!(l.private_base(ThreadId::new(0)), l.private_base(ThreadId::new(1)));
-        assert_eq!(l.private_pages(), WorkloadSpec::default().private_pages_per_thread);
+        assert_ne!(
+            l.private_base(ThreadId::new(0)),
+            l.private_base(ThreadId::new(1))
+        );
+        assert_eq!(
+            l.private_pages(),
+            WorkloadSpec::default().private_pages_per_thread
+        );
     }
 }

@@ -51,7 +51,8 @@ mod workload;
 
 pub use layout::MemoryLayout;
 pub use scenarios::{
-    first_access_race_workload, producer_consumer_workload, racy_workload, read_only_sharing_workload,
+    first_access_race_workload, producer_consumer_workload, racy_workload,
+    read_only_sharing_workload,
 };
 pub use spec::{WorkloadSpec, PARSEC_BENCHMARKS};
 pub use trace::{BlockExec, ThreadTrace};

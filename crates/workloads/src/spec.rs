@@ -111,17 +111,118 @@ impl WorkloadSpec {
         // (name, mem/thread, instr_frac, shared_within, read_frac,
         //  compute_per_mem, shared_pages, private_pages, locks,
         //  locked_frac, racy, barrier_every, shared_blocks, private_blocks)
-        let presets: [(&str, u64, f64, f64, f64, f64, u64, u64, u32, f64, u32, u64, u32, u32); 10] = [
-            ("freqmine",     73_000, 0.636, 0.877, 0.72, 0.9,  48, 24, 16, 0.55, 0, 0,   64, 96),
-            ("blackscholes", 20_000, 0.070, 0.992, 0.80, 2.2,  16, 24,  4, 0.10, 0, 0,   12, 64),
-            ("bodytrack",    24_000, 0.217, 0.923, 0.70, 1.6,  24, 24, 12, 0.45, 0, 40,  40, 80),
-            ("raytrace",    150_000, 0.0013, 0.852, 0.85, 1.8, 16, 40,  8, 0.30, 0, 0,   48, 128),
-            ("swaptions",    22_000, 0.167, 0.713, 0.75, 1.9,  16, 32,  8, 0.35, 0, 0,   24, 72),
-            ("fluidanimate", 35_000, 0.640, 0.751, 0.60, 0.6,  64, 16, 32, 0.75, 0, 25,  96, 64),
-            ("vips",         65_000, 0.243, 0.912, 0.68, 1.1,  32, 24, 16, 0.50, 0, 0,   56, 88),
-            ("x264",         20_000, 0.342, 0.858, 0.65, 1.4,  32, 24, 16, 0.55, 0, 0,   88, 96),
-            ("canneal",      35_000, 0.123, 0.986, 0.78, 1.5,  24, 24,  8, 0.40, 1, 0,   48, 72),
-            ("streamcluster",67_000, 0.378, 0.981, 0.74, 0.8,  40, 16, 12, 0.60, 0, 30,  56, 64),
+        type ParsecPreset = (
+            &'static str,
+            u64,
+            f64,
+            f64,
+            f64,
+            f64,
+            u64,
+            u64,
+            u32,
+            f64,
+            u32,
+            u64,
+            u32,
+            u32,
+        );
+        let presets: [ParsecPreset; 10] = [
+            (
+                "freqmine", 73_000, 0.636, 0.877, 0.72, 0.9, 48, 24, 16, 0.55, 0, 0, 64, 96,
+            ),
+            (
+                "blackscholes",
+                20_000,
+                0.070,
+                0.992,
+                0.80,
+                2.2,
+                16,
+                24,
+                4,
+                0.10,
+                0,
+                0,
+                12,
+                64,
+            ),
+            (
+                "bodytrack",
+                24_000,
+                0.217,
+                0.923,
+                0.70,
+                1.6,
+                24,
+                24,
+                12,
+                0.45,
+                0,
+                40,
+                40,
+                80,
+            ),
+            (
+                "raytrace", 150_000, 0.0013, 0.852, 0.85, 1.8, 16, 40, 8, 0.30, 0, 0, 48, 128,
+            ),
+            (
+                "swaptions",
+                22_000,
+                0.167,
+                0.713,
+                0.75,
+                1.9,
+                16,
+                32,
+                8,
+                0.35,
+                0,
+                0,
+                24,
+                72,
+            ),
+            (
+                "fluidanimate",
+                35_000,
+                0.640,
+                0.751,
+                0.60,
+                0.6,
+                64,
+                16,
+                32,
+                0.75,
+                0,
+                25,
+                96,
+                64,
+            ),
+            (
+                "vips", 65_000, 0.243, 0.912, 0.68, 1.1, 32, 24, 16, 0.50, 0, 0, 56, 88,
+            ),
+            (
+                "x264", 20_000, 0.342, 0.858, 0.65, 1.4, 32, 24, 16, 0.55, 0, 0, 88, 96,
+            ),
+            (
+                "canneal", 35_000, 0.123, 0.986, 0.78, 1.5, 24, 24, 8, 0.40, 1, 0, 48, 72,
+            ),
+            (
+                "streamcluster",
+                67_000,
+                0.378,
+                0.981,
+                0.74,
+                0.8,
+                40,
+                16,
+                12,
+                0.60,
+                0,
+                30,
+                56,
+                64,
+            ),
         ];
         presets.iter().find(|p| p.0 == name).map(|p| WorkloadSpec {
             name: p.0.to_string(),
@@ -194,8 +295,14 @@ impl WorkloadSpec {
             return Err("threads must be at least 1".into());
         }
         for (name, v) in [
-            ("instrumented_exec_fraction", self.instrumented_exec_fraction),
-            ("shared_within_instrumented", self.shared_within_instrumented),
+            (
+                "instrumented_exec_fraction",
+                self.instrumented_exec_fraction,
+            ),
+            (
+                "shared_within_instrumented",
+                self.shared_within_instrumented,
+            ),
             ("read_fraction", self.read_fraction),
             ("locked_shared_fraction", self.locked_shared_fraction),
         ] {
@@ -256,7 +363,11 @@ mod tests {
     fn presets_are_ordered_like_figure6() {
         // raytrace has by far the least sharing; fluidanimate and freqmine the
         // most — this ordering is what drives Figure 5's speedups.
-        let frac = |n: &str| WorkloadSpec::parsec(n).unwrap().expected_shared_access_fraction();
+        let frac = |n: &str| {
+            WorkloadSpec::parsec(n)
+                .unwrap()
+                .expected_shared_access_fraction()
+        };
         assert!(frac("raytrace") < 0.01);
         assert!(frac("blackscholes") < 0.10);
         assert!(frac("fluidanimate") > 0.40);
@@ -285,18 +396,27 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_fractions_and_zero_resources() {
-        let mut spec = WorkloadSpec::default();
-        spec.read_fraction = 1.5;
-        assert!(spec.validate().is_err());
-        let mut spec = WorkloadSpec::default();
-        spec.shared_pages = 0;
-        assert!(spec.validate().is_err());
-        let mut spec = WorkloadSpec::default();
-        spec.locks = 0;
-        assert!(spec.validate().is_err());
-        let mut spec = WorkloadSpec::default();
-        spec.threads = 0;
-        assert!(spec.validate().is_err());
+        let invalid = [
+            WorkloadSpec {
+                read_fraction: 1.5,
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                shared_pages: 0,
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                locks: 0,
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                threads: 0,
+                ..WorkloadSpec::default()
+            },
+        ];
+        for spec in invalid {
+            assert!(spec.validate().is_err());
+        }
         assert!(WorkloadSpec::default().validate().is_ok());
     }
 

@@ -98,7 +98,10 @@ impl<'a> ThreadTrace<'a> {
     }
 
     fn sync_exec(&self, block: BlockId, op: Operation) -> BlockExec {
-        BlockExec { block, ops: vec![op] }
+        BlockExec {
+            block,
+            ops: vec![op],
+        }
     }
 
     /// Fills a work block with operations; `pick` chooses the address and
@@ -232,7 +235,7 @@ impl<'a> ThreadTrace<'a> {
         let barrier_every = self.spec().barrier_every;
         self.remaining_accesses = self.remaining_accesses.saturating_sub(spec_block_mem);
         self.work_blocks_emitted += 1;
-        if barrier_every > 0 && self.work_blocks_emitted % barrier_every == 0 {
+        if barrier_every > 0 && self.work_blocks_emitted.is_multiple_of(barrier_every) {
             self.barriers_due += 1;
         }
     }
@@ -424,7 +427,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(forks, vec![ThreadId::new(1), ThreadId::new(2), ThreadId::new(3)]);
+        assert_eq!(
+            forks,
+            vec![ThreadId::new(1), ThreadId::new(2), ThreadId::new(3)]
+        );
         assert_eq!(joins, forks);
     }
 
@@ -472,7 +478,10 @@ mod tests {
         let trace = trace_of(&spec, 1);
         let accesses: usize = trace.iter().map(BlockExec::mem_accesses).sum();
         let budget = spec.mem_accesses_per_thread as usize;
-        assert!(accesses >= budget, "must perform at least the requested accesses");
+        assert!(
+            accesses >= budget,
+            "must perform at least the requested accesses"
+        );
         assert!(
             accesses <= budget + spec.block_mem_instrs as usize,
             "must not overshoot by more than one block"
@@ -481,10 +490,12 @@ mod tests {
 
     #[test]
     fn shared_fraction_roughly_matches_spec() {
-        let mut spec = WorkloadSpec::default();
-        spec.mem_accesses_per_thread = 20_000;
-        spec.instrumented_exec_fraction = 0.3;
-        spec.shared_within_instrumented = 0.9;
+        let spec = WorkloadSpec {
+            mem_accesses_per_thread: 20_000,
+            instrumented_exec_fraction: 0.3,
+            shared_within_instrumented: 0.9,
+            ..WorkloadSpec::default()
+        };
         let w = Workload::generate(&spec);
         let layout = w.layout();
         let shared_base = layout.shared_base().raw();
@@ -526,10 +537,12 @@ mod tests {
                             let in_locked_area = m.addr.raw() >= lk_base.raw()
                                 && m.addr.raw() < lk_base.raw() + lk_len;
                             if in_locked_area {
-                                let lock = held.expect("locked-area access outside critical section");
+                                let lock =
+                                    held.expect("locked-area access outside critical section");
                                 let (sbase, slen) = layout.lock_slice(lock);
                                 assert!(
-                                    m.addr.raw() >= sbase.raw() && m.addr.raw() < sbase.raw() + slen,
+                                    m.addr.raw() >= sbase.raw()
+                                        && m.addr.raw() < sbase.raw() + slen,
                                     "access outside the held lock's slice"
                                 );
                             }
@@ -579,7 +592,10 @@ mod tests {
                 threads_touching += 1;
             }
         }
-        assert!(threads_touching >= 2, "need at least two threads for a race");
+        assert!(
+            threads_touching >= 2,
+            "need at least two threads for a race"
+        );
     }
 
     #[test]
@@ -594,16 +610,15 @@ mod tests {
                     match op {
                         Operation::Sync(SyncOp::Fork(_)) => forked = true,
                         Operation::Mem(m)
-                            if m.addr.raw() >= rm_base.raw()
+                            if forked
+                                && m.addr.raw() >= rm_base.raw()
                                 && m.addr.raw() < rm_base.raw() + rm_len =>
                         {
-                            if forked {
-                                assert_eq!(
-                                    m.kind,
-                                    AccessKind::Read,
-                                    "read-mostly data written after fork would be a race"
-                                );
-                            }
+                            assert_eq!(
+                                m.kind,
+                                AccessKind::Read,
+                                "read-mostly data written after fork would be a race"
+                            );
                         }
                         _ => {}
                     }

@@ -50,34 +50,40 @@ impl Workload {
 
         // Work blocks interleave compute and memory instructions so that the
         // compute density of the original benchmark is preserved.
-        let make_work_block = |program: &mut Program, mode: AddrMode, write_bias: bool| -> BlockId {
-            let mut instrs = Vec::new();
-            let mem = spec.block_mem_instrs as usize;
-            for i in 0..mem {
-                // Spread the compute instructions between the memory ones.
-                let computes = (compute_per_block * (i + 1) / mem) - (compute_per_block * i / mem);
-                for _ in 0..computes {
-                    instrs.push(StaticInstr::Compute);
+        let make_work_block =
+            |program: &mut Program, mode: AddrMode, write_bias: bool| -> BlockId {
+                let mut instrs = Vec::new();
+                let mem = spec.block_mem_instrs as usize;
+                for i in 0..mem {
+                    // Spread the compute instructions between the memory ones.
+                    let computes =
+                        (compute_per_block * (i + 1) / mem) - (compute_per_block * i / mem);
+                    for _ in 0..computes {
+                        instrs.push(StaticInstr::Compute);
+                    }
+                    // Alternate reads and writes statically; the dynamic trace
+                    // decides the actual kind per execution, but keeping both
+                    // kinds in the static block mirrors real code.
+                    let kind = if write_bias && i % 2 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    instrs.push(StaticInstr::Mem { kind, mode });
                 }
-                // Alternate reads and writes statically; the dynamic trace
-                // decides the actual kind per execution, but keeping both
-                // kinds in the static block mirrors real code.
-                let kind = if write_bias && i % 2 == 0 {
-                    AccessKind::Write
-                } else {
-                    AccessKind::Read
-                };
-                instrs.push(StaticInstr::Mem { kind, mode });
-            }
-            program.add_block(instrs)
-        };
+                program.add_block(instrs)
+            };
 
         let init_blocks: Vec<BlockId> = (0..2)
             .map(|_| make_work_block(&mut program, AddrMode::Indirect, true))
             .collect();
         let private_blocks: Vec<BlockId> = (0..spec.private_static_blocks)
             .map(|i| {
-                let mode = if i % 2 == 0 { AddrMode::Direct } else { AddrMode::Indirect };
+                let mode = if i % 2 == 0 {
+                    AddrMode::Direct
+                } else {
+                    AddrMode::Indirect
+                };
                 make_work_block(&mut program, mode, i % 3 == 0)
             })
             .collect();
@@ -170,8 +176,14 @@ mod tests {
             w.program().len(),
             2 + spec.private_static_blocks as usize + spec.shared_static_blocks as usize + 6
         );
-        assert_eq!(w.private_block_ids().len(), spec.private_static_blocks as usize);
-        assert_eq!(w.shared_block_ids().len(), spec.shared_static_blocks as usize);
+        assert_eq!(
+            w.private_block_ids().len(),
+            spec.private_static_blocks as usize
+        );
+        assert_eq!(
+            w.shared_block_ids().len(),
+            spec.shared_static_blocks as usize
+        );
         assert_eq!(w.threads().len(), spec.threads as usize);
     }
 
@@ -221,8 +233,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid workload spec")]
     fn invalid_spec_panics() {
-        let mut spec = WorkloadSpec::default();
-        spec.shared_pages = 0;
+        let spec = WorkloadSpec {
+            shared_pages: 0,
+            ..WorkloadSpec::default()
+        };
         let _ = Workload::generate(&spec);
     }
 }

@@ -20,11 +20,17 @@ fn main() {
 
     println!("adversarial workload: the racy pair is touched only once per thread");
     println!();
-    println!("FastTrack (full instrumentation) races:  {}", full.race_count());
+    println!(
+        "FastTrack (full instrumentation) races:  {}",
+        full.race_count()
+    );
     for race in &full.races {
         println!("    {race}");
     }
-    println!("Aikido-FastTrack races:                  {}", aikido.race_count());
+    println!(
+        "Aikido-FastTrack races:                  {}",
+        aikido.race_count()
+    );
     for race in &aikido.races {
         println!("    {race}");
     }

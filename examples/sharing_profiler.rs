@@ -87,9 +87,15 @@ fn main() {
     );
     println!();
     println!("hottest shared pages:");
-    println!("{:>18} {:>10} {:>10} {:>14}", "page", "reads", "writes", "instructions");
+    println!(
+        "{:>18} {:>10} {:>10} {:>14}",
+        "page", "reads", "writes", "instructions"
+    );
     for (page, reads, writes, instrs) in profiler.hottest_pages(10) {
-        println!("{:>18} {reads:>10} {writes:>10} {instrs:>14}", format!("{page}"));
+        println!(
+            "{:>18} {reads:>10} {writes:>10} {instrs:>14}",
+            format!("{page}")
+        );
     }
     println!();
     println!(

@@ -32,7 +32,12 @@ fn build_stack(threads: u32, base: Addr, pages: u64) -> Stack {
 
     let mut sd = AikidoSd::new();
     sd.attach_region(&mut vm, base, pages).unwrap();
-    Stack { vm, sd, engine, instr }
+    Stack {
+        vm,
+        sd,
+        engine,
+        instr,
+    }
 }
 
 /// Drives one access through the protection machinery until it completes.
@@ -134,7 +139,10 @@ fn per_thread_protection_is_invisible_to_other_threads() {
         let t = ThreadId::new(i);
         let addr = base.offset(i as u64 * 4096);
         assert_eq!(access(&mut stack, t, addr, AccessKind::Write), 1);
-        assert_eq!(access(&mut stack, t, addr.offset(128), AccessKind::Write), 0);
+        assert_eq!(
+            access(&mut stack, t, addr.offset(128), AccessKind::Write),
+            0
+        );
     }
     let (private, shared) = stack.sd.page_counts();
     assert_eq!((private, shared), (4, 0));

@@ -1,0 +1,34 @@
+//! Smoke tests that the runnable examples actually run: `cargo run --example`
+//! must exit successfully for the examples the README points users at, so
+//! example rot is caught by the tier-1 test suite instead of by users.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Runs one example through cargo and asserts a zero exit status.
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let output = Command::new(cargo)
+        .current_dir(manifest_dir)
+        .args(["run", "--quiet", "--example", name])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_example_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn find_races_example_runs() {
+    run_example("find_races");
+}

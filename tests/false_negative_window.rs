@@ -19,7 +19,11 @@ fn aikido_never_reports_races_the_full_tool_does_not() {
         let full = race_blocks(&system.run(&workload, Mode::FullInstrumentation));
         let aikido = race_blocks(&system.run(&workload, Mode::Aikido));
         for block in &aikido {
-            assert!(full.contains(block), "{}: spurious aikido race at {block:#x}", spec.name);
+            assert!(
+                full.contains(block),
+                "{}: spurious aikido race at {block:#x}",
+                spec.name
+            );
         }
     }
 }

@@ -14,15 +14,33 @@ fn aikido_and_full_agree_on_race_free_workloads() {
     for spec in [
         producer_consumer_workload(4),
         read_only_sharing_workload(4),
-        WorkloadSpec::parsec("blackscholes").unwrap().scaled(0.05).with_threads(4),
-        WorkloadSpec::parsec("swaptions").unwrap().scaled(0.05).with_threads(4),
+        WorkloadSpec::parsec("blackscholes")
+            .unwrap()
+            .scaled(0.05)
+            .with_threads(4),
+        WorkloadSpec::parsec("swaptions")
+            .unwrap()
+            .scaled(0.05)
+            .with_threads(4),
     ] {
         let workload = Workload::generate(&spec);
         let system = AikidoSystem::new();
         let full = system.run(&workload, Mode::FullInstrumentation);
         let aikido = system.run(&workload, Mode::Aikido);
-        assert_eq!(full.race_count(), 0, "{}: full reported {:?}", spec.name, full.races);
-        assert_eq!(aikido.race_count(), 0, "{}: aikido reported {:?}", spec.name, aikido.races);
+        assert_eq!(
+            full.race_count(),
+            0,
+            "{}: full reported {:?}",
+            spec.name,
+            full.races
+        );
+        assert_eq!(
+            aikido.race_count(),
+            0,
+            "{}: aikido reported {:?}",
+            spec.name,
+            aikido.races
+        );
     }
 }
 
@@ -33,12 +51,21 @@ fn aikido_and_full_find_the_same_races_on_racy_workloads() {
     let full = system.run(&workload, Mode::FullInstrumentation);
     let aikido = system.run(&workload, Mode::Aikido);
 
-    assert!(full.race_count() > 0, "the racy workload must actually race");
-    assert!(aikido.race_count() > 0, "aikido must also observe the races");
+    assert!(
+        full.race_count() > 0,
+        "the racy workload must actually race"
+    );
+    assert!(
+        aikido.race_count() > 0,
+        "aikido must also observe the races"
+    );
     // Aikido never adds false positives relative to the full tool.
     let full_blocks = race_blocks(&full);
     for block in race_blocks(&aikido) {
-        assert!(full_blocks.contains(&block), "aikido-only race at block {block:#x}");
+        assert!(
+            full_blocks.contains(&block),
+            "aikido-only race at block {block:#x}"
+        );
     }
 }
 
@@ -56,14 +83,20 @@ fn aikido_is_cheaper_than_full_instrumentation_on_low_sharing_workloads() {
 
 #[test]
 fn aikido_instruments_only_shared_touching_instructions() {
-    let spec = WorkloadSpec::parsec("canneal").unwrap().scaled(0.05).with_threads(4);
+    let spec = WorkloadSpec::parsec("canneal")
+        .unwrap()
+        .scaled(0.05)
+        .with_threads(4);
     let workload = Workload::generate(&spec);
     let report = AikidoSystem::new().run(&workload, Mode::Aikido);
     let c = report.counts;
     assert!(c.instrumented_accesses < c.mem_accesses);
     assert!(c.shared_accesses <= c.instrumented_accesses);
     assert!(c.segfaults > 0);
-    assert!(c.segfaults < c.mem_accesses / 10, "faults must be rare relative to accesses");
+    assert!(
+        c.segfaults < c.mem_accesses / 10,
+        "faults must be rare relative to accesses"
+    );
     // The sharing detector's own view must be consistent with the run counts.
     assert_eq!(report.sharing.faults_handled, c.segfaults);
     assert_eq!(report.vm.aikido_faults_delivered, c.segfaults);
@@ -71,7 +104,10 @@ fn aikido_instruments_only_shared_touching_instructions() {
 
 #[test]
 fn simulated_runs_are_deterministic_across_repeats() {
-    let spec = WorkloadSpec::parsec("x264").unwrap().scaled(0.05).with_threads(4);
+    let spec = WorkloadSpec::parsec("x264")
+        .unwrap()
+        .scaled(0.05)
+        .with_threads(4);
     let workload = Workload::generate(&spec);
     let system = AikidoSystem::new();
     let a = system.run(&workload, Mode::Aikido);
@@ -90,12 +126,18 @@ fn barrier_heavy_workloads_complete_and_stay_race_free() {
     // bodytrack and streamcluster presets use barriers; they must neither
     // deadlock the scheduler nor produce false races.
     for name in ["bodytrack", "streamcluster"] {
-        let spec = WorkloadSpec::parsec(name).unwrap().scaled(0.05).with_threads(4);
+        let spec = WorkloadSpec::parsec(name)
+            .unwrap()
+            .scaled(0.05)
+            .with_threads(4);
         let workload = Workload::generate(&spec);
         let report = AikidoSystem::new().run(&workload, Mode::Aikido);
         assert!(report.counts.mem_accesses > 0);
         assert_eq!(report.race_count(), 0, "{name}: {:?}", report.races);
-        assert!(report.fasttrack.unwrap().barriers > 0, "{name} must exercise barriers");
+        assert!(
+            report.fasttrack.unwrap().barriers > 0,
+            "{name} must exercise barriers"
+        );
     }
 }
 
@@ -114,7 +156,10 @@ fn thread_scaling_shows_growing_overheads_and_shrinking_aikido_advantage() {
         .collect();
     let (full2, aikido2) = slowdowns[0];
     let (full8, aikido8) = slowdowns[1];
-    assert!(full8 > full2, "full overhead must grow with threads ({full2:.1} -> {full8:.1})");
+    assert!(
+        full8 > full2,
+        "full overhead must grow with threads ({full2:.1} -> {full8:.1})"
+    );
     assert!(aikido8 > aikido2, "aikido overhead must grow with threads");
     // Aikido wins at 2 threads (Table 1) …
     assert!(aikido2 < full2);
@@ -125,11 +170,17 @@ fn thread_scaling_shows_growing_overheads_and_shrinking_aikido_advantage() {
 #[test]
 fn native_mode_is_always_the_cheapest() {
     for name in ["freqmine", "vips"] {
-        let spec = WorkloadSpec::parsec(name).unwrap().scaled(0.03).with_threads(4);
+        let spec = WorkloadSpec::parsec(name)
+            .unwrap()
+            .scaled(0.03)
+            .with_threads(4);
         let cmp = AikidoSystem::new().compare_spec(&spec);
         assert!(cmp.native.cycles < cmp.aikido.cycles);
         assert!(cmp.native.cycles < cmp.full.cycles);
-        assert_eq!(cmp.native.counts.mem_accesses, cmp.aikido.counts.mem_accesses);
+        assert_eq!(
+            cmp.native.counts.mem_accesses,
+            cmp.aikido.counts.mem_accesses
+        );
         assert_eq!(cmp.native.counts.mem_accesses, cmp.full.counts.mem_accesses);
     }
 }

@@ -64,7 +64,10 @@ fn sharing_detector_statistics_are_consistent() {
         );
         // Every shared page was privately owned by someone first.
         assert!(s.shared_transitions <= s.private_transitions, "{name}");
-        assert_eq!(report.vm.aikido_faults_delivered, s.faults_handled, "{name}");
+        assert_eq!(
+            report.vm.aikido_faults_delivered, s.faults_handled,
+            "{name}"
+        );
     }
 }
 
@@ -96,5 +99,8 @@ fn aikido_reduces_instrumentation_by_a_large_factor_on_average() {
         count += 1;
     }
     let geomean = product.powf(1.0 / count as f64);
-    assert!(geomean > 2.0, "geometric-mean reduction {geomean:.2}x is too small");
+    assert!(
+        geomean > 2.0,
+        "geometric-mean reduction {geomean:.2}x is too small"
+    );
 }

@@ -8,15 +8,15 @@ use std::collections::BTreeSet;
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
-        2u32..5,                // threads
-        800u64..3_000,          // accesses per thread
-        0.0f64..0.8,            // instrumented fraction
-        0.2f64..1.0,            // shared-within fraction
-        0.2f64..0.95,           // read fraction
-        0.0f64..1.0,            // locked fraction
-        0u32..3,                // racy pairs
+        2u32..5,                                  // threads
+        800u64..3_000,                            // accesses per thread
+        0.0f64..0.8,                              // instrumented fraction
+        0.2f64..1.0,                              // shared-within fraction
+        0.2f64..0.95,                             // read fraction
+        0.0f64..1.0,                              // locked fraction
+        0u32..3,                                  // racy pairs
         prop::sample::select(vec![0u64, 16, 40]), // barrier cadence
-        any::<u64>(),           // seed
+        any::<u64>(),                             // seed
     )
         .prop_map(
             |(threads, accesses, instr, shared_within, reads, locked, racy, barrier, seed)| {

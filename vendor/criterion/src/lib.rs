@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the criterion API surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop instead of criterion's statistical engine.
+//! Each benchmark runs a short calibrated batch and prints mean
+//! time-per-iteration, so `cargo bench` produces useful numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<S: std::fmt::Display, P: std::fmt::Display>(function_id: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs timed iterations of one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measured: Option<Duration>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running enough iterations for a stable mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up / calibration: find an iteration count that runs in roughly
+        // a few milliseconds, bounded so heavyweight routines still finish.
+        let calibration = Instant::now();
+        black_box(routine());
+        let once = calibration.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(5);
+        let per_sample = ((target.as_nanos() / once.as_nanos()).clamp(1, 10_000)) as u64;
+        let samples = self.sample_size as u64;
+        let start = Instant::now();
+        for _ in 0..samples * per_sample {
+            black_box(routine());
+        }
+        self.measured = Some(start.elapsed());
+        self.iterations = samples * per_sample;
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+fn report(id: &str, bencher: &Bencher) {
+    match bencher.measured {
+        Some(total) if bencher.iterations > 0 => {
+            let per_iter = total.as_nanos() as f64 / bencher.iterations as f64;
+            println!(
+                "bench: {id:<50} {:>12.1} ns/iter ({} iters)",
+                per_iter, bencher.iterations
+            );
+        }
+        _ => println!("bench: {id:<50} (no measurement)"),
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored by the stub).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs `routine` as a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measured: None,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        report(id, &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted and ignored by the stub (statistical engine knob).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `routine` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measured: None,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher);
+        self
+    }
+
+    /// Runs `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measured: None,
+            iterations: 0,
+        };
+        routine(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.id), &bencher);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the minimal surface the workspace actually uses: a [`Serialize`]
+//! trait that can render a value as JSON text, a marker [`Deserialize`]
+//! trait, and re-exported derive macros (from the sibling `serde_derive`
+//! stub) so `#[derive(Serialize, Deserialize)]` works unchanged. Swapping in
+//! the real serde later requires no source changes outside `vendor/`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::BuildHasher;
+
+/// A type that can write itself as JSON text.
+///
+/// This is a radically simplified stand-in for serde's data model: instead of
+/// a generic `Serializer`, implementors append JSON directly to a `String`.
+/// The derive macro in `serde_derive` generates `json_write` bodies that
+/// mirror serde's default encodings (struct → object, newtype → inner value,
+/// enum → externally tagged).
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn json_write(&self, out: &mut String);
+}
+
+/// Marker trait standing in for serde's `Deserialize`.
+///
+/// Nothing in the workspace actually deserializes, so the derive macro emits
+/// an empty impl. The lifetime parameter keeps signatures source-compatible
+/// with real serde bounds like `for<'de> T: Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Escapes and appends `s` as a JSON string literal.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn json_write(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        })*
+    };
+}
+
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Serialize for f32 {
+    fn json_write(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn json_write(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for char {
+    fn json_write(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        write_json_string(self.encode_utf8(&mut buf), out);
+    }
+}
+
+impl Serialize for str {
+    fn json_write(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn json_write(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_write(&self, out: &mut String) {
+        (**self).json_write(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn json_write(&self, out: &mut String) {
+        (**self).json_write(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_write(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.json_write(out),
+        }
+    }
+}
+
+fn write_json_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.json_write(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_write(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_write(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_write(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn json_write(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn json_write(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn json_write(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+fn write_json_map<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+    out: &mut String,
+) {
+    // JSON objects require string keys; the workspace keys maps by numeric
+    // newtypes, so encode maps as arrays of [key, value] pairs instead.
+    out.push('[');
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        k.json_write(out);
+        out.push(',');
+        v.json_write(out);
+        out.push(']');
+    }
+    out.push(']');
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn json_write(&self, out: &mut String) {
+        write_json_map(self.iter(), out);
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn json_write(&self, out: &mut String) {
+        write_json_map(self.iter(), out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn json_write(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.json_write(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    };
+}
+
+impl_serialize_tuple!(A: 0);
+impl_serialize_tuple!(A: 0, B: 1);
+impl_serialize_tuple!(A: 0, B: 1, C: 2);
+impl_serialize_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+impl Serialize for () {
+    fn json_write(&self, out: &mut String) {
+        out.push_str("null");
+    }
+}

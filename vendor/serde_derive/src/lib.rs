@@ -1,0 +1,321 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! crates.io is unreachable in this build environment, so `syn`/`quote` are
+//! unavailable; this crate parses the derive input token stream by hand. It
+//! supports exactly the shapes the workspace uses: non-generic structs with
+//! named fields, tuple structs, unit structs, and enums whose variants are
+//! unit, tuple, or struct-like. The generated `Serialize` impl mirrors
+//! serde's default JSON encoding (objects for named fields, the inner value
+//! for newtypes, external tagging for enums); `Deserialize` is a marker impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a parsed `struct` or `enum` item.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut code = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::json_write(&self.{f}, out);\n"
+                ));
+            }
+            code.push_str("out.push('}');\n");
+            code
+        }
+        Shape::TupleStruct(1) => String::from("::serde::Serialize::json_write(&self.0, out);\n"),
+        Shape::TupleStruct(n) => {
+            let mut code = String::from("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "::serde::Serialize::json_write(&self.{i}, out);\n"
+                ));
+            }
+            code.push_str("out.push(']');\n");
+            code
+        }
+        Shape::UnitStruct => String::from("out.push_str(\"null\");\n"),
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let mut code = String::from("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        code.push_str(&format!(
+                            "{name}::{vname} => out.push_str(\"\\\"{vname}\\\"\"),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        code.push_str(&format!(
+                            "{name}::{vname}(f0) => {{ out.push_str(\"{{\\\"{vname}\\\":\"); ::serde::Serialize::json_write(f0, out); out.push('}}'); }}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{ out.push_str(\"{{\\\"{vname}\\\":[\");\n",
+                            binders.join(", ")
+                        );
+                        for (i, b) in binders.iter().enumerate() {
+                            if i > 0 {
+                                arm.push_str("out.push(',');\n");
+                            }
+                            arm.push_str(&format!("::serde::Serialize::json_write({b}, out);\n"));
+                        }
+                        arm.push_str("out.push_str(\"]}\"); }\n");
+                        code.push_str(&arm);
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{ out.push_str(\"{{\\\"{vname}\\\":{{\");\n",
+                            fields.join(", ")
+                        );
+                        for (i, f) in fields.iter().enumerate() {
+                            if i > 0 {
+                                arm.push_str("out.push(',');\n");
+                            }
+                            arm.push_str(&format!(
+                                "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::json_write({f}, out);\n"
+                            ));
+                        }
+                        arm.push_str("out.push_str(\"}}\"); }\n");
+                        code.push_str(&arm);
+                    }
+                }
+            }
+            code.push_str("}\n");
+            code
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {} {{\n    fn json_write(&self, out: &mut ::std::string::String) {{\n        {}\n    }}\n}}\n",
+        item.name, body
+    );
+    out.parse()
+        .expect("serde_derive stub generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {} {{}}\n",
+        item.name
+    )
+    .parse()
+    .expect("serde_derive stub generated invalid Rust")
+}
+
+/// Parses the derive input down to the item name and field/variant layout.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility to find `struct` / `enum`.
+    let mut is_enum = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                is_enum = false;
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, found {other}"),
+    };
+    i += 1;
+    // The workspace derives only non-generic items; reject generics loudly
+    // rather than generating a broken impl.
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub does not support generic types (on `{name}`)");
+        }
+    }
+    // Find the body: a brace group, a paren group (tuple struct), or `;`.
+    let shape = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                if is_enum {
+                    break Shape::Enum(parse_variants(g.stream()));
+                } else {
+                    break Shape::NamedStruct(parse_named_fields(g.stream()));
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                break Shape::TupleStruct(count_top_level_fields(g.stream()));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Shape::UnitStruct,
+            Some(_) => i += 1,
+            None => panic!("serde_derive stub: no body found for `{name}`"),
+        }
+    };
+    Item { name, shape }
+}
+
+/// Parses `name: Type, ...` named-field lists, skipping attributes and
+/// visibility; returns the field names in declaration order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                // Skip `: Type` up to the next top-level comma. Commas inside
+                // angle brackets (generic args) don't terminate the field. A
+                // `>` at depth 0 is the tail of `->` (fn-pointer types), not a
+                // closing bracket, so it must not drive the depth negative.
+                let mut depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated fields at the top level of a tuple-struct body.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                saw_trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => {
+                depth -= 1;
+                saw_trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_trailing_comma = true;
+            }
+            _ => saw_trailing_comma = false,
+        }
+    }
+    if saw_trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parses enum variants: `Name`, `Name(T, U)`, `Name { a: T }`, each possibly
+/// preceded by attributes and followed by `= discriminant`.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let kind = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantKind::Tuple(count_top_level_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantKind::Named(parse_named_fields(g.stream()))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Skip an explicit discriminant and the separating comma.
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                variants.push(Variant { name, kind });
+            }
+            _ => i += 1,
+        }
+    }
+    variants
+}

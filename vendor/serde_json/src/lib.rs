@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde` stub.
+
+use std::fmt;
+
+/// Error type for JSON serialization. The stub serializer is infallible, so
+/// this exists only for signature compatibility with real `serde_json`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.json_write(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as JSON. The stub does not indent; this is an alias of
+/// [`to_string`] kept for API compatibility.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    to_string(value)
+}
