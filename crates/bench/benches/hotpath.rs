@@ -1,0 +1,116 @@
+//! Microbenchmarks of the per-access hot path: the exact operations the
+//! simulator performs for every simulated memory access, isolated per layer.
+//!
+//! ```bash
+//! cargo bench -p aikido-bench --bench hotpath
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aikido::fasttrack::FastTrack;
+use aikido::shadow::ShadowStore;
+use aikido::types::{AccessKind, Addr, Prot, ThreadId};
+use aikido::vm::{AikidoVm, VmConfig};
+use aikido::{Mode, Simulator, Workload, WorkloadSpec};
+
+/// Repeated same-page touches on an unprotected page: the dominant
+/// "unshared page, access allowed" case the software TLB serves.
+fn bench_vm_touch_hot(c: &mut Criterion) {
+    let mut vm = AikidoVm::new(VmConfig::default());
+    let t = ThreadId::new(0);
+    vm.register_thread(t).unwrap();
+    let base = Addr::new(0x40_0000);
+    // Map more pages than the per-thread TLB holds so the stride benchmark
+    // below actually misses the TLB and exercises the flat table lookup.
+    const PAGES: u64 = 192;
+    vm.mmap(base, PAGES, Prot::RW_USER).unwrap();
+    for p in 0..PAGES {
+        vm.touch(t, base.offset(p * 4096), AccessKind::Write)
+            .unwrap();
+    }
+    c.bench_function("vm_touch/same_page_hit", |b| {
+        b.iter(|| {
+            let touch = vm
+                .touch(t, black_box(base.offset(8)), AccessKind::Read)
+                .unwrap();
+            black_box(touch)
+        })
+    });
+
+    // Striding across more pages than the TLB holds: exercises the shadow
+    // page-table lookup (TLB miss, table hit).
+    let mut page = 0u64;
+    c.bench_function("vm_touch/page_stride", |b| {
+        b.iter(|| {
+            // Coprime stride so consecutive touches collide in the
+            // direct-mapped TLB instead of settling into it.
+            page = (page + 67) % PAGES;
+            let addr = base.offset(page * 4096);
+            let touch = vm.touch(t, black_box(addr), AccessKind::Read).unwrap();
+            black_box(touch)
+        })
+    });
+}
+
+/// Shadow metadata access at FastTrack's 8-byte granularity.
+fn bench_shadow_store(c: &mut Criterion) {
+    let mut store: ShadowStore<u64> = ShadowStore::new(8);
+    for i in 0..4096u64 {
+        store.insert(Addr::new(0x10_0000 + i * 8), i);
+    }
+    let mut i = 0u64;
+    c.bench_function("shadow_store/get_mut_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            let v = store.get_mut(Addr::new(0x10_0000 + i * 8)).unwrap();
+            *v = v.wrapping_add(1);
+            black_box(*v)
+        })
+    });
+    c.bench_function("shadow_store/get_or_default_new", |b| {
+        let mut fresh: ShadowStore<u64> = ShadowStore::new(8);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 8;
+            black_box(*fresh.get_or_default(Addr::new(0x20_0000 + k)))
+        })
+    });
+}
+
+/// FastTrack's same-epoch fast path — the per-access cost every
+/// fully-instrumented run pays.
+fn bench_fasttrack_same_epoch(c: &mut Criterion) {
+    let mut ft = FastTrack::new();
+    let t = ThreadId::new(0);
+    ft.write(t, Addr::new(0x1000));
+    c.bench_function("fasttrack/write_same_epoch", |b| {
+        b.iter(|| {
+            ft.write(t, black_box(Addr::new(0x1000)));
+        })
+    });
+    c.bench_function("fasttrack/read_same_epoch", |b| {
+        b.iter(|| {
+            ft.read(t, black_box(Addr::new(0x1000)));
+        })
+    });
+}
+
+/// End-to-end: a small Aikido-mode run (the number the `throughput` bin
+/// tracks at larger scale).
+fn bench_aikido_end_to_end(c: &mut Criterion) {
+    let spec = WorkloadSpec::parsec("blackscholes").unwrap().scaled(0.05);
+    let workload = Workload::generate(&spec);
+    let sim = Simulator::default();
+    c.bench_function("end_to_end/aikido_blackscholes_0.05", |b| {
+        b.iter(|| black_box(sim.run(&workload, Mode::Aikido).cycles))
+    });
+}
+
+criterion_group!(
+    hotpath,
+    bench_vm_touch_hot,
+    bench_shadow_store,
+    bench_fasttrack_same_epoch,
+    bench_aikido_end_to_end
+);
+criterion_main!(hotpath);

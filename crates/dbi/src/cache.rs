@@ -1,7 +1,7 @@
 //! The basic-block code cache, block linking and trace promotion.
 
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use aikido_types::{BlockId, InstrId};
 
@@ -48,6 +48,9 @@ pub struct CachedBlock {
     /// Per-instruction flag: `true` if instrumentation was emitted for the
     /// instruction when the block was built.
     pub instrumented: Vec<bool>,
+    /// Number of memory instructions carrying instrumentation in this copy
+    /// (precomputed at build time so dispatch stays allocation- and scan-free).
+    pub instrumented_mem_instrs: usize,
     /// Number of times the cached copy has been executed.
     pub executions: u64,
     /// How many times the block has been (re)built; generation 1 is the first
@@ -65,10 +68,13 @@ impl CachedBlock {
 }
 
 /// The thread-shared basic-block code cache.
+///
+/// Blocks are stored in a vector indexed by the (dense) [`BlockId`], so the
+/// per-block-execution dispatch is a bounds check and a load.
 #[derive(Debug, Default)]
 pub struct CodeCache {
-    blocks: HashMap<BlockId, CachedBlock>,
-    generations: HashMap<BlockId, u32>,
+    blocks: Vec<Option<CachedBlock>>,
+    generations: Vec<u32>,
     hot_threshold: u64,
     stats: CodeCacheStats,
 }
@@ -88,8 +94,8 @@ impl CodeCache {
     /// `hot_threshold` executions.
     pub fn with_hot_threshold(hot_threshold: u64) -> Self {
         CodeCache {
-            blocks: HashMap::new(),
-            generations: HashMap::new(),
+            blocks: Vec::new(),
+            generations: Vec::new(),
             hot_threshold: hot_threshold.max(1),
             stats: CodeCacheStats::default(),
         }
@@ -97,17 +103,17 @@ impl CodeCache {
 
     /// True if `block` is currently cached.
     pub fn contains(&self, block: BlockId) -> bool {
-        self.blocks.contains_key(&block)
+        self.get(block).is_some()
     }
 
     /// Number of blocks currently cached.
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.blocks.iter().filter(|b| b.is_some()).count()
     }
 
     /// True if the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+        self.len() == 0
     }
 
     /// Statistics accumulated so far.
@@ -116,8 +122,9 @@ impl CodeCache {
     }
 
     /// The cached copy of `block`, if present.
+    #[inline]
     pub fn get(&self, block: BlockId) -> Option<&CachedBlock> {
-        self.blocks.get(&block)
+        self.blocks.get(block.raw() as usize)?.as_ref()
     }
 
     /// Executes `block` through the cache, building it first if necessary.
@@ -139,42 +146,53 @@ impl CodeCache {
         F: FnMut(InstrId) -> bool,
     {
         self.stats.dispatches += 1;
+        let idx = block.raw() as usize;
         let mut built = false;
-        if !self.blocks.contains_key(&block) {
+        if self.get(block).is_none() {
             let static_block = program
                 .block(block)
                 .unwrap_or_else(|| panic!("{block:?} not present in program"));
+            let mut instrumented_mem_instrs = 0;
             let instrumented: Vec<bool> = static_block
                 .iter_ids()
-                .map(|(id, _)| should_instrument(id))
+                .map(|(id, instr)| {
+                    let inst = should_instrument(id);
+                    if inst && instr.is_mem() {
+                        instrumented_mem_instrs += 1;
+                    }
+                    inst
+                })
                 .collect();
-            let generation = self.generations.entry(block).or_insert(0);
-            *generation += 1;
+            if idx >= self.generations.len() {
+                self.generations.resize(idx + 1, 0);
+            }
+            self.generations[idx] += 1;
             self.stats.blocks_built += 1;
             self.stats.instrs_emitted += static_block.len() as u64;
-            self.blocks.insert(
+            if idx >= self.blocks.len() {
+                self.blocks.resize_with(idx + 1, || None);
+            }
+            self.blocks[idx] = Some(CachedBlock {
                 block,
-                CachedBlock {
-                    block,
-                    instrumented,
-                    executions: 0,
-                    generation: *generation,
-                    in_trace: false,
-                },
-            );
+                instrumented,
+                instrumented_mem_instrs,
+                executions: 0,
+                generation: self.generations[idx],
+                in_trace: false,
+            });
             built = true;
         } else {
             self.stats.linked_dispatches += 1;
         }
 
         let hot_threshold = self.hot_threshold;
-        let entry = self.blocks.get_mut(&block).expect("just inserted");
+        let entry = self.blocks[idx].as_mut().expect("just inserted");
         entry.executions += 1;
         if !entry.in_trace && entry.executions >= hot_threshold {
             entry.in_trace = true;
             self.stats.traces_built += 1;
         }
-        (built, self.blocks.get(&block).expect("just inserted"))
+        (built, &*entry)
     }
 
     /// Flushes every cached block containing `instr` (in this model, the one
@@ -182,11 +200,18 @@ impl CodeCache {
     /// removed.
     pub fn flush_instr(&mut self, instr: InstrId) -> usize {
         self.stats.flush_requests += 1;
-        if self.blocks.remove(&instr.block()).is_some() {
+        if self.evict(instr.block()) {
             self.stats.blocks_flushed += 1;
             1
         } else {
             0
+        }
+    }
+
+    fn evict(&mut self, block: BlockId) -> bool {
+        match self.blocks.get_mut(block.raw() as usize) {
+            Some(slot) => slot.take().is_some(),
+            None => false,
         }
     }
 
@@ -195,8 +220,8 @@ impl CodeCache {
     pub fn flush_blocks(&mut self, blocks: &HashSet<BlockId>) -> usize {
         self.stats.flush_requests += 1;
         let mut removed = 0;
-        for b in blocks {
-            if self.blocks.remove(b).is_some() {
+        for &b in blocks {
+            if self.evict(b) {
                 removed += 1;
             }
         }

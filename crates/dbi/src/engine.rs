@@ -2,6 +2,7 @@
 //! decisions.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use aikido_types::{BlockId, InstrId};
 
@@ -24,32 +25,49 @@ pub struct BlockExecution {
     pub in_trace: bool,
 }
 
+/// Blocks with a raw id below this bound get a dense bitmask slot; beyond it
+/// (never in practice — ids are assigned sequentially by [`Program`]) the
+/// `instrumented` set remains authoritative, bounding the masks allocation
+/// against pathological ids.
+const MAX_MASK_BLOCKS: usize = 1 << 20;
+
 /// The DynamoRIO-style engine driving a [`Program`] through a [`CodeCache`]
 /// with a dynamic set of instrumentation decisions.
+///
+/// The program is held behind an [`Arc`], so constructing an engine from a
+/// workload's already-shared program is free. Instrumentation decisions are
+/// mirrored into per-block bitmasks so the per-access `is_instrumented` check
+/// is two loads and a bit test.
 #[derive(Debug)]
 pub struct DbiEngine {
-    program: Program,
+    program: Arc<Program>,
     cache: CodeCache,
     instrumented: HashSet<InstrId>,
+    /// Per-block instrumentation bitmask (bit *i* = instruction *i*), indexed
+    /// by raw block id. Instructions at index ≥ 64 (none in practice) fall
+    /// back to the `instrumented` set.
+    masks: Vec<u64>,
 }
 
 impl DbiEngine {
-    /// Creates an engine for `program` with an empty code cache and no
-    /// instrumentation decisions.
-    pub fn new(program: Program) -> Self {
+    /// Creates an engine for `program` (owned or shared) with an empty code
+    /// cache and no instrumentation decisions.
+    pub fn new(program: impl Into<Arc<Program>>) -> Self {
         DbiEngine {
-            program,
+            program: program.into(),
             cache: CodeCache::new(),
             instrumented: HashSet::new(),
+            masks: Vec::new(),
         }
     }
 
     /// Creates an engine with a custom trace-promotion threshold.
-    pub fn with_hot_threshold(program: Program, hot_threshold: u64) -> Self {
+    pub fn with_hot_threshold(program: impl Into<Arc<Program>>, hot_threshold: u64) -> Self {
         DbiEngine {
-            program,
+            program: program.into(),
             cache: CodeCache::with_hot_threshold(hot_threshold),
             instrumented: HashSet::new(),
+            masks: Vec::new(),
         }
     }
 
@@ -69,8 +87,18 @@ impl DbiEngine {
     }
 
     /// True if `instr` is currently marked for instrumentation.
+    #[inline]
     pub fn is_instrumented(&self, instr: InstrId) -> bool {
-        self.instrumented.contains(&instr)
+        let index = instr.index();
+        let block = instr.block().raw() as usize;
+        if index < 64 && block < MAX_MASK_BLOCKS {
+            match self.masks.get(block) {
+                Some(mask) => mask & (1u64 << index) != 0,
+                None => false,
+            }
+        } else {
+            self.instrumented.contains(&instr)
+        }
     }
 
     /// Executes `block` through the code cache, building (and instrumenting
@@ -81,21 +109,21 @@ impl DbiEngine {
     /// Panics if `block` is not part of the program.
     pub fn execute_block(&mut self, block: BlockId) -> BlockExecution {
         let instrumented = &self.instrumented;
-        let (built, cached) = self
-            .cache
-            .execute(&self.program, block, |id| instrumented.contains(&id));
-        let static_block = self.program.block(block).expect("checked by cache");
-        let instrumented_mem_instrs = cached
-            .instrumented
-            .iter()
-            .zip(static_block.instrs())
-            .filter(|(&inst, si)| inst && si.is_mem())
-            .count();
+        let masks = &self.masks;
+        let (built, cached) = self.cache.execute(&self.program, block, |id| {
+            let index = id.index();
+            let block = id.block().raw() as usize;
+            if index < 64 && block < MAX_MASK_BLOCKS {
+                masks.get(block).is_some_and(|m| m & (1u64 << index) != 0)
+            } else {
+                instrumented.contains(&id)
+            }
+        });
         BlockExecution {
             block,
             built,
-            instr_count: static_block.len(),
-            instrumented_mem_instrs,
+            instr_count: cached.instrumented.len(),
+            instrumented_mem_instrs: cached.instrumented_mem_instrs,
             in_trace: cached.in_trace,
         }
     }
@@ -107,6 +135,14 @@ impl DbiEngine {
     pub fn request_instrumentation(&mut self, instr: InstrId) -> bool {
         let newly = self.instrumented.insert(instr);
         if newly {
+            let index = instr.index();
+            let idx = instr.block().raw() as usize;
+            if index < 64 && idx < MAX_MASK_BLOCKS {
+                if idx >= self.masks.len() {
+                    self.masks.resize(idx + 1, 0);
+                }
+                self.masks[idx] |= 1u64 << index;
+            }
             self.cache.flush_instr(instr);
         }
         newly

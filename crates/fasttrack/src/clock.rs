@@ -92,6 +92,13 @@ impl VectorClock {
         new
     }
 
+    /// Overwrites `self` with `other`, reusing the existing allocation (the
+    /// release hot path re-publishes a thread clock into a lock slot without
+    /// allocating).
+    pub fn copy_from(&mut self, other: &VectorClock) {
+        self.clocks.clone_from(&other.clocks);
+    }
+
     /// Pointwise maximum: `self := self ⊔ other`.
     pub fn join(&mut self, other: &VectorClock) {
         if other.clocks.len() > self.clocks.len() {

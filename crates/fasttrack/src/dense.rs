@@ -1,0 +1,128 @@
+//! Dense slot-indexed storage for per-thread and per-lock vector clocks.
+//!
+//! Thread and lock identities in the simulated workloads are small dense
+//! integers, so the detector keys its clock state by direct index instead of
+//! hashing a `ThreadId`/`LockId` on every event. Pathologically large ids
+//! (possible through the public API) spill into a small scanned vector so
+//! the dense array can never be grown unboundedly by a hostile key.
+//!
+//! This is deliberately not `aikido_types::ChunkMap`: the clock lookup sits
+//! on the per-event critical path and the keys here are guaranteed-dense
+//! slots, so a single direct index beats the chunk map's probe-plus-leaf
+//! walk.
+
+/// Keys below this bound index the dense array directly.
+const MAX_DENSE: u64 = 1 << 16;
+
+/// A `u64 → V` map optimised for small dense keys.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseMap<V> {
+    dense: Vec<Option<V>>,
+    spill: Vec<(u64, V)>,
+    len: usize,
+}
+
+impl<V> Default for DenseMap<V> {
+    fn default() -> Self {
+        DenseMap {
+            dense: Vec::new(),
+            spill: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<V> DenseMap<V> {
+    /// Number of keys with a value.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Shared access to the value at `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        if key < MAX_DENSE {
+            self.dense.get(key as usize)?.as_ref()
+        } else {
+            self.spill.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+        }
+    }
+
+    /// Mutable access to the value at `key`.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        if key < MAX_DENSE {
+            self.dense.get_mut(key as usize)?.as_mut()
+        } else {
+            self.spill
+                .iter_mut()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v)
+        }
+    }
+
+    /// Mutable access to the value at `key`, inserting `make()` first if the
+    /// key is vacant.
+    pub fn get_or_insert_with(&mut self, key: u64, make: impl FnOnce() -> V) -> &mut V {
+        if key < MAX_DENSE {
+            let idx = key as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize_with(idx + 1, || None);
+            }
+            let slot = &mut self.dense[idx];
+            if slot.is_none() {
+                *slot = Some(make());
+                self.len += 1;
+            }
+            slot.as_mut().expect("just filled")
+        } else {
+            if let Some(pos) = self.spill.iter().position(|(k, _)| *k == key) {
+                return &mut self.spill[pos].1;
+            }
+            self.spill.push((key, make()));
+            self.len += 1;
+            &mut self.spill.last_mut().expect("just pushed").1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_and_spill_keys_roundtrip() {
+        let mut m: DenseMap<u32> = DenseMap::default();
+        *m.get_or_insert_with(3, || 30) += 0;
+        *m.get_or_insert_with(1 << 40, || 40) += 0;
+        assert_eq!(m.get(3), Some(&30));
+        assert_eq!(m.get(1 << 40), Some(&40));
+        assert_eq!(m.get(4), None);
+        assert_eq!(m.len(), 2);
+        *m.get_mut(3).unwrap() += 1;
+        assert_eq!(m.get(3), Some(&31));
+    }
+
+    #[test]
+    fn get_or_insert_with_creates_once() {
+        let mut m: DenseMap<u32> = DenseMap::default();
+        assert_eq!(*m.get_or_insert_with(7, || 1), 1);
+        *m.get_or_insert_with(7, || 99) += 1;
+        assert_eq!(m.get(7), Some(&2));
+        assert_eq!(m.len(), 1);
+        assert_eq!(*m.get_or_insert_with(1 << 20, || 5), 5);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn overwriting_through_get_mut_does_not_grow_len() {
+        let mut m: DenseMap<u32> = DenseMap::default();
+        m.get_or_insert_with(2, || 1);
+        *m.get_mut(2).unwrap() = 2;
+        m.get_or_insert_with(1 << 30, || 3);
+        *m.get_mut(1 << 30).unwrap() = 4;
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(2), Some(&2));
+        assert_eq!(m.get(1 << 30), Some(&4));
+    }
+}

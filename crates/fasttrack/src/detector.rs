@@ -1,6 +1,6 @@
 //! The FastTrack detector itself.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use aikido_shadow::ShadowStore;
 use aikido_types::{
@@ -10,6 +10,7 @@ use aikido_types::{
 
 use crate::clock::VectorClock;
 use crate::config::FastTrackConfig;
+use crate::dense::DenseMap;
 use crate::state::{ReadState, VarState};
 use crate::stats::FastTrackStats;
 
@@ -23,10 +24,10 @@ use crate::stats::FastTrackStats;
 #[derive(Debug)]
 pub struct FastTrack {
     config: FastTrackConfig,
-    /// Per-thread vector clocks.
-    threads: HashMap<ThreadId, VectorClock>,
-    /// Per-lock vector clocks.
-    locks: HashMap<LockId, VectorClock>,
+    /// Per-thread vector clocks, keyed by dense thread slot.
+    threads: DenseMap<VectorClock>,
+    /// Per-lock vector clocks, keyed by dense lock slot.
+    locks: DenseMap<VectorClock>,
     /// Per-variable (8-byte block) metadata, in shadow memory.
     vars: ShadowStore<VarState>,
     /// Blocks for which a race has already been reported (deduplication).
@@ -80,8 +81,8 @@ impl FastTrack {
         FastTrack {
             vars: ShadowStore::new(config.granularity),
             config,
-            threads: HashMap::new(),
-            locks: HashMap::new(),
+            threads: DenseMap::default(),
+            locks: DenseMap::default(),
             reported_blocks: HashSet::new(),
             reports: Vec::new(),
             stats: FastTrackStats::new(),
@@ -112,7 +113,7 @@ impl FastTrack {
 
     /// The vector clock of `thread` (creating it on first use).
     fn thread_vc(&mut self, thread: ThreadId) -> &mut VectorClock {
-        self.threads.entry(thread).or_insert_with(|| {
+        self.threads.get_or_insert_with(thread.index() as u64, || {
             let mut vc = VectorClock::new();
             vc.set(thread, 1);
             vc
@@ -120,6 +121,8 @@ impl FastTrack {
     }
 
     /// Ensures a thread exists and returns a snapshot of its vector clock.
+    /// Only the (rare) synchronisation operations snapshot; the per-access
+    /// paths borrow the clock in place.
     fn thread_vc_snapshot(&mut self, thread: ThreadId) -> VectorClock {
         self.thread_vc(thread).clone()
     }
@@ -133,14 +136,19 @@ impl FastTrack {
     pub fn read_at(&mut self, thread: ThreadId, addr: Addr, instr: Option<InstrId>) {
         self.stats.reads += 1;
         let threads_known = self.threads.len().max(1) as u64;
-        let vc = self.thread_vc_snapshot(thread);
+        self.thread_vc(thread);
+        // Field-disjoint borrows: the thread clock is read in place while the
+        // variable state is updated — no per-access clone.
+        let vc = self
+            .threads
+            .get(thread.index() as u64)
+            .expect("just ensured");
         let epoch = vc.epoch_of(thread);
         let use_epochs = self.config.epoch_optimization;
-        let is_new = self.vars.get(addr).is_none();
+        let (is_new, state) = self.vars.get_or_default_tracked(addr);
         if is_new {
             self.stats.blocks_tracked += 1;
         }
-        let state = self.vars.get_or_default(addr);
 
         // Same-epoch fast path.
         if use_epochs {
@@ -161,12 +169,12 @@ impl FastTrack {
         self.last_cost = cost::EXCLUSIVE;
 
         // Write-read race check: the last write must happen-before this read.
-        let write_races = !state.write.happens_before(&vc);
+        let write_races = !state.write.happens_before(vc);
         let prior_writer = state.write.thread();
 
         // Update the read history.
         match (&mut state.read, use_epochs) {
-            (ReadState::Exclusive(e), true) if e.happens_before(&vc) => {
+            (ReadState::Exclusive(e), true) if e.happens_before(vc) => {
                 *e = epoch;
             }
             (ReadState::Exclusive(e), _) => {
@@ -177,7 +185,7 @@ impl FastTrack {
                     rvc.set(e.thread(), e.clock());
                 }
                 rvc.set(thread, epoch.clock());
-                state.read = ReadState::Shared(rvc);
+                state.read = ReadState::Shared(Box::new(rvc));
                 self.stats.read_share_promotions += 1;
                 self.last_cost = cost::PROMOTE_SHARED;
             }
@@ -209,14 +217,17 @@ impl FastTrack {
     pub fn write_at(&mut self, thread: ThreadId, addr: Addr, instr: Option<InstrId>) {
         self.stats.writes += 1;
         let threads_known = self.threads.len().max(1) as u64;
-        let vc = self.thread_vc_snapshot(thread);
+        self.thread_vc(thread);
+        let vc = self
+            .threads
+            .get(thread.index() as u64)
+            .expect("just ensured");
         let epoch = vc.epoch_of(thread);
         let use_epochs = self.config.epoch_optimization;
-        let is_new = self.vars.get(addr).is_none();
+        let (is_new, state) = self.vars.get_or_default_tracked(addr);
         if is_new {
             self.stats.blocks_tracked += 1;
         }
-        let state = self.vars.get_or_default(addr);
 
         // Same-epoch fast path.
         if use_epochs && state.write == epoch {
@@ -230,9 +241,9 @@ impl FastTrack {
             cost::EXCLUSIVE
         };
 
-        let write_races = !state.write.happens_before(&vc);
+        let write_races = !state.write.happens_before(vc);
         let prior_writer = state.write.thread();
-        let read_races = !state.read.happens_before(&vc);
+        let read_races = !state.read.happens_before(vc);
         let prior_reader = match &state.read {
             ReadState::Exclusive(e) => Some(e.thread()),
             ReadState::Shared(rvc) => rvc.iter().find(|(t, c)| *c > vc.get(*t)).map(|(t, _)| t),
@@ -272,19 +283,27 @@ impl FastTrack {
     /// Processes `thread` acquiring `lock`.
     pub fn acquire(&mut self, thread: ThreadId, lock: LockId) {
         self.stats.acquires += 1;
-        if let Some(lvc) = self.locks.get(&lock).cloned() {
-            self.thread_vc(thread).join(&lvc);
-        } else {
-            // Touch the thread so it exists.
-            self.thread_vc(thread);
+        self.thread_vc(thread);
+        let tvc = self
+            .threads
+            .get_mut(thread.index() as u64)
+            .expect("just ensured");
+        if let Some(lvc) = self.locks.get(lock.raw()) {
+            tvc.join(lvc);
         }
     }
 
     /// Processes `thread` releasing `lock`.
     pub fn release(&mut self, thread: ThreadId, lock: LockId) {
         self.stats.releases += 1;
-        let vc = self.thread_vc_snapshot(thread);
-        self.locks.insert(lock, vc);
+        self.thread_vc(thread);
+        let tvc = self
+            .threads
+            .get(thread.index() as u64)
+            .expect("just ensured");
+        self.locks
+            .get_or_insert_with(lock.raw(), VectorClock::new)
+            .copy_from(tvc);
         self.thread_vc(thread).increment(thread);
     }
 

@@ -13,9 +13,10 @@
 //!   variables, so the address space is divided into fixed-size 8-byte blocks
 //!   that play the role of variables (this can introduce false positives for
 //!   tightly packed data, and is configurable);
-//! * metadata lives in shadow memory ([`aikido_shadow::ShadowStore`]);
-//! * thread creation is serialised by the harness, and lock metadata lives in
-//!   a hash table.
+//! * metadata lives in shadow memory ([`aikido_shadow::ShadowStore`], a
+//!   chunked slab addressed by block index);
+//! * thread creation is serialised by the harness, and thread/lock clock
+//!   state is kept in dense slot-indexed arrays rather than hash tables.
 //!
 //! The detector implements [`aikido_types::SharedDataAnalysis`], so the same
 //! instance can be driven by the conventional full-instrumentation pipeline
@@ -56,6 +57,7 @@
 
 mod clock;
 mod config;
+mod dense;
 mod detector;
 mod state;
 mod stats;

@@ -16,7 +16,9 @@ pub enum ReadState {
     /// Reads so far are totally ordered; only the last one is kept.
     Exclusive(Epoch),
     /// Concurrent reads have been observed; one clock per reading thread.
-    Shared(VectorClock),
+    /// Boxed so the common exclusive case keeps [`VarState`] at two words —
+    /// shadow-memory density directly bounds the per-access cache footprint.
+    Shared(Box<VectorClock>),
 }
 
 impl Default for ReadState {
@@ -87,7 +89,7 @@ mod tests {
     #[test]
     fn shared_read_state_requires_all_entries_ordered() {
         let rvc: VectorClock = [(t(0), 1), (t(1), 2)].into_iter().collect();
-        let r = ReadState::Shared(rvc);
+        let r = ReadState::Shared(Box::new(rvc));
         assert!(r.is_shared());
         let covers: VectorClock = [(t(0), 1), (t(1), 5)].into_iter().collect();
         assert!(r.happens_before(&covers));

@@ -9,11 +9,15 @@
 //! small FIFO of recently used regions per thread; everything else is a full
 //! lookup. The [`CacheLevel`] returned for each translation lets the cost
 //! model charge the right number of cycles.
+//!
+//! Because `access` runs once per instrumented memory access, the cache is
+//! stored as per-thread lanes indexed by [`ThreadId::index`], with the inline
+//! level a flat [`ChunkMap`] keyed by `(block, instruction)` — no hashing on
+//! the hot path.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
-use aikido_types::{InstrId, ThreadId};
+use aikido_types::{ChunkMap, InstrId, ThreadId};
 
 use crate::region::RegionId;
 use crate::stats::ShadowStats;
@@ -29,13 +33,40 @@ pub enum CacheLevel {
     Full,
 }
 
+/// One thread's view of the translation machinery.
+#[derive(Debug, Default)]
+struct ThreadLane {
+    /// Static instruction → last region it translated (the inline cache).
+    inline: ChunkMap<RegionId>,
+    /// Recently used regions (the thread-local caches), most recent last.
+    recent: Vec<RegionId>,
+}
+
+/// Dense `u64` key for a static instruction. Blocks rarely exceed a few
+/// dozen instructions, so packing 64 indices per block keeps many blocks'
+/// entries in one leaf chunk (good locality); the rare wider block moves to
+/// a disjoint high key range.
+#[inline]
+fn instr_key(instr: InstrId) -> u64 {
+    let (block, index) = (instr.block().raw() as u64, instr.index() as u64);
+    if index < 64 {
+        (block << 6) | index
+    } else {
+        (1 << 40) | (block << 16) | index
+    }
+}
+
+/// Thread indices below this bound get a dense lane; beyond it (never in
+/// practice — workload thread ids are sequential) lanes spill into a scanned
+/// list, bounding the allocation against pathological ids.
+const MAX_DENSE_LANES: usize = 1 << 16;
+
 /// Per-thread, per-instruction translation cache model.
 #[derive(Debug, Default)]
 pub struct TranslationCache {
-    /// instruction -> last region it translated (the inline cache).
-    inline: HashMap<(ThreadId, InstrId), RegionId>,
-    /// thread -> recently used regions (the thread-local caches).
-    recent: HashMap<ThreadId, Vec<RegionId>>,
+    lanes: Vec<ThreadLane>,
+    /// Lanes for out-of-range thread indices, keyed by index.
+    spill_lanes: Vec<(usize, ThreadLane)>,
     stats: ShadowStats,
     thread_local_entries: usize,
 }
@@ -52,8 +83,8 @@ impl TranslationCache {
     /// Creates a cache with `entries` thread-local slots per thread.
     pub fn with_thread_local_entries(entries: usize) -> Self {
         TranslationCache {
-            inline: HashMap::new(),
-            recent: HashMap::new(),
+            lanes: Vec::new(),
+            spill_lanes: Vec::new(),
             stats: ShadowStats::default(),
             thread_local_entries: entries.max(1),
         }
@@ -63,33 +94,57 @@ impl TranslationCache {
     /// returns which cache level satisfied it.
     pub fn access(&mut self, thread: ThreadId, instr: InstrId, region: RegionId) -> CacheLevel {
         self.stats.translations += 1;
-        let key = (thread, instr);
-        let level = if self.inline.get(&key) == Some(&region) {
-            self.stats.inline_hits += 1;
-            CacheLevel::Inline
-        } else if self
-            .recent
-            .get(&thread)
-            .map(|v| v.contains(&region))
-            .unwrap_or(false)
-        {
-            self.stats.thread_local_hits += 1;
-            CacheLevel::ThreadLocal
+        let capacity = self.thread_local_entries;
+        let idx = thread.index();
+        let lane = if idx < MAX_DENSE_LANES {
+            if idx >= self.lanes.len() {
+                self.lanes.resize_with(idx + 1, ThreadLane::default);
+            }
+            &mut self.lanes[idx]
         } else {
-            self.stats.full_lookups += 1;
-            CacheLevel::Full
+            match self.spill_lanes.iter().position(|(i, _)| *i == idx) {
+                Some(pos) => &mut self.spill_lanes[pos].1,
+                None => {
+                    self.spill_lanes.push((idx, ThreadLane::default()));
+                    &mut self.spill_lanes.last_mut().expect("just pushed").1
+                }
+            }
+        };
+        let key = instr_key(instr);
+        let level = match lane.inline.get_mut(key) {
+            Some(slot) if *slot == region => {
+                self.stats.inline_hits += 1;
+                CacheLevel::Inline
+            }
+            slot => {
+                let level = if lane.recent.contains(&region) {
+                    self.stats.thread_local_hits += 1;
+                    CacheLevel::ThreadLocal
+                } else {
+                    self.stats.full_lookups += 1;
+                    CacheLevel::Full
+                };
+                // Install the result in the inline cache on the way out.
+                match slot {
+                    Some(slot) => *slot = region,
+                    None => {
+                        lane.inline.insert(key, region);
+                    }
+                }
+                level
+            }
         };
 
-        // Update both levels (the real system installs the result in the
-        // inline cache and the thread-local caches on the way out).
-        self.inline.insert(key, region);
-        let recent = self.recent.entry(thread).or_default();
-        if let Some(pos) = recent.iter().position(|&r| r == region) {
-            recent.remove(pos);
-        }
-        recent.push(region);
-        if recent.len() > self.thread_local_entries {
-            recent.remove(0);
+        // Move the region to the back of the thread-local FIFO; when it is
+        // already the most recent entry the reorder is a no-op, so skip it.
+        if lane.recent.last() != Some(&region) {
+            if let Some(pos) = lane.recent.iter().position(|&r| r == region) {
+                lane.recent.remove(pos);
+            }
+            lane.recent.push(region);
+            if lane.recent.len() > capacity {
+                lane.recent.remove(0);
+            }
         }
         level
     }
@@ -101,8 +156,8 @@ impl TranslationCache {
 
     /// Drops every cached entry (used when the code cache is flushed).
     pub fn flush(&mut self) {
-        self.inline.clear();
-        self.recent.clear();
+        self.lanes.clear();
+        self.spill_lanes.clear();
     }
 }
 
@@ -182,5 +237,17 @@ mod tests {
         c.access(t, instr(0), RegionId::new(0));
         c.flush();
         assert_eq!(c.access(t, instr(0), RegionId::new(0)), CacheLevel::Full);
+    }
+
+    #[test]
+    fn instructions_in_different_blocks_have_distinct_inline_entries() {
+        let mut c = TranslationCache::new();
+        let t = ThreadId::new(0);
+        let a = InstrId::new(BlockId::new(10), 3);
+        let b = InstrId::new(BlockId::new(11), 3);
+        c.access(t, a, RegionId::new(0));
+        c.access(t, b, RegionId::new(1));
+        assert_eq!(c.access(t, a, RegionId::new(0)), CacheLevel::Inline);
+        assert_eq!(c.access(t, b, RegionId::new(1)), CacheLevel::Inline);
     }
 }

@@ -1,9 +1,7 @@
 //! The dual shadow mapping Aikido adds to Umbra (§3.3.1): metadata plus
 //! mirror addresses for every registered application region.
 
-use serde::{Deserialize, Serialize};
-
-use aikido_types::{Addr, AikidoError, Result};
+use aikido_types::{Addr, AikidoError, ChunkMap, Result};
 
 use crate::region::{Region, RegionId, RegionKind, RegionTable};
 
@@ -21,13 +19,19 @@ const REGION_GAP: u64 = 1 << 30;
 /// The mapping is purely arithmetic per region — a displacement assigned at
 /// registration — exactly like Umbra's offset table. The struct does not own
 /// any metadata contents; see [`crate::ShadowStore`] for storage.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DualShadow {
     regions: RegionTable,
     /// Displacement from application base to metadata base, per region.
     metadata_bases: Vec<Addr>,
     /// Displacement from application base to mirror base, per region.
     mirror_bases: Vec<Addr>,
+    /// Page → owning region, precomputed at registration so the per-access
+    /// translations are a single flat lookup (regions are never removed).
+    page_regions: ChunkMap<RegionId>,
+    /// Page → mirror page number (bases are page-aligned, so the mirror of an
+    /// address is its page's mirror page plus the in-page offset).
+    page_mirrors: ChunkMap<u64>,
     next_metadata: u64,
     next_mirror: u64,
 }
@@ -45,6 +49,8 @@ impl DualShadow {
             regions: RegionTable::new(),
             metadata_bases: Vec::new(),
             mirror_bases: Vec::new(),
+            page_regions: ChunkMap::new(),
+            page_mirrors: ChunkMap::new(),
             next_metadata: METADATA_AREA_BASE,
             next_mirror: MIRROR_AREA_BASE,
         }
@@ -69,6 +75,12 @@ impl DualShadow {
             });
         }
         let region = self.regions.register(base, pages, kind)?;
+        let mirror_base_page = self.next_mirror >> aikido_types::PAGE_SHIFT;
+        for (i, page) in region.page_span().enumerate() {
+            self.page_regions.insert(page.raw(), region.id);
+            self.page_mirrors
+                .insert(page.raw(), mirror_base_page + i as u64);
+        }
         let meta = Addr::new(self.next_metadata);
         let mirror = Addr::new(self.next_mirror);
         self.next_metadata += region.bytes() + REGION_GAP;
@@ -79,8 +91,17 @@ impl DualShadow {
     }
 
     /// The registered region containing `addr`, if any.
+    #[inline]
     pub fn region_of(&self, addr: Addr) -> Option<&Region> {
-        self.regions.find(addr)
+        let id = self.page_regions.get(addr.page().raw())?;
+        self.regions.get(*id)
+    }
+
+    /// The id of the registered region containing `addr`, if any (the
+    /// per-access translation path needs only the id, not the region record).
+    #[inline]
+    pub fn region_id_of(&self, addr: Addr) -> Option<RegionId> {
+        self.page_regions.get(addr.page().raw()).copied()
     }
 
     /// The region table.
@@ -96,8 +117,7 @@ impl DualShadow {
     /// `addr`.
     pub fn metadata_addr(&self, addr: Addr) -> Result<Addr> {
         let region = self
-            .regions
-            .find(addr)
+            .region_of(addr)
             .ok_or(AikidoError::NoShadowRegion { addr })?;
         let base = self.metadata_bases[region.id.raw() as usize];
         Ok(base.offset(region.offset_of(addr)))
@@ -109,13 +129,15 @@ impl DualShadow {
     ///
     /// Returns [`AikidoError::NoShadowRegion`] if no registered region covers
     /// `addr`.
+    #[inline]
     pub fn mirror_addr(&self, addr: Addr) -> Result<Addr> {
-        let region = self
-            .regions
-            .find(addr)
+        let mirror_page = self
+            .page_mirrors
+            .get(addr.page().raw())
             .ok_or(AikidoError::NoShadowRegion { addr })?;
-        let base = self.mirror_bases[region.id.raw() as usize];
-        Ok(base.offset(region.offset_of(addr)))
+        Ok(Addr::new(
+            (mirror_page << aikido_types::PAGE_SHIFT) | addr.offset_in_page(),
+        ))
     }
 
     /// The base address of the metadata area assigned to `region`.

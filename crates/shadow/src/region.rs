@@ -97,9 +97,15 @@ impl Region {
 
 /// The table of registered regions (Umbra's "Shadow Metadata Manager" view of
 /// the application address space).
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+///
+/// `find` runs on the instrumented-access hot path, so the table keeps a
+/// base-sorted index for binary search alongside the registration-ordered
+/// region list.
+#[derive(Debug, Default, Clone)]
 pub struct RegionTable {
     regions: Vec<Region>,
+    /// `(base address, index into regions)`, sorted by base.
+    by_base: Vec<(u64, u32)>,
 }
 
 impl RegionTable {
@@ -140,13 +146,27 @@ impl RegionTable {
             pages,
             kind,
         };
+        let pos = self.by_base.partition_point(|&(b, _)| b < base.raw());
+        self.by_base.insert(pos, (base.raw(), region.id.0));
         self.regions.push(region);
         Ok(region)
     }
 
     /// The region containing `addr`, if any.
+    #[inline]
     pub fn find(&self, addr: Addr) -> Option<&Region> {
-        self.regions.iter().find(|r| r.contains(addr))
+        // `by_base` is sorted and regions are disjoint: the candidate is the
+        // last region starting at or below `addr`.
+        let pos = self
+            .by_base
+            .partition_point(|&(base, _)| base <= addr.raw());
+        let (_, idx) = self.by_base.get(pos.checked_sub(1)?)?;
+        let region = &self.regions[*idx as usize];
+        if region.contains(addr) {
+            Some(region)
+        } else {
+            None
+        }
     }
 
     /// Looks a region up by id.

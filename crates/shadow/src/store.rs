@@ -5,17 +5,22 @@
 //! store is sparse — entries are created on first access — which mirrors the
 //! lazy allocation of shadow memory in Umbra without committing the simulator
 //! to huge dense allocations.
+//!
+//! Storage is a chunked slab ([`ChunkMap`]) keyed by block index: a fixed
+//! directory of lazily allocated leaf arrays of 512 slots each (one
+//! application page at the default 8-byte granularity), so the per-access
+//! `get`/`get_or_default` is index arithmetic instead of hashing.
 
-use std::collections::HashMap;
-
-use aikido_types::Addr;
+use aikido_types::{Addr, ChunkMap};
 
 /// Sparse shadow metadata store, keyed by application address at a fixed
 /// granularity (e.g. 8 bytes per entry).
 #[derive(Debug, Clone)]
 pub struct ShadowStore<T> {
     granularity: u64,
-    entries: HashMap<u64, T>,
+    /// log2(granularity), so `block_of` is a shift instead of a division.
+    shift: u32,
+    entries: ChunkMap<T>,
 }
 
 impl<T> ShadowStore<T> {
@@ -32,7 +37,8 @@ impl<T> ShadowStore<T> {
         );
         ShadowStore {
             granularity,
-            entries: HashMap::new(),
+            shift: granularity.trailing_zeros(),
+            entries: ChunkMap::new(),
         }
     }
 
@@ -42,8 +48,9 @@ impl<T> ShadowStore<T> {
     }
 
     /// The key (block index) for `addr`.
+    #[inline]
     pub fn block_of(&self, addr: Addr) -> u64 {
-        addr.raw() / self.granularity
+        addr.raw() >> self.shift
     }
 
     /// Number of blocks that currently hold metadata.
@@ -57,24 +64,38 @@ impl<T> ShadowStore<T> {
     }
 
     /// Shared access to the metadata of the block containing `addr`.
+    #[inline]
     pub fn get(&self, addr: Addr) -> Option<&T> {
-        self.entries.get(&self.block_of(addr))
+        self.entries.get(self.block_of(addr))
     }
 
     /// Mutable access to the metadata of the block containing `addr`.
+    #[inline]
     pub fn get_mut(&mut self, addr: Addr) -> Option<&mut T> {
         let key = self.block_of(addr);
-        self.entries.get_mut(&key)
+        self.entries.get_mut(key)
     }
 
     /// Mutable access to the metadata of the block containing `addr`,
     /// inserting `T::default()` if none exists.
+    #[inline]
     pub fn get_or_default(&mut self, addr: Addr) -> &mut T
     where
         T: Default,
     {
         let key = self.block_of(addr);
-        self.entries.entry(key).or_default()
+        self.entries.get_or_default(key)
+    }
+
+    /// Like [`ShadowStore::get_or_default`], but also reports whether the
+    /// entry was newly created.
+    #[inline]
+    pub fn get_or_default_tracked(&mut self, addr: Addr) -> (bool, &mut T)
+    where
+        T: Default,
+    {
+        let key = self.block_of(addr);
+        self.entries.get_or_default_tracked(key)
     }
 
     /// Stores metadata for the block containing `addr`, returning the old
@@ -87,15 +108,15 @@ impl<T> ShadowStore<T> {
     /// Removes the metadata for the block containing `addr`.
     pub fn remove(&mut self, addr: Addr) -> Option<T> {
         let key = self.block_of(addr);
-        self.entries.remove(&key)
+        self.entries.remove(key)
     }
 
-    /// Iterates over `(block_base_address, metadata)` pairs in arbitrary
-    /// order.
+    /// Iterates over `(block_base_address, metadata)` pairs in ascending
+    /// address order.
     pub fn iter(&self) -> impl Iterator<Item = (Addr, &T)> {
         self.entries
             .iter()
-            .map(move |(&k, v)| (Addr::new(k * self.granularity), v))
+            .map(move |(k, v)| (Addr::new(k << self.shift), v))
     }
 }
 
@@ -157,5 +178,20 @@ mod tests {
         *s.get_mut(Addr::new(12)).unwrap() = 5;
         assert_eq!(s.get(Addr::new(8)), Some(&5));
         assert!(s.get_mut(Addr::new(0)).is_none());
+    }
+
+    #[test]
+    fn widely_separated_addresses_coexist() {
+        // Application, metadata-area and mirror-area addresses span the whole
+        // 47-bit range; the chunked slab must hold them all sparsely.
+        let mut s: ShadowStore<u64> = ShadowStore::new(8);
+        let addrs = [0x10_0000u64, 0x5000_0000_0000, 0x6000_0000_0000];
+        for (i, &a) in addrs.iter().enumerate() {
+            s.insert(Addr::new(a), i as u64);
+        }
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(s.get(Addr::new(a)), Some(&(i as u64)));
+        }
+        assert_eq!(s.len(), 3);
     }
 }

@@ -1,10 +1,9 @@
 //! The per-page sharing state machine (Figure 3 of the paper).
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
-use aikido_types::{ThreadId, Vpn};
+use aikido_types::{ChunkMap, ThreadId, Vpn};
 
 /// The sharing state of one page.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -49,9 +48,13 @@ impl Transition {
 }
 
 /// The table of page states maintained by the sharing detector.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+///
+/// `is_shared` sits on the instrumented-access hot path, so the states live
+/// in a flat chunked [`ChunkMap`] keyed by page number rather than a hash
+/// map.
+#[derive(Debug, Default, Clone)]
 pub struct PageStateTable {
-    states: HashMap<Vpn, PageState>,
+    states: ChunkMap<PageState>,
 }
 
 impl PageStateTable {
@@ -61,11 +64,16 @@ impl PageStateTable {
     }
 
     /// The state of `page`.
+    #[inline]
     pub fn get(&self, page: Vpn) -> PageState {
-        self.states.get(&page).copied().unwrap_or(PageState::Unused)
+        self.states
+            .get(page.raw())
+            .copied()
+            .unwrap_or(PageState::Unused)
     }
 
     /// True if `page` is currently shared.
+    #[inline]
     pub fn is_shared(&self, page: Vpn) -> bool {
         matches!(self.get(page), PageState::Shared)
     }
@@ -76,14 +84,14 @@ impl PageStateTable {
     pub fn on_fault(&mut self, page: Vpn, thread: ThreadId) -> Transition {
         match self.get(page) {
             PageState::Unused => {
-                self.states.insert(page, PageState::Private(thread));
+                self.states.insert(page.raw(), PageState::Private(thread));
                 Transition::MadePrivate
             }
             PageState::Private(owner) if owner == thread => {
                 Transition::AlreadyPrivateToFaultingThread
             }
             PageState::Private(_) => {
-                self.states.insert(page, PageState::Shared);
+                self.states.insert(page.raw(), PageState::Shared);
                 Transition::MadeShared
             }
             PageState::Shared => Transition::AlreadyShared,
@@ -94,7 +102,7 @@ impl PageStateTable {
     pub fn counts(&self) -> (usize, usize) {
         let mut private = 0;
         let mut shared = 0;
-        for state in self.states.values() {
+        for (_, state) in self.states.iter() {
             match state {
                 PageState::Private(_) => private += 1,
                 PageState::Shared => shared += 1,
@@ -104,9 +112,9 @@ impl PageStateTable {
         (private, shared)
     }
 
-    /// Iterates over all pages with a non-`Unused` state.
+    /// Iterates over all pages with a non-`Unused` state, in page order.
     pub fn iter(&self) -> impl Iterator<Item = (Vpn, PageState)> + '_ {
-        self.states.iter().map(|(&p, &s)| (p, s))
+        self.states.iter().map(|(p, &s)| (Vpn::new(p), s))
     }
 
     /// Number of pages ever touched.

@@ -7,7 +7,8 @@ use aikido_fasttrack::FastTrack;
 use aikido_shadow::{DualShadow, RegionKind, TranslationCache};
 use aikido_sharing::AikidoSd;
 use aikido_types::{
-    AccessContext, Addr, MemRef, Operation, Prot, SharedDataAnalysis, SyncOp, ThreadId,
+    AccessContext, AccessKind, Addr, MemRef, Operation, Prot, SharedDataAnalysis, SyncOp, ThreadId,
+    Vpn,
 };
 use aikido_vm::{AikidoVm, TouchOutcome, VmConfig};
 use aikido_workloads::{BlockExec, Workload};
@@ -137,12 +138,19 @@ impl Simulator {
 }
 
 /// Per-thread scheduling state.
+///
+/// `exec` is a reusable scratch buffer filled through
+/// [`aikido_workloads::ThreadTrace::next_into`], so the scheduler's steady
+/// state performs no per-block allocation.
 struct ThreadState<'w> {
     id: ThreadId,
     trace: aikido_workloads::ThreadTrace<'w>,
     started: bool,
     finished: bool,
-    stashed: Option<BlockExec>,
+    exec: BlockExec,
+    /// True if `exec` holds a produced-but-unconsumed execution (a blocked
+    /// synchronisation operation waiting to retry).
+    has_exec: bool,
 }
 
 struct Run<'a, 'w, A: SharedDataAnalysis> {
@@ -170,9 +178,31 @@ struct Run<'a, 'w, A: SharedDataAnalysis> {
     /// the acquiring thread, exactly as a real mutex would.
     lock_owners: HashMap<aikido_types::LockId, ThreadId>,
     fatal_accesses: u64,
+    /// The simulator's inline check, mirroring the code Aikido emits in front
+    /// of every access (Figure 4): a per-thread direct-mapped table of pages
+    /// whose accesses the hypervisor has already proven free. A hit skips the
+    /// `vm.touch` call entirely. Sound because a free touch mutates no VM
+    /// state, and every VM-mutating interaction clears the table.
+    inline_tlb: Vec<[(Vpn, u8); SIM_TLB_ENTRIES]>,
+    /// Memo of the last `(analysis base cost → contended cost)` conversion;
+    /// the float multiply-and-round is deterministic in the base cost, and
+    /// the analysis fast path reports the same base almost every access.
+    last_contended_cost: (u64, u64),
 }
 
 const MAX_FAULT_ITERATIONS: usize = 6;
+/// Entries in each thread's inline-check table (power of two).
+const SIM_TLB_ENTRIES: usize = 64;
+/// An inline-TLB slot that can never match a real page.
+const SIM_TLB_EMPTY: (Vpn, u8) = (Vpn::new(u64::MAX), 0);
+
+#[inline]
+fn kind_bit(kind: AccessKind) -> u8 {
+    match kind {
+        AccessKind::Read => 1,
+        AccessKind::Write => 2,
+    }
+}
 
 impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
     fn new(sim: &'a Simulator, workload: &'w Workload, mode: Mode, analysis: &'a mut A) -> Self {
@@ -211,6 +241,8 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
             barriers_done: HashSet::new(),
             lock_owners: HashMap::new(),
             fatal_accesses: 0,
+            inline_tlb: Vec::new(),
+            last_contended_cost: (u64::MAX, 0),
         };
         run.setup();
         run
@@ -222,7 +254,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
             Mode::FullInstrumentation => {
                 // Conventional pipeline: every memory instruction carries
                 // instrumentation from the start.
-                let mut engine = DbiEngine::new(self.workload.program().clone());
+                let mut engine = DbiEngine::new(self.workload.program_arc());
                 for block in self.workload.program().iter() {
                     for (id, instr) in block.iter_ids() {
                         if instr.is_mem() {
@@ -243,7 +275,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                     sd.attach_region(&mut vm, base, pages)
                         .expect("regions attach cleanly");
                 }
-                self.engine = Some(DbiEngine::new(self.workload.program().clone()));
+                self.engine = Some(DbiEngine::new(self.workload.program_arc()));
                 self.vm = Some(vm);
                 self.sd = Some(sd);
             }
@@ -259,7 +291,8 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                 trace: self.workload.thread_trace(id),
                 started: id == ThreadId::MAIN,
                 finished: false,
-                stashed: None,
+                exec: BlockExec::default(),
+                has_exec: false,
             })
             .collect();
 
@@ -272,19 +305,18 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                 self.context_switch_to(states[i].id);
                 let mut executed = 0;
                 while executed < self.sim.quantum {
-                    let exec = match states[i].stashed.take() {
-                        Some(e) => e,
-                        None => match states[i].trace.next() {
-                            Some(e) => e,
-                            None => {
-                                states[i].finished = true;
-                                break;
-                            }
-                        },
-                    };
-                    match self.classify(&exec) {
+                    if !states[i].has_exec {
+                        let st = &mut states[i];
+                        if !st.trace.next_into(&mut st.exec) {
+                            st.finished = true;
+                            break;
+                        }
+                        st.has_exec = true;
+                    }
+                    match self.classify(&states[i].exec) {
                         BlockKind::Work => {
-                            self.execute_work_block(states[i].id, &exec);
+                            self.execute_work_block(states[i].id, &states[i].exec);
+                            states[i].has_exec = false;
                             executed += 1;
                             progress = true;
                         }
@@ -292,15 +324,18 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                             let thread = states[i].id;
                             match self.execute_sync(thread, op, &mut states) {
                                 SyncOutcome::Done => {
+                                    states[i].has_exec = false;
                                     executed += 1;
                                     progress = true;
                                 }
                                 SyncOutcome::Blocked => {
-                                    states[i].stashed = Some(exec);
+                                    // The execution stays stashed in `exec`
+                                    // for the next scheduling round.
                                     break;
                                 }
                                 SyncOutcome::Exited => {
                                     states[i].finished = true;
+                                    states[i].has_exec = false;
                                     progress = true;
                                     break;
                                 }
@@ -400,6 +435,11 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                             .expect("thread protection succeeds");
                         let hypercalls = sd.stats().protection_hypercalls - before + 1;
                         self.cycles += hypercalls * self.sim.cost.hypercall_cycles;
+                        // Only the child's protections changed, and its lane
+                        // is necessarily empty (fresh thread id).
+                        if let Some(lane) = self.inline_tlb.get_mut(child.index()) {
+                            *lane = [SIM_TLB_EMPTY; SIM_TLB_ENTRIES];
+                        }
                     }
                     SyncOutcome::Done
                 }
@@ -432,8 +472,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                         self.barriers_done.insert(id);
                         self.charge_sync();
                         if self.mode != Mode::Native {
-                            let all: Vec<ThreadId> = self.threads.clone();
-                            self.analysis.on_barrier(&all, id);
+                            self.analysis.on_barrier(&self.threads, id);
                             self.cycles += self.analysis.sync_cost_cycles();
                         }
                         SyncOutcome::Done
@@ -456,7 +495,6 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
 
     fn execute_work_block(&mut self, thread: ThreadId, exec: &BlockExec) {
         self.counts.block_execs += 1;
-        self.counts.dynamic_instrs += exec.instruction_count();
 
         if let Some(engine) = self.engine.as_mut() {
             let result = engine.execute_block(exec.block);
@@ -466,6 +504,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
         }
 
         for op in &exec.ops {
+            self.counts.dynamic_instrs += op.instruction_count();
             match op {
                 Operation::Compute { count } => {
                     let n = *count as u64;
@@ -485,10 +524,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                             SyncOp::Release(l) => self.analysis.on_release(thread, *l),
                             SyncOp::Fork(c) => self.analysis.on_fork(thread, *c),
                             SyncOp::Join(c) => self.analysis.on_join(thread, *c),
-                            SyncOp::Barrier(id) => {
-                                let all = self.threads.clone();
-                                self.analysis.on_barrier(&all, *id)
-                            }
+                            SyncOp::Barrier(id) => self.analysis.on_barrier(&self.threads, *id),
                         }
                         self.cycles += self.analysis.sync_cost_cycles();
                     }
@@ -503,6 +539,54 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                         self.analysis.on_thread_exit(thread);
                     }
                 }
+            }
+        }
+    }
+
+    /// True if the inline check proves this access free (no VM involvement).
+    #[inline]
+    fn inline_tlb_hit(&self, thread: ThreadId, page: Vpn, kind: AccessKind) -> bool {
+        match self.inline_tlb.get(thread.index()) {
+            Some(lane) => {
+                let (cached, kinds) = lane[(page.raw() as usize) & (SIM_TLB_ENTRIES - 1)];
+                cached == page && kinds & kind_bit(kind) != 0
+            }
+            None => false,
+        }
+    }
+
+    /// Records a proven-free `(thread, page, kind)` access.
+    #[inline]
+    fn inline_tlb_fill(&mut self, thread: ThreadId, page: Vpn, kind: AccessKind) {
+        let idx = thread.index();
+        if idx >= self.inline_tlb.len() {
+            self.inline_tlb
+                .resize_with(idx + 1, || [SIM_TLB_EMPTY; SIM_TLB_ENTRIES]);
+        }
+        let slot = &mut self.inline_tlb[idx][(page.raw() as usize) & (SIM_TLB_ENTRIES - 1)];
+        if slot.0 == page {
+            slot.1 |= kind_bit(kind);
+        } else {
+            *slot = (page, kind_bit(kind));
+        }
+    }
+
+    /// Drops every inline-check entry; the catch-all for VM-state changes
+    /// that are not page-targeted (temporary-unprotection restores).
+    fn inline_tlb_clear(&mut self) {
+        for lane in &mut self.inline_tlb {
+            *lane = [SIM_TLB_EMPTY; SIM_TLB_ENTRIES];
+        }
+    }
+
+    /// Drops any entry for `page` in every thread's table — used after the
+    /// sharing detector changes that page's protections. A page can only live
+    /// in its own direct-mapped slot.
+    fn inline_tlb_invalidate_page(&mut self, page: Vpn) {
+        let slot = (page.raw() as usize) & (SIM_TLB_ENTRIES - 1);
+        for lane in &mut self.inline_tlb {
+            if lane[slot].0 == page {
+                lane[slot] = SIM_TLB_EMPTY;
             }
         }
     }
@@ -522,7 +606,13 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
         self.analysis.on_access(cx);
         let base = self.analysis.last_access_cost_cycles();
         let cost = if shared {
-            (base as f64 * self.contention).round() as u64
+            if self.last_contended_cost.0 == base {
+                self.last_contended_cost.1
+            } else {
+                let contended = (base as f64 * self.contention).round() as u64;
+                self.last_contended_cost = (base, contended);
+                contended
+            }
         } else {
             base
         };
@@ -530,8 +620,8 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
     }
 
     fn charge_translation(&mut self, thread: ThreadId, m: &MemRef) {
-        if let Some(region) = self.region_lookup.region_of(m.addr) {
-            let level = self.cache.access(thread, m.instr, region.id);
+        if let Some(region) = self.region_lookup.region_id_of(m.addr) {
+            let level = self.cache.access(thread, m.instr, region);
             self.cycles += self.sim.cost.shadow_translation(level);
         } else {
             self.cycles += self.sim.cost.shadow_full_cycles;
@@ -590,17 +680,34 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
     }
 
     fn access_via_mirror(&mut self, thread: ThreadId, m: &MemRef) {
-        let (Some(vm), Some(sd)) = (self.vm.as_mut(), self.sd.as_ref()) else {
+        if self.sd.is_none() || self.vm.is_none() {
             return;
+        }
+        let mirror = match self.sd.as_ref().expect("checked above").mirror_addr(m.addr) {
+            Ok(mirror) => mirror,
+            Err(_) => {
+                self.fatal_accesses += 1;
+                return;
+            }
         };
-        let Ok(mirror) = sd.mirror_addr(m.addr) else {
-            self.fatal_accesses += 1;
+        let page = mirror.page();
+        if self.inline_tlb_hit(thread, page, m.kind) {
             return;
-        };
+        }
+        let vm = self.vm.as_mut().expect("checked above");
         match vm.touch(thread, mirror, m.kind) {
             Ok(touch) => {
-                self.cycles += self.sim.cost.vm_charges(&touch.charges);
-                if !matches!(touch.outcome, TouchOutcome::Ok) {
+                if !touch.charges.is_free() {
+                    self.cycles += self.sim.cost.vm_charges(&touch.charges);
+                    if touch.charges.temp_reprotections > 0 {
+                        self.inline_tlb_clear();
+                    }
+                }
+                if matches!(touch.outcome, TouchOutcome::Ok) {
+                    // Demand paging only installs entries for this page, so a
+                    // successful touch is provably repeatable: record it.
+                    self.inline_tlb_fill(thread, page, m.kind);
+                } else {
                     // Mirror pages are never protected; anything else is a bug
                     // in the harness rather than in the modelled system.
                     self.fatal_accesses += 1;
@@ -611,6 +718,10 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
     }
 
     fn access_with_fault_handling(&mut self, thread: ThreadId, m: &MemRef) {
+        let page = m.addr.page();
+        if self.inline_tlb_hit(thread, page, m.kind) {
+            return;
+        }
         for _ in 0..MAX_FAULT_ITERATIONS {
             let touch = {
                 let vm = self.vm.as_mut().expect("aikido mode has a vm");
@@ -622,9 +733,18 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                     }
                 }
             };
-            self.cycles += self.sim.cost.vm_charges(&touch.charges);
+            if !touch.charges.is_free() {
+                self.cycles += self.sim.cost.vm_charges(&touch.charges);
+                if touch.charges.temp_reprotections > 0 {
+                    // Restores touch every temporarily unprotected page.
+                    self.inline_tlb_clear();
+                }
+            }
             match touch.outcome {
-                TouchOutcome::Ok => return,
+                TouchOutcome::Ok => {
+                    self.inline_tlb_fill(thread, page, m.kind);
+                    return;
+                }
                 TouchOutcome::Fatal(_) => {
                     self.fatal_accesses += 1;
                     return;
@@ -657,6 +777,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                         self.sim
                             .cost
                             .aikido_fault(hypercalls, thread_count, rebuilt_instrs);
+                    self.inline_tlb_invalidate_page(page);
 
                     if disposition.instruments_instruction() {
                         // The block has been re-JITed with instrumentation;
@@ -868,7 +989,7 @@ mod tests {
         // Table 1: overheads grow with thread count.
         let spec = WorkloadSpec::parsec("fluidanimate").unwrap().scaled(0.02);
         let slowdown_at = |threads: u32| {
-            let w = Workload::generate(&spec.clone().with_threads(threads));
+            let w = Workload::generate(&spec.with_threads(threads));
             let cmp = Simulator::default().compare(&w);
             cmp.full_slowdown()
         };

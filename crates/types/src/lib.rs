@@ -24,12 +24,14 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod analysis;
+pub mod chunkmap;
 mod error;
 mod ids;
 mod ops;
 mod prot;
 
 pub use analysis::{AccessContext, AnalysisReport, NullAnalysis, ReportKind, SharedDataAnalysis};
+pub use chunkmap::ChunkMap;
 pub use error::{AikidoError, Result};
 pub use ids::{Addr, BlockId, InstrId, LockId, ThreadId, Vpn, PAGE_SHIFT, PAGE_SIZE};
 pub use ops::{AccessKind, AddrMode, MemRef, Operation, SyncOp};

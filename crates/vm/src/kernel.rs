@@ -17,7 +17,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-use aikido_types::{AccessKind, Addr, AikidoError, Prot, Result, Vpn};
+use aikido_types::{AccessKind, Addr, AikidoError, ChunkMap, Prot, Result, Vpn};
 
 use crate::frames::{FrameAllocator, FrameId};
 
@@ -113,7 +113,9 @@ pub enum KernelFaultResolution {
 #[derive(Debug, Default)]
 pub struct GuestKernel {
     vmas: Vec<Vma>,
-    page_table: BTreeMap<Vpn, GuestPte>,
+    /// The single guest page table, stored flat so the hypervisor's
+    /// shadow-miss and fault paths resolve PTEs by index arithmetic.
+    page_table: ChunkMap<GuestPte>,
     backings: BTreeMap<BackingId, BTreeMap<u64, FrameId>>,
     next_backing: u64,
     frames: FrameAllocator,
@@ -206,8 +208,9 @@ impl GuestKernel {
     }
 
     /// The guest page-table entry for `page`, if present.
+    #[inline]
     pub fn pte(&self, page: Vpn) -> Option<GuestPte> {
-        self.page_table.get(&page).copied()
+        self.page_table.get(page.raw()).copied()
     }
 
     /// Number of PTEs currently installed.
@@ -240,7 +243,7 @@ impl GuestKernel {
             frame,
             prot: vma.prot,
         };
-        self.page_table.insert(page, pte);
+        self.page_table.insert(page.raw(), pte);
         self.pending_events
             .push(KernelEvent::PteInstalled { page, pte });
         KernelFaultResolution::Resolved
@@ -272,7 +275,7 @@ impl GuestKernel {
             .ok_or(AikidoError::UnmappedAddress { addr: base })?;
         let vma = self.vmas.remove(idx);
         for p in vma.start.span(vma.pages) {
-            if self.page_table.remove(&p).is_some() {
+            if self.page_table.remove(p.raw()).is_some() {
                 self.pending_events
                     .push(KernelEvent::PteRemoved { page: p });
             }

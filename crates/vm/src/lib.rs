@@ -27,6 +27,18 @@
 //! a VM exit or fault on real hardware is counted in [`VmStats`] and in the
 //! per-access [`Charges`] so the simulator can convert them into cycles.
 //!
+//! # Hot-path layout
+//!
+//! `touch` runs once per simulated memory access, so everything it consults
+//! is flat and index-addressed: threads get dense slots into a
+//! `Vec<ThreadState>` at registration, the shadow page table and protection
+//! table are chunked flat tables (`aikido_types::ChunkMap`), and each thread
+//! carries a direct-mapped software TLB over its recent successful
+//! translations. The TLB is a pure accelerator — it only serves accesses the
+//! shadow table would allow, so hits and misses produce byte-identical
+//! outcomes, charges and statistics — and it is invalidated per page whenever
+//! the thread's shadow state changes.
+//!
 //! # Examples
 //!
 //! ```

@@ -6,16 +6,17 @@
 //! shadow page-table entry is the intersection of the guest page-table
 //! protection and the entry in this table; pages with no entry are
 //! unrestricted.
+//!
+//! Like the shadow page table, the storage is a flat chunked [`ChunkMap`]
+//! keyed by page number, so `effective` on the fault-handling path is pure
+//! index arithmetic.
 
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-
-use aikido_types::{Prot, Vpn};
+use aikido_types::{ChunkMap, Prot, Vpn};
 
 /// Per-thread table of Aikido-requested page protections.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default)]
 pub struct ThreadProtTable {
-    entries: BTreeMap<Vpn, Prot>,
+    entries: ChunkMap<Prot>,
 }
 
 impl ThreadProtTable {
@@ -26,21 +27,23 @@ impl ThreadProtTable {
 
     /// Sets the requested protection for `page`.
     pub fn set(&mut self, page: Vpn, prot: Prot) {
-        self.entries.insert(page, prot);
+        self.entries.insert(page.raw(), prot);
     }
 
     /// Removes any restriction on `page`.
     pub fn clear(&mut self, page: Vpn) {
-        self.entries.remove(&page);
+        self.entries.remove(page.raw());
     }
 
     /// The restriction on `page`, if one is installed.
+    #[inline]
     pub fn get(&self, page: Vpn) -> Option<Prot> {
-        self.entries.get(&page).copied()
+        self.entries.get(page.raw()).copied()
     }
 
     /// The *effective* protection of `page` given the guest protection:
     /// the intersection of the guest protection and any installed restriction.
+    #[inline]
     pub fn effective(&self, page: Vpn, guest: Prot) -> Prot {
         match self.get(page) {
             Some(restriction) => guest.intersect(restriction),
@@ -64,9 +67,9 @@ impl ThreadProtTable {
         self.entries.is_empty()
     }
 
-    /// Iterates over all restrictions.
+    /// Iterates over all restrictions in ascending page order.
     pub fn iter(&self) -> impl Iterator<Item = (Vpn, Prot)> + '_ {
-        self.entries.iter().map(|(&p, &v)| (p, v))
+        self.entries.iter().map(|(p, &v)| (Vpn::new(p), v))
     }
 }
 

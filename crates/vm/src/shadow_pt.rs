@@ -5,17 +5,19 @@
 //! performing the same virtual→machine translation but potentially with
 //! different protection bits (the intersection of the guest protection and
 //! the thread's protection-table entry).
+//!
+//! The table is stored as a [`ChunkMap`] — a fixed directory of flat
+//! 512-entry leaves keyed by page number — so the `lookup` on every simulated
+//! access is two array loads and a tag compare instead of a `BTreeMap`
+//! descent.
 
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-
-use aikido_types::{Prot, Vpn};
+use aikido_types::{ChunkMap, Prot, Vpn};
 
 use crate::frames::FrameId;
 
 /// A shadow page-table entry: the machine frame plus the *effective*
 /// protection enforced by the (simulated) hardware for one thread.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct ShadowPte {
     /// Machine frame the page translates to.
     pub frame: FrameId,
@@ -26,9 +28,9 @@ pub struct ShadowPte {
 }
 
 /// One thread's shadow page table.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default)]
 pub struct ShadowPageTable {
-    entries: BTreeMap<Vpn, ShadowPte>,
+    entries: ChunkMap<ShadowPte>,
 }
 
 impl ShadowPageTable {
@@ -38,24 +40,25 @@ impl ShadowPageTable {
     }
 
     /// Looks up the entry for `page`.
+    #[inline]
     pub fn lookup(&self, page: Vpn) -> Option<ShadowPte> {
-        self.entries.get(&page).copied()
+        self.entries.get(page.raw()).copied()
     }
 
     /// Installs or replaces the entry for `page`.
     pub fn install(&mut self, page: Vpn, pte: ShadowPte) {
-        self.entries.insert(page, pte);
+        self.entries.insert(page.raw(), pte);
     }
 
     /// Removes the entry for `page` (invalidation), returning the old entry.
     pub fn invalidate(&mut self, page: Vpn) -> Option<ShadowPte> {
-        self.entries.remove(&page)
+        self.entries.remove(page.raw())
     }
 
     /// Updates just the protection of an existing entry; returns `true` if an
     /// entry existed.
     pub fn set_prot(&mut self, page: Vpn, prot: Prot) -> bool {
-        if let Some(e) = self.entries.get_mut(&page) {
+        if let Some(e) = self.entries.get_mut(page.raw()) {
             e.prot = prot;
             true
         } else {
@@ -78,9 +81,9 @@ impl ShadowPageTable {
         self.entries.clear();
     }
 
-    /// Iterates over the installed entries.
+    /// Iterates over the installed entries in ascending page order.
     pub fn iter(&self) -> impl Iterator<Item = (Vpn, ShadowPte)> + '_ {
-        self.entries.iter().map(|(&p, &e)| (p, e))
+        self.entries.iter().map(|(p, &e)| (Vpn::new(p), e))
     }
 }
 
@@ -132,5 +135,19 @@ mod tests {
         t.install(Vpn::new(2), pte(2, Prot::R_USER));
         let pages: Vec<_> = t.iter().map(|(p, _)| p.raw()).collect();
         assert_eq!(pages, vec![2, 9]);
+    }
+
+    #[test]
+    fn far_apart_pages_coexist() {
+        // Application pages, mirror-area pages and the fake fault pages span
+        // ~2^35 page numbers; the chunked table must hold them all.
+        let mut t = ShadowPageTable::new();
+        let pages = [0x400u64, 0x6_0000_0000, 0x7_ffff_0000];
+        for (i, &p) in pages.iter().enumerate() {
+            t.install(Vpn::new(p), pte(i as u64, Prot::RW_USER));
+        }
+        for (i, &p) in pages.iter().enumerate() {
+            assert_eq!(t.lookup(Vpn::new(p)).unwrap().frame, FrameId::new(i as u64));
+        }
     }
 }

@@ -1,6 +1,17 @@
 //! The AikidoVM hypervisor model itself.
-
-use std::collections::{BTreeMap, BTreeSet};
+//!
+//! # Hot-path layout
+//!
+//! `touch` is called for every simulated memory access, so the per-thread
+//! state is laid out for index arithmetic rather than map lookups:
+//!
+//! * Threads get a dense *slot* at registration (`ThreadId` → `usize` into a
+//!   `Vec<ThreadState>`); every per-access operation works on slots.
+//! * Each thread's shadow page table and protection table are flat chunked
+//!   tables ([`ShadowPageTable`], [`ThreadProtTable`]).
+//! * Each thread carries a one-entry software TLB caching its last successful
+//!   translation, so the dominant "same page, access allowed" case is a
+//!   compare and two loads before falling into the slow fault loop.
 
 use aikido_types::{AccessKind, Addr, AikidoError, Prot, Result, ThreadId, Vpn};
 
@@ -83,11 +94,90 @@ pub struct Touch {
     pub charges: Charges,
 }
 
-#[derive(Debug, Default)]
+/// Entries in each thread's direct-mapped software TLB (power of two).
+/// Sized to cover a thread's private working set (a few dozen pages) so the
+/// steady-state unshared access stays on the two-load fast path.
+const TLB_ENTRIES: usize = 64;
+/// A TLB slot that can never match a real page.
+const TLB_EMPTY: (Vpn, Prot) = (Vpn::new(u64::MAX), Prot::NONE);
+
+#[derive(Debug)]
 struct ThreadState {
+    id: ThreadId,
     shadow: ShadowPageTable,
     prot: ThreadProtTable,
+    /// Direct-mapped software TLB over recent successful translations
+    /// (page → effective protection). Purely an accelerator: it only serves
+    /// accesses the shadow table would allow, so hits and misses produce
+    /// byte-identical outcomes and charges. Flash-invalidated whenever the
+    /// thread's shadow table changes.
+    tlb: [(Vpn, Prot); TLB_ENTRIES],
 }
+
+impl ThreadState {
+    fn new(id: ThreadId) -> Self {
+        ThreadState {
+            id,
+            shadow: ShadowPageTable::new(),
+            prot: ThreadProtTable::new(),
+            tlb: [TLB_EMPTY; TLB_ENTRIES],
+        }
+    }
+
+    #[inline]
+    fn tlb_slot(page: Vpn) -> usize {
+        (page.raw() as usize) & (TLB_ENTRIES - 1)
+    }
+
+    #[inline]
+    fn tlb_lookup(&self, page: Vpn) -> Option<Prot> {
+        let (cached_page, prot) = self.tlb[Self::tlb_slot(page)];
+        if cached_page == page {
+            Some(prot)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn tlb_fill(&mut self, page: Vpn, prot: Prot) {
+        self.tlb[Self::tlb_slot(page)] = (page, prot);
+    }
+
+    /// Drops any cached translation of `page`. A translation of `page` can
+    /// only live in its own direct-mapped slot, so this is O(1).
+    #[inline]
+    fn tlb_invalidate(&mut self, page: Vpn) {
+        let slot = Self::tlb_slot(page);
+        if self.tlb[slot].0 == page {
+            self.tlb[slot] = TLB_EMPTY;
+        }
+    }
+
+    /// Installs a shadow entry, invalidating the TLB.
+    fn install_shadow(&mut self, page: Vpn, pte: ShadowPte) {
+        self.tlb_invalidate(page);
+        self.shadow.install(page, pte);
+    }
+
+    /// Invalidates a shadow entry and the TLB.
+    fn invalidate_shadow(&mut self, page: Vpn) {
+        self.tlb_invalidate(page);
+        self.shadow.invalidate(page);
+    }
+
+    /// Updates a shadow entry's protection, invalidating the TLB; returns
+    /// `true` if an entry existed.
+    fn set_shadow_prot(&mut self, page: Vpn, prot: Prot) -> bool {
+        self.tlb_invalidate(page);
+        self.shadow.set_prot(page, prot)
+    }
+}
+
+/// Direct-index slot lookup above this thread-id bound falls back to a scan
+/// (guards the dense `ThreadId → slot` vector against pathological ids).
+const MAX_DENSE_THREAD_INDEX: usize = 1 << 16;
+const NO_SLOT: u32 = u32::MAX;
 
 /// The AikidoVM hypervisor: per-thread shadow page tables, per-thread
 /// protection tables, fault classification and delivery.
@@ -97,11 +187,17 @@ struct ThreadState {
 pub struct AikidoVm {
     config: VmConfig,
     kernel: GuestKernel,
-    threads: BTreeMap<ThreadId, ThreadState>,
+    /// Per-thread state, indexed by registration slot.
+    threads: Vec<ThreadState>,
+    /// `ThreadId::index()` → slot (dense ids only; `NO_SLOT` = unregistered).
+    slots: Vec<u32>,
     mailbox: FaultMailbox,
     initialized: bool,
     current_thread: Option<ThreadId>,
-    temp_unprotected: BTreeSet<Vpn>,
+    /// Pages temporarily unprotected for the guest kernel, kept sorted.
+    temp_unprotected: Vec<Vpn>,
+    /// Reusable buffer for [`AikidoVm::restore_temp_protections`].
+    restore_scratch: Vec<Vpn>,
     stats: VmStats,
 }
 
@@ -120,10 +216,12 @@ impl AikidoVm {
             },
             initialized: false,
             current_thread: None,
-            temp_unprotected: BTreeSet::new(),
+            temp_unprotected: Vec::new(),
+            restore_scratch: Vec::new(),
             stats: VmStats::new(),
             kernel: GuestKernel::new(),
-            threads: BTreeMap::new(),
+            threads: Vec::new(),
+            slots: Vec::new(),
             config,
         };
         if vm.config.auto_init {
@@ -149,7 +247,33 @@ impl AikidoVm {
 
     /// Threads registered with the hypervisor, in id order.
     pub fn threads(&self) -> Vec<ThreadId> {
-        self.threads.keys().copied().collect()
+        let mut ids: Vec<ThreadId> = self.threads.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The dense slot of `thread`, or `None` if it is not registered.
+    #[inline]
+    fn slot_of(&self, thread: ThreadId) -> Option<usize> {
+        let idx = thread.index();
+        if idx < self.slots.len() {
+            let slot = self.slots[idx];
+            if slot == NO_SLOT {
+                None
+            } else {
+                Some(slot as usize)
+            }
+        } else if idx >= MAX_DENSE_THREAD_INDEX {
+            self.threads.iter().position(|s| s.id == thread)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn require_slot(&self, thread: ThreadId) -> Result<usize> {
+        self.slot_of(thread)
+            .ok_or(AikidoError::UnknownThread { thread })
     }
 
     /// Issues a hypercall from the guest.
@@ -175,10 +299,18 @@ impl AikidoVm {
             }
             Hypercall::RegisterThread { thread } => {
                 self.require_init()?;
-                if self.threads.contains_key(&thread) {
+                if self.slot_of(thread).is_some() {
                     return Err(AikidoError::ThreadAlreadyRegistered { thread });
                 }
-                self.threads.insert(thread, ThreadState::default());
+                let slot = self.threads.len() as u32;
+                let idx = thread.index();
+                if idx < MAX_DENSE_THREAD_INDEX {
+                    if idx >= self.slots.len() {
+                        self.slots.resize(idx + 1, NO_SLOT);
+                    }
+                    self.slots[idx] = slot;
+                }
+                self.threads.push(ThreadState::new(thread));
                 if self.current_thread.is_none() {
                     self.current_thread = Some(thread);
                 }
@@ -191,9 +323,9 @@ impl AikidoVm {
                 prot,
             } => {
                 self.require_init()?;
-                self.require_thread(thread)?;
+                let slot = self.require_slot(thread)?;
                 for page in base.page().span(pages) {
-                    self.set_thread_restriction(thread, page, Some(prot));
+                    self.set_slot_restriction(slot, page, Some(prot));
                 }
                 Ok(())
             }
@@ -203,26 +335,37 @@ impl AikidoVm {
                 pages,
             } => {
                 self.require_init()?;
-                self.require_thread(thread)?;
+                let slot = self.require_slot(thread)?;
                 for page in base.page().span(pages) {
-                    self.set_thread_restriction(thread, page, None);
+                    self.set_slot_restriction(slot, page, None);
                 }
                 Ok(())
             }
             Hypercall::ProtectAllThreads { base, pages, prot } => {
                 self.require_init()?;
-                let threads: Vec<ThreadId> = self.threads.keys().copied().collect();
-                for thread in threads {
-                    for page in base.page().span(pages) {
-                        self.set_thread_restriction(thread, page, Some(prot));
+                for page in base.page().span(pages) {
+                    // One temp-unprotection and guest-PTE resolution per page,
+                    // shared across every thread's table update.
+                    if let Ok(pos) = self.temp_unprotected.binary_search(&page) {
+                        self.temp_unprotected.remove(pos);
+                    }
+                    let guest = self.kernel.pte(page);
+                    for state in &mut self.threads {
+                        state.prot.set(page, prot);
+                        if let Some(guest_pte) = guest {
+                            let effective = state.prot.effective(page, guest_pte.prot);
+                            if state.set_shadow_prot(page, effective) {
+                                self.stats.shadow_syncs += 1;
+                            }
+                        }
                     }
                 }
                 Ok(())
             }
             Hypercall::ContextSwitch { from, to } => {
                 self.require_init()?;
-                self.require_thread(from)?;
-                self.require_thread(to)?;
+                self.require_slot(from)?;
+                self.require_slot(to)?;
                 self.stats.context_switches += 1;
                 self.current_thread = Some(to);
                 Ok(())
@@ -280,17 +423,45 @@ impl AikidoVm {
     /// resolved internally and reported only through [`Charges`]; Aikido
     /// faults and fatal faults are surfaced in the [`TouchOutcome`].
     ///
+    /// The fast path — same page as the thread's last translation, access
+    /// allowed — is a one-entry TLB hit and returns a free [`Touch`] without
+    /// consulting the shadow table.
+    ///
     /// # Errors
     ///
     /// Returns [`AikidoError::UnknownThread`] if the thread was never
     /// registered.
+    #[inline]
     pub fn touch(&mut self, thread: ThreadId, addr: Addr, kind: AccessKind) -> Result<Touch> {
-        self.require_thread(thread)?;
-        let mut charges = Charges::default();
+        let slot = self.require_slot(thread)?;
         let page = addr.page();
 
+        // Software-TLB fast path (the dominant case on unshared pages).
+        if let Some(tlb_prot) = self.threads[slot].tlb_lookup(page) {
+            if tlb_prot.allows_user(kind) {
+                return Ok(Touch {
+                    outcome: TouchOutcome::Ok,
+                    charges: Charges::default(),
+                });
+            }
+        }
+        self.touch_slow(slot, thread, addr, kind)
+    }
+
+    /// The TLB-miss continuation of [`AikidoVm::touch`]: shadow walk, fault
+    /// classification and retry loop.
+    #[cold]
+    fn touch_slow(
+        &mut self,
+        slot: usize,
+        thread: ThreadId,
+        addr: Addr,
+        kind: AccessKind,
+    ) -> Result<Touch> {
+        let page = addr.page();
+        let mut charges = Charges::default();
         for _ in 0..MAX_FAULT_RETRIES {
-            let shadow_pte = self.threads[&thread].shadow.lookup(page);
+            let shadow_pte = self.threads[slot].shadow.lookup(page);
             let Some(pte) = shadow_pte else {
                 // Shadow miss: a VM exit to consult the guest page table.
                 charges.vm_exits += 1;
@@ -299,7 +470,7 @@ impl AikidoVm {
                     Some(guest_pte) => {
                         charges.shadow_misses += 1;
                         self.stats.shadow_misses += 1;
-                        self.install_shadow(thread, page, guest_pte.frame, guest_pte.prot);
+                        self.install_shadow(slot, page, guest_pte.frame, guest_pte.prot);
                         charges.shadow_syncs += 1;
                         continue;
                     }
@@ -322,6 +493,7 @@ impl AikidoVm {
             };
 
             if pte.prot.allows_user(kind) {
+                self.threads[slot].tlb_fill(page, pte.prot);
                 return Ok(Touch {
                     outcome: TouchOutcome::Ok,
                     charges,
@@ -332,7 +504,7 @@ impl AikidoVm {
             charges.vm_exits += 1;
             self.stats.vm_exits += 1;
 
-            if self.temp_unprotected.contains(&page) {
+            if self.is_temp_unprotected(page) {
                 // The page had been temporarily unprotected for the guest
                 // kernel; restore every temporarily unprotected page and
                 // re-evaluate (§3.2.6).
@@ -390,7 +562,7 @@ impl AikidoVm {
     /// Returns [`AikidoError::UnknownThread`] for unregistered threads and
     /// [`AikidoError::UnmappedAddress`] if the page cannot be demand-paged in.
     pub fn kernel_touch(&mut self, thread: ThreadId, addr: Addr, kind: AccessKind) -> Result<bool> {
-        self.require_thread(thread)?;
+        let slot = self.require_slot(thread)?;
         let page = addr.page();
 
         // Make sure the page exists in the guest page table (the kernel would
@@ -410,11 +582,11 @@ impl AikidoVm {
 
         // A page already temporarily unprotected for the kernel needs no
         // further emulation until a userspace access restores protections.
-        if self.temp_unprotected.contains(&page) && guest_prot.allows_kernel(kind) {
+        if self.is_temp_unprotected(page) && guest_prot.allows_kernel(kind) {
             return Ok(false);
         }
 
-        let effective = self.threads[&thread].prot.effective(page, guest_prot);
+        let effective = self.threads[slot].prot.effective(page, guest_prot);
         if effective.allows_kernel(kind) {
             return Ok(false);
         }
@@ -425,12 +597,14 @@ impl AikidoVm {
         self.stats.vm_exits += 1;
         self.stats.kernel_emulations += 1;
         self.stats.temp_unprotections += 1;
-        self.temp_unprotected.insert(page);
+        if let Err(pos) = self.temp_unprotected.binary_search(&page) {
+            self.temp_unprotected.insert(pos, page);
+        }
         let temp_prot = guest_prot.without_user();
         let frame = self.kernel.pte(page).map(|g| g.frame);
         if let Some(frame) = frame {
-            for state in self.threads.values_mut() {
-                state.shadow.install(
+            for state in &mut self.threads {
+                state.install_shadow(
                     page,
                     ShadowPte {
                         frame,
@@ -443,10 +617,15 @@ impl AikidoVm {
         Ok(true)
     }
 
-    /// The set of pages currently temporarily unprotected for the guest
-    /// kernel.
-    pub fn temp_unprotected_pages(&self) -> Vec<Vpn> {
-        self.temp_unprotected.iter().copied().collect()
+    /// The pages currently temporarily unprotected for the guest kernel, as a
+    /// sorted slice (no allocation).
+    pub fn temp_unprotected_pages(&self) -> &[Vpn] {
+        &self.temp_unprotected
+    }
+
+    #[inline]
+    fn is_temp_unprotected(&self, page: Vpn) -> bool {
+        self.temp_unprotected.binary_search(&page).is_ok()
     }
 
     /// The per-thread restriction installed for `page`, if any.
@@ -455,10 +634,8 @@ impl AikidoVm {
     ///
     /// Returns [`AikidoError::UnknownThread`] for unregistered threads.
     pub fn thread_restriction(&self, thread: ThreadId, page: Vpn) -> Result<Option<Prot>> {
-        self.threads
-            .get(&thread)
-            .map(|s| s.prot.get(page))
-            .ok_or(AikidoError::UnknownThread { thread })
+        let slot = self.require_slot(thread)?;
+        Ok(self.threads[slot].prot.get(page))
     }
 
     /// The effective protection `thread` currently has on `page` (as its
@@ -468,10 +645,8 @@ impl AikidoVm {
     ///
     /// Returns [`AikidoError::UnknownThread`] for unregistered threads.
     pub fn effective_prot(&self, thread: ThreadId, page: Vpn) -> Result<Option<Prot>> {
-        let state = self
-            .threads
-            .get(&thread)
-            .ok_or(AikidoError::UnknownThread { thread })?;
+        let slot = self.require_slot(thread)?;
+        let state = &self.threads[slot];
         if let Some(pte) = state.shadow.lookup(page) {
             return Ok(Some(pte.prot));
         }
@@ -515,36 +690,30 @@ impl AikidoVm {
         }
     }
 
-    fn require_thread(&self, thread: ThreadId) -> Result<()> {
-        if self.threads.contains_key(&thread) {
-            Ok(())
-        } else {
-            Err(AikidoError::UnknownThread { thread })
-        }
-    }
-
-    fn set_thread_restriction(&mut self, thread: ThreadId, page: Vpn, prot: Option<Prot>) {
+    fn set_slot_restriction(&mut self, slot: usize, page: Vpn, prot: Option<Prot>) {
         // Re-applying a protection means the page is no longer in the
         // "temporarily unprotected for the kernel" state.
-        self.temp_unprotected.remove(&page);
+        if let Ok(pos) = self.temp_unprotected.binary_search(&page) {
+            self.temp_unprotected.remove(pos);
+        }
         let guest = self.kernel.pte(page);
-        let state = self.threads.get_mut(&thread).expect("checked by caller");
+        let state = &mut self.threads[slot];
         match prot {
             Some(p) => state.prot.set(page, p),
             None => state.prot.clear(page),
         }
         if let Some(guest_pte) = guest {
             let effective = state.prot.effective(page, guest_pte.prot);
-            if state.shadow.set_prot(page, effective) {
+            if state.set_shadow_prot(page, effective) {
                 self.stats.shadow_syncs += 1;
             }
         }
     }
 
-    fn install_shadow(&mut self, thread: ThreadId, page: Vpn, frame: FrameId, guest_prot: Prot) {
-        let state = self.threads.get_mut(&thread).expect("checked by caller");
+    fn install_shadow(&mut self, slot: usize, page: Vpn, frame: FrameId, guest_prot: Prot) {
+        let state = &mut self.threads[slot];
         let effective = state.prot.effective(page, guest_prot);
-        state.shadow.install(
+        state.install_shadow(
             page,
             ShadowPte {
                 frame,
@@ -559,9 +728,9 @@ impl AikidoVm {
             self.stats.guest_pte_writes += 1;
             match event {
                 KernelEvent::PteInstalled { page, pte } => {
-                    for state in self.threads.values_mut() {
+                    for state in &mut self.threads {
                         let effective = state.prot.effective(page, pte.prot);
-                        state.shadow.install(
+                        state.install_shadow(
                             page,
                             ShadowPte {
                                 frame: pte.frame,
@@ -572,8 +741,8 @@ impl AikidoVm {
                     self.stats.shadow_syncs += self.threads.len() as u64;
                 }
                 KernelEvent::PteRemoved { page } => {
-                    for state in self.threads.values_mut() {
-                        state.shadow.invalidate(page);
+                    for state in &mut self.threads {
+                        state.invalidate_shadow(page);
                     }
                     self.stats.shadow_syncs += self.threads.len() as u64;
                 }
@@ -583,15 +752,17 @@ impl AikidoVm {
 
     fn restore_temp_protections(&mut self) {
         self.stats.temp_reprotections += 1;
-        let pages: Vec<Vpn> = self.temp_unprotected.iter().copied().collect();
-        self.temp_unprotected.clear();
-        for page in pages {
+        // Drain in place: swap the page list into the reusable scratch buffer
+        // so the retry loop allocates nothing.
+        let mut pages = std::mem::take(&mut self.restore_scratch);
+        std::mem::swap(&mut pages, &mut self.temp_unprotected);
+        for &page in &pages {
             let Some(guest_pte) = self.kernel.pte(page) else {
                 continue;
             };
-            for state in self.threads.values_mut() {
+            for state in &mut self.threads {
                 let effective = state.prot.effective(page, guest_pte.prot);
-                state.shadow.install(
+                state.install_shadow(
                     page,
                     ShadowPte {
                         frame: guest_pte.frame,
@@ -601,6 +772,8 @@ impl AikidoVm {
             }
             self.stats.shadow_syncs += self.threads.len() as u64;
         }
+        pages.clear();
+        self.restore_scratch = pages;
     }
 
     fn deliver_aikido_fault(
@@ -1004,5 +1177,89 @@ mod tests {
             vm.thread_restriction(t[0], base.page()).unwrap(),
             Some(Prot::R_USER)
         );
+    }
+
+    #[test]
+    fn tlb_fast_path_is_invalidated_by_protection_changes() {
+        let (mut vm, t) = setup(1);
+        let base = page_addr(130);
+        vm.mmap(base, 1, Prot::RW_USER).unwrap();
+        // Warm the TLB.
+        vm.touch(t[0], base, AccessKind::Write).unwrap();
+        assert!(vm
+            .touch(t[0], base, AccessKind::Write)
+            .unwrap()
+            .charges
+            .is_free());
+        // A protection change must not be masked by the cached translation.
+        vm.hypercall(Hypercall::ProtectRange {
+            thread: t[0],
+            base,
+            pages: 1,
+            prot: Prot::NONE,
+        })
+        .unwrap();
+        assert!(matches!(
+            vm.touch(t[0], base, AccessKind::Write).unwrap().outcome,
+            TouchOutcome::AikidoFault(_)
+        ));
+    }
+
+    #[test]
+    fn tlb_fast_path_is_invalidated_by_munmap() {
+        let (mut vm, t) = setup(1);
+        let base = page_addr(140);
+        vm.mmap(base, 1, Prot::RW_USER).unwrap();
+        vm.touch(t[0], base, AccessKind::Write).unwrap();
+        vm.munmap(base).unwrap();
+        assert!(matches!(
+            vm.touch(t[0], base, AccessKind::Read).unwrap().outcome,
+            TouchOutcome::Fatal(_)
+        ));
+    }
+
+    #[test]
+    fn tlb_is_per_thread() {
+        let (mut vm, t) = setup(2);
+        let base = page_addr(150);
+        vm.mmap(base, 1, Prot::RW_USER).unwrap();
+        vm.touch(t[0], base, AccessKind::Write).unwrap();
+        // Thread 1's first touch is free only because the shadow sync from the
+        // demand-paging fault installed its entry; protect it for t1 only.
+        vm.hypercall(Hypercall::ProtectRange {
+            thread: t[1],
+            base,
+            pages: 1,
+            prot: Prot::NONE,
+        })
+        .unwrap();
+        // t0's cached translation still works; t1 faults.
+        assert!(vm
+            .touch(t[0], base, AccessKind::Write)
+            .unwrap()
+            .charges
+            .is_free());
+        assert!(matches!(
+            vm.touch(t[1], base, AccessKind::Write).unwrap().outcome,
+            TouchOutcome::AikidoFault(_)
+        ));
+    }
+
+    #[test]
+    fn read_tlb_entry_does_not_authorise_writes() {
+        let (mut vm, t) = setup(1);
+        let base = page_addr(160);
+        vm.mmap(base, 1, Prot::R_USER).unwrap();
+        vm.touch(t[0], base, AccessKind::Read).unwrap();
+        assert!(vm
+            .touch(t[0], base, AccessKind::Read)
+            .unwrap()
+            .charges
+            .is_free());
+        // The cached (page, R) entry must not satisfy a write.
+        assert!(matches!(
+            vm.touch(t[0], base, AccessKind::Write).unwrap().outcome,
+            TouchOutcome::Fatal(_)
+        ));
     }
 }

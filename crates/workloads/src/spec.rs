@@ -263,11 +263,13 @@ impl WorkloadSpec {
         self
     }
 
-    /// Returns the spec with a different thread count (used by the Table 1
-    /// thread-scaling experiment).
-    pub fn with_threads(mut self, threads: u32) -> Self {
-        self.threads = threads.max(1);
-        self
+    /// Returns a copy of the spec with a different thread count (used by the
+    /// Table 1 thread-scaling experiment). Takes `&self` so sweeping callers
+    /// need no explicit `clone()`.
+    pub fn with_threads(&self, threads: u32) -> Self {
+        let mut spec = self.clone();
+        spec.threads = threads.max(1);
+        spec
     }
 
     /// Returns the spec with a different seed.
@@ -384,7 +386,7 @@ mod tests {
         assert_eq!(scaled.mem_accesses_per_thread, 6_500);
         assert_eq!(scaled.shared_pages, spec.shared_pages);
         // Never collapses to zero.
-        assert_eq!(spec.clone().scaled(0.0).mem_accesses_per_thread, 500);
+        assert_eq!(spec.scaled(0.0).mem_accesses_per_thread, 500);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::workload::Workload;
 
 /// One dynamic execution of a static basic block: the block id plus one
 /// [`Operation`] per static instruction (aligned by index).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BlockExec {
     /// The static block being executed.
     pub block: BlockId,
@@ -49,6 +49,10 @@ pub struct ThreadTrace<'a> {
     rng: SmallRng,
     phase: Phase,
     pending: VecDeque<BlockExec>,
+    /// Recycled operation buffers: the simulator's scheduler returns each
+    /// consumed execution's buffer through [`ThreadTrace::next_into`], so the
+    /// steady-state trace loop performs no allocation.
+    spare: Vec<Vec<Operation>>,
     remaining_accesses: u64,
     init_remaining: u64,
     init_cursor: u64,
@@ -81,6 +85,7 @@ impl<'a> ThreadTrace<'a> {
             rng: SmallRng::seed_from_u64(seed),
             phase: if is_main { Phase::Init } else { Phase::Work },
             pending: VecDeque::new(),
+            spare: Vec::new(),
             remaining_accesses: spec.mem_accesses_per_thread,
             init_remaining: init_writes,
             init_cursor: 0,
@@ -97,11 +102,39 @@ impl<'a> ThreadTrace<'a> {
         self.workload.spec()
     }
 
-    fn sync_exec(&self, block: BlockId, op: Operation) -> BlockExec {
-        BlockExec {
-            block,
-            ops: vec![op],
+    /// Pops a recycled operation buffer (or allocates one on cold start).
+    fn grab_buf(&mut self) -> Vec<Operation> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// Returns an exhausted execution's buffer to the pool.
+    fn recycle(&mut self, mut ops: Vec<Operation>) {
+        const MAX_SPARE: usize = 32;
+        if self.spare.len() < MAX_SPARE {
+            ops.clear();
+            self.spare.push(ops);
         }
+    }
+
+    /// Produces the next execution into `out`, reusing `out`'s operation
+    /// buffer; returns `false` when the trace is exhausted. This is the
+    /// allocation-free interface the simulator's scheduler uses.
+    pub fn next_into(&mut self, out: &mut BlockExec) -> bool {
+        let buf = std::mem::take(&mut out.ops);
+        self.recycle(buf);
+        match self.next() {
+            Some(exec) => {
+                *out = exec;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn sync_exec(&mut self, block: BlockId, op: Operation) -> BlockExec {
+        let mut ops = self.grab_buf();
+        ops.push(op);
+        BlockExec { block, ops }
     }
 
     /// Fills a work block with operations; `pick` chooses the address and
@@ -110,12 +143,13 @@ impl<'a> ThreadTrace<'a> {
     where
         F: FnMut(&mut SmallRng) -> (Addr, AccessKind),
     {
+        let mut ops = self.grab_buf();
         let static_block = self
             .workload
             .program()
             .block(block)
             .expect("workload blocks exist in the program");
-        let mut ops = Vec::with_capacity(static_block.len());
+        ops.reserve(static_block.len());
         for (id, instr) in static_block.iter_ids() {
             match instr {
                 aikido_dbi::StaticInstr::Compute => ops.push(Operation::Compute { count: 1 }),
@@ -178,21 +212,25 @@ impl<'a> ThreadTrace<'a> {
     /// lock's slice, release. Pushes the tail onto the pending queue and
     /// returns the acquire.
     fn next_locked_shared(&mut self) -> BlockExec {
-        let spec = self.spec().clone();
-        let sets = self.workload.block_sets();
-        let lock_index = self.rng.gen_range(0..spec.locks);
+        let spec = self.spec();
+        let (locks, shared_within, read_fraction, critical_section_blocks) = (
+            spec.locks,
+            spec.shared_within_instrumented,
+            spec.read_fraction,
+            spec.critical_section_blocks,
+        );
+        let acquire_block = self.workload.block_sets().acquire_block;
+        let lock_index = self.rng.gen_range(0..locks);
         let lock = LockId::new(lock_index as u64 + 1);
-        let acquire = self.sync_exec(sets.acquire_block, Operation::Sync(SyncOp::Acquire(lock)));
+        let acquire = self.sync_exec(acquire_block, Operation::Sync(SyncOp::Acquire(lock)));
 
         let (slice_base, slice_len) = self.workload.layout().lock_slice(lock_index);
         let private_base = self.workload.layout().private_base(self.thread);
         let private_len = self.workload.layout().private_pages() * aikido_types::PAGE_SIZE;
-        let shared_within = spec.shared_within_instrumented;
-        let read_fraction = spec.read_fraction;
         // A critical section amortises one acquire/release pair over several
         // shared block executions, but never overruns the thread's access
         // budget (which would desynchronise barrier cadences across threads).
-        for body_index in 0..spec.critical_section_blocks.max(1) {
+        for body_index in 0..critical_section_blocks.max(1) {
             if body_index > 0 && self.remaining_accesses == 0 {
                 break;
             }
@@ -257,17 +295,18 @@ impl<'a> ThreadTrace<'a> {
     /// (race-free because it was written before the fork) plus, for racy
     /// workloads, occasional unprotected accesses to the racy area.
     fn next_unlocked_shared(&mut self) -> BlockExec {
-        let spec = self.spec().clone();
-        let sets = self.workload.block_sets();
-        let blocks = &sets.shared_blocks;
+        let spec = self.spec();
+        let (shared_within, read_fraction, racy_pairs) = (
+            spec.shared_within_instrumented,
+            spec.read_fraction,
+            spec.racy_pairs,
+        );
+        let blocks = &self.workload.block_sets().shared_blocks;
         let block = blocks[self.rng.gen_range(0..blocks.len())];
         let (rm_base, rm_len) = self.workload.layout().read_mostly_area();
         let (racy_base, racy_len) = self.workload.layout().racy_area();
         let private_base = self.workload.layout().private_base(self.thread);
         let private_len = self.workload.layout().private_pages() * aikido_types::PAGE_SIZE;
-        let shared_within = spec.shared_within_instrumented;
-        let read_fraction = spec.read_fraction;
-        let racy_pairs = spec.racy_pairs;
         let mut force_racy = self.forced_racy_write_pending && racy_len > 0;
         self.forced_racy_write_pending = false;
         self.work_exec(block, |rng| {
@@ -298,21 +337,22 @@ impl<'a> ThreadTrace<'a> {
     }
 
     fn next_work(&mut self) -> BlockExec {
-        let spec = self.spec().clone();
+        let spec = self.spec();
         // A locked episode emits `critical_section_blocks` shared blocks while
         // a private/unlocked choice emits one, so the per-decision probability
         // must be corrected for the spec's *access-level* fraction to come out
         // right.
         let f = spec.instrumented_exec_fraction;
-        let weight = spec.locked_shared_fraction * spec.critical_section_blocks.max(1) as f64
-            + (1.0 - spec.locked_shared_fraction);
+        let locked_shared_fraction = spec.locked_shared_fraction;
+        let weight = locked_shared_fraction * spec.critical_section_blocks.max(1) as f64
+            + (1.0 - locked_shared_fraction);
         let choice_prob = if f <= 0.0 {
             0.0
         } else {
             (f / (weight - weight * f + f)).clamp(0.0, 1.0)
         };
         if self.rng.gen_bool(choice_prob) {
-            if self.rng.gen_bool(spec.locked_shared_fraction) {
+            if self.rng.gen_bool(locked_shared_fraction) {
                 // The critical section charges its own body blocks.
                 self.next_locked_shared()
             } else {

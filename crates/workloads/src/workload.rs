@@ -1,5 +1,7 @@
 //! Workload construction: the static program plus per-thread traces.
 
+use std::sync::Arc;
+
 use aikido_dbi::{Program, StaticInstr};
 use aikido_types::{AccessKind, AddrMode, BlockId, ThreadId};
 
@@ -27,7 +29,8 @@ pub(crate) struct BlockSets {
 pub struct Workload {
     spec: WorkloadSpec,
     layout: MemoryLayout,
-    program: Program,
+    /// Shared so DBI engines can reference the program without cloning it.
+    program: Arc<Program>,
     blocks: BlockSets,
 }
 
@@ -107,7 +110,7 @@ impl Workload {
         Workload {
             spec: spec.clone(),
             layout,
-            program,
+            program: Arc::new(program),
             blocks,
         }
     }
@@ -125,6 +128,12 @@ impl Workload {
     /// The static program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// A shared handle to the static program (free to clone; used to build
+    /// DBI engines without copying the program).
+    pub fn program_arc(&self) -> Arc<Program> {
+        Arc::clone(&self.program)
     }
 
     /// Thread ids participating in the workload (`0..threads`).

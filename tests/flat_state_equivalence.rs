@@ -1,0 +1,252 @@
+//! Property tests pinning the flat, index-addressed hot-path storage to the
+//! semantics of the map-based structures it replaced.
+//!
+//! PR 2 rebuilt the per-access data path (shadow page tables, protection
+//! tables, shadow metadata, page states) on `ChunkMap` — a fixed directory of
+//! flat leaf arrays — instead of `BTreeMap`/`HashMap`. These tests drive the
+//! new structures and simple map-based models through identical random
+//! operation sequences and require observational equivalence, and they pin
+//! the end-to-end `touch` behaviour (outcomes *and* `Charges`) of two
+//! identically-driven hypervisors against each other across a seeded
+//! workload-like access pattern.
+
+use std::collections::BTreeMap;
+
+use aikido::shadow::ShadowStore;
+use aikido::types::{AccessKind, Addr, ChunkMap, Prot, ThreadId, Vpn};
+use aikido::vm::{AikidoVm, Hypercall, ShadowPageTable, ShadowPte, ThreadProtTable, VmConfig};
+use proptest::prelude::*;
+
+/// Keys spanning the realistic extremes: dense low pages, application pages,
+/// metadata/mirror areas and the fake-fault area.
+fn arb_key() -> impl Strategy<Value = u64> {
+    (
+        prop::sample::select(vec![
+            0u64,
+            0x400,
+            0x10_0000,
+            0x5000_0000,
+            0x6_0000_0000,
+            0x7_ffff_0000,
+        ]),
+        0u64..1024,
+    )
+        .prop_map(|(base, off)| base + off)
+}
+
+/// One `set`/`clear`/`get` step against a keyed table.
+#[derive(Clone, Debug)]
+enum MapOp {
+    Insert(u64, u8),
+    Remove(u64),
+    Get(u64),
+}
+
+fn arb_ops(len: usize) -> impl Strategy<Value = Vec<MapOp>> {
+    prop::collection::vec(
+        (0u8..3, arb_key(), any::<u64>()).prop_map(|(kind, key, val)| match kind {
+            0 => MapOp::Insert(key, (val % 251) as u8),
+            1 => MapOp::Remove(key),
+            _ => MapOp::Get(key),
+        }),
+        0..len,
+    )
+}
+
+fn arb_prot() -> impl Strategy<Value = Prot> {
+    prop::sample::select(vec![Prot::NONE, Prot::R_USER, Prot::RW_USER])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `ChunkMap` is observationally equivalent to `BTreeMap` under random
+    /// insert/remove/get sequences, including length and sorted iteration.
+    #[test]
+    fn chunkmap_matches_btreemap(ops in arb_ops(200)) {
+        let mut flat: ChunkMap<u8> = ChunkMap::new();
+        let mut model: BTreeMap<u64, u8> = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(flat.insert(k, v), model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(flat.remove(k), model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(flat.get(k), model.get(&k));
+                }
+            }
+            prop_assert_eq!(flat.len(), model.len());
+        }
+        let flat_items: Vec<(u64, u8)> = flat.iter().map(|(k, &v)| (k, v)).collect();
+        let model_items: Vec<(u64, u8)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(flat_items, model_items);
+    }
+
+    /// The flat per-thread protection table behaves exactly like a
+    /// `BTreeMap<Vpn, Prot>` model under set/clear/get/effective sequences.
+    #[test]
+    fn prot_table_matches_map_model(
+        steps in prop::collection::vec((arb_key(), arb_prot(), arb_prot(), 0u8..3), 0..150)
+    ) {
+        let mut table = ThreadProtTable::new();
+        let mut model: BTreeMap<u64, Prot> = BTreeMap::new();
+        for (raw, prot, guest, kind) in steps {
+            let page = Vpn::new(raw);
+            match kind {
+                0 => {
+                    table.set(page, prot);
+                    model.insert(raw, prot);
+                }
+                1 => {
+                    table.clear(page);
+                    model.remove(&raw);
+                }
+                _ => {}
+            }
+            prop_assert_eq!(table.get(page), model.get(&raw).copied());
+            let expect = match model.get(&raw) {
+                Some(r) => guest.intersect(*r),
+                None => guest,
+            };
+            prop_assert_eq!(table.effective(page, guest), expect);
+            prop_assert_eq!(table.restricts(page, guest), expect != guest);
+            prop_assert_eq!(table.len(), model.len());
+        }
+    }
+
+    /// The flat shadow page table matches a `BTreeMap<Vpn, ShadowPte>` model
+    /// under install/invalidate/set_prot/lookup sequences.
+    #[test]
+    fn shadow_pt_matches_map_model(
+        steps in prop::collection::vec((arb_key(), 0u64..64, arb_prot(), 0u8..4), 0..150)
+    ) {
+        let mut table = ShadowPageTable::new();
+        let mut model: BTreeMap<u64, ShadowPte> = BTreeMap::new();
+        for (raw, frame, prot, kind) in steps {
+            let page = Vpn::new(raw);
+            let pte = ShadowPte {
+                frame: aikido::vm::FrameId::new(frame),
+                prot,
+            };
+            match kind {
+                0 => {
+                    table.install(page, pte);
+                    model.insert(raw, pte);
+                }
+                1 => {
+                    prop_assert_eq!(table.invalidate(page), model.remove(&raw));
+                }
+                2 => {
+                    let had = model.get_mut(&raw).map(|e| e.prot = prot).is_some();
+                    prop_assert_eq!(table.set_prot(page, prot), had);
+                }
+                _ => {}
+            }
+            prop_assert_eq!(table.lookup(page), model.get(&raw).copied());
+            prop_assert_eq!(table.len(), model.len());
+        }
+        let flat: Vec<(u64, ShadowPte)> = table.iter().map(|(p, e)| (p.raw(), e)).collect();
+        let modeled: Vec<(u64, ShadowPte)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(flat, modeled);
+    }
+
+    /// The chunked `ShadowStore` slab matches a `BTreeMap<u64, T>` keyed by
+    /// block index, at several granularities.
+    #[test]
+    fn shadow_store_matches_map_model(
+        granularity in prop::sample::select(vec![1u64, 8, 64]),
+        ops in arb_ops(150),
+    ) {
+        let mut store: ShadowStore<u8> = ShadowStore::new(granularity);
+        let mut model: BTreeMap<u64, u8> = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    let addr = Addr::new(k);
+                    prop_assert_eq!(
+                        store.insert(addr, v),
+                        model.insert(k / granularity, v)
+                    );
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(store.remove(Addr::new(k)), model.remove(&(k / granularity)));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(store.get(Addr::new(k)), model.get(&(k / granularity)));
+                    // `get_or_default` must agree with the model's entry API.
+                    let expected = *model.entry(k / granularity).or_default();
+                    prop_assert_eq!(*store.get_or_default(Addr::new(k)), expected);
+                }
+            }
+            prop_assert_eq!(store.len(), model.len());
+        }
+    }
+
+    /// Two hypervisors driven through an identical seeded sequence of
+    /// protection changes and accesses produce byte-identical `Touch` results
+    /// — outcome and `Charges` — and identical statistics. This pins the
+    /// TLB/flat-table fast path to the architectural (slow-path) behaviour:
+    /// any caching bug shows up as a diverging outcome or charge.
+    #[test]
+    fn touch_outcomes_and_charges_are_deterministic(seed in any::<u64>()) {
+        let build = || {
+            let mut vm = AikidoVm::new(VmConfig::default());
+            for t in 0..3 {
+                vm.register_thread(ThreadId::new(t)).unwrap();
+            }
+            vm.mmap(Addr::new(0x40_0000), 8, Prot::RW_USER).unwrap();
+            vm.mmap(Addr::new(0x80_0000), 4, Prot::R_USER).unwrap();
+            vm
+        };
+        let mut a = build();
+        let mut b = build();
+
+        // Deterministic pseudo-random op stream (SplitMix64).
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+
+        for _ in 0..400 {
+            let r = next();
+            let thread = ThreadId::new((r % 3) as u32);
+            let region = if r & 8 == 0 { 0x40_0000u64 } else { 0x80_0000 };
+            let pages = if region == 0x40_0000 { 8 } else { 4 };
+            let addr = Addr::new(region + (next() % (pages * 4096)));
+            match r % 7 {
+                0 => {
+                    let prot = if r & 16 == 0 { Prot::NONE } else { Prot::R_USER };
+                    a.hypercall(Hypercall::ProtectRange {
+                        thread, base: addr.page().base(), pages: 1, prot,
+                    }).unwrap();
+                    b.hypercall(Hypercall::ProtectRange {
+                        thread, base: addr.page().base(), pages: 1, prot,
+                    }).unwrap();
+                }
+                1 => {
+                    a.hypercall(Hypercall::UnprotectRange {
+                        thread, base: addr.page().base(), pages: 1,
+                    }).unwrap();
+                    b.hypercall(Hypercall::UnprotectRange {
+                        thread, base: addr.page().base(), pages: 1,
+                    }).unwrap();
+                }
+                _ => {
+                    let kind = if r & 32 == 0 { AccessKind::Read } else { AccessKind::Write };
+                    let ta = a.touch(thread, addr, kind).unwrap();
+                    let tb = b.touch(thread, addr, kind).unwrap();
+                    prop_assert_eq!(ta, tb);
+                }
+            }
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+        prop_assert_eq!(a.temp_unprotected_pages(), b.temp_unprotected_pages());
+    }
+}

@@ -1,0 +1,181 @@
+//! Pinned-run regression: exact `RunReport` numbers for seeded workloads.
+//!
+//! The simulation is a pure function of the workload spec, and perf-focused
+//! PRs (flat tables, software TLBs, inline checks) must not change observable
+//! behaviour. These constants were captured from the seed implementation
+//! (map-based storage, PR 1) and verified byte-identical against the flat
+//! rebuild in PR 2; any future divergence in cycles, counts, VM statistics
+//! or race totals fails here with the exact field that drifted.
+
+use aikido::{Mode, RunReport, Simulator, Workload, WorkloadSpec};
+
+/// `(benchmark, mode, cycles, mem, instrumented, shared, segfaults,
+/// vm_exits, shadow_misses, races)` at `scaled(0.05)`.
+#[allow(clippy::type_complexity)]
+const PINNED: [(&str, Mode, u64, u64, u64, u64, u64, u64, u64, usize); 10] = [
+    (
+        "blackscholes",
+        Mode::FullInstrumentation,
+        832_707,
+        8_100,
+        8_100,
+        621,
+        0,
+        0,
+        0,
+        0,
+    ),
+    (
+        "blackscholes",
+        Mode::Aikido,
+        458_424,
+        8_100,
+        506,
+        460,
+        262,
+        1_046,
+        6,
+        0,
+    ),
+    (
+        "vips",
+        Mode::FullInstrumentation,
+        3_033_096,
+        26_344,
+        26_344,
+        6_087,
+        0,
+        0,
+        0,
+        0,
+    ),
+    (
+        "vips",
+        Mode::Aikido,
+        1_818_007,
+        26_344,
+        6_181,
+        5_580,
+        459,
+        2_002,
+        36,
+        0,
+    ),
+    (
+        "fluidanimate",
+        Mode::FullInstrumentation,
+        2_100_038,
+        14_192,
+        14_192,
+        6_817,
+        0,
+        0,
+        0,
+        0,
+    ),
+    (
+        "fluidanimate",
+        Mode::Aikido,
+        2_030_786,
+        14_192,
+        8_467,
+        6_356,
+        609,
+        1_967,
+        25,
+        0,
+    ),
+    (
+        "raytrace",
+        Mode::FullInstrumentation,
+        5_239_404,
+        60_384,
+        60_384,
+        432,
+        0,
+        0,
+        0,
+        0,
+    ),
+    (
+        "raytrace",
+        Mode::Aikido,
+        1_039_229,
+        60_384,
+        23,
+        21,
+        349,
+        2_997,
+        16,
+        0,
+    ),
+    (
+        "canneal",
+        Mode::FullInstrumentation,
+        1_490_257,
+        14_192,
+        14_192,
+        1_644,
+        0,
+        0,
+        0,
+        1,
+    ),
+    (
+        "canneal",
+        Mode::Aikido,
+        794_693,
+        14_192,
+        1_406,
+        1_361,
+        417,
+        1_456,
+        13,
+        1,
+    ),
+];
+
+fn run(name: &str, mode: Mode) -> RunReport {
+    let spec = WorkloadSpec::parsec(name)
+        .expect("pinned benchmarks are PARSEC presets")
+        .scaled(0.05);
+    Simulator::default().run(&Workload::generate(&spec), mode)
+}
+
+#[test]
+fn seeded_runs_match_the_seed_implementation_exactly() {
+    for (name, mode, cycles, mem, instr, shared, segv, vm_exits, shadow_misses, races) in PINNED {
+        let r = run(name, mode);
+        let label = format!("{name}/{}", mode.label());
+        assert_eq!(r.cycles, cycles, "{label}: cycles drifted");
+        assert_eq!(r.counts.mem_accesses, mem, "{label}: mem_accesses drifted");
+        assert_eq!(
+            r.counts.instrumented_accesses, instr,
+            "{label}: instrumented_accesses drifted"
+        );
+        assert_eq!(
+            r.counts.shared_accesses, shared,
+            "{label}: shared_accesses drifted"
+        );
+        assert_eq!(r.counts.segfaults, segv, "{label}: segfaults drifted");
+        assert_eq!(r.vm.vm_exits, vm_exits, "{label}: vm_exits drifted");
+        assert_eq!(
+            r.vm.shadow_misses, shadow_misses,
+            "{label}: shadow_misses drifted"
+        );
+        assert_eq!(r.races.len(), races, "{label}: race count drifted");
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let spec = WorkloadSpec::parsec("vips").unwrap().scaled(0.05);
+    let w = Workload::generate(&spec);
+    let sim = Simulator::default();
+    let a = sim.run(&w, Mode::Aikido);
+    let b = sim.run(&w, Mode::Aikido);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.counts, b.counts);
+    assert_eq!(a.vm, b.vm);
+    assert_eq!(a.races.len(), b.races.len());
+}

@@ -31,7 +31,14 @@ macro_rules! impl_sample_range_int {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as u128).wrapping_sub(self.start as u128);
-                let draw = (rng.next_u64() as u128) % span;
+                // Fast path: spans below 2^64 reduce with a u64 modulo, which
+                // is bit-identical to the u128 reduction but avoids the
+                // libcall-based 128-bit division on every draw.
+                let draw = if span <= u64::MAX as u128 {
+                    (rng.next_u64() % span as u64) as u128
+                } else {
+                    (rng.next_u64() as u128) % span
+                };
                 (self.start as u128 + draw) as $t
             }
         })*
