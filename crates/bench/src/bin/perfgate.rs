@@ -1,0 +1,121 @@
+//! CI perf-regression gate: compares a freshly measured
+//! `BENCH_throughput.json` against the committed `BENCH_baseline.json` and
+//! fails (exit code 1) when the geomean throughput regresses by more than
+//! the tolerance (25 % by default).
+//!
+//! ```bash
+//! cargo run --release -p aikido-bench --bin perfgate
+//! cargo run --release -p aikido-bench --bin perfgate -- fresh.json baseline.json
+//! PERFGATE_TOLERANCE=0.4 cargo run --release -p aikido-bench --bin perfgate
+//! ```
+//!
+//! The gated quantity is the geometric mean of the three per-mode
+//! accesses/sec geomeans (native, full, aikido) measured on the sequential
+//! path — one number that moves only when the engine itself gets slower.
+//! Per-mode ratios are printed for diagnosis either way. A missing baseline
+//! passes with a warning (first run on a fork, or a fresh perf machine);
+//! the CI workflow refreshes the committed baseline artifact on `main`.
+
+use aikido_bench::geometric_mean;
+use serde_json::Value;
+
+/// Relative regression the gate tolerates before failing (CI machines are
+/// shared and noisy; the gate is meant to catch engine regressions, not
+/// scheduler jitter). Override via `PERFGATE_TOLERANCE`.
+const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// The three per-mode geomeans read from one throughput document.
+struct ModeGeomeans {
+    native: f64,
+    full: f64,
+    aikido: f64,
+}
+
+impl ModeGeomeans {
+    fn from_document(doc: &Value) -> Option<Self> {
+        let field = |key: &str| doc.get(key)?.as_f64().filter(|v| *v > 0.0);
+        Some(ModeGeomeans {
+            native: field("native_geomean")?,
+            full: field("full_geomean")?,
+            aikido: field("aikido_geomean")?,
+        })
+    }
+
+    /// The single gated number: geomean across the three modes.
+    fn overall(&self) -> f64 {
+        geometric_mean(&[self.native, self.full, self.aikido])
+    }
+}
+
+fn load(path: &str) -> Option<Value> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn tolerance() -> f64 {
+    std::env::var("PERFGATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0 && *v < 1.0)
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fresh_path = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("BENCH_throughput.json");
+    let baseline_path = args
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or("BENCH_baseline.json");
+    let tolerance = tolerance();
+
+    let Some(fresh_doc) = load(fresh_path) else {
+        eprintln!("perfgate: cannot read fresh results at {fresh_path}");
+        std::process::exit(2);
+    };
+    let Some(fresh) = ModeGeomeans::from_document(&fresh_doc) else {
+        eprintln!("perfgate: {fresh_path} is missing the per-mode geomeans");
+        std::process::exit(2);
+    };
+
+    let baseline = load(baseline_path).and_then(|doc| ModeGeomeans::from_document(&doc));
+    let Some(baseline) = baseline else {
+        println!(
+            "perfgate: no baseline at {baseline_path} — passing (run the \
+             throughput bin and commit its output to enable the gate)"
+        );
+        return;
+    };
+
+    println!("perfgate: fresh {fresh_path} vs baseline {baseline_path}");
+    println!(
+        "{:<8} {:>14} {:>14} {:>8}",
+        "mode", "baseline", "fresh", "ratio"
+    );
+    for (label, base, now) in [
+        ("native", baseline.native, fresh.native),
+        ("full", baseline.full, fresh.full),
+        ("aikido", baseline.aikido, fresh.aikido),
+    ] {
+        println!("{label:<8} {base:>14.0} {now:>14.0} {:>8.3}", now / base);
+    }
+
+    let ratio = fresh.overall() / baseline.overall();
+    let regression = 1.0 - ratio;
+    println!(
+        "overall geomean ratio {ratio:.3} (tolerance: up to {:.0}% regression)",
+        tolerance * 100.0
+    );
+    if regression > tolerance {
+        eprintln!(
+            "perfgate: FAIL — throughput regressed {:.1}% (> {:.0}%)",
+            regression * 100.0,
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("perfgate: OK");
+}

@@ -7,17 +7,27 @@
 //!
 //! ```bash
 //! AIKIDO_SCALE=0.05 cargo run --release -p aikido-bench --bin throughput
+//! # Parallel epoch engine, per-worker-count samples:
+//! AIKIDO_PARALLEL=4 cargo run --release -p aikido-bench --bin throughput
+//! cargo run --release -p aikido-bench --bin throughput -- --parallel 4
 //! ```
 //!
 //! Emits a human-readable table on stdout and a machine-readable
 //! `BENCH_throughput.json` (path overridable via `BENCH_OUT`) containing,
-//! for every benchmark × mode pair: wall time, accesses/sec and the
-//! deterministic run counts (`vm_exits`, `shadow_misses`, `races`) so CI can
-//! detect both performance and behaviour drift.
+//! for every benchmark × mode × worker-count triple: wall time, accesses/sec
+//! and the deterministic run counts (`vm_exits`, `shadow_misses`, `races`)
+//! so CI can detect both performance and behaviour drift. The top-level
+//! geomeans are always computed from the sequential (1-worker) samples so
+//! the perf-regression gate compares like with like across lanes; the
+//! `per_worker_geomeans` array carries the parallel trajectory.
+//!
+//! In parallel mode every report is asserted equal to the sequential run's —
+//! the wall-clock harness doubles as the cheapest equivalence oracle CI runs
+//! on every push.
 
 use std::time::Instant;
 
-use aikido::{Mode, Simulator, Workload, WorkloadSpec};
+use aikido::{parallel_workers_from_env, Mode, RunReport, Simulator, Workload, WorkloadSpec};
 use aikido_bench::scale_from_env;
 use serde::Serialize;
 
@@ -27,12 +37,14 @@ use serde::Serialize;
 /// fluidanimate (highest — the analysis-bound worst case).
 const BENCHMARKS: [&str; 4] = ["raytrace", "blackscholes", "vips", "fluidanimate"];
 
-/// One measured benchmark × mode data point.
+/// One measured benchmark × mode × worker-count data point.
 #[derive(Debug, Serialize)]
 struct Sample {
     benchmark: String,
     mode: String,
     threads: u32,
+    /// Epoch-engine worker threads (1 = the sequential reference path).
+    workers: usize,
     mem_accesses: u64,
     wall_nanos: u128,
     accesses_per_sec: f64,
@@ -42,15 +54,29 @@ struct Sample {
     races: usize,
 }
 
+/// Accesses/sec geometric means across benchmarks at one worker count.
+#[derive(Debug, Serialize)]
+struct WorkerGeomeans {
+    workers: usize,
+    native: f64,
+    full: f64,
+    aikido: f64,
+}
+
 /// The full JSON document written to `BENCH_throughput.json`.
 #[derive(Debug, Serialize)]
 struct Document {
     scale: f64,
+    /// Highest worker count measured (1 when running sequential only).
+    parallel_workers: usize,
     samples: Vec<Sample>,
-    /// Accesses/sec geometric mean across benchmarks, per mode label.
+    /// Accesses/sec geometric mean across benchmarks, per mode label,
+    /// measured on the sequential path (stable input for the perf gate).
     aikido_geomean: f64,
     full_geomean: f64,
     native_geomean: f64,
+    /// The same geomeans per measured worker count (parallel trajectory).
+    per_worker_geomeans: Vec<WorkerGeomeans>,
 }
 
 /// Timed repetitions per benchmark × mode; the fastest is reported (standard
@@ -58,8 +84,8 @@ struct Document {
 /// of what the code can do).
 const REPEATS: u32 = 3;
 
-fn measure(workload: &Workload, mode: Mode) -> Sample {
-    let sim = Simulator::default();
+fn measure(workload: &Workload, mode: Mode, workers: usize) -> (Sample, RunReport) {
+    let sim = Simulator::default().with_workers(workers);
     // Warm-up run (untimed): page in the workload and the allocator.
     let baseline = sim.run(workload, mode);
     let mut best = None;
@@ -83,10 +109,11 @@ fn measure(workload: &Workload, mode: Mode) -> Sample {
     }
     let wall = best.expect("at least one repeat");
     let accesses = baseline.counts.mem_accesses;
-    Sample {
+    let sample = Sample {
         benchmark: workload.spec().name.clone(),
         mode: mode.label().to_string(),
         threads: workload.spec().threads,
+        workers,
         mem_accesses: accesses,
         wall_nanos: wall.as_nanos(),
         accesses_per_sec: accesses as f64 / wall.as_secs_f64().max(1e-9),
@@ -94,16 +121,43 @@ fn measure(workload: &Workload, mode: Mode) -> Sample {
         vm_exits: baseline.vm.vm_exits,
         shadow_misses: baseline.vm.shadow_misses,
         races: baseline.races.len(),
+    };
+    (sample, baseline)
+}
+
+/// Worker counts to measure: `--parallel N` (or `AIKIDO_PARALLEL=N`) adds a
+/// parallel lane next to the sequential reference.
+fn worker_counts() -> Vec<usize> {
+    let mut parallel = parallel_workers_from_env();
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--parallel") {
+        if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            parallel = n.max(1);
+        }
+    }
+    if parallel > 1 {
+        vec![1, parallel]
+    } else {
+        vec![1]
     }
 }
 
 fn main() {
     let scale = scale_from_env();
+    let counts = worker_counts();
+    let parallel_workers = *counts.last().expect("at least one worker count");
     let mut samples = Vec::new();
-    println!("hot-path throughput (scale {scale}):");
+    println!("hot-path throughput (scale {scale}, workers {counts:?}):");
     println!(
-        "{:<14} {:>8} {:>12} {:>12} {:>14} {:>9} {:>13}",
-        "benchmark", "mode", "accesses", "wall_ms", "accesses/sec", "vm_exits", "shadow_misses"
+        "{:<14} {:>8} {:>7} {:>12} {:>12} {:>14} {:>9} {:>13}",
+        "benchmark",
+        "mode",
+        "workers",
+        "accesses",
+        "wall_ms",
+        "accesses/sec",
+        "vm_exits",
+        "shadow_misses"
     );
     for name in BENCHMARKS {
         let spec = WorkloadSpec::parsec(name)
@@ -111,41 +165,66 @@ fn main() {
             .scaled(scale);
         let workload = Workload::generate(&spec);
         for mode in [Mode::Native, Mode::FullInstrumentation, Mode::Aikido] {
-            let sample = measure(&workload, mode);
-            println!(
-                "{:<14} {:>8} {:>12} {:>12.2} {:>14.0} {:>9} {:>13}",
-                sample.benchmark,
-                sample.mode,
-                sample.mem_accesses,
-                sample.wall_nanos as f64 / 1e6,
-                sample.accesses_per_sec,
-                sample.vm_exits,
-                sample.shadow_misses
-            );
-            samples.push(sample);
+            let mut sequential_report: Option<RunReport> = None;
+            for &workers in &counts {
+                let (sample, report) = measure(&workload, mode, workers);
+                match &sequential_report {
+                    None => sequential_report = Some(report),
+                    Some(reference) => assert_eq!(
+                        &report, reference,
+                        "parallel run diverged from the sequential reference \
+                         ({name}, {mode:?}, {workers} workers)"
+                    ),
+                }
+                println!(
+                    "{:<14} {:>8} {:>7} {:>12} {:>12.2} {:>14.0} {:>9} {:>13}",
+                    sample.benchmark,
+                    sample.mode,
+                    sample.workers,
+                    sample.mem_accesses,
+                    sample.wall_nanos as f64 / 1e6,
+                    sample.accesses_per_sec,
+                    sample.vm_exits,
+                    sample.shadow_misses
+                );
+                samples.push(sample);
+            }
         }
     }
 
-    let geomean = |label: &str| {
+    let geomean = |label: &str, workers: usize| {
         let rates: Vec<f64> = samples
             .iter()
-            .filter(|s| s.mode == label)
+            .filter(|s| s.mode == label && s.workers == workers)
             .map(|s| s.accesses_per_sec)
             .collect();
         aikido_bench::geometric_mean(&rates)
     };
+    let per_worker_geomeans: Vec<WorkerGeomeans> = counts
+        .iter()
+        .map(|&workers| WorkerGeomeans {
+            workers,
+            native: geomean("native", workers),
+            full: geomean("full", workers),
+            aikido: geomean("aikido", workers),
+        })
+        .collect();
     let doc = Document {
         scale,
-        aikido_geomean: geomean("aikido"),
-        full_geomean: geomean("full"),
-        native_geomean: geomean("native"),
+        parallel_workers,
+        aikido_geomean: geomean("aikido", 1),
+        full_geomean: geomean("full", 1),
+        native_geomean: geomean("native", 1),
+        per_worker_geomeans,
         samples,
     };
     println!();
-    println!(
-        "geomean accesses/sec: native {:.0}  full {:.0}  aikido {:.0}",
-        doc.native_geomean, doc.full_geomean, doc.aikido_geomean
-    );
+    for g in &doc.per_worker_geomeans {
+        println!(
+            "geomean accesses/sec ({} workers): native {:.0}  full {:.0}  aikido {:.0}",
+            g.workers, g.native, g.full, g.aikido
+        );
+    }
 
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
     let json = serde_json::to_string(&doc).expect("document serialises");

@@ -6,7 +6,7 @@
 //! candidates (§1, §7.3). This module provides two such clients:
 //!
 //! * [`LockSet`] — an Eraser-style lockset race detector (Savage et al.,
-//!   cited as [31] in the paper). Unlike FastTrack it can report false
+//!   cited as \[31\] in the paper). Unlike FastTrack it can report false
 //!   positives, but it is schedule-insensitive for the accesses it observes,
 //!   which makes it a useful cross-check.
 //! * [`SharingProfile`] — a page/variable-granularity sharing profiler, the

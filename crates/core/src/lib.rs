@@ -102,7 +102,9 @@ pub use aikido_workloads as workloads;
 pub use aikido_sim as sim;
 
 pub use aikido_fasttrack::{FastTrack, FastTrackConfig};
-pub use aikido_sim::{Comparison, CostModel, Mode, RunCounts, RunReport, Simulator};
+pub use aikido_sim::{
+    parallel_workers_from_env, Comparison, CostModel, Mode, RunCounts, RunReport, Simulator,
+};
 pub use aikido_types::{
     AccessContext, AccessKind, Addr, AnalysisReport, Prot, ReportKind, SharedDataAnalysis,
     ThreadId, Vpn,
@@ -146,6 +148,21 @@ impl AikidoSystem {
     pub fn quantum(mut self, quantum: u32) -> Self {
         self.simulator = self.simulator.clone().with_quantum(quantum);
         self
+    }
+
+    /// Sets the epoch-engine worker count (1 = sequential). Any count
+    /// produces byte-identical reports; higher counts move block production
+    /// onto a pool of OS threads. See [`Simulator::with_workers`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.simulator = self.simulator.clone().with_workers(workers);
+        self
+    }
+
+    /// Reads the worker count from the `AIKIDO_PARALLEL` environment
+    /// variable (sequential when unset).
+    pub fn workers_from_env(self) -> Self {
+        let workers = aikido_sim::parallel_workers_from_env();
+        self.workers(workers)
     }
 
     /// The underlying simulator.

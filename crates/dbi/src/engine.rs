@@ -31,6 +31,21 @@ pub struct BlockExecution {
 /// against pathological ids.
 const MAX_MASK_BLOCKS: usize = 1 << 20;
 
+/// The per-access instrumentation check: a bitmask probe for in-range ids,
+/// the `instrumented` set for everything else. A free function (rather than
+/// a method) so `execute_block` can run it while the code cache holds the
+/// mutable borrow of the engine — both call sites must stay in lockstep.
+#[inline]
+fn instr_is_instrumented(masks: &[u64], instrumented: &HashSet<InstrId>, id: InstrId) -> bool {
+    let index = id.index();
+    let block = id.block().raw() as usize;
+    if index < 64 && block < MAX_MASK_BLOCKS {
+        masks.get(block).is_some_and(|m| m & (1u64 << index) != 0)
+    } else {
+        instrumented.contains(&id)
+    }
+}
+
 /// The DynamoRIO-style engine driving a [`Program`] through a [`CodeCache`]
 /// with a dynamic set of instrumentation decisions.
 ///
@@ -89,16 +104,7 @@ impl DbiEngine {
     /// True if `instr` is currently marked for instrumentation.
     #[inline]
     pub fn is_instrumented(&self, instr: InstrId) -> bool {
-        let index = instr.index();
-        let block = instr.block().raw() as usize;
-        if index < 64 && block < MAX_MASK_BLOCKS {
-            match self.masks.get(block) {
-                Some(mask) => mask & (1u64 << index) != 0,
-                None => false,
-            }
-        } else {
-            self.instrumented.contains(&instr)
-        }
+        instr_is_instrumented(&self.masks, &self.instrumented, instr)
     }
 
     /// Executes `block` through the code cache, building (and instrumenting
@@ -111,13 +117,7 @@ impl DbiEngine {
         let instrumented = &self.instrumented;
         let masks = &self.masks;
         let (built, cached) = self.cache.execute(&self.program, block, |id| {
-            let index = id.index();
-            let block = id.block().raw() as usize;
-            if index < 64 && block < MAX_MASK_BLOCKS {
-                masks.get(block).is_some_and(|m| m & (1u64 << index) != 0)
-            } else {
-                instrumented.contains(&id)
-            }
+            instr_is_instrumented(masks, instrumented, id)
         });
         BlockExecution {
             block,

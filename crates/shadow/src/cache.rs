@@ -45,14 +45,16 @@ struct ThreadLane {
 /// Dense `u64` key for a static instruction. Blocks rarely exceed a few
 /// dozen instructions, so packing 64 indices per block keeps many blocks'
 /// entries in one leaf chunk (good locality); the rare wider block moves to
-/// a disjoint high key range.
+/// a disjoint high key range. Injective for every representable id: the
+/// narrow range tops out at 2^38 (u32 block << 6), the wide range occupies
+/// bit 62 | block << 16 | u16 index, so the two can never meet.
 #[inline]
 fn instr_key(instr: InstrId) -> u64 {
     let (block, index) = (instr.block().raw() as u64, instr.index() as u64);
     if index < 64 {
         (block << 6) | index
     } else {
-        (1 << 40) | (block << 16) | index
+        (1 << 62) | (block << 16) | index
     }
 }
 

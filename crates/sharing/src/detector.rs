@@ -46,6 +46,37 @@ impl FaultDisposition {
     }
 }
 
+/// A borrowed, read-only view over a detector's page-sharing states.
+///
+/// Obtained from [`AikidoSd::read_view`]; exists to make the fast-path
+/// contract explicit in the type system — holders can classify addresses but
+/// cannot transition page states, so any number of them may be consulted
+/// concurrently between the serialized transition points.
+#[derive(Debug, Clone, Copy)]
+pub struct SharingView<'a> {
+    sd: &'a AikidoSd,
+}
+
+impl SharingView<'_> {
+    /// True if `page` has been found to be shared.
+    #[inline]
+    pub fn is_shared_page(&self, page: Vpn) -> bool {
+        self.sd.pages.is_shared(page)
+    }
+
+    /// True if the page containing `addr` has been found to be shared.
+    #[inline]
+    pub fn is_shared_addr(&self, addr: Addr) -> bool {
+        self.sd.pages.is_shared(addr.page())
+    }
+
+    /// The sharing state of `page`.
+    #[inline]
+    pub fn page_state(&self, page: Vpn) -> PageState {
+        self.sd.pages.get(page)
+    }
+}
+
 /// AikidoSD, the Aikido sharing detector.
 ///
 /// See the crate-level documentation for the protocol and an end-to-end
@@ -87,6 +118,16 @@ impl AikidoSd {
     /// True if the page containing `addr` has been found to be shared.
     pub fn is_shared_addr(&self, addr: Addr) -> bool {
         self.pages.is_shared(addr.page())
+    }
+
+    /// A read-only view over the detector's page states. This is the
+    /// lock-free fast path the epoch engine's inline checks lean on: reads
+    /// take `&self` (two array loads into the flat page-state table, no
+    /// locks, no interior mutability), while state *transitions* only happen
+    /// through `&mut self` fault handling, which the commit clock serializes
+    /// at epoch boundaries.
+    pub fn read_view(&self) -> SharingView<'_> {
+        SharingView { sd: self }
     }
 
     /// Number of pages currently `(private, shared)`.

@@ -72,12 +72,25 @@ impl Comparison {
     }
 }
 
+/// Reads the parallel worker count from the `AIKIDO_PARALLEL` environment
+/// variable (1, i.e. sequential, when unset or unparsable). The benchmark
+/// harnesses and CI lanes use this to opt whole runs into the epoch-parallel
+/// engine without touching call sites.
+pub fn parallel_workers_from_env() -> usize {
+    std::env::var("AIKIDO_PARALLEL")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(1)
+}
+
 /// Drives workloads through the Aikido stack (or its baselines) and produces
 /// [`RunReport`]s.
 #[derive(Debug, Clone)]
 pub struct Simulator {
     cost: CostModel,
     quantum: u32,
+    workers: usize,
 }
 
 impl Default for Simulator {
@@ -88,9 +101,13 @@ impl Default for Simulator {
 
 impl Simulator {
     /// Creates a simulator with the given cost model and the default
-    /// scheduling quantum.
+    /// scheduling quantum, running sequentially (one worker).
     pub fn new(cost: CostModel) -> Self {
-        Simulator { cost, quantum: 8 }
+        Simulator {
+            cost,
+            quantum: 8,
+            workers: 1,
+        }
     }
 
     /// Sets how many basic-block executions a thread runs before the
@@ -98,6 +115,22 @@ impl Simulator {
     pub fn with_quantum(mut self, quantum: u32) -> Self {
         self.quantum = quantum.max(1);
         self
+    }
+
+    /// Sets how many OS worker threads the epoch engine uses for block
+    /// production. `1` (the default) is the fully sequential reference path;
+    /// any higher count runs trace generation on a worker pool while the
+    /// commit thread retires blocks in logical-clock order, so reports are
+    /// byte-identical at every worker count (see the `epoch` module docs —
+    /// the `parallel_equivalence` integration suite pins this).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The configured worker count (1 = sequential).
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The cost model in use.
@@ -122,7 +155,21 @@ impl Simulator {
         analysis: &mut A,
     ) -> RunReport {
         let mut run = Run::new(self, workload, mode, analysis);
-        run.execute();
+        if self.workers <= 1 || workload.threads().len() <= 1 {
+            let mut feed = SeqFeed::new(workload);
+            run.execute(&mut feed);
+        } else {
+            let threads = workload.threads();
+            std::thread::scope(|scope| {
+                let mut feed =
+                    crate::epoch::spawn_producers(scope, workload, &threads, self.workers);
+                run.execute(&mut feed);
+                // Dropping the feed disconnects every lane, letting any
+                // producer that ran ahead of the commit clock exit before the
+                // scope joins it.
+                drop(feed);
+            });
+        }
         run.into_report()
     }
 
@@ -137,14 +184,49 @@ impl Simulator {
     }
 }
 
+/// Where the scheduler's blocks come from: the sequential path pulls straight
+/// from each thread's trace; the parallel path pops batches produced by the
+/// epoch worker pool. `slot` indexes the workload's thread list, and every
+/// implementation must yield the exact same per-slot stream — the scheduler
+/// (and therefore every report) cannot tell the feeds apart.
+pub(crate) trait BlockFeed {
+    /// Moves `slot`'s next execution into `out` (recycling `out`'s previous
+    /// buffers); returns `false` once the slot's trace is exhausted.
+    fn next_into(&mut self, slot: usize, out: &mut BlockExec) -> bool;
+}
+
+/// The sequential feed: one [`aikido_workloads::ThreadTrace`] per slot,
+/// consumed in place on the scheduler thread. This is the reference path the
+/// parallel engine is proven byte-identical against.
+struct SeqFeed<'w> {
+    traces: Vec<aikido_workloads::ThreadTrace<'w>>,
+}
+
+impl<'w> SeqFeed<'w> {
+    fn new(workload: &'w Workload) -> Self {
+        SeqFeed {
+            traces: workload
+                .threads()
+                .into_iter()
+                .map(|id| workload.thread_trace(id))
+                .collect(),
+        }
+    }
+}
+
+impl BlockFeed for SeqFeed<'_> {
+    #[inline]
+    fn next_into(&mut self, slot: usize, out: &mut BlockExec) -> bool {
+        self.traces[slot].next_into(out)
+    }
+}
+
 /// Per-thread scheduling state.
 ///
-/// `exec` is a reusable scratch buffer filled through
-/// [`aikido_workloads::ThreadTrace::next_into`], so the scheduler's steady
-/// state performs no per-block allocation.
-struct ThreadState<'w> {
+/// `exec` is a reusable scratch buffer filled through the run's [`BlockFeed`],
+/// so the scheduler's steady state performs no per-block allocation.
+struct ThreadState {
     id: ThreadId,
-    trace: aikido_workloads::ThreadTrace<'w>,
     started: bool,
     finished: bool,
     exec: BlockExec,
@@ -282,13 +364,12 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
         }
     }
 
-    fn execute(&mut self) {
-        let mut states: Vec<ThreadState<'w>> = self
+    fn execute<F: BlockFeed>(&mut self, feed: &mut F) {
+        let mut states: Vec<ThreadState> = self
             .threads
             .iter()
             .map(|&id| ThreadState {
                 id,
-                trace: self.workload.thread_trace(id),
                 started: id == ThreadId::MAIN,
                 finished: false,
                 exec: BlockExec::default(),
@@ -307,7 +388,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                 while executed < self.sim.quantum {
                     if !states[i].has_exec {
                         let st = &mut states[i];
-                        if !st.trace.next_into(&mut st.exec) {
+                        if !feed.next_into(i, &mut st.exec) {
                             st.finished = true;
                             break;
                         }
@@ -385,7 +466,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
         &mut self,
         thread: ThreadId,
         event: SyncEvent,
-        states: &mut [ThreadState<'w>],
+        states: &mut [ThreadState],
     ) -> SyncOutcome {
         match event {
             SyncEvent::Exit => {
@@ -656,10 +737,13 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                     // page's sharing state before deciding which path to take
                     // (Figure 4 of the paper).
                     self.charge_translation(thread, m);
+                    // Lock-free page-state read (Figure 4's emitted check):
+                    // the view types the fast path as read-only, transitions
+                    // stay serialized on the commit clock.
                     let shared = self
                         .sd
                         .as_ref()
-                        .map(|sd| sd.is_shared_addr(m.addr))
+                        .map(|sd| sd.read_view().is_shared_addr(m.addr))
                         .unwrap_or(false);
                     if shared {
                         self.counts.shared_accesses += 1;
@@ -954,6 +1038,33 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.counts, b.counts);
         assert_eq!(a.counts.segfaults, b.counts.segfaults);
+    }
+
+    #[test]
+    fn parallel_workers_reproduce_the_sequential_report() {
+        let w = small("swaptions");
+        for mode in [Mode::Native, Mode::FullInstrumentation, Mode::Aikido] {
+            let seq = Simulator::default().run(&w, mode);
+            for workers in [2, 3, 8] {
+                let par = Simulator::default().with_workers(workers).run(&w, mode);
+                assert_eq!(par, seq, "workers={workers} mode={mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn env_worker_count_parses_and_defaults_to_sequential() {
+        // The only in-process reader of AIKIDO_PARALLEL, so mutating it here
+        // races with nothing.
+        std::env::remove_var("AIKIDO_PARALLEL");
+        assert_eq!(parallel_workers_from_env(), 1);
+        std::env::set_var("AIKIDO_PARALLEL", "4");
+        assert_eq!(parallel_workers_from_env(), 4);
+        std::env::set_var("AIKIDO_PARALLEL", "0");
+        assert_eq!(parallel_workers_from_env(), 1, "0 is not a worker count");
+        std::env::set_var("AIKIDO_PARALLEL", "not-a-number");
+        assert_eq!(parallel_workers_from_env(), 1);
+        std::env::remove_var("AIKIDO_PARALLEL");
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! The parallel epoch engine: a hand-rolled worker pool that generates each
+//! guest thread's block executions on real OS threads while the commit thread
+//! retires them in deterministic logical-clock order.
+//!
+//! # Design
+//!
+//! The simulator's observable state (VM protections, sharing transitions,
+//! FastTrack clocks, cycle accounting) is mutated exclusively by the *commit*
+//! thread, which runs the exact same round-robin scheduler as sequential
+//! mode. What moves onto the worker pool is the stage that needs no global
+//! state at all: trace generation. Each guest thread's block stream is a pure
+//! function of the workload (seeded RNG per thread), so workers can run
+//! arbitrarily far ahead without observing — or perturbing — the simulated
+//! execution.
+//!
+//! ```text
+//!              producer workers (guest threads partitioned round-robin)
+//!   worker 0: [T0 batch][T2 batch][T0 batch] ──┐ bounded
+//!   worker 1: [T1 batch][T3 batch][T1 batch] ──┤ SPSC     commit thread
+//!                                              ▼ lanes    (logical clock)
+//!                                   lane T0 ▸▸▸▸──────┐
+//!                                   lane T1 ▸▸──────┐ │  round-robin epochs:
+//!                                   lane T2 ▸▸▸────┐│ │  T0 T1 T2 T3 │ T0 …
+//!                                   lane T3 ▸─────┐││ └► VM ▪ sharing ▪
+//!                                                 └┴┴──► FastTrack ▪ cycles
+//!                     (consumed shells recycle back to their producer)
+//! ```
+//!
+//! Epochs are delimited by batch boundaries: a worker produces one batch of
+//! [`EPOCH_BLOCKS`] executions per owned guest thread per round, and the
+//! bounded lane (capacity [`LANE_BATCHES`]) acts as the barrier that stops
+//! producers from running unboundedly ahead of the commit clock. Because
+//! commit order — and therefore every report, race, and example transcript —
+//! is fixed by the logical clock rather than by OS scheduling, a parallel run
+//! is byte-identical to the sequential one by construction; the
+//! `parallel_equivalence` suite proves it per release.
+//!
+//! Consumed [`BlockExec`] shells flow back to their producer through an
+//! unbounded recycle lane, so the steady state allocates nothing on either
+//! side (mirroring the sequential scheduler's buffer reuse).
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::thread::Scope;
+
+use aikido_types::ThreadId;
+use aikido_workloads::{BlockExec, ThreadTrace, Workload};
+
+use crate::engine::BlockFeed;
+
+/// Block executions per produced batch (one epoch's worth for one guest
+/// thread). Large enough to amortise channel traffic, small enough that the
+/// commit thread never waits long for a lane refill.
+pub(crate) const EPOCH_BLOCKS: usize = 1024;
+
+/// Batches a lane buffers ahead of the commit clock. Bounds producer
+/// run-ahead (the epoch barrier) and with it peak memory.
+pub(crate) const LANE_BATCHES: usize = 4;
+
+/// Commit-side view of one guest thread's lane.
+struct Lane {
+    rx: Receiver<Vec<BlockExec>>,
+    recycle_tx: SyncSender<Vec<BlockExec>>,
+    batch: Vec<BlockExec>,
+    cursor: usize,
+    exhausted: bool,
+}
+
+impl Lane {
+    /// Hands the consumed batch's shells back to the producer (best effort —
+    /// if the producer already exited, the shells are simply dropped).
+    fn recycle_consumed(&mut self) {
+        if !self.batch.is_empty() {
+            let shells = std::mem::take(&mut self.batch);
+            let _ = self.recycle_tx.try_send(shells);
+        }
+        self.cursor = 0;
+    }
+}
+
+/// The commit thread's block source when running parallel: pops each guest
+/// thread's next execution from its lane, blocking only when the producers
+/// have genuinely not caught up yet.
+pub(crate) struct ParallelFeed {
+    lanes: Vec<Lane>,
+}
+
+impl BlockFeed for ParallelFeed {
+    fn next_into(&mut self, slot: usize, out: &mut BlockExec) -> bool {
+        let lane = &mut self.lanes[slot];
+        if lane.cursor == lane.batch.len() {
+            lane.recycle_consumed();
+            if lane.exhausted {
+                return false;
+            }
+            match lane.rx.recv() {
+                Ok(batch) => lane.batch = batch,
+                Err(_) => {
+                    // Producer dropped its sender: the trace is exhausted.
+                    lane.exhausted = true;
+                    return false;
+                }
+            }
+        }
+        std::mem::swap(out, &mut lane.batch[lane.cursor]);
+        lane.cursor += 1;
+        true
+    }
+}
+
+/// Producer-side state for one owned guest thread.
+struct ProducerLane<'w> {
+    trace: ThreadTrace<'w>,
+    /// `None` once the trace is exhausted (dropping the sender is what tells
+    /// the commit thread the lane is done).
+    tx: Option<SyncSender<Vec<BlockExec>>>,
+    recycle_rx: Receiver<Vec<BlockExec>>,
+    /// A produced batch the bounded lane had no room for yet.
+    pending: Option<Vec<BlockExec>>,
+}
+
+/// One worker: round-robins over its owned guest threads, each round
+/// producing (or retrying delivery of) one epoch batch per thread. `try_send`
+/// keeps a full lane from ever blocking the worker's other lanes, which is
+/// what makes the pool deadlock-free: the commit thread only ever waits on a
+/// lane whose producer is guaranteed to reach it again.
+fn producer_loop(mut lanes: Vec<ProducerLane<'_>>) {
+    // When every open lane is full the worker has outrun the commit clock by
+    // LANE_BATCHES whole epochs; sleep with backoff instead of spinning so an
+    // oversubscribed machine (CI runners, the 1-core case) gives the core
+    // back to the commit thread.
+    const IDLE_MIN: std::time::Duration = std::time::Duration::from_micros(10);
+    const IDLE_MAX: std::time::Duration = std::time::Duration::from_micros(500);
+    let mut idle = IDLE_MIN;
+    let mut open = lanes.len();
+    while open > 0 {
+        let mut made_progress = false;
+        for lane in &mut lanes {
+            let Some(tx) = lane.tx.as_ref() else {
+                continue;
+            };
+            // Deliver the stalled batch first; skip the lane if still full.
+            if let Some(batch) = lane.pending.take() {
+                match tx.try_send(batch) {
+                    Ok(()) => made_progress = true,
+                    Err(TrySendError::Full(batch)) => {
+                        lane.pending = Some(batch);
+                        continue;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        // Commit side finished with this lane early.
+                        lane.tx = None;
+                        open -= 1;
+                        continue;
+                    }
+                }
+            }
+            // Produce the next epoch batch into recycled shells.
+            let mut batch = lane.recycle_rx.try_recv().unwrap_or_default();
+            let more = lane.trace.fill_batch(&mut batch, EPOCH_BLOCKS);
+            if !batch.is_empty() {
+                made_progress = true;
+                match lane.tx.as_ref().expect("lane is open").try_send(batch) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(batch)) => lane.pending = Some(batch),
+                    Err(TrySendError::Disconnected(_)) => {
+                        lane.tx = None;
+                        open -= 1;
+                        continue;
+                    }
+                }
+            }
+            if !more && lane.pending.is_none() {
+                // Trace exhausted and everything delivered: close the lane.
+                lane.tx = None;
+                open -= 1;
+            }
+        }
+        if made_progress {
+            idle = IDLE_MIN;
+        } else {
+            std::thread::sleep(idle);
+            idle = (idle * 2).min(IDLE_MAX);
+        }
+    }
+}
+
+/// Spawns `workers` producer threads inside `scope`, partitioning the
+/// workload's guest threads round-robin across them, and returns the commit
+/// thread's feed. `threads` must be the same slot order the scheduler uses.
+pub(crate) fn spawn_producers<'scope, 'w: 'scope>(
+    scope: &'scope Scope<'scope, '_>,
+    workload: &'w Workload,
+    threads: &[ThreadId],
+    workers: usize,
+) -> ParallelFeed {
+    let workers = workers.clamp(1, threads.len().max(1));
+    let mut commit_lanes = Vec::with_capacity(threads.len());
+    let mut producer_lanes: Vec<Vec<ProducerLane<'w>>> = (0..workers).map(|_| Vec::new()).collect();
+    for (slot, &thread) in threads.iter().enumerate() {
+        let (tx, rx) = sync_channel(LANE_BATCHES);
+        // Recycle capacity mirrors the data lane: at most LANE_BATCHES + 1
+        // batches are ever in flight per guest thread.
+        let (recycle_tx, recycle_rx) = sync_channel(LANE_BATCHES + 1);
+        commit_lanes.push(Lane {
+            rx,
+            recycle_tx,
+            batch: Vec::new(),
+            cursor: 0,
+            exhausted: false,
+        });
+        producer_lanes[slot % workers].push(ProducerLane {
+            trace: workload.thread_trace(thread),
+            tx: Some(tx),
+            recycle_rx,
+            pending: None,
+        });
+    }
+    for lanes in producer_lanes {
+        scope.spawn(move || producer_loop(lanes));
+    }
+    ParallelFeed {
+        lanes: commit_lanes,
+    }
+}

@@ -45,8 +45,9 @@
 
 mod cost;
 mod engine;
+mod epoch;
 mod report;
 
 pub use cost::CostModel;
-pub use engine::{Comparison, Mode, Simulator};
+pub use engine::{parallel_workers_from_env, Comparison, Mode, Simulator};
 pub use report::{RunCounts, RunReport};

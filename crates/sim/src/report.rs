@@ -52,7 +52,11 @@ impl RunCounts {
 }
 
 /// The result of simulating one workload in one mode.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Reports compare with `==` field-for-field; the parallel-equivalence suite
+/// leans on this (plus the serialized JSON) to prove the epoch-parallel
+/// engine byte-identical to the sequential reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Workload name.
     pub workload: String,

@@ -1,10 +1,10 @@
 //! Fundamental types shared by every crate in the Aikido reproduction.
 //!
 //! The Aikido system (ASPLOS 2012) is a stack of cooperating components — a
-//! hypervisor providing per-thread page protection ([`aikido-vm`]), a dynamic
-//! binary instrumentation engine ([`aikido-dbi`]), a shadow memory framework
-//! ([`aikido-shadow`]), a sharing detector ([`aikido-sharing`]) and analyses
-//! such as FastTrack ([`aikido-fasttrack`]). This crate holds the vocabulary
+//! hypervisor providing per-thread page protection (`aikido-vm`), a dynamic
+//! binary instrumentation engine (`aikido-dbi`), a shadow memory framework
+//! (`aikido-shadow`), a sharing detector (`aikido-sharing`) and analyses
+//! such as FastTrack (`aikido-fasttrack`). This crate holds the vocabulary
 //! those components share: addresses and pages, thread and lock identities,
 //! protection bits, memory/synchronisation operations, and the
 //! [`SharedDataAnalysis`] trait that analysis tools implement.

@@ -30,8 +30,11 @@
 //! # Hot-path layout
 //!
 //! `touch` runs once per simulated memory access, so everything it consults
-//! is flat and index-addressed: threads get dense slots into a
-//! `Vec<ThreadState>` at registration, the shadow page table and protection
+//! is flat and index-addressed: threads get dense slots into a vector of
+//! per-thread `ThreadShard`s at registration (each shard — shadow page
+//! table, protection table, TLB — is self-contained and `Send`, so the
+//! per-thread state can migrate across OS threads or be updated shard-wise
+//! without aliasing the rest of the VM), the shadow page table and protection
 //! table are chunked flat tables (`aikido_types::ChunkMap`), and each thread
 //! carries a direct-mapped software TLB over its recent successful
 //! translations. The TLB is a pure accelerator — it only serves accesses the
@@ -83,6 +86,7 @@ mod hypercall;
 mod kernel;
 mod prot_table;
 mod shadow_pt;
+mod shard;
 mod stats;
 mod vm;
 

@@ -6,7 +6,7 @@
 //! state is laid out for index arithmetic rather than map lookups:
 //!
 //! * Threads get a dense *slot* at registration (`ThreadId` → `usize` into a
-//!   `Vec<ThreadState>`); every per-access operation works on slots.
+//!   `Vec<ThreadShard>`); every per-access operation works on slots.
 //! * Each thread's shadow page table and protection table are flat chunked
 //!   tables ([`ShadowPageTable`], [`ThreadProtTable`]).
 //! * Each thread carries a one-entry software TLB caching its last successful
@@ -19,8 +19,8 @@ use crate::fault::{AikidoFault, Segv};
 use crate::frames::FrameId;
 use crate::hypercall::{AikidoLib, FaultMailbox, Hypercall};
 use crate::kernel::{GuestKernel, KernelEvent, KernelFaultResolution, Vma};
-use crate::prot_table::ThreadProtTable;
-use crate::shadow_pt::{ShadowPageTable, ShadowPte};
+use crate::shadow_pt::ShadowPte;
+use crate::shard::ThreadShard;
 use crate::stats::VmStats;
 
 /// Configuration of the hypervisor model.
@@ -94,86 +94,6 @@ pub struct Touch {
     pub charges: Charges,
 }
 
-/// Entries in each thread's direct-mapped software TLB (power of two).
-/// Sized to cover a thread's private working set (a few dozen pages) so the
-/// steady-state unshared access stays on the two-load fast path.
-const TLB_ENTRIES: usize = 64;
-/// A TLB slot that can never match a real page.
-const TLB_EMPTY: (Vpn, Prot) = (Vpn::new(u64::MAX), Prot::NONE);
-
-#[derive(Debug)]
-struct ThreadState {
-    id: ThreadId,
-    shadow: ShadowPageTable,
-    prot: ThreadProtTable,
-    /// Direct-mapped software TLB over recent successful translations
-    /// (page → effective protection). Purely an accelerator: it only serves
-    /// accesses the shadow table would allow, so hits and misses produce
-    /// byte-identical outcomes and charges. Flash-invalidated whenever the
-    /// thread's shadow table changes.
-    tlb: [(Vpn, Prot); TLB_ENTRIES],
-}
-
-impl ThreadState {
-    fn new(id: ThreadId) -> Self {
-        ThreadState {
-            id,
-            shadow: ShadowPageTable::new(),
-            prot: ThreadProtTable::new(),
-            tlb: [TLB_EMPTY; TLB_ENTRIES],
-        }
-    }
-
-    #[inline]
-    fn tlb_slot(page: Vpn) -> usize {
-        (page.raw() as usize) & (TLB_ENTRIES - 1)
-    }
-
-    #[inline]
-    fn tlb_lookup(&self, page: Vpn) -> Option<Prot> {
-        let (cached_page, prot) = self.tlb[Self::tlb_slot(page)];
-        if cached_page == page {
-            Some(prot)
-        } else {
-            None
-        }
-    }
-
-    #[inline]
-    fn tlb_fill(&mut self, page: Vpn, prot: Prot) {
-        self.tlb[Self::tlb_slot(page)] = (page, prot);
-    }
-
-    /// Drops any cached translation of `page`. A translation of `page` can
-    /// only live in its own direct-mapped slot, so this is O(1).
-    #[inline]
-    fn tlb_invalidate(&mut self, page: Vpn) {
-        let slot = Self::tlb_slot(page);
-        if self.tlb[slot].0 == page {
-            self.tlb[slot] = TLB_EMPTY;
-        }
-    }
-
-    /// Installs a shadow entry, invalidating the TLB.
-    fn install_shadow(&mut self, page: Vpn, pte: ShadowPte) {
-        self.tlb_invalidate(page);
-        self.shadow.install(page, pte);
-    }
-
-    /// Invalidates a shadow entry and the TLB.
-    fn invalidate_shadow(&mut self, page: Vpn) {
-        self.tlb_invalidate(page);
-        self.shadow.invalidate(page);
-    }
-
-    /// Updates a shadow entry's protection, invalidating the TLB; returns
-    /// `true` if an entry existed.
-    fn set_shadow_prot(&mut self, page: Vpn, prot: Prot) -> bool {
-        self.tlb_invalidate(page);
-        self.shadow.set_prot(page, prot)
-    }
-}
-
 /// Direct-index slot lookup above this thread-id bound falls back to a scan
 /// (guards the dense `ThreadId → slot` vector against pathological ids).
 const MAX_DENSE_THREAD_INDEX: usize = 1 << 16;
@@ -188,7 +108,7 @@ pub struct AikidoVm {
     config: VmConfig,
     kernel: GuestKernel,
     /// Per-thread state, indexed by registration slot.
-    threads: Vec<ThreadState>,
+    threads: Vec<ThreadShard>,
     /// `ThreadId::index()` → slot (dense ids only; `NO_SLOT` = unregistered).
     slots: Vec<u32>,
     mailbox: FaultMailbox,
@@ -310,7 +230,7 @@ impl AikidoVm {
                     }
                     self.slots[idx] = slot;
                 }
-                self.threads.push(ThreadState::new(thread));
+                self.threads.push(ThreadShard::new(thread));
                 if self.current_thread.is_none() {
                     self.current_thread = Some(thread);
                 }
@@ -600,6 +520,10 @@ impl AikidoVm {
         if let Err(pos) = self.temp_unprotected.binary_search(&page) {
             self.temp_unprotected.insert(pos, page);
         }
+        debug_assert!(
+            self.temp_unprotected.windows(2).all(|w| w[0] < w[1]),
+            "temp-unprotected page list lost its sort order"
+        );
         let temp_prot = guest_prot.without_user();
         let frame = self.kernel.pte(page).map(|g| g.frame);
         if let Some(frame) = frame {
@@ -618,8 +542,14 @@ impl AikidoVm {
     }
 
     /// The pages currently temporarily unprotected for the guest kernel, as a
-    /// sorted slice (no allocation).
+    /// sorted slice (no allocation). Callers must not re-sort it — the list
+    /// is maintained in order by binary-search insertion, and the assertion
+    /// here keeps that contract honest in debug builds.
     pub fn temp_unprotected_pages(&self) -> &[Vpn] {
+        debug_assert!(
+            self.temp_unprotected.windows(2).all(|w| w[0] < w[1]),
+            "temp-unprotected page list lost its sort order"
+        );
         &self.temp_unprotected
     }
 

@@ -172,6 +172,14 @@ impl Workload {
     }
 }
 
+// The parallel scheduler shares one workload across every producer worker
+// (trace generation is a pure function of the workload); keep the compiler
+// honest that the sharing stays legal.
+const _: fn() = || {
+    fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<Workload>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
