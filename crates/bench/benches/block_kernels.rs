@@ -1,0 +1,50 @@
+//! Batched block kernels versus the scalar reference loop, per mode.
+//!
+//! The simulator's default execution path is the set of monomorphized
+//! per-mode kernels that hoist mode dispatch, engine probes and cost-model
+//! constants to block entry and process accesses in `(page, kind,
+//! instrumented)` runs. The scalar loop (one dispatch + one engine probe per
+//! access) is kept as the byte-identical reference; this bench quantifies
+//! what the batching buys per mode.
+//!
+//! ```bash
+//! cargo bench -p aikido-bench --bench block_kernels
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aikido::{Mode, Simulator, Workload, WorkloadSpec};
+
+/// One low-sharing and one high-sharing benchmark bound the spectrum.
+const BENCHMARKS: [&str; 2] = ["raytrace", "fluidanimate"];
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_kernels");
+    for name in BENCHMARKS {
+        let spec = WorkloadSpec::parsec(name)
+            .expect("preset exists")
+            .scaled(0.01);
+        let workload = Workload::generate(&spec);
+        for mode in [Mode::Native, Mode::FullInstrumentation, Mode::Aikido] {
+            let batched = Simulator::default();
+            let scalar = Simulator::default().with_batched_kernels(false);
+            // The two paths must agree exactly — a bench that silently
+            // compared different behaviours would be meaningless.
+            assert_eq!(batched.run(&workload, mode), scalar.run(&workload, mode));
+            group.bench_with_input(
+                BenchmarkId::new(format!("batched/{}", mode.label()), name),
+                &workload,
+                |b, w| b.iter(|| black_box(batched.run(w, mode))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("scalar/{}", mode.label()), name),
+                &workload,
+                |b, w| b.iter(|| black_box(scalar.run(w, mode))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -12,9 +12,15 @@
 //! The gated quantity is the geometric mean of the three per-mode
 //! accesses/sec geomeans (native, full, aikido) measured on the sequential
 //! path — one number that moves only when the engine itself gets slower.
-//! Per-mode ratios are printed for diagnosis either way. A missing baseline
-//! passes with a warning (first run on a fork, or a fresh perf machine);
-//! the CI workflow refreshes the committed baseline artifact on `main`.
+//! For diagnosis the gate also prints a benchmark × mode table of baseline
+//! versus fresh accesses/sec (so a localized regression is visible without
+//! downloading artifacts), names the worst per-benchmark offender when it
+//! fails, and — when running under GitHub Actions — appends the same table
+//! as markdown to `$GITHUB_STEP_SUMMARY`. A missing baseline passes with a
+//! warning (first run on a fork, or a fresh perf machine); the CI workflow
+//! refreshes the committed baseline artifact on `main`.
+
+use std::fmt::Write as _;
 
 use aikido_bench::geometric_mean;
 use serde_json::Value;
@@ -23,6 +29,9 @@ use serde_json::Value;
 /// shared and noisy; the gate is meant to catch engine regressions, not
 /// scheduler jitter). Override via `PERFGATE_TOLERANCE`.
 const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// The modes the throughput bin measures, in report order.
+const MODES: [&str; 3] = ["native", "full", "aikido"];
 
 /// The three per-mode geomeans read from one throughput document.
 struct ModeGeomeans {
@@ -44,6 +53,158 @@ impl ModeGeomeans {
     /// The single gated number: geomean across the three modes.
     fn overall(&self) -> f64 {
         geometric_mean(&[self.native, self.full, self.aikido])
+    }
+}
+
+/// One `benchmark × mode` data point present in both documents.
+struct SampleDelta {
+    benchmark: String,
+    mode: String,
+    baseline: f64,
+    fresh: f64,
+}
+
+impl SampleDelta {
+    fn ratio(&self) -> f64 {
+        self.fresh / self.baseline
+    }
+}
+
+/// Extracts the sequential (1-worker) accesses/sec per `(benchmark, mode)`.
+fn sequential_rates(doc: &Value) -> Vec<(String, String, f64)> {
+    let mut rates = Vec::new();
+    let Some(samples) = doc.get("samples").and_then(Value::as_array) else {
+        return rates;
+    };
+    for sample in samples {
+        let workers = sample.get("workers").and_then(Value::as_f64).unwrap_or(1.0);
+        if workers != 1.0 {
+            continue;
+        }
+        let (Some(benchmark), Some(mode), Some(rate)) = (
+            sample.get("benchmark").and_then(Value::as_str),
+            sample.get("mode").and_then(Value::as_str),
+            sample.get("accesses_per_sec").and_then(Value::as_f64),
+        ) else {
+            continue;
+        };
+        if rate > 0.0 {
+            rates.push((benchmark.to_string(), mode.to_string(), rate));
+        }
+    }
+    rates
+}
+
+/// Joins the two documents' per-benchmark samples, in fresh-document order.
+fn sample_deltas(fresh: &Value, baseline: &Value) -> Vec<SampleDelta> {
+    let base = sequential_rates(baseline);
+    sequential_rates(fresh)
+        .into_iter()
+        .filter_map(|(benchmark, mode, rate)| {
+            let baseline = base
+                .iter()
+                .find(|(b, m, _)| *b == benchmark && *m == mode)?
+                .2;
+            Some(SampleDelta {
+                benchmark,
+                mode,
+                baseline,
+                fresh: rate,
+            })
+        })
+        .collect()
+}
+
+/// Renders the benchmark × mode comparison as an aligned text table.
+fn print_delta_table(deltas: &[SampleDelta]) {
+    if deltas.is_empty() {
+        println!("perfgate: no per-benchmark samples to compare");
+        return;
+    }
+    println!(
+        "{:<14} {:>8} {:>14} {:>14} {:>8}",
+        "benchmark", "mode", "baseline", "fresh", "ratio"
+    );
+    for mode in MODES {
+        for d in deltas.iter().filter(|d| d.mode == mode) {
+            println!(
+                "{:<14} {:>8} {:>14.0} {:>14.0} {:>8.3}",
+                d.benchmark,
+                d.mode,
+                d.baseline,
+                d.fresh,
+                d.ratio()
+            );
+        }
+    }
+}
+
+/// The same comparison as a markdown table for `$GITHUB_STEP_SUMMARY`.
+fn markdown_summary(
+    deltas: &[SampleDelta],
+    fresh: &ModeGeomeans,
+    baseline: &ModeGeomeans,
+    ratio: f64,
+    tolerance: f64,
+    passed: bool,
+) -> String {
+    let mut md = String::new();
+    let _ = writeln!(md, "## Perf gate: {}", if passed { "OK" } else { "FAIL" });
+    let _ = writeln!(
+        md,
+        "\nOverall geomean ratio **{ratio:.3}** (fails below {:.3}).\n",
+        1.0 - tolerance
+    );
+    let _ = writeln!(md, "| mode | baseline | fresh | ratio |");
+    let _ = writeln!(md, "|---|---:|---:|---:|");
+    for (label, base, now) in [
+        ("native", baseline.native, fresh.native),
+        ("full", baseline.full, fresh.full),
+        ("aikido", baseline.aikido, fresh.aikido),
+    ] {
+        let _ = writeln!(
+            md,
+            "| **{label} geomean** | {base:.0} | {now:.0} | {:.3} |",
+            now / base
+        );
+    }
+    if !deltas.is_empty() {
+        let _ = writeln!(md, "\n| benchmark | mode | baseline | fresh | ratio |");
+        let _ = writeln!(md, "|---|---|---:|---:|---:|");
+        for mode in MODES {
+            for d in deltas.iter().filter(|d| d.mode == mode) {
+                let _ = writeln!(
+                    md,
+                    "| {} | {} | {:.0} | {:.0} | {:.3} |",
+                    d.benchmark,
+                    d.mode,
+                    d.baseline,
+                    d.fresh,
+                    d.ratio()
+                );
+            }
+        }
+    }
+    md
+}
+
+/// Appends the markdown table to `$GITHUB_STEP_SUMMARY` when present (the CI
+/// perfgate lane), so regressions are readable from the workflow run page.
+fn write_step_summary(markdown: &str) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write as _;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(markdown.as_bytes()));
+    if let Err(err) = appended {
+        eprintln!("perfgate: cannot write step summary at {path}: {err}");
     }
 }
 
@@ -81,8 +242,9 @@ fn main() {
         std::process::exit(2);
     };
 
-    let baseline = load(baseline_path).and_then(|doc| ModeGeomeans::from_document(&doc));
-    let Some(baseline) = baseline else {
+    let baseline_doc = load(baseline_path);
+    let baseline = baseline_doc.as_ref().and_then(ModeGeomeans::from_document);
+    let (Some(baseline_doc), Some(baseline)) = (baseline_doc.as_ref(), baseline) else {
         println!(
             "perfgate: no baseline at {baseline_path} — passing (run the \
              throughput bin and commit its output to enable the gate)"
@@ -91,25 +253,45 @@ fn main() {
     };
 
     println!("perfgate: fresh {fresh_path} vs baseline {baseline_path}");
-    println!(
-        "{:<8} {:>14} {:>14} {:>8}",
-        "mode", "baseline", "fresh", "ratio"
-    );
+    let deltas = sample_deltas(&fresh_doc, baseline_doc);
+    print_delta_table(&deltas);
+    println!("{:<14} {:>8} {:>14} {:>14} {:>8}", "", "", "", "", "");
     for (label, base, now) in [
         ("native", baseline.native, fresh.native),
         ("full", baseline.full, fresh.full),
         ("aikido", baseline.aikido, fresh.aikido),
     ] {
-        println!("{label:<8} {base:>14.0} {now:>14.0} {:>8.3}", now / base);
+        println!(
+            "{:<14} {:>8} {base:>14.0} {now:>14.0} {:>8.3}",
+            "geomean",
+            label,
+            now / base
+        );
     }
 
     let ratio = fresh.overall() / baseline.overall();
     let regression = 1.0 - ratio;
+    let passed = regression <= tolerance;
     println!(
         "overall geomean ratio {ratio:.3} (tolerance: up to {:.0}% regression)",
         tolerance * 100.0
     );
-    if regression > tolerance {
+    write_step_summary(&markdown_summary(
+        &deltas, &fresh, &baseline, ratio, tolerance, passed,
+    ));
+    if !passed {
+        let worst = deltas.iter().min_by(|a, b| a.ratio().total_cmp(&b.ratio()));
+        if let Some(worst) = worst {
+            eprintln!(
+                "perfgate: worst offender: {} ({} mode) at ratio {:.3} \
+                 ({:.0} -> {:.0} accesses/sec)",
+                worst.benchmark,
+                worst.mode,
+                worst.ratio(),
+                worst.baseline,
+                worst.fresh
+            );
+        }
         eprintln!(
             "perfgate: FAIL — throughput regressed {:.1}% (> {:.0}%)",
             regression * 100.0,

@@ -67,6 +67,8 @@ struct WorkerGeomeans {
 #[derive(Debug, Serialize)]
 struct Document {
     scale: f64,
+    /// Timed repetitions per benchmark × mode (the fastest is reported).
+    reps: u32,
     /// Highest worker count measured (1 when running sequential only).
     parallel_workers: usize,
     samples: Vec<Sample>,
@@ -79,17 +81,27 @@ struct Document {
     per_worker_geomeans: Vec<WorkerGeomeans>,
 }
 
-/// Timed repetitions per benchmark × mode; the fastest is reported (standard
-/// practice for throughput numbers — the minimum is the least noisy estimate
-/// of what the code can do).
-const REPEATS: u32 = 3;
+/// Default timed repetitions per benchmark × mode; the fastest is reported
+/// (standard practice for throughput numbers — the minimum is the least
+/// noisy estimate of what the code can do). Override via
+/// `AIKIDO_BENCH_REPS` (the CI lanes run a single rep to stay fast).
+const DEFAULT_REPEATS: u32 = 3;
 
-fn measure(workload: &Workload, mode: Mode, workers: usize) -> (Sample, RunReport) {
+/// Timed repetitions per benchmark × mode, from `AIKIDO_BENCH_REPS`.
+fn repeats() -> u32 {
+    std::env::var("AIKIDO_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(DEFAULT_REPEATS)
+}
+
+fn measure(workload: &Workload, mode: Mode, workers: usize, reps: u32) -> (Sample, RunReport) {
     let sim = Simulator::default().with_workers(workers);
     // Warm-up run (untimed): page in the workload and the allocator.
     let baseline = sim.run(workload, mode);
     let mut best = None;
-    for _ in 0..REPEATS {
+    for _ in 0..reps {
         let start = Instant::now();
         let report = sim.run(workload, mode);
         let wall = start.elapsed();
@@ -145,9 +157,10 @@ fn worker_counts() -> Vec<usize> {
 fn main() {
     let scale = scale_from_env();
     let counts = worker_counts();
+    let reps = repeats();
     let parallel_workers = *counts.last().expect("at least one worker count");
     let mut samples = Vec::new();
-    println!("hot-path throughput (scale {scale}, workers {counts:?}):");
+    println!("hot-path throughput (scale {scale}, workers {counts:?}, reps {reps}):");
     println!(
         "{:<14} {:>8} {:>7} {:>12} {:>12} {:>14} {:>9} {:>13}",
         "benchmark",
@@ -167,7 +180,7 @@ fn main() {
         for mode in [Mode::Native, Mode::FullInstrumentation, Mode::Aikido] {
             let mut sequential_report: Option<RunReport> = None;
             for &workers in &counts {
-                let (sample, report) = measure(&workload, mode, workers);
+                let (sample, report) = measure(&workload, mode, workers, reps);
                 match &sequential_report {
                     None => sequential_report = Some(report),
                     Some(reference) => assert_eq!(
@@ -211,6 +224,7 @@ fn main() {
         .collect();
     let doc = Document {
         scale,
+        reps,
         parallel_workers,
         aikido_geomean: geomean("aikido", 1),
         full_geomean: geomean("full", 1),

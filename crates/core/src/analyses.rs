@@ -272,6 +272,51 @@ impl SharedDataAnalysis for SharingProfile {
             .insert(cx.thread);
     }
 
+    fn on_access_batch(&mut self, run: &[AccessContext], costs: &mut Vec<u64>) {
+        costs.clear();
+        let Some(first) = run.first() else {
+            return;
+        };
+        let page = first.addr.page();
+        if run.len() == 1 || !run.iter().all(|cx| cx.addr.page() == page) {
+            // Mixed pages (callers normally group runs by page, but the
+            // contract does not require it): scalar delivery.
+            for cx in run {
+                self.on_access(*cx);
+                costs.push(self.last_access_cost_cycles());
+            }
+            return;
+        }
+        // One page for the whole run: one read-counter lookup, one
+        // write-counter lookup and one thread-set update replace the
+        // per-access BTree walks; the final state is exactly what per-access
+        // delivery would have produced (counters are additive, sets are
+        // idempotent, and per-instruction pages still update per access).
+        let reads = run.iter().filter(|cx| cx.kind == AccessKind::Read).count() as u64;
+        let writes = run.len() as u64 - reads;
+        if reads > 0 {
+            *self.reads.entry(page).or_default() += reads;
+        }
+        if writes > 0 {
+            *self.writes.entry(page).or_default() += writes;
+        }
+        self.threads_per_page
+            .entry(page)
+            .or_default()
+            .insert(first.thread);
+        for cx in run {
+            self.instr_pages.entry(cx.instr).or_default().insert(page);
+            if cx.thread != first.thread {
+                self.threads_per_page
+                    .entry(page)
+                    .or_default()
+                    .insert(cx.thread);
+            }
+        }
+        let cost = self.last_access_cost_cycles();
+        costs.resize(run.len(), cost);
+    }
+
     fn reports(&self) -> Vec<AnalysisReport> {
         Vec::new()
     }
@@ -366,6 +411,43 @@ mod tests {
         assert_eq!(profile.hottest_shared_pages(), vec![(page, 2)]);
         assert_eq!(profile.instructions_touching(page), 1);
         assert!((profile.write_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharing_profile_batch_delivery_matches_scalar_delivery() {
+        let same_page = [
+            cx(0, 0x1000, AccessKind::Write),
+            cx(0, 0x1010, AccessKind::Read),
+            cx(0, 0x1020, AccessKind::Read),
+        ];
+        let mixed_pages = [
+            cx(1, 0x1000, AccessKind::Read),
+            cx(1, 0x2000, AccessKind::Write),
+        ];
+        let mut scalar = SharingProfile::new();
+        let mut batched = SharingProfile::new();
+        let mut scalar_costs = Vec::new();
+        let mut batched_costs = Vec::new();
+        for run in [&same_page[..], &mixed_pages[..]] {
+            scalar_costs.clear();
+            for &a in run {
+                scalar.on_access(a);
+                scalar_costs.push(scalar.last_access_cost_cycles());
+            }
+            batched.on_access_batch(run, &mut batched_costs);
+            assert_eq!(batched_costs, scalar_costs);
+        }
+        assert_eq!(batched.write_fraction(), scalar.write_fraction());
+        assert_eq!(
+            batched.hottest_shared_pages(),
+            scalar.hottest_shared_pages()
+        );
+        let page = Addr::new(0x1000).page();
+        assert_eq!(batched.page_accesses(page), scalar.page_accesses(page));
+        assert_eq!(
+            batched.instructions_touching(page),
+            scalar.instructions_touching(page)
+        );
     }
 
     #[test]

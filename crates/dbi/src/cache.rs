@@ -48,6 +48,13 @@ pub struct CachedBlock {
     /// Per-instruction flag: `true` if instrumentation was emitted for the
     /// instruction when the block was built.
     pub instrumented: Vec<bool>,
+    /// The same per-instruction flags packed into a bitmask (bit *i* =
+    /// instruction *i*), precomputed at build time so per-access
+    /// instrumentation checks on the executing copy are a shift and a test.
+    /// Exact only while the block holds at most 64 instructions
+    /// ([`CachedBlock::mask_is_exact`]); wider blocks keep the flag vector
+    /// authoritative.
+    pub instr_mask: u64,
     /// Number of memory instructions carrying instrumentation in this copy
     /// (precomputed at build time so dispatch stays allocation- and scan-free).
     pub instrumented_mem_instrs: usize,
@@ -64,6 +71,12 @@ impl CachedBlock {
     /// Number of instrumented instructions in this cached copy.
     pub fn instrumented_count(&self) -> usize {
         self.instrumented.iter().filter(|&&b| b).count()
+    }
+
+    /// True if [`CachedBlock::instr_mask`] covers every instruction of the
+    /// block (i.e. the block fits in one 64-bit mask).
+    pub fn mask_is_exact(&self) -> bool {
+        self.instrumented.len() <= 64
     }
 }
 
@@ -147,18 +160,38 @@ impl CodeCache {
     {
         self.stats.dispatches += 1;
         let idx = block.raw() as usize;
-        let mut built = false;
-        if self.get(block).is_none() {
+        // Hot path: the block is resident — one lookup, no rebuild. The
+        // borrow is scoped so the cold build path below stays legal, and the
+        // returned reference is re-derived afterwards (a no-op at runtime).
+        let resident = matches!(self.blocks.get(idx), Some(Some(_)));
+        if resident {
+            self.stats.linked_dispatches += 1;
+            let hot_threshold = self.hot_threshold;
+            let entry = self.blocks[idx].as_mut().expect("checked resident");
+            entry.executions += 1;
+            if !entry.in_trace && entry.executions >= hot_threshold {
+                entry.in_trace = true;
+                self.stats.traces_built += 1;
+            }
+            return (false, &*entry);
+        }
+        // Cold path: build (and instrument) the block.
+        {
             let static_block = program
                 .block(block)
                 .unwrap_or_else(|| panic!("{block:?} not present in program"));
             let mut instrumented_mem_instrs = 0;
+            let mut instr_mask = 0u64;
             let instrumented: Vec<bool> = static_block
                 .iter_ids()
-                .map(|(id, instr)| {
+                .enumerate()
+                .map(|(pos, (id, instr))| {
                     let inst = should_instrument(id);
                     if inst && instr.is_mem() {
                         instrumented_mem_instrs += 1;
+                    }
+                    if inst && pos < 64 {
+                        instr_mask |= 1u64 << pos;
                     }
                     inst
                 })
@@ -175,14 +208,12 @@ impl CodeCache {
             self.blocks[idx] = Some(CachedBlock {
                 block,
                 instrumented,
+                instr_mask,
                 instrumented_mem_instrs,
                 executions: 0,
                 generation: self.generations[idx],
                 in_trace: false,
             });
-            built = true;
-        } else {
-            self.stats.linked_dispatches += 1;
         }
 
         let hot_threshold = self.hot_threshold;
@@ -192,7 +223,7 @@ impl CodeCache {
             entry.in_trace = true;
             self.stats.traces_built += 1;
         }
-        (built, &*entry)
+        (true, &*entry)
     }
 
     /// Flushes every cached block containing `instr` (in this model, the one
@@ -279,6 +310,23 @@ mod tests {
         let (_, cached) = c.execute(&p, b, |id| id == target);
         assert_eq!(cached.instrumented, vec![false, false, true]);
         assert_eq!(cached.instrumented_count(), 1);
+        assert_eq!(cached.instr_mask, 0b100);
+        assert!(cached.mask_is_exact());
+    }
+
+    #[test]
+    fn instr_mask_mirrors_the_flag_vector_after_rebuilds() {
+        let (p, b) = program();
+        let mut c = CodeCache::new();
+        let (_, cached) = c.execute(&p, b, |_| false);
+        assert_eq!(cached.instr_mask, 0);
+        let target = p.block(b).unwrap().instr_id(0);
+        c.flush_instr(target);
+        let (_, cached) = c.execute(&p, b, |id| id == target);
+        assert_eq!(cached.instr_mask, 0b001);
+        for (i, &flag) in cached.instrumented.clone().iter().enumerate() {
+            assert_eq!(cached.instr_mask & (1 << i) != 0, flag);
+        }
     }
 
     #[test]

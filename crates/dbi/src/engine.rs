@@ -23,6 +23,16 @@ pub struct BlockExecution {
     pub instrumented_mem_instrs: usize,
     /// True if the cached copy belongs to a trace.
     pub in_trace: bool,
+    /// Per-instruction instrumentation bitmask of the copy that ran (bit *i*
+    /// = instruction *i* carries instrumentation). Because every new
+    /// instrumentation decision flushes the block, the mask of the resident
+    /// copy always reflects the engine's *current* decisions, so callers can
+    /// answer [`DbiEngine::is_instrumented`] for the whole block with one
+    /// shift-and-test per instruction — no per-access engine probe.
+    pub instr_mask: u64,
+    /// True if `instr_mask` covers every instruction (block length ≤ 64);
+    /// when false, fall back to [`DbiEngine::is_instrumented`] per access.
+    pub mask_exact: bool,
 }
 
 /// Blocks with a raw id below this bound get a dense bitmask slot; beyond it
@@ -125,6 +135,8 @@ impl DbiEngine {
             instr_count: cached.instrumented.len(),
             instrumented_mem_instrs: cached.instrumented_mem_instrs,
             in_trace: cached.in_trace,
+            instr_mask: cached.instr_mask,
+            mask_exact: cached.mask_is_exact(),
         }
     }
 
@@ -218,6 +230,23 @@ mod tests {
         assert_eq!(exec.instrumented_mem_instrs, 1);
         assert!(e.is_instrumented(instr));
         assert!(e.block_up_to_date(b));
+    }
+
+    #[test]
+    fn block_execution_mask_tracks_current_decisions() {
+        let (mut e, b) = engine();
+        let exec = e.execute_block(b);
+        assert_eq!(exec.instr_mask, 0);
+        assert!(exec.mask_exact);
+        let instr = e.program().block(b).unwrap().instr_id(2);
+        e.request_instrumentation(instr);
+        let exec = e.execute_block(b);
+        assert!(exec.built, "new decision flushes, so the copy is rebuilt");
+        assert_eq!(exec.instr_mask, 0b100);
+        for (i, _) in e.program().block(b).unwrap().iter_ids().enumerate() {
+            let id = e.program().block(b).unwrap().instr_id(i);
+            assert_eq!(exec.instr_mask & (1 << i) != 0, e.is_instrumented(id));
+        }
     }
 
     #[test]

@@ -136,21 +136,32 @@ impl FastTrack {
     pub fn read_at(&mut self, thread: ThreadId, addr: Addr, instr: Option<InstrId>) {
         self.stats.reads += 1;
         let threads_known = self.threads.len().max(1) as u64;
-        self.thread_vc(thread);
-        // Field-disjoint borrows: the thread clock is read in place while the
-        // variable state is updated — no per-access clone.
-        let vc = self
-            .threads
-            .get(thread.index() as u64)
-            .expect("just ensured");
-        let epoch = vc.epoch_of(thread);
+        let epoch = self.thread_vc(thread).epoch_of(thread);
+        self.read_with_epoch(thread, addr, instr, epoch, threads_known);
+    }
+
+    /// The body of [`FastTrack::read_at`] with the per-access prolog (thread
+    /// clock ensure + epoch extraction + known-thread count) hoisted out, so
+    /// [`FastTrack::on_access_batch`] can snapshot it once per run. Reads and
+    /// writes never create thread clocks or advance epochs, so the hoisted
+    /// values stay exactly what the scalar path would recompute per access.
+    #[inline]
+    fn read_with_epoch(
+        &mut self,
+        thread: ThreadId,
+        addr: Addr,
+        instr: Option<InstrId>,
+        epoch: crate::clock::Epoch,
+        threads_known: u64,
+    ) {
         let use_epochs = self.config.epoch_optimization;
         let (is_new, state) = self.vars.get_or_default_tracked(addr);
         if is_new {
             self.stats.blocks_tracked += 1;
         }
 
-        // Same-epoch fast path.
+        // Same-epoch fast path: decided on the epoch alone — the full thread
+        // clock is only fetched on the slow paths below.
         if use_epochs {
             match &state.read {
                 ReadState::Exclusive(e) if *e == epoch => {
@@ -167,6 +178,13 @@ impl FastTrack {
             }
         }
         self.last_cost = cost::EXCLUSIVE;
+
+        // Field-disjoint borrows: the thread clock is read in place while the
+        // variable state is updated — no per-access clone.
+        let vc = self
+            .threads
+            .get(thread.index() as u64)
+            .expect("caller ensured the thread clock");
 
         // Write-read race check: the last write must happen-before this read.
         let write_races = !state.write.happens_before(vc);
@@ -217,12 +235,21 @@ impl FastTrack {
     pub fn write_at(&mut self, thread: ThreadId, addr: Addr, instr: Option<InstrId>) {
         self.stats.writes += 1;
         let threads_known = self.threads.len().max(1) as u64;
-        self.thread_vc(thread);
-        let vc = self
-            .threads
-            .get(thread.index() as u64)
-            .expect("just ensured");
-        let epoch = vc.epoch_of(thread);
+        let epoch = self.thread_vc(thread).epoch_of(thread);
+        self.write_with_epoch(thread, addr, instr, epoch, threads_known);
+    }
+
+    /// The body of [`FastTrack::write_at`] with the per-access prolog hoisted
+    /// out (see [`FastTrack::read_with_epoch`]).
+    #[inline]
+    fn write_with_epoch(
+        &mut self,
+        thread: ThreadId,
+        addr: Addr,
+        instr: Option<InstrId>,
+        epoch: crate::clock::Epoch,
+        threads_known: u64,
+    ) {
         let use_epochs = self.config.epoch_optimization;
         let (is_new, state) = self.vars.get_or_default_tracked(addr);
         if is_new {
@@ -241,6 +268,10 @@ impl FastTrack {
             cost::EXCLUSIVE
         };
 
+        let vc = self
+            .threads
+            .get(thread.index() as u64)
+            .expect("caller ensured the thread clock");
         let write_races = !state.write.happens_before(vc);
         let prior_writer = state.write.thread();
         let read_races = !state.read.happens_before(vc);
@@ -381,6 +412,47 @@ impl SharedDataAnalysis for FastTrack {
         match cx.kind {
             AccessKind::Read => self.read_at(cx.thread, cx.addr, Some(cx.instr)),
             AccessKind::Write => self.write_at(cx.thread, cx.addr, Some(cx.instr)),
+        }
+    }
+
+    fn on_access_batch(&mut self, run: &[AccessContext], costs: &mut Vec<u64>) {
+        costs.clear();
+        let Some((first, rest)) = run.split_first() else {
+            return;
+        };
+        costs.reserve(run.len());
+        // The first access runs the full scalar path (it may be the one that
+        // creates the thread's clock, in which case the scalar path's
+        // before-ensure `threads_known` must be reproduced exactly).
+        self.on_access(*first);
+        costs.push(self.last_access_cost_cycles());
+        if rest.is_empty() {
+            return;
+        }
+        // Snapshot the per-access prolog once: accesses never create thread
+        // clocks for an already-known thread, never advance its epoch, and a
+        // run contains no synchronisation, so every remaining access would
+        // recompute exactly these values.
+        let thread = first.thread;
+        let threads_known = self.threads.len().max(1) as u64;
+        let epoch = self
+            .threads
+            .get(thread.index() as u64)
+            .expect("first access ensured the thread clock")
+            .epoch_of(thread);
+        for cx in rest {
+            debug_assert_eq!(cx.thread, thread, "a run belongs to one thread");
+            match cx.kind {
+                AccessKind::Read => {
+                    self.stats.reads += 1;
+                    self.read_with_epoch(cx.thread, cx.addr, Some(cx.instr), epoch, threads_known);
+                }
+                AccessKind::Write => {
+                    self.stats.writes += 1;
+                    self.write_with_epoch(cx.thread, cx.addr, Some(cx.instr), epoch, threads_known);
+                }
+            }
+            costs.push(self.last_access_cost_cycles());
         }
     }
 
@@ -646,6 +718,59 @@ mod tests {
         assert_eq!(reports[0].instr, Some(InstrId::new(BlockId::new(3), 1)));
         assert_eq!(ft.name(), "fasttrack");
         assert!(ft.access_cost_cycles() > 0);
+    }
+
+    #[test]
+    fn batched_delivery_is_byte_identical_to_scalar_delivery() {
+        use aikido_types::{BlockId, InstrId};
+        let cx = |thread: u32, addr: u64, kind, i: u16| AccessContext {
+            thread: t(thread),
+            addr: Addr::new(addr),
+            kind,
+            size: 8,
+            instr: InstrId::new(BlockId::new(2), i),
+        };
+        // A run with same-epoch repeats, a fresh block, mixed kinds, and a
+        // cross-thread prefix that makes the final writes race.
+        let prefix = [
+            cx(0, 0x900, AccessKind::Write, 0),
+            cx(0, 0x908, AccessKind::Read, 1),
+        ];
+        let run = [
+            cx(1, 0x900, AccessKind::Write, 2),
+            cx(1, 0x900, AccessKind::Write, 3),
+            cx(1, 0x908, AccessKind::Read, 0),
+            cx(1, 0x910, AccessKind::Read, 1),
+            cx(1, 0x910, AccessKind::Write, 2),
+        ];
+        let mut scalar = FastTrack::new();
+        let mut batched = FastTrack::new();
+        let mut scalar_costs = Vec::new();
+        let mut batched_costs = Vec::new();
+        for &p in &prefix {
+            scalar.on_access(p);
+            batched.on_access(p);
+        }
+        for &a in &run {
+            scalar.on_access(a);
+            scalar_costs.push(scalar.last_access_cost_cycles());
+        }
+        batched.on_access_batch(&run, &mut batched_costs);
+        assert_eq!(batched_costs, scalar_costs);
+        assert_eq!(batched.stats(), scalar.stats());
+        assert_eq!(batched.races(), scalar.races());
+        // Delivering the very first accesses of a fresh thread as a batch
+        // (the clock-creating case) must also match.
+        let mut scalar = FastTrack::new();
+        let mut batched = FastTrack::new();
+        scalar_costs.clear();
+        for &a in &run {
+            scalar.on_access(a);
+            scalar_costs.push(scalar.last_access_cost_cycles());
+        }
+        batched.on_access_batch(&run, &mut batched_costs);
+        assert_eq!(batched_costs, scalar_costs);
+        assert_eq!(batched.stats(), scalar.stats());
     }
 
     #[test]

@@ -33,11 +33,28 @@ pub enum CacheLevel {
     Full,
 }
 
+/// A dense-table entry that can never match a real region (the table stores
+/// region ids as bytes; regions with larger ids use the spill map).
+const INLINE_EMPTY: u8 = u8::MAX;
+
+/// Dense inline-cache keys below this bound live in a flat, directly indexed
+/// table; the rare wider key falls back to the chunked map.
+const DENSE_INLINE_KEYS: u64 = 1 << 20;
+
 /// One thread's view of the translation machinery.
 #[derive(Debug, Default)]
 struct ThreadLane {
-    /// Static instruction → last region it translated (the inline cache).
-    inline: ChunkMap<RegionId>,
+    /// Static instruction → raw id of the last region it translated (the
+    /// inline cache), directly indexed by the dense instruction key — one
+    /// load and one compare on the per-access hot path. Entries are single
+    /// bytes so the whole table stays cache-resident (the probe pattern is
+    /// random across instructions, so footprint *is* the probe cost);
+    /// region ids ≥ 255 — workloads have a handful of regions — spill.
+    inline_dense: Vec<u8>,
+    /// Inline entries whose key falls outside the dense table (blocks with
+    /// huge ids or more than 64 instructions) or whose region id does not
+    /// fit a byte; never on real workloads.
+    inline_spill: ChunkMap<RegionId>,
     /// Recently used regions (the thread-local caches), most recent last.
     recent: Vec<RegionId>,
 }
@@ -113,12 +130,16 @@ impl TranslationCache {
             }
         };
         let key = instr_key(instr);
-        let level = match lane.inline.get_mut(key) {
-            Some(slot) if *slot == region => {
+        let level = if key < DENSE_INLINE_KEYS {
+            let key = key as usize;
+            if key >= lane.inline_dense.len() {
+                lane.inline_dense.resize(key + 1, INLINE_EMPTY);
+            }
+            let slot = &mut lane.inline_dense[key];
+            if u32::from(*slot) == region.raw() && *slot != INLINE_EMPTY {
                 self.stats.inline_hits += 1;
                 CacheLevel::Inline
-            }
-            slot => {
+            } else {
                 let level = if lane.recent.contains(&region) {
                     self.stats.thread_local_hits += 1;
                     CacheLevel::ThreadLocal
@@ -126,14 +147,39 @@ impl TranslationCache {
                     self.stats.full_lookups += 1;
                     CacheLevel::Full
                 };
-                // Install the result in the inline cache on the way out.
-                match slot {
-                    Some(slot) => *slot = region,
-                    None => {
-                        lane.inline.insert(key, region);
-                    }
-                }
+                // Install the result in the inline cache on the way out. A
+                // region id too large for a byte (255+ registered regions;
+                // never on real workloads) records as "empty", i.e. the
+                // entry keeps missing rather than aliasing another region.
+                *slot = if region.raw() < u32::from(INLINE_EMPTY) {
+                    region.raw() as u8
+                } else {
+                    INLINE_EMPTY
+                };
                 level
+            }
+        } else {
+            match lane.inline_spill.get_mut(key) {
+                Some(slot) if *slot == region => {
+                    self.stats.inline_hits += 1;
+                    CacheLevel::Inline
+                }
+                slot => {
+                    let level = if lane.recent.contains(&region) {
+                        self.stats.thread_local_hits += 1;
+                        CacheLevel::ThreadLocal
+                    } else {
+                        self.stats.full_lookups += 1;
+                        CacheLevel::Full
+                    };
+                    match slot {
+                        Some(slot) => *slot = region,
+                        None => {
+                            lane.inline_spill.insert(key, region);
+                        }
+                    }
+                    level
+                }
             }
         };
 
@@ -239,6 +285,24 @@ mod tests {
         c.access(t, instr(0), RegionId::new(0));
         c.flush();
         assert_eq!(c.access(t, instr(0), RegionId::new(0)), CacheLevel::Full);
+    }
+
+    #[test]
+    fn wide_instruction_indices_spill_out_of_the_dense_table() {
+        // Index ≥ 64 maps to the high key range, beyond the dense table.
+        let mut c = TranslationCache::new();
+        let t = ThreadId::new(0);
+        let wide = InstrId::new(BlockId::new(2), 907);
+        assert_eq!(c.access(t, wide, RegionId::new(4)), CacheLevel::Full);
+        assert_eq!(c.access(t, wide, RegionId::new(4)), CacheLevel::Inline);
+        assert_eq!(c.access(t, wide, RegionId::new(5)), CacheLevel::Full);
+        assert_eq!(
+            c.access(t, wide, RegionId::new(4)),
+            CacheLevel::ThreadLocal,
+            "region change misses inline but region 4 is still recent"
+        );
+        c.flush();
+        assert_eq!(c.access(t, wide, RegionId::new(4)), CacheLevel::Full);
     }
 
     #[test]

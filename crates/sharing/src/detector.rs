@@ -59,6 +59,17 @@ pub struct SharingView<'a> {
 
 impl SharingView<'_> {
     /// True if `page` has been found to be shared.
+    ///
+    /// This is the page-granular query the simulator's batched Aikido kernel
+    /// issues **once per run** of consecutive same-page accesses rather than
+    /// once per access. Two monotonicity guarantees make that sound:
+    ///
+    /// * `Shared` is sticky — a page never leaves the shared state (see
+    ///   [`PageState`]) — so a `true` answer covers every later access of the
+    ///   run unconditionally;
+    /// * transitions *into* `Shared` only happen inside
+    ///   [`AikidoSd::handle_fault`], so a `false` answer stays valid until
+    ///   the caller next invokes the fault machinery.
     #[inline]
     pub fn is_shared_page(&self, page: Vpn) -> bool {
         self.sd.pages.is_shared(page)
@@ -462,6 +473,24 @@ mod tests {
         let meta = rig.sd.metadata_addr(base.offset(24)).unwrap();
         assert_ne!(meta, mirror);
         assert!(rig.sd.mirror_addr(Addr::new(0x1)).is_err());
+    }
+
+    #[test]
+    fn shared_state_is_sticky_across_further_faults() {
+        // The batched run kernel answers one page-state read for a whole run
+        // of accesses; that is only sound because `Shared` can never revert.
+        let (mut rig, base) = rig(3, 2);
+        let (t0, t1, t2) = (ThreadId::new(0), ThreadId::new(1), ThreadId::new(2));
+        let (i0, i1) = (rig.instrs[0], rig.instrs[1]);
+        access(&mut rig, t0, base, AccessKind::Write, i0);
+        access(&mut rig, t1, base, AccessKind::Write, i0);
+        assert!(rig.sd.read_view().is_shared_page(base.page()));
+        // Every subsequent fault on the page — new thread, new instruction —
+        // leaves it shared.
+        access(&mut rig, t2, base.offset(8), AccessKind::Read, i1);
+        access(&mut rig, t0, base.offset(16), AccessKind::Write, i1);
+        assert!(rig.sd.read_view().is_shared_page(base.page()));
+        assert_eq!(rig.sd.page_state(base.page()), PageState::Shared);
     }
 
     #[test]

@@ -1,10 +1,8 @@
 //! The simulator: scheduler, per-mode pipelines and cycle accounting.
 
-use std::collections::{HashMap, HashSet};
-
 use aikido_dbi::DbiEngine;
 use aikido_fasttrack::FastTrack;
-use aikido_shadow::{DualShadow, RegionKind, TranslationCache};
+use aikido_shadow::{DualShadow, RegionId, RegionKind, TranslationCache};
 use aikido_sharing::AikidoSd;
 use aikido_types::{
     AccessContext, AccessKind, Addr, MemRef, Operation, Prot, SharedDataAnalysis, SyncOp, ThreadId,
@@ -91,6 +89,8 @@ pub struct Simulator {
     cost: CostModel,
     quantum: u32,
     workers: usize,
+    batched: bool,
+    inline_tlb: bool,
 }
 
 impl Default for Simulator {
@@ -100,6 +100,11 @@ impl Default for Simulator {
 }
 
 impl Simulator {
+    /// Entries in each thread's inline-check table (the simulator's model of
+    /// the code Aikido emits in front of every access). Direct mapped: pages
+    /// this many apart collide in the same slot.
+    pub const INLINE_TLB_ENTRIES: usize = SIM_TLB_ENTRIES;
+
     /// Creates a simulator with the given cost model and the default
     /// scheduling quantum, running sequentially (one worker).
     pub fn new(cost: CostModel) -> Self {
@@ -107,6 +112,8 @@ impl Simulator {
             cost,
             quantum: 8,
             workers: 1,
+            batched: true,
+            inline_tlb: true,
         }
     }
 
@@ -131,6 +138,27 @@ impl Simulator {
     /// The configured worker count (1 = sequential).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Selects between the batched per-mode block kernels (the default) and
+    /// the scalar per-access reference loop. The two are byte-identical by
+    /// construction — the scalar path exists as the equivalence oracle the
+    /// tests and the `block_kernels` benchmark compare against, not as a
+    /// user-facing feature.
+    pub fn with_batched_kernels(mut self, batched: bool) -> Self {
+        self.batched = batched;
+        self
+    }
+
+    /// Enables or disables the simulator's per-thread inline-check tables
+    /// (the Figure-4 analogue that proves accesses free without consulting
+    /// the VM). Disabling them routes every access through `vm.touch`;
+    /// because a free touch mutates no observable state, reports are
+    /// byte-identical either way — which is exactly what the TLB-aliasing
+    /// property tests pin down.
+    pub fn with_inline_tlb(mut self, enabled: bool) -> Self {
+        self.inline_tlb = enabled;
+        self
     }
 
     /// The cost model in use.
@@ -254,11 +282,19 @@ struct Run<'a, 'w, A: SharedDataAnalysis> {
     shared_range: (u64, u64),
     contention: f64,
     last_scheduled: Option<ThreadId>,
-    barrier_arrivals: HashMap<u32, HashSet<ThreadId>>,
-    barriers_done: HashSet<u32>,
+    /// Per-barrier arrival sets, indexed by barrier id (ids are small
+    /// sequential integers). Dense so the scheduler's sync path performs no
+    /// hashing.
+    barrier_arrivals: Vec<ArrivalSet>,
+    /// Completed barriers, indexed by barrier id.
+    barriers_done: Vec<bool>,
     /// Which thread currently holds each lock; acquires of a held lock block
-    /// the acquiring thread, exactly as a real mutex would.
-    lock_owners: HashMap<aikido_types::LockId, ThreadId>,
+    /// the acquiring thread, exactly as a real mutex would. Indexed by raw
+    /// lock id (workload lock ids are small sequential integers); the rare
+    /// huge id spills into the scanned overflow list.
+    lock_owners: Vec<Option<ThreadId>>,
+    /// Owners of locks whose raw id exceeds the dense table.
+    lock_owner_spill: Vec<(aikido_types::LockId, ThreadId)>,
     fatal_accesses: u64,
     /// The simulator's inline check, mirroring the code Aikido emits in front
     /// of every access (Figure 4): a per-thread direct-mapped table of pages
@@ -270,11 +306,70 @@ struct Run<'a, 'w, A: SharedDataAnalysis> {
     /// the float multiply-and-round is deterministic in the base cost, and
     /// the analysis fast path reports the same base almost every access.
     last_contended_cost: (u64, u64),
+    /// Reusable buffer of access contexts for one run, handed to
+    /// [`SharedDataAnalysis::on_access_batch`] — no per-run allocation.
+    cx_scratch: Vec<AccessContext>,
+    /// Reusable buffer receiving the per-access analysis costs of one run.
+    cost_scratch: Vec<u64>,
+    /// Direct-mapped memo over *shared* pages: page → (region, mirror page).
+    /// Pure memoization of monotone facts — sharing is sticky and the region
+    /// and mirror displacements are fixed at setup — so entries never need
+    /// invalidation, and a hit replaces one page-state read, one region
+    /// lookup and one mirror translation per instrumented run with a single
+    /// probe. Misses fall through to the authoritative lookups.
+    shared_pages: Vec<SharedPageInfo>,
 }
+
+/// One [`Run::shared_pages`] entry.
+#[derive(Copy, Clone)]
+struct SharedPageInfo {
+    /// The shared page, or `Vpn::new(u64::MAX)` for an empty slot.
+    page: Vpn,
+    /// The page's owning region (None: outside every registered region).
+    region: Option<RegionId>,
+    /// The page's mirror page.
+    mirror: Vpn,
+}
+
+impl SharedPageInfo {
+    const EMPTY: SharedPageInfo = SharedPageInfo {
+        page: Vpn::new(u64::MAX),
+        region: None,
+        mirror: Vpn::new(u64::MAX),
+    };
+}
+
+/// Which threads have arrived at one barrier: a flag per thread slot plus
+/// the arrival count (insertion is idempotent, exactly like the `HashSet`
+/// of thread ids it replaces).
+#[derive(Clone, Debug, Default)]
+struct ArrivalSet {
+    arrived: Vec<bool>,
+    count: usize,
+}
+
+impl ArrivalSet {
+    fn insert(&mut self, thread: ThreadId) {
+        let idx = thread.index();
+        if idx >= self.arrived.len() {
+            self.arrived.resize(idx + 1, false);
+        }
+        if !self.arrived[idx] {
+            self.arrived[idx] = true;
+            self.count += 1;
+        }
+    }
+}
+
+/// Raw lock ids below this bound use the dense owner table.
+const DENSE_LOCKS: u64 = 1 << 12;
 
 const MAX_FAULT_ITERATIONS: usize = 6;
 /// Entries in each thread's inline-check table (power of two).
 const SIM_TLB_ENTRIES: usize = 64;
+/// Entries in the shared-page memo (power of two; comfortably above the
+/// shared page count of every preset, so collisions stay rare).
+const SHARED_PAGE_ENTRIES: usize = 256;
 /// An inline-TLB slot that can never match a real page.
 const SIM_TLB_EMPTY: (Vpn, u8) = (Vpn::new(u64::MAX), 0);
 
@@ -319,12 +414,16 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
             shared_range,
             contention,
             last_scheduled: None,
-            barrier_arrivals: HashMap::new(),
-            barriers_done: HashSet::new(),
-            lock_owners: HashMap::new(),
+            barrier_arrivals: Vec::new(),
+            barriers_done: Vec::new(),
+            lock_owners: Vec::new(),
+            lock_owner_spill: Vec::new(),
             fatal_accesses: 0,
             inline_tlb: Vec::new(),
             last_contended_cost: (u64::MAX, 0),
+            cx_scratch: Vec::new(),
+            cost_scratch: Vec::new(),
+            shared_pages: vec![SharedPageInfo::EMPTY; SHARED_PAGE_ENTRIES],
         };
         run.setup();
         run
@@ -478,11 +577,11 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
             }
             SyncEvent::Sync(op) => match op {
                 SyncOp::Acquire(lock) => {
-                    match self.lock_owners.get(&lock) {
-                        Some(&owner) if owner != thread => return SyncOutcome::Blocked,
+                    match self.lock_owner(lock) {
+                        Some(owner) if owner != thread => return SyncOutcome::Blocked,
                         _ => {}
                     }
-                    self.lock_owners.insert(lock, thread);
+                    self.set_lock_owner(lock, Some(thread));
                     self.charge_sync();
                     if self.mode != Mode::Native {
                         self.analysis.on_acquire(thread, lock);
@@ -491,8 +590,8 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                     SyncOutcome::Done
                 }
                 SyncOp::Release(lock) => {
-                    debug_assert_eq!(self.lock_owners.get(&lock), Some(&thread));
-                    self.lock_owners.remove(&lock);
+                    debug_assert_eq!(self.lock_owner(lock), Some(thread));
+                    self.set_lock_owner(lock, None);
                     self.charge_sync();
                     if self.mode != Mode::Native {
                         self.analysis.on_release(thread, lock);
@@ -541,16 +640,25 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                     SyncOutcome::Done
                 }
                 SyncOp::Barrier(id) => {
-                    if self.barriers_done.contains(&id) {
+                    let slot = id as usize;
+                    if self.barriers_done.get(slot).copied().unwrap_or(false) {
                         self.charge_sync();
                         return SyncOutcome::Done;
                     }
-                    let arrivals = self.barrier_arrivals.entry(id).or_default();
+                    if slot >= self.barrier_arrivals.len() {
+                        self.barrier_arrivals
+                            .resize_with(slot + 1, ArrivalSet::default);
+                    }
+                    let arrivals = &mut self.barrier_arrivals[slot];
                     arrivals.insert(thread);
+                    let count = arrivals.count;
                     let participants = states.iter().filter(|s| s.started && !s.finished).count();
-                    if arrivals.len() >= participants {
-                        self.barrier_arrivals.remove(&id);
-                        self.barriers_done.insert(id);
+                    if count >= participants {
+                        self.barrier_arrivals[slot] = ArrivalSet::default();
+                        if slot >= self.barriers_done.len() {
+                            self.barriers_done.resize(slot + 1, false);
+                        }
+                        self.barriers_done[slot] = true;
                         self.charge_sync();
                         if self.mode != Mode::Native {
                             self.analysis.on_barrier(&self.threads, id);
@@ -565,6 +673,35 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
         }
     }
 
+    /// The current owner of `lock` (dense table for small ids, spill list
+    /// for the rest).
+    fn lock_owner(&self, lock: aikido_types::LockId) -> Option<ThreadId> {
+        if lock.raw() < DENSE_LOCKS {
+            self.lock_owners.get(lock.raw() as usize).copied().flatten()
+        } else {
+            self.lock_owner_spill
+                .iter()
+                .find(|(l, _)| *l == lock)
+                .map(|&(_, owner)| owner)
+        }
+    }
+
+    /// Sets or clears the owner of `lock`.
+    fn set_lock_owner(&mut self, lock: aikido_types::LockId, owner: Option<ThreadId>) {
+        if lock.raw() < DENSE_LOCKS {
+            let slot = lock.raw() as usize;
+            if slot >= self.lock_owners.len() {
+                self.lock_owners.resize(slot + 1, None);
+            }
+            self.lock_owners[slot] = owner;
+        } else {
+            self.lock_owner_spill.retain(|(l, _)| *l != lock);
+            if let Some(owner) = owner {
+                self.lock_owner_spill.push((lock, owner));
+            }
+        }
+    }
+
     fn charge_sync(&mut self) {
         self.counts.sync_ops += 1;
         self.counts.dynamic_instrs += 1;
@@ -574,9 +711,27 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
         }
     }
 
+    /// Executes one work-block: dispatches to the batched per-mode kernel
+    /// (the default) or to the scalar reference loop. Both paths perform the
+    /// same additions to the same counters in the same stateful order, so
+    /// every report is byte-identical between them — `batched_kernels_*`
+    /// tests and the `block_kernels` benchmark rely on exactly that.
     fn execute_work_block(&mut self, thread: ThreadId, exec: &BlockExec) {
         self.counts.block_execs += 1;
+        if !self.sim.batched {
+            return self.execute_work_block_scalar(thread, exec);
+        }
+        match self.mode {
+            Mode::Native => self.block_kernel_native(thread, exec),
+            Mode::FullInstrumentation => self.block_kernel_full(thread, exec),
+            Mode::Aikido => self.block_kernel_aikido(thread, exec),
+        }
+    }
 
+    /// The scalar reference implementation: one mode dispatch, one engine
+    /// probe and one `Option` unwrap per access. Kept as the equivalence
+    /// oracle the batched kernels are proven against.
+    fn execute_work_block_scalar(&mut self, thread: ThreadId, exec: &BlockExec) {
         if let Some(engine) = self.engine.as_mut() {
             let result = engine.execute_block(exec.block);
             if result.built {
@@ -598,35 +753,591 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                 Operation::Sync(op) => {
                     // Work blocks normally contain no sync ops, but handle
                     // them for robustness (custom workloads may embed them).
-                    self.charge_sync();
-                    if self.mode != Mode::Native {
-                        match op {
-                            SyncOp::Acquire(l) => self.analysis.on_acquire(thread, *l),
-                            SyncOp::Release(l) => self.analysis.on_release(thread, *l),
-                            SyncOp::Fork(c) => self.analysis.on_fork(thread, *c),
-                            SyncOp::Join(c) => self.analysis.on_join(thread, *c),
-                            SyncOp::Barrier(id) => self.analysis.on_barrier(&self.threads, *id),
-                        }
-                        self.cycles += self.analysis.sync_cost_cycles();
-                    }
+                    // Shared with the batched kernels so the two paths
+                    // cannot drift apart.
+                    self.work_block_sync(thread, op);
                 }
                 Operation::Map { .. } => {
                     // Dynamic mappings are set up ahead of time by the
                     // harness; charge a native syscall-ish cost.
                     self.cycles += self.sim.cost.sync_native_cycles;
                 }
+                Operation::Exit => self.work_block_exit(thread),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Batched block kernels
+    // ------------------------------------------------------------------
+    //
+    // The scalar loop above pays a mode dispatch, two `Option` probes, an
+    // engine query and a cost-model field walk for *every* access. The
+    // monomorphized kernels below hoist all of that to block entry and then
+    // process memory accesses in *runs* — maximal groups of consecutive
+    // accesses sharing `(page, kind, instrumented)` — so each run performs
+    // one instrumentation-mask test, one sharing-view page-state read, one
+    // inline-check probe and one batched analysis delivery. Equivalence with
+    // the scalar loop is by construction, not by luck: every charge is the
+    // same u64 added the same number of times, and every *stateful* call
+    // (translation cache, analysis, VM touch, fault handling) happens in the
+    // same order. The soundness arguments for each hoist:
+    //
+    // * instrumentation mask: a fault can only instrument the faulting
+    //   access's own instruction, and ops carry one operation per static
+    //   instruction, so decisions for *other* ops of the block cannot change
+    //   mid-block — the mask snapshot at block entry stays exact;
+    // * page-state read: `Shared` is sticky and transitions happen only
+    //   inside fault handling, so one read covers a run until the next slow
+    //   access (see `SharingView::is_shared_page`);
+    // * inline-check probe: probes have no side effects, and a hit for
+    //   `(page, kind)` covers every remaining access of the run because only
+    //   VM interactions (which the hit skips) can invalidate it;
+    // * region lookup: the region table is fixed at run construction and
+    //   workload regions are page-aligned, so one lookup covers a page.
+
+    /// A sync op embedded in a work block (rare; custom workloads only).
+    fn work_block_sync(&mut self, thread: ThreadId, op: &SyncOp) {
+        self.charge_sync();
+        if self.mode != Mode::Native {
+            match op {
+                SyncOp::Acquire(l) => self.analysis.on_acquire(thread, *l),
+                SyncOp::Release(l) => self.analysis.on_release(thread, *l),
+                SyncOp::Fork(c) => self.analysis.on_fork(thread, *c),
+                SyncOp::Join(c) => self.analysis.on_join(thread, *c),
+                SyncOp::Barrier(id) => self.analysis.on_barrier(&self.threads, *id),
+            }
+            self.cycles += self.analysis.sync_cost_cycles();
+        }
+    }
+
+    /// An exit op embedded in a work block (rare; custom workloads only).
+    fn work_block_exit(&mut self, thread: ThreadId) {
+        if self.mode != Mode::Native {
+            self.analysis.on_thread_exit(thread);
+        }
+    }
+
+    /// Native kernel: no engine, no analysis — count and charge native
+    /// cycles, with the per-op decode skipped entirely for plain blocks.
+    fn block_kernel_native(&mut self, thread: ThreadId, exec: &BlockExec) {
+        let alu = self.sim.cost.alu_cycles;
+        let mem = self.sim.cost.mem_cycles;
+        if exec.meta.plain {
+            self.counts.dynamic_instrs += exec.ops.len() as u64;
+            self.counts.mem_accesses += u64::from(exec.meta.mem_ops);
+            self.cycles +=
+                u64::from(exec.meta.compute_ops) * alu + u64::from(exec.meta.mem_ops) * mem;
+            return;
+        }
+        let mut dynamic = 0u64;
+        let mut accesses = 0u64;
+        let mut cycles = 0u64;
+        for op in &exec.ops {
+            match op {
+                Operation::Mem(_) => {
+                    dynamic += 1;
+                    accesses += 1;
+                    cycles += mem;
+                }
+                Operation::Compute { count } => {
+                    let n = u64::from(*count);
+                    dynamic += n;
+                    cycles += n * alu;
+                }
+                Operation::Sync(op) => {
+                    dynamic += 1;
+                    self.work_block_sync(thread, op);
+                }
+                Operation::Map { .. } => {
+                    dynamic += 1;
+                    cycles += self.sim.cost.sync_native_cycles;
+                }
                 Operation::Exit => {
-                    if self.mode != Mode::Native {
-                        self.analysis.on_thread_exit(thread);
+                    dynamic += 1;
+                    self.work_block_exit(thread);
+                }
+            }
+        }
+        self.counts.dynamic_instrs += dynamic;
+        self.counts.mem_accesses += accesses;
+        self.cycles += cycles;
+    }
+
+    /// Full-instrumentation kernel: every access is instrumented, so runs
+    /// need no mask — group by `(page, kind)` and batch the analysis.
+    fn block_kernel_full(&mut self, thread: ThreadId, exec: &BlockExec) {
+        let engine = self
+            .engine
+            .as_mut()
+            .expect("full instrumentation has a dbi engine");
+        let result = engine.execute_block(exec.block);
+        if result.built {
+            self.cycles += self.sim.cost.block_build(result.instr_count as u64);
+        }
+        let ops = &exec.ops;
+        if exec.meta.plain {
+            let computes = u64::from(exec.meta.compute_ops);
+            self.counts.dynamic_instrs += computes;
+            self.cycles += computes * (self.sim.cost.alu_cycles + self.sim.cost.dbi_overhead(1));
+            for run in &exec.meta.runs {
+                let start = usize::from(run.start);
+                self.full_run(thread, &ops[start..start + usize::from(run.len)]);
+            }
+            return;
+        }
+        let mut i = 0;
+        while i < ops.len() {
+            match &ops[i] {
+                Operation::Mem(first) => {
+                    let page = first.addr.page();
+                    let kind = first.kind;
+                    let mut j = i + 1;
+                    while j < ops.len() {
+                        match &ops[j] {
+                            Operation::Mem(m) if m.addr.page() == page && m.kind == kind => {
+                                j += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    self.full_run(thread, &ops[i..j]);
+                    i = j;
+                }
+                op => {
+                    self.non_mem_op(thread, op);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Aikido kernel: runs additionally split on the block's instrumentation
+    /// mask, and each run resolves its fast path (free / instrumented-private
+    /// / instrumented-shared) once instead of per access.
+    fn block_kernel_aikido(&mut self, thread: ThreadId, exec: &BlockExec) {
+        let engine = self.engine.as_mut().expect("aikido mode has a dbi engine");
+        let result = engine.execute_block(exec.block);
+        if result.built {
+            self.cycles += self.sim.cost.block_build(result.instr_count as u64);
+        }
+        let ops = &exec.ops;
+        // The mask indexes by op position, which is only meaningful while
+        // ops align one-to-one with the block's static instructions (the
+        // `BlockExec` contract); the length check rejects hand-built
+        // executions that carry run metadata but break the alignment, so
+        // `mask >> run.start` can never shift past the 64-bit mask.
+        if exec.meta.plain && result.mask_exact && exec.ops.len() == result.instr_count {
+            let computes = u64::from(exec.meta.compute_ops);
+            self.counts.dynamic_instrs += computes;
+            self.cycles += computes * (self.sim.cost.alu_cycles + self.sim.cost.dbi_overhead(1));
+            let mask = result.instr_mask;
+            if mask == 0 {
+                // Whole-block free fast path — the steady state for every
+                // block no fault has ever instrumented. Charge the accesses
+                // in one batch and walk the runs with a single borrow of the
+                // thread's inline-check lane; only a missing run falls into
+                // the per-access machinery.
+                let mems = u64::from(exec.meta.mem_ops);
+                self.counts.dynamic_instrs += mems;
+                self.counts.mem_accesses += mems;
+                self.cycles += mems * (self.sim.cost.mem_cycles + self.sim.cost.dbi_overhead(1));
+                let mut first_miss = None;
+                if !self.sim.inline_tlb {
+                    first_miss = Some(0);
+                } else if let Some(lane) = self.inline_tlb.get(thread.index()) {
+                    for (ri, run) in exec.meta.runs.iter().enumerate() {
+                        let (cached, kinds) =
+                            lane[(run.page.raw() as usize) & (SIM_TLB_ENTRIES - 1)];
+                        if cached != run.page || kinds & kind_bit(run.kind) == 0 {
+                            first_miss = Some(ri);
+                            break;
+                        }
+                    }
+                } else {
+                    first_miss = Some(0);
+                }
+                if let Some(first_miss) = first_miss {
+                    for run in &exec.meta.runs[first_miss..] {
+                        let start = usize::from(run.start);
+                        let run_ops = &ops[start..start + usize::from(run.len)];
+                        self.aikido_free_run_slow(thread, run_ops, run.page, run.kind);
+                    }
+                }
+                return;
+            }
+            for run in &exec.meta.runs {
+                let start = usize::from(run.start);
+                let len = usize::from(run.len);
+                let run_ops = &ops[start..start + len];
+                // Plain executions carry one op per static instruction,
+                // aligned by index, so the block mask indexes by op position.
+                let full = if len >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << len) - 1
+                };
+                let bits = (mask >> start) & full;
+                if bits == 0 {
+                    self.aikido_free_run(thread, run_ops, run.page, run.kind);
+                } else if bits == full {
+                    self.aikido_instrumented_run(thread, run_ops, run.page, run.kind);
+                } else {
+                    // Mixed instrumentation within one (page, kind) run:
+                    // split at the bit boundaries.
+                    let mut s = 0usize;
+                    while s < len {
+                        let instrumented = (bits >> s) & 1 != 0;
+                        let mut e = s + 1;
+                        while e < len && ((bits >> e) & 1 != 0) == instrumented {
+                            e += 1;
+                        }
+                        let sub = &run_ops[s..e];
+                        if instrumented {
+                            self.aikido_instrumented_run(thread, sub, run.page, run.kind);
+                        } else {
+                            self.aikido_free_run(thread, sub, run.page, run.kind);
+                        }
+                        s = e;
                     }
                 }
             }
+            return;
+        }
+        let mut i = 0;
+        while i < ops.len() {
+            match &ops[i] {
+                Operation::Mem(first) => {
+                    let page = first.addr.page();
+                    let kind = first.kind;
+                    let instrumented = self
+                        .engine
+                        .as_ref()
+                        .expect("aikido mode has a dbi engine")
+                        .is_instrumented(first.instr);
+                    let mut j = i + 1;
+                    while j < ops.len() {
+                        match &ops[j] {
+                            Operation::Mem(m)
+                                if m.addr.page() == page
+                                    && m.kind == kind
+                                    && self
+                                        .engine
+                                        .as_ref()
+                                        .expect("aikido mode has a dbi engine")
+                                        .is_instrumented(m.instr)
+                                        == instrumented =>
+                            {
+                                j += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    let run_ops = &ops[i..j];
+                    if instrumented {
+                        self.aikido_instrumented_run(thread, run_ops, page, kind);
+                    } else {
+                        self.aikido_free_run(thread, run_ops, page, kind);
+                    }
+                    i = j;
+                }
+                op => {
+                    self.non_mem_op(thread, op);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// A non-memory op inside an instrumented-mode work block.
+    fn non_mem_op(&mut self, thread: ThreadId, op: &Operation) {
+        match op {
+            Operation::Compute { count } => {
+                let n = u64::from(*count);
+                self.counts.dynamic_instrs += n;
+                self.cycles += n * self.sim.cost.alu_cycles + self.sim.cost.dbi_overhead(n);
+            }
+            Operation::Sync(op) => {
+                self.counts.dynamic_instrs += 1;
+                self.work_block_sync(thread, op);
+            }
+            Operation::Map { .. } => {
+                self.counts.dynamic_instrs += 1;
+                self.cycles += self.sim.cost.sync_native_cycles;
+            }
+            Operation::Exit => {
+                self.counts.dynamic_instrs += 1;
+                self.work_block_exit(thread);
+            }
+            Operation::Mem(_) => unreachable!("memory ops are grouped into runs"),
+        }
+    }
+
+    /// One `(page, kind)` run under full instrumentation.
+    fn full_run(&mut self, thread: ThreadId, run: &[Operation]) {
+        let n = run.len() as u64;
+        self.counts.dynamic_instrs += n;
+        self.counts.mem_accesses += n;
+        self.counts.instrumented_accesses += n;
+        self.cycles += n * (self.sim.cost.mem_cycles + self.sim.cost.dbi_overhead(1));
+        let first = run[0]
+            .as_mem()
+            .expect("runs contain only memory operations");
+        let shared = self.in_shared_region(first.addr);
+        if shared {
+            self.counts.shared_accesses += n;
+        }
+        // One region lookup covers the run (regions are page-aligned); the
+        // layered translation cache is still consulted per access because
+        // each level charges differently and its state is per instruction.
+        let region = self.region_lookup.region_id_of(first.addr);
+        for op in run {
+            let m = op.as_mem().expect("runs contain only memory operations");
+            self.charge_translation_resolved(thread, m.instr, region);
+        }
+        self.charge_analysis_run(thread, run, shared);
+    }
+
+    /// One uninstrumented run in Aikido mode: the emitted fast path. A
+    /// single inline-check probe covers the whole run; only while it misses
+    /// do accesses fall into the VM one at a time.
+    fn aikido_free_run(
+        &mut self,
+        thread: ThreadId,
+        run: &[Operation],
+        page: Vpn,
+        kind: AccessKind,
+    ) {
+        let n = run.len() as u64;
+        self.counts.dynamic_instrs += n;
+        self.counts.mem_accesses += n;
+        self.cycles += n * (self.sim.cost.mem_cycles + self.sim.cost.dbi_overhead(1));
+        self.aikido_free_run_slow(thread, run, page, kind);
+    }
+
+    /// The probe-and-fault part of a free run, with the counting already
+    /// done by the caller.
+    fn aikido_free_run_slow(
+        &mut self,
+        thread: ThreadId,
+        run: &[Operation],
+        page: Vpn,
+        kind: AccessKind,
+    ) {
+        let mut rest = run.iter();
+        while !self.inline_tlb_hit(thread, page, kind) {
+            let Some(op) = rest.next() else { return };
+            let m = op.as_mem().expect("runs contain only memory operations");
+            self.access_with_fault_handling(thread, m);
+        }
+    }
+
+    /// One instrumented run in Aikido mode. The page-state read happens once
+    /// per slow step instead of once per access: a `Shared` answer covers the
+    /// whole remaining run (shared is sticky), an unshared answer stays valid
+    /// until the next VM interaction.
+    /// Probes the shared-page memo for `page`.
+    #[inline]
+    fn shared_page_probe(&self, page: Vpn) -> Option<SharedPageInfo> {
+        let entry = self.shared_pages[(page.raw() as usize) & (SHARED_PAGE_ENTRIES - 1)];
+        (entry.page == page).then_some(entry)
+    }
+
+    fn aikido_instrumented_run(
+        &mut self,
+        thread: ThreadId,
+        run: &[Operation],
+        page: Vpn,
+        kind: AccessKind,
+    ) {
+        let n = run.len() as u64;
+        self.counts.dynamic_instrs += n;
+        self.counts.mem_accesses += n;
+        self.counts.instrumented_accesses += n;
+        self.cycles += n * (self.sim.cost.mem_cycles + self.sim.cost.dbi_overhead(1));
+        // A memo hit proves the page shared (sharing is sticky) with its
+        // region and mirror already resolved — the common steady state for
+        // instrumented instructions, since they were instrumented *because*
+        // their pages are shared.
+        if let Some(info) = self.shared_page_probe(page) {
+            self.aikido_shared_tail(thread, run, kind, info);
+            return;
+        }
+        let first = run[0]
+            .as_mem()
+            .expect("runs contain only memory operations");
+        let region = self.region_lookup.region_id_of(first.addr);
+        let mut idx = 0;
+        while idx < run.len() {
+            let shared = self
+                .sd
+                .as_ref()
+                .expect("aikido mode has a sharing detector")
+                .read_view()
+                .is_shared_page(page);
+            if shared {
+                let info = self.resolve_shared_page(page, region, first.addr);
+                self.aikido_shared_tail(thread, &run[idx..], kind, info);
+                return;
+            }
+            let m = run[idx]
+                .as_mem()
+                .expect("runs contain only memory operations");
+            self.charge_translation_resolved(thread, m.instr, region);
+            if m.mode.is_indirect() {
+                self.cycles += self.sim.cost.indirect_check_cycles;
+            }
+            if self.inline_tlb_hit(thread, page, kind) {
+                // Proven free for (page, kind): the rest of the run charges
+                // only its translations and indirect checks — the page cannot
+                // become shared without a VM interaction the hit skips.
+                for op in &run[idx + 1..] {
+                    let m = op.as_mem().expect("runs contain only memory operations");
+                    self.charge_translation_resolved(thread, m.instr, region);
+                    if m.mode.is_indirect() {
+                        self.cycles += self.sim.cost.indirect_check_cycles;
+                    }
+                }
+                return;
+            }
+            self.access_with_fault_handling(thread, m);
+            idx += 1;
+        }
+    }
+
+    /// Resolves the mirror page of a page just observed shared and installs
+    /// the memo entry (mirror translation failures are never cached — they
+    /// keep taking the authoritative per-access path).
+    fn resolve_shared_page(
+        &mut self,
+        page: Vpn,
+        region: Option<RegionId>,
+        addr: Addr,
+    ) -> SharedPageInfo {
+        let mirror = self
+            .sd
+            .as_ref()
+            .expect("aikido mode has a sharing detector")
+            .mirror_addr(addr)
+            .map(|m| m.page());
+        match mirror {
+            Ok(mirror) => {
+                let info = SharedPageInfo {
+                    page,
+                    region,
+                    mirror,
+                };
+                self.shared_pages[(page.raw() as usize) & (SHARED_PAGE_ENTRIES - 1)] = info;
+                info
+            }
+            Err(_) => SharedPageInfo {
+                page,
+                region,
+                mirror: Vpn::new(u64::MAX),
+            },
+        }
+    }
+
+    /// The shared remainder of an instrumented run: batch-charge translation,
+    /// analysis (contended) and redirection, then drive the mirror accesses
+    /// through one probe — same app page means same mirror page.
+    fn aikido_shared_tail(
+        &mut self,
+        thread: ThreadId,
+        tail: &[Operation],
+        kind: AccessKind,
+        info: SharedPageInfo,
+    ) {
+        let k = tail.len() as u64;
+        self.counts.shared_accesses += k;
+        for op in tail {
+            let m = op.as_mem().expect("runs contain only memory operations");
+            self.charge_translation_resolved(thread, m.instr, info.region);
+        }
+        self.charge_analysis_run(thread, tail, true);
+        self.cycles += k * self.sim.cost.mirror_redirect_cycles;
+        if info.mirror == Vpn::new(u64::MAX) {
+            // No mirror translation exists: each access fails exactly like
+            // the scalar loop's per-access `access_via_mirror` would.
+            self.fatal_accesses += k;
+            return;
+        }
+        let mut rest = tail.iter();
+        while !self.inline_tlb_hit(thread, info.mirror, kind) {
+            let Some(op) = rest.next() else { return };
+            let m = op.as_mem().expect("runs contain only memory operations");
+            self.access_via_mirror(thread, m);
+        }
+    }
+
+    /// Charges one shadow translation with the region already resolved.
+    #[inline]
+    fn charge_translation_resolved(
+        &mut self,
+        thread: ThreadId,
+        instr: aikido_types::InstrId,
+        region: Option<RegionId>,
+    ) {
+        match region {
+            Some(region) => {
+                let level = self.cache.access(thread, instr, region);
+                self.cycles += self.sim.cost.shadow_translation(level);
+            }
+            None => self.cycles += self.sim.cost.shadow_full_cycles,
+        }
+    }
+
+    /// Delivers one run to the analysis in a single batched call and charges
+    /// the per-access costs in access order, preserving the contended-cost
+    /// memo's state evolution exactly.
+    fn charge_analysis_run(&mut self, thread: ThreadId, run: &[Operation], shared: bool) {
+        // A batch of one is the scalar call (the batched analysis entry point
+        // delivers its first element through `on_access`); skip the scratch
+        // round-trip. This is the common case — consecutive accesses rarely
+        // share a page.
+        if let [op] = run {
+            let m = op.as_mem().expect("runs contain only memory operations");
+            self.charge_analysis_access(thread, m, shared);
+            return;
+        }
+        self.cx_scratch.clear();
+        self.cx_scratch.extend(run.iter().map(|op| {
+            let m = op.as_mem().expect("runs contain only memory operations");
+            AccessContext {
+                thread,
+                addr: m.addr,
+                kind: m.kind,
+                size: m.size,
+                instr: m.instr,
+            }
+        }));
+        self.analysis
+            .on_access_batch(&self.cx_scratch, &mut self.cost_scratch);
+        if shared {
+            let mut total = 0u64;
+            for idx in 0..self.cost_scratch.len() {
+                let base = self.cost_scratch[idx];
+                let cost = if self.last_contended_cost.0 == base {
+                    self.last_contended_cost.1
+                } else {
+                    let contended = (base as f64 * self.contention).round() as u64;
+                    self.last_contended_cost = (base, contended);
+                    contended
+                };
+                total += cost;
+            }
+            self.cycles += total;
+        } else {
+            self.cycles += self.cost_scratch.iter().sum::<u64>();
         }
     }
 
     /// True if the inline check proves this access free (no VM involvement).
     #[inline]
     fn inline_tlb_hit(&self, thread: ThreadId, page: Vpn, kind: AccessKind) -> bool {
+        if !self.sim.inline_tlb {
+            return false;
+        }
         match self.inline_tlb.get(thread.index()) {
             Some(lane) => {
                 let (cached, kinds) = lane[(page.raw() as usize) & (SIM_TLB_ENTRIES - 1)];
@@ -639,6 +1350,9 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
     /// Records a proven-free `(thread, page, kind)` access.
     #[inline]
     fn inline_tlb_fill(&mut self, thread: ThreadId, page: Vpn, kind: AccessKind) {
+        if !self.sim.inline_tlb {
+            return;
+        }
         let idx = thread.index();
         if idx >= self.inline_tlb.len() {
             self.inline_tlb
@@ -927,6 +1641,7 @@ mod tests {
     use aikido_workloads::{
         producer_consumer_workload, racy_workload, read_only_sharing_workload, WorkloadSpec,
     };
+    use std::collections::HashSet;
 
     fn small(name: &str) -> Workload {
         Workload::generate(
@@ -1038,6 +1753,73 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.counts, b.counts);
         assert_eq!(a.counts.segfaults, b.counts.segfaults);
+    }
+
+    #[test]
+    fn batched_kernels_reproduce_the_scalar_reference_exactly() {
+        for name in ["blackscholes", "fluidanimate", "canneal"] {
+            let w = small(name);
+            for mode in [Mode::Native, Mode::FullInstrumentation, Mode::Aikido] {
+                let batched = Simulator::default().run(&w, mode);
+                let scalar = Simulator::default()
+                    .with_batched_kernels(false)
+                    .run(&w, mode);
+                assert_eq!(batched, scalar, "{name} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernels_handle_racy_and_barrier_workloads_identically() {
+        let racy = Workload::generate(&racy_workload(4));
+        for mode in [Mode::FullInstrumentation, Mode::Aikido] {
+            let batched = Simulator::default().run(&racy, mode);
+            let scalar = Simulator::default()
+                .with_batched_kernels(false)
+                .run(&racy, mode);
+            assert_eq!(batched, scalar, "racy {mode:?}");
+            assert!(batched.race_count() > 0);
+        }
+        let mut spec = WorkloadSpec::parsec("bodytrack").unwrap().scaled(0.02);
+        spec.barrier_every = 10;
+        let barriers = Workload::generate(&spec);
+        let batched = Simulator::default().run(&barriers, Mode::Aikido);
+        let scalar = Simulator::default()
+            .with_batched_kernels(false)
+            .run(&barriers, Mode::Aikido);
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn huge_lock_id_spaces_spill_out_of_the_dense_owner_table() {
+        // More locks than the dense owner table holds: acquires of the high
+        // lock ids exercise the scanned spill list, and mutual exclusion
+        // still holds (no deadlock, identical reports across kernels).
+        let spec = WorkloadSpec {
+            mem_accesses_per_thread: 1_200,
+            threads: 4,
+            locks: (super::DENSE_LOCKS + 128) as u32,
+            ..WorkloadSpec::default()
+        };
+        let w = Workload::generate(&spec);
+        let batched = Simulator::default().run(&w, Mode::Aikido);
+        let scalar = Simulator::default()
+            .with_batched_kernels(false)
+            .run(&w, Mode::Aikido);
+        assert_eq!(batched, scalar);
+        assert!(batched.counts.sync_ops > 0);
+    }
+
+    #[test]
+    fn disabling_the_inline_tlb_changes_no_observable_output() {
+        // The inline check only ever skips provably free VM touches, so the
+        // full report — cycles included — must not move when it is off.
+        let w = small("vips");
+        for mode in [Mode::FullInstrumentation, Mode::Aikido] {
+            let with_tlb = Simulator::default().run(&w, mode);
+            let without = Simulator::default().with_inline_tlb(false).run(&w, mode);
+            assert_eq!(with_tlb, without, "{mode:?}");
+        }
     }
 
     #[test]

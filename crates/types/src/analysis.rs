@@ -106,6 +106,30 @@ pub trait SharedDataAnalysis {
     /// Called for every instrumented memory access.
     fn on_access(&mut self, cx: AccessContext);
 
+    /// Called with a *run* of instrumented accesses delivered back-to-back by
+    /// the same thread (the simulator groups consecutive accesses that share
+    /// a page and an access kind into runs and delivers each run with one
+    /// call). Pushes the per-access cost — what
+    /// [`SharedDataAnalysis::last_access_cost_cycles`] would have returned
+    /// after each access — into `costs` (cleared first), in access order.
+    ///
+    /// The default implementation is the scalar loop, so implementing
+    /// [`SharedDataAnalysis::on_access`] alone is always enough. Overrides
+    /// exist purely for speed (hoisting per-thread state out of the loop) and
+    /// **must be observably identical** to the default: same end state, same
+    /// reports, same statistics, same costs in the same order. Overrides may
+    /// not assume anything about the run beyond "non-empty slice of accesses
+    /// in program order by one thread" — callers usually group by page and
+    /// kind, but that is an optimisation contract, not a guarantee.
+    fn on_access_batch(&mut self, run: &[AccessContext], costs: &mut Vec<u64>) {
+        costs.clear();
+        costs.reserve(run.len());
+        for cx in run {
+            self.on_access(*cx);
+            costs.push(self.last_access_cost_cycles());
+        }
+    }
+
     /// Called when `thread` acquires `lock`.
     fn on_acquire(&mut self, thread: ThreadId, lock: LockId) {
         let _ = (thread, lock);
@@ -227,6 +251,23 @@ mod tests {
         assert!(a.reports().is_empty());
         assert_eq!(a.access_cost_cycles(), 0);
         assert_eq!(a.name(), "null");
+    }
+
+    #[test]
+    fn default_batch_delivery_matches_scalar_delivery() {
+        let mut scalar = NullAnalysis::new();
+        let mut batched = NullAnalysis::new();
+        let run = [cx(), cx(), cx()];
+        let mut costs = vec![0xdead];
+        for access in run {
+            scalar.on_access(access);
+        }
+        batched.on_access_batch(&run, &mut costs);
+        assert_eq!(batched.accesses(), scalar.accesses());
+        assert_eq!(costs, vec![0, 0, 0], "stale contents are cleared first");
+        batched.on_access_batch(&[], &mut costs);
+        assert!(costs.is_empty());
+        assert_eq!(batched.accesses(), 3);
     }
 
     #[test]

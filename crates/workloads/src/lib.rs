@@ -55,7 +55,7 @@ pub use scenarios::{
     read_only_sharing_workload,
 };
 pub use spec::{WorkloadSpec, PARSEC_BENCHMARKS};
-pub use trace::{BlockExec, ThreadTrace};
+pub use trace::{BlockExec, BlockMeta, MemRun, ThreadTrace};
 pub use workload::Workload;
 
 // Re-exported so downstream crates can build programs without importing

@@ -2,12 +2,87 @@
 
 use std::collections::VecDeque;
 
+use rand::distributions::{Bernoulli, Distribution, Uniform};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-use aikido_types::{AccessKind, Addr, BlockId, LockId, MemRef, Operation, SyncOp, ThreadId};
+use aikido_types::{AccessKind, Addr, BlockId, LockId, Operation, SyncOp, ThreadId, Vpn};
 
 use crate::workload::Workload;
+
+/// A maximal run of consecutive memory operations within one [`BlockExec`]
+/// that share their target page and access kind — the unit the simulator's
+/// batched block kernels process with one page-state read and one
+/// inline-check probe instead of one per access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MemRun {
+    /// Index of the run's first operation in [`BlockExec::ops`].
+    pub start: u16,
+    /// Number of consecutive memory operations in the run.
+    pub len: u16,
+    /// Page every access of the run targets.
+    pub page: Vpn,
+    /// Kind (read or write) of every access in the run.
+    pub kind: AccessKind,
+}
+
+/// Per-operation metadata precomputed when a [`BlockExec`] is generated, so
+/// the simulator's hot loop never has to re-derive it per access.
+///
+/// `plain == false` is always safe: consumers must fall back to decoding
+/// [`BlockExec::ops`] directly (which is what happens for hand-built
+/// executions that never call [`BlockMeta::rebuild`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// True when the operation list contains only memory operations and
+    /// single-instruction compute operations, **and** `runs`/`mem_ops`/
+    /// `compute_ops` faithfully describe it. Kernels may then skip the
+    /// per-operation decode entirely.
+    pub plain: bool,
+    /// Maximal `(page, kind)` runs over the memory operations, in order.
+    /// Complete only when `plain` is true.
+    pub runs: Vec<MemRun>,
+    /// Number of memory operations (valid only when `plain` is true).
+    pub mem_ops: u32,
+    /// Number of compute operations, each representing exactly one dynamic
+    /// instruction (valid only when `plain` is true).
+    pub compute_ops: u32,
+}
+
+impl BlockMeta {
+    /// Recomputes the metadata from `ops`, reusing the `runs` allocation.
+    pub fn rebuild(&mut self, ops: &[Operation]) {
+        self.runs.clear();
+        self.mem_ops = 0;
+        self.compute_ops = 0;
+        self.plain = ops.len() <= usize::from(u16::MAX);
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Operation::Mem(m) => {
+                    self.mem_ops += 1;
+                    let page = m.addr.page();
+                    match self.runs.last_mut() {
+                        Some(run)
+                            if run.page == page
+                                && run.kind == m.kind
+                                && usize::from(run.start) + usize::from(run.len) == i =>
+                        {
+                            run.len += 1;
+                        }
+                        _ => self.runs.push(MemRun {
+                            start: i as u16,
+                            len: 1,
+                            page,
+                            kind: m.kind,
+                        }),
+                    }
+                }
+                Operation::Compute { count: 1 } => self.compute_ops += 1,
+                _ => self.plain = false,
+            }
+        }
+    }
+}
 
 /// One dynamic execution of a static basic block: the block id plus one
 /// [`Operation`] per static instruction (aligned by index).
@@ -17,6 +92,9 @@ pub struct BlockExec {
     pub block: BlockId,
     /// One operation per static instruction of the block.
     pub ops: Vec<Operation>,
+    /// Precomputed decode of `ops` (see [`BlockMeta`]); generated traces fill
+    /// this in, hand-built executions may leave it defaulted.
+    pub meta: BlockMeta,
 }
 
 impl BlockExec {
@@ -41,18 +119,102 @@ enum Phase {
     Done,
 }
 
+/// Everything the per-block generation loop would otherwise recompute from
+/// the spec and layout on every call, hoisted to trace construction: layout
+/// areas, spec constants, and precomputed RNG samplers. Every sampler draws
+/// exactly one `next_u64` and yields the exact value the corresponding
+/// `gen_bool`/`gen_range` call would have produced, so hoisting changes no
+/// trace byte (pinned by the vendored rand's bit-compatibility tests and by
+/// `tests/report_regression.rs` downstream).
+#[derive(Debug)]
+struct GenParams {
+    block_mem_instrs: u64,
+    barrier_every: u64,
+    critical_section_blocks: u32,
+    racy_pairs: u32,
+    private_base: Addr,
+    rm_base: Addr,
+    rm_len: u64,
+    racy_base: Addr,
+    racy_len: u64,
+    /// Probability that a work decision picks a shared-touching episode,
+    /// corrected for critical-section amortisation (see `next_work`).
+    choice: Bernoulli,
+    locked: Bernoulli,
+    read: Bernoulli,
+    shared_within: Bernoulli,
+    racy: Bernoulli,
+    half: Bernoulli,
+    private_block: Uniform<usize>,
+    shared_block: Uniform<usize>,
+    lock: Uniform<u32>,
+    private_slot: Uniform<u64>,
+    slice_slot: Uniform<u64>,
+    rm_slot: Uniform<u64>,
+    racy_pair: Option<Uniform<u32>>,
+}
+
+impl GenParams {
+    fn new(workload: &Workload, thread: ThreadId) -> Self {
+        let spec = workload.spec();
+        let layout = workload.layout();
+        let (rm_base, rm_len) = layout.read_mostly_area();
+        let (racy_base, racy_len) = layout.racy_area();
+        let private_base = layout.private_base(thread);
+        let private_len = layout.private_pages() * aikido_types::PAGE_SIZE;
+        let (_, slice_len) = layout.lock_slice(0);
+        // The per-decision probability corrected for the spec's access-level
+        // fraction: a locked episode emits `critical_section_blocks` shared
+        // blocks while a private/unlocked choice emits one.
+        let f = spec.instrumented_exec_fraction;
+        let weight = spec.locked_shared_fraction * spec.critical_section_blocks.max(1) as f64
+            + (1.0 - spec.locked_shared_fraction);
+        let choice_prob = if f <= 0.0 {
+            0.0
+        } else {
+            (f / (weight - weight * f + f)).clamp(0.0, 1.0)
+        };
+        GenParams {
+            block_mem_instrs: spec.block_mem_instrs as u64,
+            barrier_every: spec.barrier_every,
+            critical_section_blocks: spec.critical_section_blocks,
+            racy_pairs: spec.racy_pairs,
+            private_base,
+            rm_base,
+            rm_len,
+            racy_base,
+            racy_len,
+            choice: Bernoulli::new(choice_prob),
+            locked: Bernoulli::new(spec.locked_shared_fraction),
+            read: Bernoulli::new(spec.read_fraction),
+            shared_within: Bernoulli::new(spec.shared_within_instrumented),
+            racy: Bernoulli::new(0.02),
+            half: Bernoulli::new(0.5),
+            private_block: Uniform::new(0, workload.block_sets().private_blocks.len()),
+            shared_block: Uniform::new(0, workload.block_sets().shared_blocks.len()),
+            lock: Uniform::new(0, spec.locks),
+            private_slot: Uniform::new(0, private_len / 8),
+            slice_slot: Uniform::new(0, slice_len / 8),
+            rm_slot: Uniform::new(0, rm_len / 8),
+            racy_pair: (spec.racy_pairs > 0).then(|| Uniform::new(0, spec.racy_pairs)),
+        }
+    }
+}
+
 /// A deterministic iterator over one thread's block executions.
 #[derive(Debug)]
 pub struct ThreadTrace<'a> {
     workload: &'a Workload,
     thread: ThreadId,
     rng: SmallRng,
+    gen: GenParams,
     phase: Phase,
     pending: VecDeque<BlockExec>,
-    /// Recycled operation buffers: the simulator's scheduler returns each
-    /// consumed execution's buffer through [`ThreadTrace::next_into`], so the
-    /// steady-state trace loop performs no allocation.
-    spare: Vec<Vec<Operation>>,
+    /// Recycled `(operations, runs)` buffer pairs: the simulator's scheduler
+    /// returns each consumed execution's buffers through
+    /// [`ThreadTrace::next_into`], so the steady-state trace loop performs no
+    /// allocation.
+    spare: Vec<(Vec<Operation>, Vec<MemRun>)>,
     remaining_accesses: u64,
     init_remaining: u64,
     init_cursor: u64,
@@ -83,6 +245,7 @@ impl<'a> ThreadTrace<'a> {
             workload,
             thread,
             rng: SmallRng::seed_from_u64(seed),
+            gen: GenParams::new(workload, thread),
             phase: if is_main { Phase::Init } else { Phase::Work },
             pending: VecDeque::new(),
             spare: Vec::new(),
@@ -102,17 +265,18 @@ impl<'a> ThreadTrace<'a> {
         self.workload.spec()
     }
 
-    /// Pops a recycled operation buffer (or allocates one on cold start).
-    fn grab_buf(&mut self) -> Vec<Operation> {
+    /// Pops a recycled buffer pair (or allocates one on cold start).
+    fn grab_buf(&mut self) -> (Vec<Operation>, Vec<MemRun>) {
         self.spare.pop().unwrap_or_default()
     }
 
-    /// Returns an exhausted execution's buffer to the pool.
-    fn recycle(&mut self, mut ops: Vec<Operation>) {
+    /// Returns an exhausted execution's buffers to the pool.
+    fn recycle(&mut self, mut ops: Vec<Operation>, mut runs: Vec<MemRun>) {
         const MAX_SPARE: usize = 32;
         if self.spare.len() < MAX_SPARE {
             ops.clear();
-            self.spare.push(ops);
+            runs.clear();
+            self.spare.push((ops, runs));
         }
     }
 
@@ -120,8 +284,9 @@ impl<'a> ThreadTrace<'a> {
     /// buffer; returns `false` when the trace is exhausted. This is the
     /// allocation-free interface the simulator's scheduler uses.
     pub fn next_into(&mut self, out: &mut BlockExec) -> bool {
-        let buf = std::mem::take(&mut out.ops);
-        self.recycle(buf);
+        let ops = std::mem::take(&mut out.ops);
+        let runs = std::mem::take(&mut out.meta.runs);
+        self.recycle(ops, runs);
         match self.next() {
             Some(exec) => {
                 *out = exec;
@@ -157,52 +322,73 @@ impl<'a> ThreadTrace<'a> {
     }
 
     fn sync_exec(&mut self, block: BlockId, op: Operation) -> BlockExec {
-        let mut ops = self.grab_buf();
+        let (mut ops, runs) = self.grab_buf();
         ops.push(op);
-        BlockExec { block, ops }
+        // Sync executions never reach the batched work-block kernels (the
+        // scheduler classifies them first), so `plain` stays false.
+        BlockExec {
+            block,
+            ops,
+            meta: BlockMeta {
+                plain: false,
+                runs,
+                mem_ops: 0,
+                compute_ops: 0,
+            },
+        }
     }
 
     /// Fills a work block with operations; `pick` chooses the address and
     /// access kind for each memory instruction.
+    ///
+    /// The block's operation skeleton is precomputed once per workload
+    /// ([`crate::workload::BlockTemplate`]): this copies it wholesale and
+    /// patches only each memory op's address and kind, building the per-op
+    /// run metadata in the same pass.
     fn work_exec<F>(&mut self, block: BlockId, mut pick: F) -> BlockExec
     where
         F: FnMut(&mut SmallRng) -> (Addr, AccessKind),
     {
-        let mut ops = self.grab_buf();
-        let static_block = self
-            .workload
-            .program()
-            .block(block)
-            .expect("workload blocks exist in the program");
-        ops.reserve(static_block.len());
-        for (id, instr) in static_block.iter_ids() {
-            match instr {
-                aikido_dbi::StaticInstr::Compute => ops.push(Operation::Compute { count: 1 }),
-                aikido_dbi::StaticInstr::Sync => ops.push(Operation::Compute { count: 1 }),
-                aikido_dbi::StaticInstr::Mem { mode, .. } => {
-                    let (addr, kind) = pick(&mut self.rng);
-                    ops.push(Operation::Mem(MemRef {
-                        instr: id,
-                        addr,
-                        kind,
-                        size: 8,
-                        mode: *mode,
-                    }));
+        let (mut ops, runs) = self.grab_buf();
+        let tmpl = self.workload.template(block);
+        let mut meta = BlockMeta {
+            plain: tmpl.plain,
+            runs,
+            mem_ops: tmpl.mem_ops,
+            compute_ops: tmpl.compute_ops,
+        };
+        ops.extend_from_slice(&tmpl.ops);
+        for (i, op) in ops.iter_mut().enumerate() {
+            if let Operation::Mem(m) = op {
+                let (addr, kind) = pick(&mut self.rng);
+                m.addr = addr;
+                m.kind = kind;
+                if meta.plain {
+                    let page = addr.page();
+                    match meta.runs.last_mut() {
+                        Some(run)
+                            if run.page == page
+                                && run.kind == kind
+                                && usize::from(run.start) + usize::from(run.len) == i =>
+                        {
+                            run.len += 1;
+                        }
+                        _ => meta.runs.push(MemRun {
+                            start: i as u16,
+                            len: 1,
+                            page,
+                            kind,
+                        }),
+                    }
                 }
             }
         }
-        BlockExec { block, ops }
-    }
-
-    fn random_aligned(rng: &mut SmallRng, base: Addr, len: u64) -> Addr {
-        debug_assert!(len >= 8);
-        let slots = len / 8;
-        base.offset((rng.gen_range(0..slots)) * 8)
+        BlockExec { block, ops, meta }
     }
 
     fn next_init(&mut self) -> BlockExec {
-        let spec_block_mem = self.spec().block_mem_instrs as u64;
-        let (rm_base, rm_len) = self.workload.layout().read_mostly_area();
+        let spec_block_mem = self.gen.block_mem_instrs;
+        let (rm_base, rm_len) = (self.gen.rm_base, self.gen.rm_len);
         let block = self.workload.block_sets().init_blocks
             [(self.init_cursor as usize) % self.workload.block_sets().init_blocks.len()];
         let mut cursor = self.init_cursor;
@@ -218,13 +404,11 @@ impl<'a> ThreadTrace<'a> {
 
     fn next_private(&mut self) -> BlockExec {
         let blocks = &self.workload.block_sets().private_blocks;
-        let block = blocks[self.rng.gen_range(0..blocks.len())];
-        let layout_base = self.workload.layout().private_base(self.thread);
-        let layout_len = self.workload.layout().private_pages() * aikido_types::PAGE_SIZE;
-        let read_fraction = self.spec().read_fraction;
+        let block = blocks[self.gen.private_block.sample(&mut self.rng)];
+        let (base, slot, read) = (self.gen.private_base, self.gen.private_slot, self.gen.read);
         self.work_exec(block, |rng| {
-            let addr = Self::random_aligned(rng, layout_base, layout_len);
-            let kind = if rng.gen_bool(read_fraction) {
+            let addr = base.offset(slot.sample(rng) * 8);
+            let kind = if read.sample(rng) {
                 AccessKind::Read
             } else {
                 AccessKind::Write
@@ -237,42 +421,36 @@ impl<'a> ThreadTrace<'a> {
     /// lock's slice, release. Pushes the tail onto the pending queue and
     /// returns the acquire.
     fn next_locked_shared(&mut self) -> BlockExec {
-        let spec = self.spec();
-        let (locks, shared_within, read_fraction, critical_section_blocks) = (
-            spec.locks,
-            spec.shared_within_instrumented,
-            spec.read_fraction,
-            spec.critical_section_blocks,
-        );
         let acquire_block = self.workload.block_sets().acquire_block;
-        let lock_index = self.rng.gen_range(0..locks);
+        let lock_index = self.gen.lock.sample(&mut self.rng);
         let lock = LockId::new(lock_index as u64 + 1);
         let acquire = self.sync_exec(acquire_block, Operation::Sync(SyncOp::Acquire(lock)));
 
-        let (slice_base, slice_len) = self.workload.layout().lock_slice(lock_index);
-        let private_base = self.workload.layout().private_base(self.thread);
-        let private_len = self.workload.layout().private_pages() * aikido_types::PAGE_SIZE;
+        let (slice_base, _) = self.workload.layout().lock_slice(lock_index);
+        let (shared_within, read) = (self.gen.shared_within, self.gen.read);
+        let (slice_slot, private_slot) = (self.gen.slice_slot, self.gen.private_slot);
+        let private_base = self.gen.private_base;
         // A critical section amortises one acquire/release pair over several
         // shared block executions, but never overruns the thread's access
         // budget (which would desynchronise barrier cadences across threads).
-        for body_index in 0..critical_section_blocks.max(1) {
+        for body_index in 0..self.gen.critical_section_blocks.max(1) {
             if body_index > 0 && self.remaining_accesses == 0 {
                 break;
             }
             let blocks = &self.workload.block_sets().shared_blocks;
-            let block = blocks[self.rng.gen_range(0..blocks.len())];
+            let block = blocks[self.gen.shared_block.sample(&mut self.rng)];
             let body = self.work_exec(block, |rng| {
-                if rng.gen_bool(shared_within) {
-                    let addr = Self::random_aligned(rng, slice_base, slice_len);
-                    let kind = if rng.gen_bool(read_fraction) {
+                if shared_within.sample(rng) {
+                    let addr = slice_base.offset(slice_slot.sample(rng) * 8);
+                    let kind = if read.sample(rng) {
                         AccessKind::Read
                     } else {
                         AccessKind::Write
                     };
                     (addr, kind)
                 } else {
-                    let addr = Self::random_aligned(rng, private_base, private_len);
-                    let kind = if rng.gen_bool(read_fraction) {
+                    let addr = private_base.offset(private_slot.sample(rng) * 8);
+                    let kind = if read.sample(rng) {
                         AccessKind::Read
                     } else {
                         AccessKind::Write
@@ -294,11 +472,15 @@ impl<'a> ThreadTrace<'a> {
     /// cadence. Barriers are only recorded as *due* here; they are emitted by
     /// [`ThreadTrace::flush_due_barriers`] once the thread holds no lock.
     fn charge_work_block(&mut self) {
-        let spec_block_mem = self.spec().block_mem_instrs as u64;
-        let barrier_every = self.spec().barrier_every;
-        self.remaining_accesses = self.remaining_accesses.saturating_sub(spec_block_mem);
+        self.remaining_accesses = self
+            .remaining_accesses
+            .saturating_sub(self.gen.block_mem_instrs);
         self.work_blocks_emitted += 1;
-        if barrier_every > 0 && self.work_blocks_emitted.is_multiple_of(barrier_every) {
+        if self.gen.barrier_every > 0
+            && self
+                .work_blocks_emitted
+                .is_multiple_of(self.gen.barrier_every)
+        {
             self.barriers_due += 1;
         }
     }
@@ -320,38 +502,39 @@ impl<'a> ThreadTrace<'a> {
     /// (race-free because it was written before the fork) plus, for racy
     /// workloads, occasional unprotected accesses to the racy area.
     fn next_unlocked_shared(&mut self) -> BlockExec {
-        let spec = self.spec();
-        let (shared_within, read_fraction, racy_pairs) = (
-            spec.shared_within_instrumented,
-            spec.read_fraction,
-            spec.racy_pairs,
-        );
         let blocks = &self.workload.block_sets().shared_blocks;
-        let block = blocks[self.rng.gen_range(0..blocks.len())];
-        let (rm_base, rm_len) = self.workload.layout().read_mostly_area();
-        let (racy_base, racy_len) = self.workload.layout().racy_area();
-        let private_base = self.workload.layout().private_base(self.thread);
-        let private_len = self.workload.layout().private_pages() * aikido_types::PAGE_SIZE;
+        let block = blocks[self.gen.shared_block.sample(&mut self.rng)];
+        let (racy_pairs, racy_base, racy_len) =
+            (self.gen.racy_pairs, self.gen.racy_base, self.gen.racy_len);
+        let (rm_base, rm_slot) = (self.gen.rm_base, self.gen.rm_slot);
+        let (private_base, private_slot) = (self.gen.private_base, self.gen.private_slot);
+        let (shared_within, read, racy, half) = (
+            self.gen.shared_within,
+            self.gen.read,
+            self.gen.racy,
+            self.gen.half,
+        );
+        let racy_pair = self.gen.racy_pair;
         let mut force_racy = self.forced_racy_write_pending && racy_len > 0;
         self.forced_racy_write_pending = false;
         self.work_exec(block, |rng| {
-            if rng.gen_bool(shared_within) {
-                if racy_pairs > 0 && racy_len > 0 && (force_racy || rng.gen_bool(0.02)) {
+            if shared_within.sample(rng) {
+                if racy_pairs > 0 && racy_len > 0 && (force_racy || racy.sample(rng)) {
                     force_racy = false;
-                    let pair = rng.gen_range(0..racy_pairs) as u64;
+                    let pair = racy_pair.expect("racy_pairs > 0").sample(rng) as u64;
                     let addr = racy_base.offset((pair * 64) % racy_len.max(64));
-                    let kind = if rng.gen_bool(0.5) {
+                    let kind = if half.sample(rng) {
                         AccessKind::Write
                     } else {
                         AccessKind::Read
                     };
                     (addr, kind)
                 } else {
-                    (Self::random_aligned(rng, rm_base, rm_len), AccessKind::Read)
+                    (rm_base.offset(rm_slot.sample(rng) * 8), AccessKind::Read)
                 }
             } else {
-                let addr = Self::random_aligned(rng, private_base, private_len);
-                let kind = if rng.gen_bool(read_fraction) {
+                let addr = private_base.offset(private_slot.sample(rng) * 8);
+                let kind = if read.sample(rng) {
                     AccessKind::Read
                 } else {
                     AccessKind::Write
@@ -362,22 +545,12 @@ impl<'a> ThreadTrace<'a> {
     }
 
     fn next_work(&mut self) -> BlockExec {
-        let spec = self.spec();
         // A locked episode emits `critical_section_blocks` shared blocks while
         // a private/unlocked choice emits one, so the per-decision probability
-        // must be corrected for the spec's *access-level* fraction to come out
-        // right.
-        let f = spec.instrumented_exec_fraction;
-        let locked_shared_fraction = spec.locked_shared_fraction;
-        let weight = locked_shared_fraction * spec.critical_section_blocks.max(1) as f64
-            + (1.0 - locked_shared_fraction);
-        let choice_prob = if f <= 0.0 {
-            0.0
-        } else {
-            (f / (weight - weight * f + f)).clamp(0.0, 1.0)
-        };
-        if self.rng.gen_bool(choice_prob) {
-            if self.rng.gen_bool(locked_shared_fraction) {
+        // is corrected for the spec's *access-level* fraction — precomputed in
+        // [`GenParams::new`].
+        if self.gen.choice.sample(&mut self.rng) {
+            if self.gen.locked.sample(&mut self.rng) {
                 // The critical section charges its own body blocks.
                 self.next_locked_shared()
             } else {
@@ -466,6 +639,7 @@ impl Iterator for ThreadTrace<'_> {
 mod tests {
     use super::*;
     use crate::{Workload, WorkloadSpec};
+    use aikido_types::MemRef;
 
     fn small_spec() -> WorkloadSpec {
         WorkloadSpec {
@@ -499,6 +673,77 @@ mod tests {
         // Exhausted traces keep reporting exhaustion with empty batches.
         assert!(!trace.fill_batch(&mut batch, 7));
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn block_meta_faithfully_describes_generated_work_blocks() {
+        let spec = small_spec();
+        let w = Workload::generate(&spec);
+        let mut work_blocks = 0;
+        for exec in w.thread_trace(ThreadId::new(1)) {
+            if exec.ops.len() == 1 && !exec.ops[0].is_mem() {
+                assert!(!exec.meta.plain, "sync executions are never plain");
+                continue;
+            }
+            work_blocks += 1;
+            assert!(exec.meta.plain);
+            assert_eq!(exec.meta.mem_ops as usize, exec.mem_accesses());
+            assert_eq!(
+                exec.meta.compute_ops as usize,
+                exec.ops.len() - exec.mem_accesses()
+            );
+            // Runs tile the memory ops exactly, in order, with uniform
+            // (page, kind) and maximal length.
+            let mut covered = vec![false; exec.ops.len()];
+            for (r, run) in exec.meta.runs.iter().enumerate() {
+                assert!(run.len >= 1);
+                for i in run.start..run.start + run.len {
+                    let m = exec.ops[usize::from(i)]
+                        .as_mem()
+                        .expect("run covers mem op");
+                    assert_eq!(m.addr.page(), run.page);
+                    assert_eq!(m.kind, run.kind);
+                    covered[usize::from(i)] = true;
+                }
+                if r > 0 {
+                    let prev = exec.meta.runs[r - 1];
+                    let adjacent =
+                        usize::from(prev.start) + usize::from(prev.len) == usize::from(run.start);
+                    assert!(
+                        !adjacent || prev.page != run.page || prev.kind != run.kind,
+                        "adjacent runs with equal keys must have been merged"
+                    );
+                }
+            }
+            for (i, op) in exec.ops.iter().enumerate() {
+                assert_eq!(covered[i], op.is_mem(), "op {i} coverage");
+            }
+            // The fused single-pass construction must agree with the
+            // reference rebuild.
+            let mut reference = BlockMeta::default();
+            reference.rebuild(&exec.ops);
+            assert_eq!(exec.meta, reference);
+        }
+        assert!(work_blocks > 0);
+    }
+
+    #[test]
+    fn block_meta_rebuild_flags_non_plain_operation_lists() {
+        let mut meta = BlockMeta::default();
+        meta.rebuild(&[
+            Operation::Compute { count: 2 },
+            Operation::Mem(MemRef::new(
+                aikido_types::InstrId::new(BlockId::new(0), 1),
+                Addr::new(0x1000),
+                AccessKind::Read,
+                aikido_types::AddrMode::Direct,
+            )),
+        ]);
+        assert!(!meta.plain, "multi-instruction compute ops are not plain");
+        assert_eq!(meta.runs.len(), 1);
+        meta.rebuild(&[Operation::Exit]);
+        assert!(!meta.plain);
+        assert!(meta.runs.is_empty());
     }
 
     #[test]

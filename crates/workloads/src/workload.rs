@@ -3,11 +3,30 @@
 use std::sync::Arc;
 
 use aikido_dbi::{Program, StaticInstr};
-use aikido_types::{AccessKind, AddrMode, BlockId, ThreadId};
+use aikido_types::{AccessKind, Addr, AddrMode, BlockId, MemRef, Operation, ThreadId};
 
 use crate::layout::MemoryLayout;
 use crate::spec::WorkloadSpec;
 use crate::trace::ThreadTrace;
+
+/// A precomputed operation skeleton for one static block: everything about a
+/// work-block execution that does *not* depend on the per-execution random
+/// draws. Trace generation copies the skeleton in one `memcpy` and patches
+/// only each memory operation's address and kind, instead of re-walking the
+/// static block and rebuilding the operation list push by push.
+#[derive(Clone, Debug)]
+pub(crate) struct BlockTemplate {
+    /// One operation per static instruction: `Compute { count: 1 }` for
+    /// compute/sync instructions, a placeholder [`MemRef`] (correct `instr`
+    /// and `mode`, zero address) for memory instructions.
+    pub(crate) ops: Vec<Operation>,
+    /// Number of memory operations in the block.
+    pub(crate) mem_ops: u32,
+    /// Number of compute operations in the block.
+    pub(crate) compute_ops: u32,
+    /// True when run metadata can index the block's operations with `u16`.
+    pub(crate) plain: bool,
+}
 
 /// The static blocks a workload's threads execute, grouped by role.
 #[derive(Clone, Debug)]
@@ -32,6 +51,8 @@ pub struct Workload {
     /// Shared so DBI engines can reference the program without cloning it.
     program: Arc<Program>,
     blocks: BlockSets,
+    /// One operation skeleton per static block, indexed by raw block id.
+    templates: Vec<BlockTemplate>,
 }
 
 impl Workload {
@@ -107,11 +128,46 @@ impl Workload {
             exit_block: sync_block(&mut program),
         };
 
+        let templates = program
+            .iter()
+            .map(|block| {
+                let mut mem_ops = 0u32;
+                let mut compute_ops = 0u32;
+                let ops: Vec<Operation> = block
+                    .iter_ids()
+                    .map(|(id, instr)| match instr {
+                        StaticInstr::Compute | StaticInstr::Sync => {
+                            compute_ops += 1;
+                            Operation::Compute { count: 1 }
+                        }
+                        StaticInstr::Mem { mode, .. } => {
+                            mem_ops += 1;
+                            Operation::Mem(MemRef {
+                                instr: id,
+                                addr: Addr::new(0),
+                                kind: AccessKind::Read,
+                                size: 8,
+                                mode: *mode,
+                            })
+                        }
+                    })
+                    .collect();
+                let plain = ops.len() <= usize::from(u16::MAX);
+                BlockTemplate {
+                    ops,
+                    mem_ops,
+                    compute_ops,
+                    plain,
+                }
+            })
+            .collect();
+
         Workload {
             spec: spec.clone(),
             layout,
             program: Arc::new(program),
             blocks,
+            templates,
         }
     }
 
@@ -169,6 +225,15 @@ impl Workload {
 
     pub(crate) fn block_sets(&self) -> &BlockSets {
         &self.blocks
+    }
+
+    /// The precomputed operation skeleton of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not part of the program.
+    pub(crate) fn template(&self, block: BlockId) -> &BlockTemplate {
+        &self.templates[block.raw() as usize]
     }
 }
 

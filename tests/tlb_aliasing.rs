@@ -1,0 +1,83 @@
+//! Property tests for the simulator's inline-check tables (the per-thread
+//! direct-mapped "TLBs" modelling the code Aikido emits in front of every
+//! access, Figure 4).
+//!
+//! The tables are direct mapped with [`Simulator::INLINE_TLB_ENTRIES`]
+//! entries, so two pages exactly that many apart collide in the same slot and
+//! evict each other. The soundness claim is that the tables only ever skip
+//! *provably free* VM touches — so running with the tables disabled (every
+//! access goes to `vm.touch`) must produce byte-identical reports, aliasing
+//! or not. These tests construct workloads whose private areas are wider
+//! than the table (guaranteeing same-slot collisions under random
+//! addressing), drive both configurations, and require full `RunReport`
+//! equality; the batched and scalar kernels are both exercised.
+
+use aikido::{Mode, RunReport, Simulator, Workload, WorkloadSpec};
+use proptest::prelude::*;
+
+/// A spec whose per-thread private area spans more pages than the
+/// inline-check table has entries, so pages `INLINE_TLB_ENTRIES` apart are
+/// hit through the same direct-mapped slot.
+fn aliasing_spec(seed: u64, threads: u32, extra_pages: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: format!("tlb-alias-{seed}"),
+        threads,
+        mem_accesses_per_thread: 1_500,
+        private_pages_per_thread: Simulator::INLINE_TLB_ENTRIES as u64 + extra_pages,
+        ..WorkloadSpec::default()
+    }
+    .with_seed(seed)
+}
+
+fn run(workload: &Workload, mode: Mode, inline_tlb: bool, batched: bool) -> RunReport {
+    Simulator::default()
+        .with_inline_tlb(inline_tlb)
+        .with_batched_kernels(batched)
+        .run(workload, mode)
+}
+
+#[test]
+fn colliding_pages_share_a_direct_mapped_slot() {
+    // The premise of the aliasing tests: addresses one table-span apart
+    // collide. (A pure arithmetic fact, pinned so a future table resize
+    // keeps the workloads below actually aliasing.)
+    let entries = Simulator::INLINE_TLB_ENTRIES;
+    let slot = |page: u64| (page as usize) & (entries - 1);
+    assert_eq!(slot(7), slot(7 + entries as u64));
+    assert_ne!(slot(7), slot(8));
+}
+
+#[test]
+fn aliased_private_areas_report_identically_with_and_without_the_tlb() {
+    let w = Workload::generate(&aliasing_spec(0xA11A5, 4, 1));
+    for mode in [Mode::Native, Mode::FullInstrumentation, Mode::Aikido] {
+        let with_tlb = run(&w, mode, true, true);
+        let without = run(&w, mode, false, true);
+        assert_eq!(with_tlb, without, "{mode:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random seeds, thread counts and area widths: every (thread, page,
+    /// kind) stream — including ones that thrash a single slot from several
+    /// threads — must be invisible in the report.
+    #[test]
+    fn tlb_disabled_reference_is_byte_identical(
+        seed in 0u64..1_000_000,
+        threads in 2u32..6,
+        extra in prop::sample::select(vec![0u64, 1, 3, 64]),
+    ) {
+        let w = Workload::generate(&aliasing_spec(seed, threads, extra));
+        let with_tlb = run(&w, Mode::Aikido, true, true);
+        let without = run(&w, Mode::Aikido, false, true);
+        prop_assert_eq!(&with_tlb, &without);
+        // The scalar reference loop must agree under aliasing too, with the
+        // tables on and off — four corners, one report.
+        let scalar = run(&w, Mode::Aikido, true, false);
+        let scalar_without = run(&w, Mode::Aikido, false, false);
+        prop_assert_eq!(&with_tlb, &scalar);
+        prop_assert_eq!(&with_tlb, &scalar_without);
+    }
+}

@@ -39,7 +39,9 @@ macro_rules! impl_sample_range_int {
                 } else {
                     (rng.next_u64() as u128) % span
                 };
-                (self.start as u128 + draw) as $t
+                // Wrapping: a negative start sign-extends to a huge u128 and
+                // relies on the cast chain wrapping back around.
+                (self.start as u128).wrapping_add(draw) as $t
             }
         })*
     };
@@ -135,8 +137,171 @@ pub mod rngs {
     }
 }
 
+/// Precomputed distributions, mirroring `rand::distributions`.
+///
+/// These exist for hot loops that draw from the *same* range or probability
+/// millions of times: construction hoists the expensive part (a division, a
+/// float scale) and sampling is then branch-light integer arithmetic. Every
+/// sampler consumes exactly one `next_u64` per draw and produces **the exact
+/// value** the corresponding `Rng::gen_range` / `Rng::gen_bool` call would
+/// have produced — the equivalence tests below pin that bit-compatibility,
+/// which deterministic workload generation depends on.
+pub mod distributions {
+    use super::RngCore;
+
+    /// Samples a value of type `T` from a parameterised distribution.
+    pub trait Distribution<T> {
+        /// Draws one value using `rng` as the randomness source.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// A boolean distribution with fixed probability, bit-identical to
+    /// [`super::Rng::gen_bool`] with the same `p`.
+    ///
+    /// `gen_bool` computes `(x >> 11) as f64 / 2^53 < p`. Both the `as f64`
+    /// conversion (the operand is below `2^53`) and the division by a power
+    /// of two are exact, so the comparison is equivalent to the *integer*
+    /// comparison `(x >> 11) < ceil(p * 2^53)` — `p * 2^53` is again an
+    /// exact power-of-two scaling, and taking the ceiling folds the
+    /// non-integer boundary into a strict integer bound.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Bernoulli {
+        /// 53-bit integer threshold; draw succeeds iff `x >> 11 < threshold`.
+        threshold: u64,
+    }
+
+    impl Bernoulli {
+        /// Creates a sampler equivalent to `gen_bool(p)`.
+        pub fn new(p: f64) -> Self {
+            let scaled = (p * (1u64 << 53) as f64).ceil();
+            let threshold = if scaled <= 0.0 {
+                0
+            } else if scaled >= (1u64 << 53) as f64 {
+                1u64 << 53
+            } else {
+                scaled as u64
+            };
+            Bernoulli { threshold }
+        }
+    }
+
+    impl Distribution<bool> for Bernoulli {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            (rng.next_u64() >> 11) < self.threshold
+        }
+    }
+
+    /// Division-free `x mod d` for an invariant divisor, after Lemire &
+    /// Kaser, *Faster remainders when the divisor is a constant* (2019):
+    /// with `m = ceil(2^128 / d)` (for `d` not a power of two),
+    /// `x mod d = ((m * x mod 2^128) * d) >> 128` for every `x < 2^64`.
+    /// Powers of two reduce with a mask instead, where the ceiling is exact
+    /// and the theorem's strictness requirement fails.
+    #[derive(Debug, Clone, Copy)]
+    struct FastMod {
+        d: u64,
+        magic: u128,
+        mask: u64,
+        pow2: bool,
+    }
+
+    impl FastMod {
+        fn new(d: u64) -> Self {
+            assert!(d > 0, "cannot reduce modulo zero");
+            if d.is_power_of_two() {
+                FastMod {
+                    d,
+                    magic: 0,
+                    mask: d - 1,
+                    pow2: true,
+                }
+            } else {
+                FastMod {
+                    d,
+                    magic: u128::MAX / d as u128 + 1,
+                    mask: 0,
+                    pow2: false,
+                }
+            }
+        }
+
+        #[inline]
+        fn rem(&self, x: u64) -> u64 {
+            if self.pow2 {
+                return x & self.mask;
+            }
+            let low = self.magic.wrapping_mul(x as u128);
+            // 128x64-bit high multiply via two 64x64 halves.
+            let a_lo = low as u64 as u128;
+            let a_hi = (low >> 64) as u64 as u128;
+            let d = self.d as u128;
+            ((((a_lo * d) >> 64) + a_hi * d) >> 64) as u64
+        }
+    }
+
+    /// A uniform integer distribution over `[low, high)`, bit-identical to
+    /// [`super::Rng::gen_range`] over the same range but with the span
+    /// reduction's division replaced by a precomputed fast-mod constant.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        span: FastMod,
+    }
+
+    /// Integer types [`Uniform`] can sample (the stand-in for rand's
+    /// `SampleUniform`).
+    pub trait SampleUniform: Copy {
+        /// The `[low, high)` span as an unsigned 64-bit count.
+        fn uniform_span(low: Self, high: Self) -> u64;
+        /// `low + draw`, with the wrapping cast chain `gen_range` uses.
+        fn uniform_offset(low: Self, draw: u64) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform {
+        ($($t:ty),*) => {
+            $(impl SampleUniform for $t {
+                fn uniform_span(low: $t, high: $t) -> u64 {
+                    assert!(low < high, "cannot sample empty range");
+                    let span = (high as u128).wrapping_sub(low as u128);
+                    assert!(
+                        span <= u64::MAX as u128,
+                        "spans of 2^64 or more are not supported"
+                    );
+                    span as u64
+                }
+
+                #[inline]
+                fn uniform_offset(low: $t, draw: u64) -> $t {
+                    (low as u128).wrapping_add(draw as u128) as $t
+                }
+            })*
+        };
+    }
+
+    impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Creates a sampler equivalent to `gen_range(low..high)`.
+        pub fn new(low: T, high: T) -> Self {
+            Uniform {
+                low,
+                span: FastMod::new(T::uniform_span(low, high)),
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::uniform_offset(self.low, self.span.rem(rng.next_u64()))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::distributions::{Bernoulli, Distribution, Uniform};
     use super::rngs::SmallRng;
     use super::{Rng, SeedableRng};
 
@@ -159,6 +324,83 @@ mod tests {
             assert!((0.25..0.75).contains(&f));
             let u = rng.gen_range(0usize..5);
             assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn bernoulli_is_bit_identical_to_gen_bool() {
+        // Probabilities spanning hard boundaries: 0, 1, exact dyadics,
+        // just-below-one, and irrational-ish interior values.
+        let ps = [
+            0.0,
+            1.0,
+            0.5,
+            0.25,
+            0.02,
+            0.7,
+            0.999_999_999,
+            1.0 - f64::EPSILON,
+            f64::EPSILON,
+            0.333_333_333_333,
+            1.5,
+            -0.5,
+        ];
+        for p in ps {
+            let dist = Bernoulli::new(p);
+            let mut a = SmallRng::seed_from_u64(0xB00B5);
+            let mut b = a.clone();
+            for _ in 0..4096 {
+                assert_eq!(dist.sample(&mut a), b.gen_bool(p), "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_bit_identical_to_gen_range() {
+        // Spans covering the workload generator's real divisors plus
+        // powers of two, near-powers, tiny, and huge values.
+        let spans_u64 = [
+            1u64,
+            2,
+            3,
+            7,
+            8,
+            511,
+            512,
+            513,
+            20479,
+            20480,
+            20481,
+            (1 << 33) - 1,
+            (1 << 62) + 12345,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for span in spans_u64 {
+            let dist = Uniform::new(0u64, span);
+            let mut a = SmallRng::seed_from_u64(span ^ 0xDEAD);
+            let mut b = a.clone();
+            for _ in 0..4096 {
+                assert_eq!(dist.sample(&mut a), b.gen_range(0..span), "span={span}");
+            }
+        }
+        let dist = Uniform::new(3u32, 17);
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = a.clone();
+        for _ in 0..4096 {
+            assert_eq!(dist.sample(&mut a), b.gen_range(3u32..17));
+        }
+        let dist = Uniform::new(-50i64, 1000);
+        let mut a = SmallRng::seed_from_u64(100);
+        let mut b = a.clone();
+        for _ in 0..4096 {
+            assert_eq!(dist.sample(&mut a), b.gen_range(-50i64..1000));
+        }
+        let dist = Uniform::new(0usize, 5);
+        let mut a = SmallRng::seed_from_u64(101);
+        let mut b = a.clone();
+        for _ in 0..4096 {
+            assert_eq!(dist.sample(&mut a), b.gen_range(0usize..5));
         }
     }
 }
