@@ -1,0 +1,125 @@
+//! Microbenchmark of the per-access metadata probe: the packed shadow-word
+//! slab plane versus the enum-based `ShadowStore`/`ChunkMap` store it
+//! replaced, at access distributions shaped like the two ends of the
+//! analysis-bound spectrum (raytrace: few hot pages, long same-page runs;
+//! vips: many pages, short runs). This isolates the micro-level claim —
+//! "the hot path reads one packed word from a slab resolved once per run" —
+//! from end-to-end throughput, which mixes in everything else.
+//!
+//! ```bash
+//! cargo bench -p aikido-bench --bench shadow_words
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aikido::fasttrack::{Epoch, VarState};
+use aikido::shadow::ShadowStore;
+use aikido::types::{Addr, ShadowWord, SlabDirectory, ThreadId};
+
+/// Deterministic xorshift so both probes see the identical access stream.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// An address stream over `pages` pages with runs of `run_len` consecutive
+/// same-page accesses — raytrace probes ~48 hot pages in long runs, vips
+/// sprays ~512 pages in short ones.
+fn access_stream(pages: u64, run_len: usize, accesses: usize) -> Vec<u64> {
+    let base = 0x40_0000u64;
+    let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+    let mut out = Vec::with_capacity(accesses);
+    while out.len() < accesses {
+        let page = rng.next() % pages;
+        for i in 0..run_len {
+            let block_in_page = (rng.next().wrapping_add(i as u64 * 3)) % 512;
+            out.push(base + page * 4096 + block_in_page * 8);
+            if out.len() == accesses {
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn bench_distribution(c: &mut Criterion, label: &str, pages: u64, run_len: usize) {
+    const ACCESSES: usize = 4096;
+    let addrs = access_stream(pages, run_len, ACCESSES);
+    let epoch = Epoch::new(3, ThreadId::new(1));
+    let probe = ShadowWord::write_probe(ShadowWord::pack_field(3, 1).expect("packs"));
+
+    // The retained reference representation: ChunkMap probe + enum compare.
+    let mut store: ShadowStore<VarState> = ShadowStore::new(8);
+    for &a in &addrs {
+        store.get_or_default(Addr::new(a)).write = epoch;
+    }
+    c.bench_function(&format!("shadow_words/{label}/store_probe"), |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &a in &addrs {
+                let (_, state) = store.get_or_default_tracked(Addr::new(black_box(a)));
+                hits += u64::from(state.write == epoch);
+            }
+            black_box(hits)
+        })
+    });
+
+    // The packed plane, probed per access (the scalar delivery path).
+    let mut dir = SlabDirectory::new();
+    let word = ShadowWord::from_fields(
+        ShadowWord::pack_field(3, 1).expect("packs"),
+        ShadowWord::pack_field(3, 1).expect("packs"),
+    );
+    for &a in &addrs {
+        dir.set(a >> 3, word);
+    }
+    c.bench_function(&format!("shadow_words/{label}/slab_probe"), |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &a in &addrs {
+                let w = dir.get(black_box(a) >> 3);
+                hits += u64::from(w.matches_write(probe));
+            }
+            black_box(hits)
+        })
+    });
+
+    // The packed plane with the slab resolved once per same-page run (the
+    // batched delivery path the block kernels drive).
+    c.bench_function(&format!("shadow_words/{label}/slab_probe_per_run"), |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            let mut i = 0;
+            while i < addrs.len() {
+                let page = addrs[i] >> 12;
+                let (chunk, _) = SlabDirectory::split(addrs[i] >> 3);
+                let handle = dir.resolve(chunk);
+                while i < addrs.len() && addrs[i] >> 12 == page {
+                    let slot = SlabDirectory::split(addrs[i] >> 3).1;
+                    let w = dir.word_at(handle, black_box(slot));
+                    hits += u64::from(w.matches_write(probe));
+                    i += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_shadow_words(c: &mut Criterion) {
+    // raytrace-shaped: a small hot page set, long same-page runs.
+    bench_distribution(c, "raytrace", 48, 24);
+    // vips-shaped: a wide page set, short runs.
+    bench_distribution(c, "vips", 512, 3);
+}
+
+criterion_group!(benches, bench_shadow_words);
+criterion_main!(benches);

@@ -208,6 +208,40 @@ fn write_step_summary(markdown: &str) {
     }
 }
 
+/// Prints a loud warning when the two documents were measured on different
+/// machines or at different scales (or the baseline predates fingerprints).
+/// The gate still runs — its 25 % tolerance absorbs some machine variance —
+/// but cross-machine ratios are not trustworthy perf evidence, and the
+/// honest comparison is an interleaved same-machine A/B (see ROADMAP.md).
+/// Returns the warning text for the step summary, if any.
+fn fingerprint_warning(fresh: &Value, baseline: &Value) -> Option<String> {
+    let field = |doc: &Value| {
+        doc.get("fingerprint")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+    };
+    let fresh_fp = field(fresh);
+    let baseline_fp = field(baseline);
+    let warning = match (&fresh_fp, &baseline_fp) {
+        (Some(f), Some(b)) if f == b => return None,
+        (Some(f), Some(b)) => format!(
+            "perfgate: WARNING — baseline fingerprint differs from this \
+             machine:\n  baseline: {b}\n  fresh:    {f}\n  Cross-machine \
+             ratios are noise, not evidence; refresh the baseline on this \
+             machine or compare interleaved runs."
+        ),
+        (_, None) => "perfgate: WARNING — the committed baseline carries no \
+                      machine fingerprint (recorded before PR 5); ratios may \
+                      mix machines. Refresh the baseline to silence this."
+            .to_string(),
+        (None, _) => "perfgate: WARNING — the fresh document carries no \
+                      machine fingerprint."
+            .to_string(),
+    };
+    eprintln!("{warning}");
+    Some(warning)
+}
+
 fn load(path: &str) -> Option<Value> {
     let text = std::fs::read_to_string(path).ok()?;
     serde_json::from_str(&text).ok()
@@ -253,6 +287,7 @@ fn main() {
     };
 
     println!("perfgate: fresh {fresh_path} vs baseline {baseline_path}");
+    let fingerprint_note = fingerprint_warning(&fresh_doc, baseline_doc);
     let deltas = sample_deltas(&fresh_doc, baseline_doc);
     print_delta_table(&deltas);
     println!("{:<14} {:>8} {:>14} {:>14} {:>8}", "", "", "", "", "");
@@ -276,9 +311,13 @@ fn main() {
         "overall geomean ratio {ratio:.3} (tolerance: up to {:.0}% regression)",
         tolerance * 100.0
     );
-    write_step_summary(&markdown_summary(
-        &deltas, &fresh, &baseline, ratio, tolerance, passed,
-    ));
+    let mut summary = markdown_summary(&deltas, &fresh, &baseline, ratio, tolerance, passed);
+    if let Some(note) = &fingerprint_note {
+        summary.push_str("\n> ");
+        summary.push_str(&note.replace('\n', "\n> "));
+        summary.push('\n');
+    }
+    write_step_summary(&summary);
     if !passed {
         let worst = deltas.iter().min_by(|a, b| a.ratio().total_cmp(&b.ratio()));
         if let Some(worst) = worst {

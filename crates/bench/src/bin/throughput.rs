@@ -67,6 +67,10 @@ struct WorkerGeomeans {
 #[derive(Debug, Serialize)]
 struct Document {
     scale: f64,
+    /// Machine fingerprint (`host=… cores=… scale=…`): absolute throughput
+    /// is only comparable same-machine, same-scale, and `perfgate` warns
+    /// loudly when the committed baseline's fingerprint differs.
+    fingerprint: String,
     /// Timed repetitions per benchmark × mode (the fastest is reported).
     reps: u32,
     /// Highest worker count measured (1 when running sequential only).
@@ -224,6 +228,7 @@ fn main() {
         .collect();
     let doc = Document {
         scale,
+        fingerprint: aikido_bench::machine_fingerprint(scale),
         reps,
         parallel_workers,
         aikido_geomean: geomean("aikido", 1),

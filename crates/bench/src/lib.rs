@@ -63,6 +63,26 @@ pub fn run_mode(name: &str, scale: f64, mode: Mode) -> RunReport {
     Simulator::default().run(&workload, mode)
 }
 
+/// A fingerprint of the measuring machine and configuration:
+/// `host=<hostname> cores=<count> scale=<AIKIDO_SCALE>`. Recorded in
+/// `BENCH_throughput.json` so `perfgate` can warn loudly when a fresh run is
+/// compared against a baseline from a different machine or scale — absolute
+/// throughput numbers are only comparable same-machine, same-scale (the
+/// ROADMAP's "mixed machines" caveat, codified).
+pub fn machine_fingerprint(scale: f64) -> String {
+    let hostname = std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .or_else(|_| std::fs::read_to_string("/etc/hostname"))
+        .map(|h| h.trim().to_string())
+        .ok()
+        .filter(|h| !h.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok())
+        .unwrap_or_else(|| "unknown".to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    format!("host={hostname} cores={cores} scale={scale}")
+}
+
 /// Geometric mean of a sequence of positive values (0.0 for an empty input).
 pub fn geometric_mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -122,6 +142,15 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fmt_slowdown(6.0), "6.00x");
         assert_eq!(fmt_percent(0.113), "11.30%");
+    }
+
+    #[test]
+    fn machine_fingerprint_has_all_three_components() {
+        let fp = machine_fingerprint(0.05);
+        assert!(fp.contains("host="), "{fp}");
+        assert!(fp.contains("cores="), "{fp}");
+        assert!(fp.ends_with("scale=0.05"), "{fp}");
+        assert!(!fp.contains('\n'));
     }
 
     #[test]

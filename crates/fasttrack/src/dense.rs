@@ -3,8 +3,10 @@
 //! Thread and lock identities in the simulated workloads are small dense
 //! integers, so the detector keys its clock state by direct index instead of
 //! hashing a `ThreadId`/`LockId` on every event. Pathologically large ids
-//! (possible through the public API) spill into a small scanned vector so
-//! the dense array can never be grown unboundedly by a hostile key.
+//! (possible through the public API) spill into a sorted vector probed by
+//! binary search, so the dense array can never be grown unboundedly by a
+//! hostile key and a large spill population still costs O(log n) per probe
+//! rather than a linear scan.
 //!
 //! This is deliberately not `aikido_types::ChunkMap`: the clock lookup sits
 //! on the per-event critical path and the keys here are guaranteed-dense
@@ -18,6 +20,8 @@ const MAX_DENSE: u64 = 1 << 16;
 #[derive(Debug, Clone)]
 pub(crate) struct DenseMap<V> {
     dense: Vec<Option<V>>,
+    /// Entries with keys ≥ [`MAX_DENSE`], kept sorted by key for binary
+    /// search.
     spill: Vec<(u64, V)>,
     len: usize,
 }
@@ -44,7 +48,8 @@ impl<V> DenseMap<V> {
         if key < MAX_DENSE {
             self.dense.get(key as usize)?.as_ref()
         } else {
-            self.spill.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+            let pos = self.spill.binary_search_by_key(&key, |&(k, _)| k).ok()?;
+            Some(&self.spill[pos].1)
         }
     }
 
@@ -54,10 +59,8 @@ impl<V> DenseMap<V> {
         if key < MAX_DENSE {
             self.dense.get_mut(key as usize)?.as_mut()
         } else {
-            self.spill
-                .iter_mut()
-                .find(|(k, _)| *k == key)
-                .map(|(_, v)| v)
+            let pos = self.spill.binary_search_by_key(&key, |&(k, _)| k).ok()?;
+            Some(&mut self.spill[pos].1)
         }
     }
 
@@ -76,12 +79,15 @@ impl<V> DenseMap<V> {
             }
             slot.as_mut().expect("just filled")
         } else {
-            if let Some(pos) = self.spill.iter().position(|(k, _)| *k == key) {
-                return &mut self.spill[pos].1;
-            }
-            self.spill.push((key, make()));
-            self.len += 1;
-            &mut self.spill.last_mut().expect("just pushed").1
+            let pos = match self.spill.binary_search_by_key(&key, |&(k, _)| k) {
+                Ok(pos) => pos,
+                Err(pos) => {
+                    self.spill.insert(pos, (key, make()));
+                    self.len += 1;
+                    pos
+                }
+            };
+            &mut self.spill[pos].1
         }
     }
 }
@@ -112,6 +118,44 @@ mod tests {
         assert_eq!(m.len(), 1);
         assert_eq!(*m.get_or_insert_with(1 << 20, || 5), 5);
         assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn spill_stays_sorted_across_out_of_order_inserts() {
+        // Keys on and around the dense/spill boundary, inserted in an order
+        // chosen to break a push-append spill: binary search must find every
+        // key afterwards, and boundary keys must land on the right side.
+        let mut m: DenseMap<u64> = DenseMap::default();
+        let keys = [
+            MAX_DENSE + 7,
+            u64::MAX,
+            MAX_DENSE,
+            MAX_DENSE - 1, // dense side of the boundary
+            MAX_DENSE + 3,
+            1 << 40,
+            MAX_DENSE + 1,
+        ];
+        for &k in &keys {
+            assert_eq!(
+                *m.get_or_insert_with(k, || k.wrapping_mul(2)),
+                k.wrapping_mul(2),
+                "key {k:#x}"
+            );
+        }
+        for &k in &keys {
+            assert_eq!(m.get(k), Some(&k.wrapping_mul(2)), "key {k:#x}");
+            assert_eq!(m.get_mut(k).copied(), Some(k.wrapping_mul(2)), "key {k:#x}");
+        }
+        assert_eq!(m.len(), keys.len());
+        // Spill-side misses between present keys resolve to None.
+        assert_eq!(m.get(MAX_DENSE + 2), None);
+        assert_eq!(m.get(u64::MAX - 1), None);
+        // Re-inserting an existing spill key neither duplicates nor reorders.
+        assert_eq!(
+            *m.get_or_insert_with(MAX_DENSE + 3, || 999),
+            (MAX_DENSE + 3) * 2
+        );
+        assert_eq!(m.len(), keys.len());
     }
 
     #[test]

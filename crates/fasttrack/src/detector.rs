@@ -4,15 +4,31 @@ use std::collections::HashSet;
 
 use aikido_shadow::ShadowStore;
 use aikido_types::{
-    AccessContext, AccessKind, Addr, AnalysisReport, InstrId, LockId, ReportKind,
-    SharedDataAnalysis, ThreadId,
+    AccessContext, AccessKind, Addr, AnalysisReport, InstrId, LockId, ReportKind, ShadowWord,
+    SharedDataAnalysis, SlabHandle, ThreadId, Vpn,
 };
 
-use crate::clock::VectorClock;
+use crate::clock::{Epoch, VectorClock};
 use crate::config::FastTrackConfig;
 use crate::dense::DenseMap;
+use crate::packed::{decode_word, encode_state, pack_epoch, PackedVars};
 use crate::state::{ReadState, VarState};
 use crate::stats::FastTrackStats;
+
+/// Where per-variable metadata lives. The packed plane (the default) keeps
+/// one bit-packed [`ShadowWord`] per block in page-granular dense slabs with
+/// a spilled side table; the reference store keeps the full enum
+/// representation and is retained as the equivalence oracle behind
+/// [`FastTrack::with_packed_words`]. Both run the exact same update logic
+/// ([`read_slow`]/[`write_slow`]) — they differ only in how states are
+/// loaded and stored.
+#[derive(Debug)]
+enum VarStorage {
+    /// Packed shadow words + spill side table (the hot-path default).
+    Packed(PackedVars),
+    /// The retained enum-based reference representation.
+    Reference(ShadowStore<VarState>),
+}
 
 /// The FastTrack happens-before race detector.
 ///
@@ -29,7 +45,7 @@ pub struct FastTrack {
     /// Per-lock vector clocks, keyed by dense lock slot.
     locks: DenseMap<VectorClock>,
     /// Per-variable (8-byte block) metadata, in shadow memory.
-    vars: ShadowStore<VarState>,
+    vars: VarStorage,
     /// Blocks for which a race has already been reported (deduplication).
     reported_blocks: HashSet<u64>,
     reports: Vec<AnalysisReport>,
@@ -59,6 +75,158 @@ mod cost {
     pub const REPORT: u64 = 220;
 }
 
+/// True if the access hits FastTrack's same-epoch read fast path: the read
+/// history already records this exact epoch. Shared storage-independent
+/// logic — the packed word probe is proven equal to this for unspilled
+/// states, and spilled states run it directly.
+#[inline]
+fn read_fast_path(state: &VarState, thread: ThreadId, epoch: Epoch) -> bool {
+    match &state.read {
+        ReadState::Exclusive(e) => *e == epoch,
+        ReadState::Shared(rvc) => rvc.get(thread) == epoch.clock(),
+    }
+}
+
+/// A thread epoch pre-positioned for the packed read fast path: one probe
+/// for the unspilled read lane and one for the spilled same-epoch hint, so
+/// both checks are a single masked compare each. `None` when the epoch
+/// exceeds the packing budget — exactly when no packed word can match it.
+#[derive(Copy, Clone)]
+struct ReadProbes {
+    read: u64,
+    hint: u64,
+}
+
+impl ReadProbes {
+    #[inline]
+    fn pack(epoch: Epoch) -> Option<ReadProbes> {
+        pack_epoch(epoch).map(|field| ReadProbes {
+            read: ShadowWord::read_probe(field),
+            hint: ShadowWord::spill_hint_probe(field),
+        })
+    }
+}
+
+/// The same-epoch hint to leave in a spilled word after a slow access: the
+/// epoch field whose read probe would now hit the fast path (0 = none). A
+/// read just recorded `epoch` in the read history; a write always leaves an
+/// exclusive read history behind, whose epoch answers repeat reads.
+#[inline]
+fn spill_hint_after(state: &VarState, read_epoch: Option<Epoch>) -> u64 {
+    let epoch = match (read_epoch, &state.read) {
+        (Some(epoch), _) => epoch,
+        (None, ReadState::Exclusive(e)) => *e,
+        (None, ReadState::Shared(_)) => return 0,
+    };
+    pack_epoch(epoch).unwrap_or(0)
+}
+
+/// What the slow read path did to a variable's state; the caller applies the
+/// statistics, cost and report.
+struct ReadOutcome {
+    cost: u64,
+    promoted: bool,
+    write_race: bool,
+    prior_writer: ThreadId,
+}
+
+/// The read update: write-read race check plus read-history update, exactly
+/// the logic both storage representations share.
+#[inline]
+fn read_slow(
+    state: &mut VarState,
+    vc: &VectorClock,
+    thread: ThreadId,
+    epoch: Epoch,
+    use_epochs: bool,
+    threads_known: u64,
+) -> ReadOutcome {
+    let mut cost = cost::EXCLUSIVE;
+    let mut promoted = false;
+
+    // Write-read race check: the last write must happen-before this read.
+    let write_race = !state.write.happens_before(vc);
+    let prior_writer = state.write.thread();
+
+    // Update the read history.
+    match (&mut state.read, use_epochs) {
+        (ReadState::Exclusive(e), true) if e.happens_before(vc) => {
+            *e = epoch;
+        }
+        (ReadState::Exclusive(e), _) => {
+            // Concurrent (or epoch optimisation disabled): promote to a
+            // vector clock.
+            let mut rvc = VectorClock::new();
+            if e.clock() > 0 {
+                rvc.set(e.thread(), e.clock());
+            }
+            rvc.set(thread, epoch.clock());
+            state.read = ReadState::Shared(Box::new(rvc));
+            promoted = true;
+            cost = cost::PROMOTE_SHARED;
+        }
+        (ReadState::Shared(rvc), _) => {
+            rvc.set(thread, epoch.clock());
+            cost = cost::SHARED_BASE + cost::SHARED_PER_THREAD * threads_known;
+        }
+    }
+
+    ReadOutcome {
+        cost,
+        promoted,
+        write_race,
+        prior_writer,
+    }
+}
+
+/// What the slow write path did to a variable's state.
+struct WriteOutcome {
+    cost: u64,
+    write_race: bool,
+    prior_writer: ThreadId,
+    read_race: bool,
+    prior_reader: Option<ThreadId>,
+}
+
+/// The write update: write-write and read-write race checks plus the write
+/// record and read-history collapse, shared by both storages.
+#[inline]
+fn write_slow(
+    state: &mut VarState,
+    vc: &VectorClock,
+    epoch: Epoch,
+    threads_known: u64,
+) -> WriteOutcome {
+    let cost = if state.read.is_shared() {
+        cost::SHARED_BASE + cost::SHARED_PER_THREAD * threads_known
+    } else {
+        cost::EXCLUSIVE
+    };
+    let write_race = !state.write.happens_before(vc);
+    let prior_writer = state.write.thread();
+    let read_race = !state.read.happens_before(vc);
+    let prior_reader = match &state.read {
+        ReadState::Exclusive(e) => Some(e.thread()),
+        ReadState::Shared(rvc) => rvc.iter().find(|(t, c)| *c > vc.get(*t)).map(|(t, _)| t),
+    };
+
+    // Update: record this write; once all concurrent reads have been
+    // checked the read history can collapse back to the writer's epoch
+    // (FastTrack's "write shared" rule).
+    state.write = epoch;
+    if state.read.is_shared() {
+        state.read = ReadState::Exclusive(epoch);
+    }
+
+    WriteOutcome {
+        cost,
+        write_race,
+        prior_writer,
+        read_race,
+        prior_reader,
+    }
+}
+
 impl Default for FastTrack {
     fn default() -> Self {
         Self::new()
@@ -79,7 +247,7 @@ impl FastTrack {
     /// Panics if the configured granularity is not a power of two.
     pub fn with_config(config: FastTrackConfig) -> Self {
         FastTrack {
-            vars: ShadowStore::new(config.granularity),
+            vars: VarStorage::Packed(PackedVars::new(config.granularity)),
             config,
             threads: DenseMap::default(),
             locks: DenseMap::default(),
@@ -87,6 +255,68 @@ impl FastTrack {
             reports: Vec::new(),
             stats: FastTrackStats::new(),
             last_cost: 0,
+        }
+    }
+
+    /// Selects between the packed shadow-word metadata plane (the default)
+    /// and the enum-based reference store. The two are byte-identical by
+    /// construction — same statistics, same costs, same races, same
+    /// reconstructed states — mirroring the simulator's
+    /// `with_batched_kernels` pattern: the reference path exists as the
+    /// equivalence oracle the tests and the `shadow_words` benchmark compare
+    /// against, not as a user-facing feature. Any metadata accumulated so
+    /// far is converted losslessly.
+    pub fn with_packed_words(mut self, packed: bool) -> Self {
+        match (&self.vars, packed) {
+            (VarStorage::Packed(_), true) | (VarStorage::Reference(_), false) => {}
+            (VarStorage::Reference(store), true) => {
+                let mut vars = PackedVars::new(self.config.granularity);
+                let shift = self.config.granularity.trailing_zeros();
+                for (addr, state) in store.iter() {
+                    vars.insert_state(addr.raw() >> shift, state.clone());
+                }
+                self.vars = VarStorage::Packed(vars);
+            }
+            (VarStorage::Packed(vars), false) => {
+                let mut store = ShadowStore::new(self.config.granularity);
+                let shift = self.config.granularity.trailing_zeros();
+                for (block, state) in vars.states() {
+                    store.insert(Addr::new(block << shift), state);
+                }
+                self.vars = VarStorage::Reference(store);
+            }
+        }
+        self
+    }
+
+    /// True if the detector runs on the packed metadata plane.
+    pub fn packed_words(&self) -> bool {
+        matches!(self.vars, VarStorage::Packed(_))
+    }
+
+    /// Number of blocks currently holding metadata, independent of the
+    /// storage representation.
+    pub fn tracked_blocks(&self) -> usize {
+        match &self.vars {
+            VarStorage::Packed(vars) => vars.len(),
+            VarStorage::Reference(store) => store.len(),
+        }
+    }
+
+    /// Every tracked `(block index, state)` pair in ascending block order,
+    /// reconstructed from whichever storage is active. This is the
+    /// serialization surface the packed-vs-reference equivalence oracle
+    /// compares.
+    pub fn var_states(&self) -> Vec<(u64, VarState)> {
+        match &self.vars {
+            VarStorage::Packed(vars) => vars.states(),
+            VarStorage::Reference(store) => {
+                let shift = self.config.granularity.trailing_zeros();
+                store
+                    .iter()
+                    .map(|(addr, state)| (addr.raw() >> shift, state.clone()))
+                    .collect()
+            }
         }
     }
 
@@ -151,33 +381,56 @@ impl FastTrack {
         thread: ThreadId,
         addr: Addr,
         instr: Option<InstrId>,
-        epoch: crate::clock::Epoch,
+        epoch: Epoch,
+        threads_known: u64,
+    ) {
+        match &mut self.vars {
+            VarStorage::Reference(_) => {
+                self.read_reference(thread, addr, instr, epoch, threads_known);
+            }
+            VarStorage::Packed(vars) => {
+                let (handle, slot, _block) = vars.locate(addr);
+                let probes = ReadProbes::pack(epoch);
+                self.read_packed(
+                    handle,
+                    slot,
+                    thread,
+                    addr,
+                    instr,
+                    epoch,
+                    probes,
+                    threads_known,
+                );
+            }
+        }
+    }
+
+    /// One read against the reference (enum) store.
+    #[inline]
+    fn read_reference(
+        &mut self,
+        thread: ThreadId,
+        addr: Addr,
+        instr: Option<InstrId>,
+        epoch: Epoch,
         threads_known: u64,
     ) {
         let use_epochs = self.config.epoch_optimization;
-        let (is_new, state) = self.vars.get_or_default_tracked(addr);
+        let VarStorage::Reference(store) = &mut self.vars else {
+            unreachable!("caller matched the reference storage");
+        };
+        let (is_new, state) = store.get_or_default_tracked(addr);
         if is_new {
             self.stats.blocks_tracked += 1;
         }
 
         // Same-epoch fast path: decided on the epoch alone — the full thread
-        // clock is only fetched on the slow paths below.
-        if use_epochs {
-            match &state.read {
-                ReadState::Exclusive(e) if *e == epoch => {
-                    self.stats.read_same_epoch += 1;
-                    self.last_cost = cost::SAME_EPOCH;
-                    return;
-                }
-                ReadState::Shared(rvc) if rvc.get(thread) == epoch.clock() => {
-                    self.stats.read_same_epoch += 1;
-                    self.last_cost = cost::SAME_EPOCH;
-                    return;
-                }
-                _ => {}
-            }
+        // clock is only fetched on the slow path below.
+        if use_epochs && read_fast_path(state, thread, epoch) {
+            self.stats.read_same_epoch += 1;
+            self.last_cost = cost::SAME_EPOCH;
+            return;
         }
-        self.last_cost = cost::EXCLUSIVE;
 
         // Field-disjoint borrows: the thread clock is read in place while the
         // variable state is updated — no per-access clone.
@@ -185,41 +438,137 @@ impl FastTrack {
             .threads
             .get(thread.index() as u64)
             .expect("caller ensured the thread clock");
+        let out = read_slow(state, vc, thread, epoch, use_epochs, threads_known);
+        self.apply_read_outcome(out, thread, addr, instr);
+    }
 
-        // Write-read race check: the last write must happen-before this read.
-        let write_races = !state.write.happens_before(vc);
-        let prior_writer = state.write.thread();
+    /// One read against the packed plane. `probes` carries the thread's
+    /// epoch pre-positioned for both word lanes (`None` when the epoch
+    /// exceeds the packing budget, in which case no packed word can match
+    /// it — exactly when the reference fast path would miss too).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn read_packed(
+        &mut self,
+        handle: SlabHandle,
+        slot: usize,
+        thread: ThreadId,
+        addr: Addr,
+        instr: Option<InstrId>,
+        epoch: Epoch,
+        probes: Option<ReadProbes>,
+        threads_known: u64,
+    ) {
+        let use_epochs = self.config.epoch_optimization;
+        let VarStorage::Packed(vars) = &mut self.vars else {
+            unreachable!("caller matched the packed storage");
+        };
+        let word = vars.word_at(handle, slot);
+        if word.is_empty() {
+            self.stats.blocks_tracked += 1;
+        }
 
-        // Update the read history.
-        match (&mut state.read, use_epochs) {
-            (ReadState::Exclusive(e), true) if e.happens_before(vc) => {
-                *e = epoch;
-            }
-            (ReadState::Exclusive(e), _) => {
-                // Concurrent (or epoch optimisation disabled): promote to a
-                // vector clock.
-                let mut rvc = VectorClock::new();
-                if e.clock() > 0 {
-                    rvc.set(e.thread(), e.clock());
+        // Same-epoch fast path, decided on the packed word alone: one
+        // masked compare covers "unspilled ∧ exclusive-read epoch equals
+        // ours", a second covers "spilled ∧ same-epoch hint equals ours" —
+        // either way the side arena is never touched.
+        if use_epochs {
+            if let Some(probes) = probes {
+                if word.matches_read(probes.read) || word.matches_spill_hint(probes.hint) {
+                    self.stats.read_same_epoch += 1;
+                    self.last_cost = cost::SAME_EPOCH;
+                    return;
                 }
-                rvc.set(thread, epoch.clock());
-                state.read = ReadState::Shared(Box::new(rvc));
-                self.stats.read_share_promotions += 1;
-                self.last_cost = cost::PROMOTE_SHARED;
-            }
-            (ReadState::Shared(rvc), _) => {
-                rvc.set(thread, epoch.clock());
-                self.last_cost = cost::SHARED_BASE + cost::SHARED_PER_THREAD * threads_known;
             }
         }
 
-        if write_races {
+        if word.is_spilled() {
+            // Full state in the side arena — one direct index, no second
+            // probe. The fast path still applies even when the word hint
+            // belongs to another thread: for the first INLINE_FAST threads
+            // the slot's memoized clock answers it without chasing the
+            // boxed vector clock (the memo is exact — see `SpillSlot`).
+            let entry = vars.spill_slot_mut(word);
+            let fast = use_epochs
+                && if thread.index() < crate::packed::INLINE_FAST {
+                    entry.fast_clock(thread.index()) == epoch.clock()
+                } else {
+                    read_fast_path(&entry.state, thread, epoch)
+                };
+            if fast {
+                self.stats.read_same_epoch += 1;
+                self.last_cost = cost::SAME_EPOCH;
+                return;
+            }
+            let vc = self
+                .threads
+                .get(thread.index() as u64)
+                .expect("caller ensured the thread clock");
+            let out = read_slow(
+                &mut entry.state,
+                vc,
+                thread,
+                epoch,
+                use_epochs,
+                threads_known,
+            );
+            let repacked = encode_state(&entry.state);
+            if repacked.is_none() {
+                entry.refresh();
+            }
+            match repacked {
+                Some(repacked) => {
+                    // The state collapsed back into the word: un-spill.
+                    vars.unspill(word);
+                    vars.set_word_at(handle, slot, repacked);
+                }
+                None => {
+                    // Still spilled: the read just recorded `epoch` in the
+                    // read history, so it becomes the new same-epoch hint.
+                    let hint = pack_epoch(epoch).unwrap_or(0);
+                    vars.set_word_at(handle, slot, word.with_spill_hint(hint));
+                }
+            }
+            self.apply_read_outcome(out, thread, addr, instr);
+        } else {
+            let mut state = decode_word(word);
+            let vc = self
+                .threads
+                .get(thread.index() as u64)
+                .expect("caller ensured the thread clock");
+            let out = read_slow(&mut state, vc, thread, epoch, use_epochs, threads_known);
+            match encode_state(&state) {
+                Some(word) => vars.set_word_at(handle, slot, word),
+                None => {
+                    let hint = spill_hint_after(&state, Some(epoch));
+                    let marker = vars.spill(state);
+                    vars.set_word_at(handle, slot, marker.with_spill_hint(hint));
+                }
+            }
+            self.apply_read_outcome(out, thread, addr, instr);
+        }
+    }
+
+    /// Applies a slow read's outcome to the statistics, cost and reports.
+    #[inline]
+    fn apply_read_outcome(
+        &mut self,
+        out: ReadOutcome,
+        thread: ThreadId,
+        addr: Addr,
+        instr: Option<InstrId>,
+    ) {
+        self.last_cost = out.cost;
+        if out.promoted {
+            self.stats.read_share_promotions += 1;
+        }
+        if out.write_race {
             self.last_cost += cost::REPORT;
             self.report(
                 thread,
                 addr,
                 AccessKind::Read,
-                Some(prior_writer),
+                Some(out.prior_writer),
                 instr,
                 "read is concurrent with a prior write",
             );
@@ -247,11 +596,45 @@ impl FastTrack {
         thread: ThreadId,
         addr: Addr,
         instr: Option<InstrId>,
-        epoch: crate::clock::Epoch,
+        epoch: Epoch,
+        threads_known: u64,
+    ) {
+        match &mut self.vars {
+            VarStorage::Reference(_) => {
+                self.write_reference(thread, addr, instr, epoch, threads_known);
+            }
+            VarStorage::Packed(vars) => {
+                let (handle, slot, _block) = vars.locate(addr);
+                let probe = pack_epoch(epoch).map(ShadowWord::write_probe);
+                self.write_packed(
+                    handle,
+                    slot,
+                    thread,
+                    addr,
+                    instr,
+                    epoch,
+                    probe,
+                    threads_known,
+                );
+            }
+        }
+    }
+
+    /// One write against the reference (enum) store.
+    #[inline]
+    fn write_reference(
+        &mut self,
+        thread: ThreadId,
+        addr: Addr,
+        instr: Option<InstrId>,
+        epoch: Epoch,
         threads_known: u64,
     ) {
         let use_epochs = self.config.epoch_optimization;
-        let (is_new, state) = self.vars.get_or_default_tracked(addr);
+        let VarStorage::Reference(store) = &mut self.vars else {
+            unreachable!("caller matched the reference storage");
+        };
+        let (is_new, state) = store.get_or_default_tracked(addr);
         if is_new {
             self.stats.blocks_tracked += 1;
         }
@@ -262,49 +645,128 @@ impl FastTrack {
             self.last_cost = cost::SAME_EPOCH;
             return;
         }
-        self.last_cost = if state.read.is_shared() {
-            cost::SHARED_BASE + cost::SHARED_PER_THREAD * threads_known
-        } else {
-            cost::EXCLUSIVE
-        };
 
         let vc = self
             .threads
             .get(thread.index() as u64)
             .expect("caller ensured the thread clock");
-        let write_races = !state.write.happens_before(vc);
-        let prior_writer = state.write.thread();
-        let read_races = !state.read.happens_before(vc);
-        let prior_reader = match &state.read {
-            ReadState::Exclusive(e) => Some(e.thread()),
-            ReadState::Shared(rvc) => rvc.iter().find(|(t, c)| *c > vc.get(*t)).map(|(t, _)| t),
-        };
+        let out = write_slow(state, vc, epoch, threads_known);
+        self.apply_write_outcome(out, thread, addr, instr);
+    }
 
-        // Update: record this write; once all concurrent reads have been
-        // checked the read history can collapse back to the writer's epoch
-        // (FastTrack's "write shared" rule).
-        state.write = epoch;
-        if state.read.is_shared() {
-            state.read = ReadState::Exclusive(epoch);
+    /// One write against the packed plane (see [`FastTrack::read_packed`]
+    /// for the probe contract).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn write_packed(
+        &mut self,
+        handle: SlabHandle,
+        slot: usize,
+        thread: ThreadId,
+        addr: Addr,
+        instr: Option<InstrId>,
+        epoch: Epoch,
+        probe: Option<u64>,
+        threads_known: u64,
+    ) {
+        let use_epochs = self.config.epoch_optimization;
+        let VarStorage::Packed(vars) = &mut self.vars else {
+            unreachable!("caller matched the packed storage");
+        };
+        let word = vars.word_at(handle, slot);
+        if word.is_empty() {
+            self.stats.blocks_tracked += 1;
         }
 
-        if write_races {
+        // Same-epoch fast path: one masked compare against the write lane.
+        if use_epochs {
+            if let Some(probe) = probe {
+                if word.matches_write(probe) {
+                    self.stats.write_same_epoch += 1;
+                    self.last_cost = cost::SAME_EPOCH;
+                    return;
+                }
+            }
+        }
+
+        if word.is_spilled() {
+            let entry = vars.spill_slot_mut(word);
+            if use_epochs && entry.state.write == epoch {
+                self.stats.write_same_epoch += 1;
+                self.last_cost = cost::SAME_EPOCH;
+                return;
+            }
+            let vc = self
+                .threads
+                .get(thread.index() as u64)
+                .expect("caller ensured the thread clock");
+            let out = write_slow(&mut entry.state, vc, epoch, threads_known);
+            let hint = spill_hint_after(&entry.state, None);
+            let repacked = encode_state(&entry.state);
+            if repacked.is_none() {
+                entry.refresh();
+            }
+            match repacked {
+                Some(repacked) => {
+                    // A write collapses read-shared histories, so the state
+                    // usually re-packs here — restoring the word fast path.
+                    vars.unspill(word);
+                    vars.set_word_at(handle, slot, repacked);
+                }
+                None => {
+                    // Still spilled (an oversized epoch keeps the state in
+                    // the arena): the stale hint and memo must not survive
+                    // the rewritten read history.
+                    vars.set_word_at(handle, slot, word.with_spill_hint(hint));
+                }
+            }
+            self.apply_write_outcome(out, thread, addr, instr);
+        } else {
+            let mut state = decode_word(word);
+            let vc = self
+                .threads
+                .get(thread.index() as u64)
+                .expect("caller ensured the thread clock");
+            let out = write_slow(&mut state, vc, epoch, threads_known);
+            match encode_state(&state) {
+                Some(word) => vars.set_word_at(handle, slot, word),
+                None => {
+                    let hint = spill_hint_after(&state, None);
+                    let marker = vars.spill(state);
+                    vars.set_word_at(handle, slot, marker.with_spill_hint(hint));
+                }
+            }
+            self.apply_write_outcome(out, thread, addr, instr);
+        }
+    }
+
+    /// Applies a slow write's outcome to the statistics, cost and reports.
+    #[inline]
+    fn apply_write_outcome(
+        &mut self,
+        out: WriteOutcome,
+        thread: ThreadId,
+        addr: Addr,
+        instr: Option<InstrId>,
+    ) {
+        self.last_cost = out.cost;
+        if out.write_race {
             self.last_cost += cost::REPORT;
             self.report(
                 thread,
                 addr,
                 AccessKind::Write,
-                Some(prior_writer),
+                Some(out.prior_writer),
                 instr,
                 "write is concurrent with a prior write",
             );
-        } else if read_races {
+        } else if out.read_race {
             self.last_cost += cost::REPORT;
             self.report(
                 thread,
                 addr,
                 AccessKind::Write,
-                prior_reader,
+                out.prior_reader,
                 instr,
                 "write is concurrent with a prior read",
             );
@@ -453,6 +915,97 @@ impl SharedDataAnalysis for FastTrack {
                 }
             }
             costs.push(self.last_access_cost_cycles());
+        }
+    }
+
+    fn on_access_run(
+        &mut self,
+        page: Vpn,
+        kind: AccessKind,
+        run: &[AccessContext],
+        costs: &mut Vec<u64>,
+    ) {
+        let _ = kind;
+        // The slab hoist below pays a handle resolution and probe packing up
+        // front; short runs (and non-slab configurations) are cheaper
+        // through the batch entry point, which hoists the per-access prolog
+        // but dispatches storage per access. Delegating keeps the scalar
+        // contract in exactly one place.
+        const SLAB_RUN_MIN: usize = 4;
+        let slab_run = run.len() >= SLAB_RUN_MIN
+            && self.config.granularity >= 8
+            && matches!(self.vars, VarStorage::Packed(_));
+        if !slab_run {
+            return self.on_access_batch(run, costs);
+        }
+        costs.clear();
+        let Some((first, rest)) = run.split_first() else {
+            return;
+        };
+        costs.reserve(run.len());
+        // The first access runs the full scalar path (it may create the
+        // thread's clock and it allocates the page's slab), exactly like
+        // `on_access_batch`.
+        self.on_access(*first);
+        costs.push(self.last_access_cost_cycles());
+        // Hoist the per-access prolog once per run (see `on_access_batch`),
+        // and — the packed plane's whole point — resolve the page's slab and
+        // pack the thread's epoch probes once: every access of the run lands
+        // in the same slab (the caller guarantees one page per run, and at
+        // granularity ≥ 8 a page maps into exactly one slab), so the
+        // remaining accesses index words by slot with no directory probe and
+        // no per-access `block_of` arithmetic beyond a shift.
+        let thread = first.thread;
+        let threads_known = self.threads.len().max(1) as u64;
+        let epoch = self
+            .threads
+            .get(thread.index() as u64)
+            .expect("first access ensured the thread clock")
+            .epoch_of(thread);
+        {
+            let shift = self.config.granularity.trailing_zeros();
+            let handle = {
+                let VarStorage::Packed(vars) = &mut self.vars else {
+                    unreachable!("just matched the packed storage");
+                };
+                vars.resolve_block(first.addr.raw() >> shift)
+            };
+            let read_probes = ReadProbes::pack(epoch);
+            let write_probe = pack_epoch(epoch).map(ShadowWord::write_probe);
+            for cx in rest {
+                debug_assert_eq!(cx.thread, thread, "a run belongs to one thread");
+                debug_assert_eq!(cx.addr.page(), page, "a run stays on one page");
+                let slot = aikido_types::SlabDirectory::split(cx.addr.raw() >> shift).1;
+                match cx.kind {
+                    AccessKind::Read => {
+                        self.stats.reads += 1;
+                        self.read_packed(
+                            handle,
+                            slot,
+                            thread,
+                            cx.addr,
+                            Some(cx.instr),
+                            epoch,
+                            read_probes,
+                            threads_known,
+                        );
+                    }
+                    AccessKind::Write => {
+                        self.stats.writes += 1;
+                        self.write_packed(
+                            handle,
+                            slot,
+                            thread,
+                            cx.addr,
+                            Some(cx.instr),
+                            epoch,
+                            write_probe,
+                            threads_known,
+                        );
+                    }
+                }
+                costs.push(self.last_access_cost_cycles());
+            }
         }
     }
 
@@ -771,6 +1324,88 @@ mod tests {
         batched.on_access_batch(&run, &mut batched_costs);
         assert_eq!(batched_costs, scalar_costs);
         assert_eq!(batched.stats(), scalar.stats());
+    }
+
+    #[test]
+    fn packed_and_reference_storages_agree_on_a_mixed_history() {
+        // Reads, writes, promotions, collapses, races, lock discipline and a
+        // thread id past the 7-bit packing budget (forcing the spill path).
+        let drive = |ft: &mut FastTrack| {
+            let l = LockId::new(1);
+            ft.write(t(0), addr(0x1000));
+            ft.read(t(0), addr(0x1000));
+            ft.read(t(1), addr(0x1000)); // write-read race + promotion
+            ft.read(t(2), addr(0x1000));
+            ft.acquire(t(0), l);
+            ft.write(t(0), addr(0x1008));
+            ft.release(t(0), l);
+            ft.acquire(t(200), l); // thread 200 spills the packed epoch
+            ft.write(t(200), addr(0x1008));
+            ft.read(t(200), addr(0x1010));
+            ft.release(t(200), l);
+            ft.barrier(&[t(0), t(1), t(2)]);
+            ft.write(t(1), addr(0x1000)); // collapses the shared read state
+            ft.write(t(1), addr(0x1000)); // same-epoch fast path
+        };
+        let mut packed = FastTrack::new();
+        assert!(packed.packed_words());
+        let mut reference = FastTrack::new().with_packed_words(false);
+        assert!(!reference.packed_words());
+        drive(&mut packed);
+        drive(&mut reference);
+        assert_eq!(packed.stats(), reference.stats());
+        assert_eq!(packed.races(), reference.races());
+        assert_eq!(packed.var_states(), reference.var_states());
+        assert_eq!(packed.tracked_blocks(), reference.tracked_blocks());
+    }
+
+    #[test]
+    fn with_packed_words_converts_accumulated_state_losslessly() {
+        let mut ft = FastTrack::new();
+        ft.write(t(0), addr(0x2000));
+        ft.read(t(0), addr(0x2008));
+        ft.read(t(1), addr(0x2008)); // promoted (spilled) read-shared clock
+        let before = ft.var_states();
+        let ft = ft.with_packed_words(false);
+        assert_eq!(ft.var_states(), before);
+        let ft = ft.with_packed_words(true);
+        assert_eq!(ft.var_states(), before);
+    }
+
+    #[test]
+    fn batched_run_delivery_is_byte_identical_to_scalar_delivery() {
+        use aikido_types::{BlockId, InstrId};
+        let cx = |thread: u32, a: u64, kind, i: u16| AccessContext {
+            thread: t(thread),
+            addr: Addr::new(a),
+            kind,
+            size: 8,
+            instr: InstrId::new(BlockId::new(4), i),
+        };
+        // One page, one kind — the contract `on_access_run` is called under.
+        let run = [
+            cx(1, 0x3000, AccessKind::Write, 0),
+            cx(1, 0x3000, AccessKind::Write, 1),
+            cx(1, 0x3008, AccessKind::Write, 2),
+            cx(1, 0x3ff8, AccessKind::Write, 3),
+        ];
+        let mut scalar = FastTrack::new();
+        let mut run_based = FastTrack::new();
+        let mut scalar_costs = Vec::new();
+        let mut run_costs = Vec::new();
+        for &a in &run {
+            scalar.on_access(a);
+            scalar_costs.push(scalar.last_access_cost_cycles());
+        }
+        run_based.on_access_run(
+            Addr::new(0x3000).page(),
+            AccessKind::Write,
+            &run,
+            &mut run_costs,
+        );
+        assert_eq!(run_costs, scalar_costs);
+        assert_eq!(run_based.stats(), scalar.stats());
+        assert_eq!(run_based.var_states(), scalar.var_states());
     }
 
     #[test]

@@ -13,8 +13,15 @@
 //!   variables, so the address space is divided into fixed-size 8-byte blocks
 //!   that play the role of variables (this can introduce false positives for
 //!   tightly packed data, and is configurable);
-//! * metadata lives in shadow memory ([`aikido_shadow::ShadowStore`], a
-//!   chunked slab addressed by block index);
+//! * metadata lives in shadow memory. The hot-path representation is one
+//!   packed 64-bit word per block ([`aikido_types::ShadowWord`]: write epoch
+//!   and exclusive-read epoch bit-packed side by side) in page-granular
+//!   dense slabs ([`aikido_shadow::ShadowSlabs`]) whose directory is
+//!   resolved once per run of same-page accesses; states that outgrow the
+//!   word — promoted read-shared vector clocks, oversized clocks or thread
+//!   ids — escape through a tag bit into a spilled side table. The enum-based
+//!   [`aikido_shadow::ShadowStore`] representation is retained as the
+//!   equivalence oracle behind [`FastTrack::with_packed_words`];
 //! * thread creation is serialised by the harness, and thread/lock clock
 //!   state is kept in dense slot-indexed arrays rather than hash tables.
 //!
@@ -59,6 +66,7 @@ mod clock;
 mod config;
 mod dense;
 mod detector;
+mod packed;
 mod state;
 mod stats;
 

@@ -1,0 +1,358 @@
+//! Packed-word storage for per-variable metadata.
+//!
+//! The hot-path representation of a variable's [`VarState`] is one 64-bit
+//! [`ShadowWord`] in a page-granular dense slab: write epoch and
+//! exclusive-read epoch bit-packed side by side. States that no longer fit —
+//! a promoted read-shared vector clock, a clock past 2^24 or a thread id
+//! past 2^7 — escape through the word's spill tag into a side table that
+//! keeps the full enum representation. The enum-based
+//! [`aikido_shadow::ShadowStore`] storage is retained as the reference
+//! oracle behind [`crate::FastTrack::with_packed_words`]; the two are proven
+//! equivalent by the `packed_words_model` property suite and by the
+//! end-to-end pipeline equivalence tests.
+
+use aikido_shadow::ShadowSlabs;
+use aikido_types::{Addr, ShadowWord, SlabHandle, ThreadId};
+
+use crate::clock::Epoch;
+use crate::state::{ReadState, VarState};
+
+/// Packs an epoch into a 31-bit word field, or `None` when it exceeds the
+/// clock/thread budget (the state must spill).
+#[inline]
+pub(crate) fn pack_epoch(e: Epoch) -> Option<u64> {
+    ShadowWord::pack_field(e.clock(), e.thread().raw())
+}
+
+/// Decodes a 31-bit word field back into an epoch.
+#[inline]
+fn unpack_epoch(field: u64) -> Epoch {
+    Epoch::new(
+        ShadowWord::field_clock(field),
+        ThreadId::new(ShadowWord::field_thread(field)),
+    )
+}
+
+/// Encodes a state into an unspilled word, or `None` when it must spill.
+/// The default (never-accessed) state encodes to [`ShadowWord::EMPTY`],
+/// which is exactly the "untracked" word — consistent because every real
+/// access installs an epoch with a non-zero clock.
+#[inline]
+pub(crate) fn encode_state(state: &VarState) -> Option<ShadowWord> {
+    let write = pack_epoch(state.write)?;
+    let read = match &state.read {
+        ReadState::Exclusive(e) => pack_epoch(*e)?,
+        ReadState::Shared(_) => return None,
+    };
+    Some(ShadowWord::from_fields(write, read))
+}
+
+/// Decodes an unspilled word into the state it represents.
+#[inline]
+pub(crate) fn decode_word(word: ShadowWord) -> VarState {
+    debug_assert!(!word.is_spilled());
+    VarState {
+        write: unpack_epoch(word.write_field()),
+        read: ReadState::Exclusive(unpack_epoch(word.read_field())),
+    }
+}
+
+/// Thread indices whose fast-path clock is cached inline in a spill slot.
+pub(crate) const INLINE_FAST: usize = 8;
+
+/// One spilled entry: the canonical state plus an inline fast-path memo.
+///
+/// `fast[i]` is the clock at which a read by thread `i` (for `i <
+/// INLINE_FAST`) would hit FastTrack's same-epoch fast path — `rvc[i]` for
+/// read-shared histories, the exclusive epoch's clock on its own thread's
+/// slot otherwise, 0 (never matched; live clocks start at 1) elsewhere. The
+/// memo is refreshed after every mutation of a still-spilled state, so for
+/// the first [`INLINE_FAST`] threads the fast-path decision never chases
+/// the boxed vector clock: it reads this slot's cache line and stops.
+#[derive(Debug, Clone)]
+pub(crate) struct SpillSlot {
+    /// The canonical state; all update logic runs on this.
+    pub state: VarState,
+    fast: [u32; INLINE_FAST],
+}
+
+impl SpillSlot {
+    fn new(state: VarState) -> SpillSlot {
+        let mut slot = SpillSlot {
+            state,
+            fast: [0; INLINE_FAST],
+        };
+        slot.refresh();
+        slot
+    }
+
+    /// Rebuilds the fast-path memo from the canonical state. Must be called
+    /// after every mutation of a slot that stays spilled.
+    pub fn refresh(&mut self) {
+        self.fast = [0; INLINE_FAST];
+        match &self.state.read {
+            ReadState::Exclusive(e) => {
+                let idx = e.thread().index();
+                if idx < INLINE_FAST {
+                    self.fast[idx] = e.clock();
+                }
+            }
+            ReadState::Shared(rvc) => {
+                for (i, slot) in self.fast.iter_mut().enumerate() {
+                    *slot = rvc.get(ThreadId::new(i as u32));
+                }
+            }
+        }
+    }
+
+    /// The memoized fast-path clock of thread index `idx`
+    /// (`idx < INLINE_FAST`). Exact: equality with a live probe clock holds
+    /// iff [`crate::FastTrack`]'s read fast path would hit.
+    #[inline]
+    pub fn fast_clock(&self, idx: usize) -> u32 {
+        self.fast[idx]
+    }
+}
+
+/// The packed storage: a slab plane of words plus the spilled side arena.
+///
+/// Spilled states live in a dense `Vec` arena and the word carries the
+/// arena slot inline ([`ShadowWord::spill_marker`]), so a spilled access is
+/// one slab load plus one direct index — crucially *not* a second keyed
+/// probe, because in Aikido mode nearly every delivered access targets
+/// shared data whose read history has been promoted (and therefore
+/// spilled). Freed slots are recycled through a free list; allocation order
+/// is a deterministic function of the event history, and the reconstructed
+/// state surface ([`PackedVars::states`]) iterates the slab plane, never
+/// the arena, so recycling is unobservable.
+#[derive(Debug, Clone)]
+pub(crate) struct PackedVars {
+    /// log2(granularity), so `block_of` is a shift instead of a division.
+    shift: u32,
+    /// The dense word plane, keyed by block index.
+    slabs: ShadowSlabs,
+    /// Arena of spilled states, indexed by the word's spill slot.
+    arena: Vec<SpillSlot>,
+    /// Recycled arena slots (their stale states are dead until reused).
+    free: Vec<u32>,
+}
+
+impl PackedVars {
+    /// Creates empty packed storage at `granularity` bytes per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity` is zero or not a power of two.
+    pub fn new(granularity: u64) -> Self {
+        assert!(
+            granularity.is_power_of_two(),
+            "granularity must be a power of two"
+        );
+        PackedVars {
+            shift: granularity.trailing_zeros(),
+            slabs: ShadowSlabs::new(),
+            arena: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// The block index of `addr`.
+    #[inline]
+    pub fn block_of(&self, addr: Addr) -> u64 {
+        addr.raw() >> self.shift
+    }
+
+    /// Resolves the slab of `addr`'s block (allocating if needed) and
+    /// returns `(handle, slot, block)`. The handle stays valid until the
+    /// next resolve — spill-table operations never invalidate it — so a run
+    /// of same-page accesses resolves once and indexes by slot thereafter.
+    #[inline]
+    pub fn locate(&mut self, addr: Addr) -> (SlabHandle, usize, u64) {
+        let block = self.block_of(addr);
+        let (handle, slot) = self.slabs.resolve(block);
+        (handle, slot, block)
+    }
+
+    /// Resolves the slab containing `block` (see [`PackedVars::locate`]).
+    #[inline]
+    pub fn resolve_block(&mut self, block: u64) -> SlabHandle {
+        self.slabs.resolve(block).0
+    }
+
+    /// The word at `slot` of a resolved slab.
+    #[inline]
+    pub fn word_at(&self, handle: SlabHandle, slot: usize) -> ShadowWord {
+        self.slabs.word_at(handle, slot)
+    }
+
+    /// Stores `word` at `slot` of a resolved slab.
+    #[inline]
+    pub fn set_word_at(&mut self, handle: SlabHandle, slot: usize, word: ShadowWord) {
+        self.slabs.set_word_at(handle, slot, word);
+    }
+
+    /// Mutable access to the slot a spilled `word` points at: one direct
+    /// arena index, no probing.
+    #[inline]
+    pub fn spill_slot_mut(&mut self, word: ShadowWord) -> &mut SpillSlot {
+        debug_assert!(word.is_spilled());
+        &mut self.arena[word.spill_index() as usize]
+    }
+
+    /// Shared access to the slot a spilled `word` points at.
+    #[inline]
+    pub fn spill_slot(&self, word: ShadowWord) -> &SpillSlot {
+        debug_assert!(word.is_spilled());
+        &self.arena[word.spill_index() as usize]
+    }
+
+    /// Moves `state` into the arena (memo refreshed) and returns the spill
+    /// marker word to install in its slab slot.
+    #[inline]
+    pub fn spill(&mut self, state: VarState) -> ShadowWord {
+        let slot = SpillSlot::new(state);
+        let index = match self.free.pop() {
+            Some(index) => {
+                self.arena[index as usize] = slot;
+                u64::from(index)
+            }
+            None => {
+                self.arena.push(slot);
+                (self.arena.len() - 1) as u64
+            }
+        };
+        ShadowWord::spill_marker(index)
+    }
+
+    /// Releases a spilled `word`'s arena slot (the state re-packed into its
+    /// word). The stale arena entry is dead until the slot is reused.
+    #[inline]
+    pub fn unspill(&mut self, word: ShadowWord) {
+        debug_assert!(word.is_spilled());
+        self.free.push(word.spill_index() as u32);
+    }
+
+    /// Number of tracked blocks (every tracked block has a non-empty word;
+    /// spilled blocks carry the spill marker).
+    pub fn len(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// Installs a full state for `block` (used when converting between the
+    /// packed and the reference representations).
+    pub fn insert_state(&mut self, block: u64, state: VarState) {
+        match encode_state(&state) {
+            Some(word) => self.slabs.set(block, word),
+            None => {
+                let marker = self.spill(state);
+                self.slabs.set(block, marker);
+            }
+        }
+    }
+
+    /// Reconstructs every tracked `(block, state)` pair in ascending block
+    /// order — the serialization surface the equivalence oracle compares.
+    pub fn states(&self) -> Vec<(u64, VarState)> {
+        self.slabs
+            .iter()
+            .map(|(block, word)| {
+                let state = if word.is_spilled() {
+                    self.spill_slot(word).state.clone()
+                } else {
+                    decode_word(word)
+                };
+                (block, state)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VectorClock;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn packable_states_roundtrip_through_the_word() {
+        let state = VarState {
+            write: Epoch::new(5, t(2)),
+            read: ReadState::Exclusive(Epoch::new(3, t(1))),
+        };
+        let word = encode_state(&state).expect("fits");
+        assert!(!word.is_spilled());
+        assert_eq!(decode_word(word), state);
+        assert_eq!(encode_state(&VarState::default()), Some(ShadowWord::EMPTY));
+    }
+
+    #[test]
+    fn shared_and_oversized_states_refuse_to_pack() {
+        let shared = VarState {
+            write: Epoch::ZERO,
+            read: ReadState::Shared(Box::new(VectorClock::new())),
+        };
+        assert_eq!(encode_state(&shared), None);
+        let big_clock = VarState {
+            write: Epoch::new(1 << 24, t(0)),
+            read: ReadState::default(),
+        };
+        assert_eq!(encode_state(&big_clock), None);
+        let big_thread = VarState {
+            write: Epoch::new(1, t(128)),
+            read: ReadState::default(),
+        };
+        assert_eq!(encode_state(&big_thread), None);
+    }
+
+    #[test]
+    fn insert_state_spills_and_reconstructs() {
+        let mut vars = PackedVars::new(8);
+        let packable = VarState {
+            write: Epoch::new(2, t(1)),
+            read: ReadState::Exclusive(Epoch::new(2, t(1))),
+        };
+        let rvc: VectorClock = [(t(0), 1), (t(1), 2)].into_iter().collect();
+        let spilled = VarState {
+            write: Epoch::new(4, t(0)),
+            read: ReadState::Shared(Box::new(rvc)),
+        };
+        vars.insert_state(10, packable.clone());
+        vars.insert_state(700, spilled.clone());
+        assert_eq!(vars.len(), 2);
+        assert_eq!(
+            vars.states(),
+            vec![(10, packable), (700, spilled)],
+            "states reconstruct in block order"
+        );
+    }
+
+    #[test]
+    fn locate_is_stable_across_spill_operations() {
+        let mut vars = PackedVars::new(8);
+        let (handle, slot, _block) = vars.locate(Addr::new(0x2000));
+        let marker = vars.spill(VarState::default());
+        vars.set_word_at(handle, slot, marker);
+        assert!(vars.word_at(handle, slot).is_spilled());
+        vars.unspill(marker);
+        vars.set_word_at(handle, slot, ShadowWord::from_fields(1, 1));
+        assert_eq!(vars.word_at(handle, slot), ShadowWord::from_fields(1, 1));
+    }
+
+    #[test]
+    fn freed_arena_slots_are_recycled() {
+        let mut vars = PackedVars::new(8);
+        let a = vars.spill(VarState::default());
+        let b = vars.spill(VarState::default());
+        assert_ne!(a.spill_index(), b.spill_index());
+        vars.unspill(a);
+        let c = vars.spill(VarState {
+            write: Epoch::new(9, t(1)),
+            read: ReadState::default(),
+        });
+        assert_eq!(c.spill_index(), a.spill_index(), "freed slot reused");
+        assert_eq!(vars.spill_slot(c).state.write, Epoch::new(9, t(1)));
+    }
+}

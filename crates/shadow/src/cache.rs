@@ -80,6 +80,130 @@ fn instr_key(instr: InstrId) -> u64 {
 /// list, bounding the allocation against pathological ids.
 const MAX_DENSE_LANES: usize = 1 << 16;
 
+/// Per-level hit counts of one run of translations (see
+/// [`TranslationCache::access_run`]). The caller prices each level once and
+/// multiplies, which charges exactly what the per-access loop would.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunLevels {
+    /// Accesses satisfied by the inline memoization cache.
+    pub inline: u64,
+    /// Accesses satisfied by a thread-local cache.
+    pub thread_local: u64,
+    /// Accesses requiring the full region-table lookup.
+    pub full: u64,
+}
+
+impl RunLevels {
+    /// Total translations in the run.
+    pub fn total(&self) -> u64 {
+        self.inline + self.thread_local + self.full
+    }
+}
+
+/// Resolves (creating if necessary) the lane of thread index `idx`. A free
+/// function over the two lane fields so callers can hold the lane across a
+/// run while still updating the cache's statistics (disjoint borrows).
+#[inline]
+fn lane_mut<'a>(
+    lanes: &'a mut Vec<ThreadLane>,
+    spill_lanes: &'a mut Vec<(usize, ThreadLane)>,
+    idx: usize,
+) -> &'a mut ThreadLane {
+    if idx < MAX_DENSE_LANES {
+        if idx >= lanes.len() {
+            lanes.resize_with(idx + 1, ThreadLane::default);
+        }
+        &mut lanes[idx]
+    } else {
+        match spill_lanes.iter().position(|(i, _)| *i == idx) {
+            Some(pos) => &mut spill_lanes[pos].1,
+            None => {
+                spill_lanes.push((idx, ThreadLane::default()));
+                &mut spill_lanes.last_mut().expect("just pushed").1
+            }
+        }
+    }
+}
+
+/// One translation against an already-resolved lane: the exact per-access
+/// semantics of [`TranslationCache::access`] minus the lane lookup, shared by
+/// the scalar and the batched entry points so the two cannot drift apart.
+#[inline]
+fn probe_one(
+    lane: &mut ThreadLane,
+    stats: &mut ShadowStats,
+    capacity: usize,
+    instr: InstrId,
+    region: RegionId,
+) -> CacheLevel {
+    let key = instr_key(instr);
+    let level = if key < DENSE_INLINE_KEYS {
+        let key = key as usize;
+        if key >= lane.inline_dense.len() {
+            lane.inline_dense.resize(key + 1, INLINE_EMPTY);
+        }
+        let slot = &mut lane.inline_dense[key];
+        if u32::from(*slot) == region.raw() && *slot != INLINE_EMPTY {
+            stats.inline_hits += 1;
+            CacheLevel::Inline
+        } else {
+            let level = if lane.recent.contains(&region) {
+                stats.thread_local_hits += 1;
+                CacheLevel::ThreadLocal
+            } else {
+                stats.full_lookups += 1;
+                CacheLevel::Full
+            };
+            // Install the result in the inline cache on the way out. A
+            // region id too large for a byte (255+ registered regions;
+            // never on real workloads) records as "empty", i.e. the
+            // entry keeps missing rather than aliasing another region.
+            *slot = if region.raw() < u32::from(INLINE_EMPTY) {
+                region.raw() as u8
+            } else {
+                INLINE_EMPTY
+            };
+            level
+        }
+    } else {
+        match lane.inline_spill.get_mut(key) {
+            Some(slot) if *slot == region => {
+                stats.inline_hits += 1;
+                CacheLevel::Inline
+            }
+            slot => {
+                let level = if lane.recent.contains(&region) {
+                    stats.thread_local_hits += 1;
+                    CacheLevel::ThreadLocal
+                } else {
+                    stats.full_lookups += 1;
+                    CacheLevel::Full
+                };
+                match slot {
+                    Some(slot) => *slot = region,
+                    None => {
+                        lane.inline_spill.insert(key, region);
+                    }
+                }
+                level
+            }
+        }
+    };
+
+    // Move the region to the back of the thread-local FIFO; when it is
+    // already the most recent entry the reorder is a no-op, so skip it.
+    if lane.recent.last() != Some(&region) {
+        if let Some(pos) = lane.recent.iter().position(|&r| r == region) {
+            lane.recent.remove(pos);
+        }
+        lane.recent.push(region);
+        if lane.recent.len() > capacity {
+            lane.recent.remove(0);
+        }
+    }
+    level
+}
+
 /// Per-thread, per-instruction translation cache model.
 #[derive(Debug, Default)]
 pub struct TranslationCache {
@@ -111,90 +235,39 @@ impl TranslationCache {
 
     /// Records a translation of `instr` on `thread` resolving to `region` and
     /// returns which cache level satisfied it.
+    #[inline]
     pub fn access(&mut self, thread: ThreadId, instr: InstrId, region: RegionId) -> CacheLevel {
         self.stats.translations += 1;
         let capacity = self.thread_local_entries;
-        let idx = thread.index();
-        let lane = if idx < MAX_DENSE_LANES {
-            if idx >= self.lanes.len() {
-                self.lanes.resize_with(idx + 1, ThreadLane::default);
-            }
-            &mut self.lanes[idx]
-        } else {
-            match self.spill_lanes.iter().position(|(i, _)| *i == idx) {
-                Some(pos) => &mut self.spill_lanes[pos].1,
-                None => {
-                    self.spill_lanes.push((idx, ThreadLane::default()));
-                    &mut self.spill_lanes.last_mut().expect("just pushed").1
-                }
-            }
-        };
-        let key = instr_key(instr);
-        let level = if key < DENSE_INLINE_KEYS {
-            let key = key as usize;
-            if key >= lane.inline_dense.len() {
-                lane.inline_dense.resize(key + 1, INLINE_EMPTY);
-            }
-            let slot = &mut lane.inline_dense[key];
-            if u32::from(*slot) == region.raw() && *slot != INLINE_EMPTY {
-                self.stats.inline_hits += 1;
-                CacheLevel::Inline
-            } else {
-                let level = if lane.recent.contains(&region) {
-                    self.stats.thread_local_hits += 1;
-                    CacheLevel::ThreadLocal
-                } else {
-                    self.stats.full_lookups += 1;
-                    CacheLevel::Full
-                };
-                // Install the result in the inline cache on the way out. A
-                // region id too large for a byte (255+ registered regions;
-                // never on real workloads) records as "empty", i.e. the
-                // entry keeps missing rather than aliasing another region.
-                *slot = if region.raw() < u32::from(INLINE_EMPTY) {
-                    region.raw() as u8
-                } else {
-                    INLINE_EMPTY
-                };
-                level
-            }
-        } else {
-            match lane.inline_spill.get_mut(key) {
-                Some(slot) if *slot == region => {
-                    self.stats.inline_hits += 1;
-                    CacheLevel::Inline
-                }
-                slot => {
-                    let level = if lane.recent.contains(&region) {
-                        self.stats.thread_local_hits += 1;
-                        CacheLevel::ThreadLocal
-                    } else {
-                        self.stats.full_lookups += 1;
-                        CacheLevel::Full
-                    };
-                    match slot {
-                        Some(slot) => *slot = region,
-                        None => {
-                            lane.inline_spill.insert(key, region);
-                        }
-                    }
-                    level
-                }
-            }
-        };
+        let lane = lane_mut(&mut self.lanes, &mut self.spill_lanes, thread.index());
+        probe_one(lane, &mut self.stats, capacity, instr, region)
+    }
 
-        // Move the region to the back of the thread-local FIFO; when it is
-        // already the most recent entry the reorder is a no-op, so skip it.
-        if lane.recent.last() != Some(&region) {
-            if let Some(pos) = lane.recent.iter().position(|&r| r == region) {
-                lane.recent.remove(pos);
-            }
-            lane.recent.push(region);
-            if lane.recent.len() > capacity {
-                lane.recent.remove(0);
+    /// Records a *run* of translations — consecutive accesses by `thread`
+    /// resolving to the same `region` — and returns how many hit each cache
+    /// level. Semantically identical to calling [`TranslationCache::access`]
+    /// once per instruction (same state evolution, same statistics, in the
+    /// same order); the run entry point exists so the lane lookup happens
+    /// once per run instead of once per access, which is the per-access
+    /// translation-model cost the batched block kernels eliminate.
+    pub fn access_run(
+        &mut self,
+        thread: ThreadId,
+        region: RegionId,
+        instrs: impl IntoIterator<Item = InstrId>,
+    ) -> RunLevels {
+        let mut levels = RunLevels::default();
+        let capacity = self.thread_local_entries;
+        let lane = lane_mut(&mut self.lanes, &mut self.spill_lanes, thread.index());
+        for instr in instrs {
+            self.stats.translations += 1;
+            match probe_one(lane, &mut self.stats, capacity, instr, region) {
+                CacheLevel::Inline => levels.inline += 1,
+                CacheLevel::ThreadLocal => levels.thread_local += 1,
+                CacheLevel::Full => levels.full += 1,
             }
         }
-        level
+        levels
     }
 
     /// Statistics accumulated so far.
@@ -303,6 +376,46 @@ mod tests {
         );
         c.flush();
         assert_eq!(c.access(t, wide, RegionId::new(4)), CacheLevel::Full);
+    }
+
+    #[test]
+    fn access_run_is_identical_to_the_per_access_loop() {
+        // Drive the same interleaving — cold lane, inline hits, region
+        // flips, FIFO eviction, wide-key spill — through both entry points
+        // and require identical levels, stats, and subsequent behaviour.
+        let runs: Vec<(u32, Vec<InstrId>, RegionId)> = vec![
+            (0, (0..6).map(instr).collect(), RegionId::new(0)),
+            (0, (0..6).map(instr).collect(), RegionId::new(0)),
+            (0, (2..9).map(instr).collect(), RegionId::new(1)),
+            (1, (0..3).map(instr).collect(), RegionId::new(2)),
+            (
+                0,
+                vec![InstrId::new(BlockId::new(2), 907), instr(0), instr(1)],
+                RegionId::new(0),
+            ),
+        ];
+        let mut scalar = TranslationCache::with_thread_local_entries(2);
+        let mut batched = TranslationCache::with_thread_local_entries(2);
+        for (t, instrs, region) in &runs {
+            let thread = ThreadId::new(*t);
+            let mut expected = RunLevels::default();
+            for &i in instrs {
+                match scalar.access(thread, i, *region) {
+                    CacheLevel::Inline => expected.inline += 1,
+                    CacheLevel::ThreadLocal => expected.thread_local += 1,
+                    CacheLevel::Full => expected.full += 1,
+                }
+            }
+            let got = batched.access_run(thread, *region, instrs.iter().copied());
+            assert_eq!(got, expected);
+            assert_eq!(got.total(), instrs.len() as u64);
+            assert_eq!(batched.stats(), scalar.stats());
+        }
+        // An empty run is a no-op.
+        let before = *batched.stats();
+        let got = batched.access_run(ThreadId::new(0), RegionId::new(0), std::iter::empty());
+        assert_eq!(got, RunLevels::default());
+        assert_eq!(*batched.stats(), before);
     }
 
     #[test]

@@ -14,9 +14,16 @@
 //! table walk. [`TranslationCache`] models those layers and reports which one
 //! hit so the simulator can charge the right cost.
 //!
-//! [`ShadowStore`] provides the actual metadata storage an analysis tool
-//! needs (FastTrack keeps its per-variable epochs there), keyed by
-//! application address at a configurable granularity.
+//! Metadata storage comes in two flavours. [`ShadowStore`] is the generic
+//! typed store (a chunked slab of `Option<T>` slots, keyed by application
+//! address at a configurable granularity). [`ShadowSlabs`] is the *packed*
+//! metadata plane: page-granular dense slabs of raw 64-bit
+//! [`aikido_types::ShadowWord`]s whose directory is resolved **once per
+//! run** of same-page accesses — the address→slab half of the unified
+//! translation whose pricing half is [`TranslationCache::access_run`]. One
+//! lookup per run prices the model, one resolves the real metadata; the
+//! sharing detector's page-state table keys the same directory structure by
+//! page number so both planes agree on one page-indexed layout.
 //!
 //! # Examples
 //!
@@ -44,11 +51,13 @@
 mod cache;
 mod dual;
 mod region;
+mod slabs;
 mod stats;
 mod store;
 
-pub use cache::{CacheLevel, TranslationCache};
+pub use cache::{CacheLevel, RunLevels, TranslationCache};
 pub use dual::DualShadow;
 pub use region::{Region, RegionId, RegionKind, RegionTable};
+pub use slabs::ShadowSlabs;
 pub use stats::ShadowStats;
 pub use store::ShadowStore;

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-use aikido_types::{ChunkMap, ThreadId, Vpn};
+use aikido_types::{ShadowWord, SlabDirectory, ThreadId, Vpn};
 
 /// The sharing state of one page.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -47,14 +47,48 @@ impl Transition {
     }
 }
 
+/// The word encoding [`PageState::Shared`] (see [`PageStateTable`]).
+const SHARED_WORD: u64 = 1;
+/// Tag bit of the word encoding [`PageState::Private`]; the owning thread
+/// id lives in the bits above [`PRIVATE_SHIFT`].
+const PRIVATE_TAG: u64 = 2;
+/// Bit position of the private owner's thread id.
+const PRIVATE_SHIFT: u32 = 8;
+
+/// Packs a page state into one word (zero = [`PageState::Unused`]).
+#[inline]
+const fn encode(state: PageState) -> u64 {
+    match state {
+        PageState::Unused => 0,
+        PageState::Shared => SHARED_WORD,
+        PageState::Private(owner) => PRIVATE_TAG | ((owner.raw() as u64) << PRIVATE_SHIFT),
+    }
+}
+
+/// Unpacks a page-state word.
+#[inline]
+const fn decode(word: u64) -> PageState {
+    if word == 0 {
+        PageState::Unused
+    } else if word == SHARED_WORD {
+        PageState::Shared
+    } else {
+        PageState::Private(ThreadId::new((word >> PRIVATE_SHIFT) as u32))
+    }
+}
+
 /// The table of page states maintained by the sharing detector.
 ///
 /// `is_shared` sits on the instrumented-access hot path, so the states live
-/// in a flat chunked [`ChunkMap`] keyed by page number rather than a hash
-/// map.
+/// as packed words in the same page-indexed [`SlabDirectory`] structure the
+/// analysis metadata plane uses — the sharing fast path and the analysis
+/// slow path agree on one layout. Keyed by page number, a slab covers 512
+/// consecutive pages (2 MiB of address space) and the shared-page query is
+/// one probe plus one word compare, with no enum tag or `Option` in the
+/// slot.
 #[derive(Debug, Default, Clone)]
 pub struct PageStateTable {
-    states: ChunkMap<PageState>,
+    states: SlabDirectory,
 }
 
 impl PageStateTable {
@@ -66,16 +100,13 @@ impl PageStateTable {
     /// The state of `page`.
     #[inline]
     pub fn get(&self, page: Vpn) -> PageState {
-        self.states
-            .get(page.raw())
-            .copied()
-            .unwrap_or(PageState::Unused)
+        decode(self.states.get(page.raw()).raw())
     }
 
     /// True if `page` is currently shared.
     #[inline]
     pub fn is_shared(&self, page: Vpn) -> bool {
-        matches!(self.get(page), PageState::Shared)
+        self.states.get(page.raw()).raw() == SHARED_WORD
     }
 
     /// Applies the state machine for a fault by `thread` on `page` and
@@ -84,25 +115,31 @@ impl PageStateTable {
     pub fn on_fault(&mut self, page: Vpn, thread: ThreadId) -> Transition {
         match self.get(page) {
             PageState::Unused => {
-                self.states.insert(page.raw(), PageState::Private(thread));
+                self.set(page, PageState::Private(thread));
                 Transition::MadePrivate
             }
             PageState::Private(owner) if owner == thread => {
                 Transition::AlreadyPrivateToFaultingThread
             }
             PageState::Private(_) => {
-                self.states.insert(page.raw(), PageState::Shared);
+                self.set(page, PageState::Shared);
                 Transition::MadeShared
             }
             PageState::Shared => Transition::AlreadyShared,
         }
     }
 
+    #[inline]
+    fn set(&mut self, page: Vpn, state: PageState) {
+        self.states
+            .set(page.raw(), ShadowWord::from_raw(encode(state)));
+    }
+
     /// Number of pages in each state: `(private, shared)`.
     pub fn counts(&self) -> (usize, usize) {
         let mut private = 0;
         let mut shared = 0;
-        for (_, state) in self.states.iter() {
+        for (_, state) in self.iter() {
             match state {
                 PageState::Private(_) => private += 1,
                 PageState::Shared => shared += 1,
@@ -114,7 +151,9 @@ impl PageStateTable {
 
     /// Iterates over all pages with a non-`Unused` state, in page order.
     pub fn iter(&self) -> impl Iterator<Item = (Vpn, PageState)> + '_ {
-        self.states.iter().map(|(p, &s)| (Vpn::new(p), s))
+        self.states
+            .iter_nonempty()
+            .map(|(p, w)| (Vpn::new(p), decode(w.raw())))
     }
 
     /// Number of pages ever touched.
@@ -183,6 +222,37 @@ mod tests {
         assert_eq!(shared, 1);
         assert_eq!(table.len(), 2);
         assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn encoding_roundtrips_every_state() {
+        for state in [
+            PageState::Unused,
+            PageState::Shared,
+            PageState::Private(t(0)),
+            PageState::Private(t(7)),
+            PageState::Private(ThreadId::new(u32::MAX)),
+        ] {
+            assert_eq!(decode(encode(state)), state, "{state}");
+        }
+        // Private(0) must be distinguishable from Unused and Shared.
+        assert_ne!(encode(PageState::Private(t(0))), 0);
+        assert_ne!(encode(PageState::Private(t(0))), SHARED_WORD);
+    }
+
+    #[test]
+    fn widely_separated_pages_coexist_in_the_directory() {
+        // Application, mirror and fake-fault page numbers span the whole
+        // address space; the slab directory must hold them all sparsely.
+        let mut table = PageStateTable::new();
+        let pages = [0x400u64, 0x6_0000_0000, u64::MAX >> 12];
+        for (i, &p) in pages.iter().enumerate() {
+            table.on_fault(Vpn::new(p), t(i as u32));
+        }
+        for &p in &pages {
+            assert!(matches!(table.get(Vpn::new(p)), PageState::Private(_)));
+        }
+        assert_eq!(table.len(), pages.len());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use aikido_dbi::DbiEngine;
 use aikido_fasttrack::FastTrack;
-use aikido_shadow::{DualShadow, RegionId, RegionKind, TranslationCache};
+use aikido_shadow::{CacheLevel, DualShadow, RegionId, RegionKind, TranslationCache};
 use aikido_sharing::AikidoSd;
 use aikido_types::{
     AccessContext, AccessKind, Addr, MemRef, Operation, Prot, SharedDataAnalysis, SyncOp, ThreadId,
@@ -372,6 +372,9 @@ const SIM_TLB_ENTRIES: usize = 64;
 const SHARED_PAGE_ENTRIES: usize = 256;
 /// An inline-TLB slot that can never match a real page.
 const SIM_TLB_EMPTY: (Vpn, u8) = (Vpn::new(u64::MAX), 0);
+/// Runs shorter than this charge translations through the scalar call: the
+/// batched cache pass only wins once its setup cost amortizes over the run.
+const TRANSLATION_BATCH_MIN: usize = 4;
 
 #[inline]
 fn kind_bit(kind: AccessKind) -> u8 {
@@ -882,7 +885,12 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
             self.cycles += computes * (self.sim.cost.alu_cycles + self.sim.cost.dbi_overhead(1));
             for run in &exec.meta.runs {
                 let start = usize::from(run.start);
-                self.full_run(thread, &ops[start..start + usize::from(run.len)]);
+                self.full_run(
+                    thread,
+                    &ops[start..start + usize::from(run.len)],
+                    run.page,
+                    run.kind,
+                );
             }
             return;
         }
@@ -901,7 +909,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                             _ => break,
                         }
                     }
-                    self.full_run(thread, &ops[i..j]);
+                    self.full_run(thread, &ops[i..j], page, kind);
                     i = j;
                 }
                 op => {
@@ -1074,7 +1082,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
     }
 
     /// One `(page, kind)` run under full instrumentation.
-    fn full_run(&mut self, thread: ThreadId, run: &[Operation]) {
+    fn full_run(&mut self, thread: ThreadId, run: &[Operation], page: Vpn, kind: AccessKind) {
         let n = run.len() as u64;
         self.counts.dynamic_instrs += n;
         self.counts.mem_accesses += n;
@@ -1087,15 +1095,13 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
         if shared {
             self.counts.shared_accesses += n;
         }
-        // One region lookup covers the run (regions are page-aligned); the
-        // layered translation cache is still consulted per access because
-        // each level charges differently and its state is per instruction.
+        // One region lookup covers the run (regions are page-aligned), one
+        // batched cache pass prices the per-instruction translation levels,
+        // and one run delivery lets the analysis resolve its metadata slab
+        // once for the whole page.
         let region = self.region_lookup.region_id_of(first.addr);
-        for op in run {
-            let m = op.as_mem().expect("runs contain only memory operations");
-            self.charge_translation_resolved(thread, m.instr, region);
-        }
-        self.charge_analysis_run(thread, run, shared);
+        self.charge_translation_run(thread, region, run);
+        self.charge_analysis_run(thread, run, shared, page, kind);
     }
 
     /// One uninstrumented run in Aikido mode: the emitted fast path. A
@@ -1191,9 +1197,10 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                 // Proven free for (page, kind): the rest of the run charges
                 // only its translations and indirect checks — the page cannot
                 // become shared without a VM interaction the hit skips.
-                for op in &run[idx + 1..] {
+                let rest = &run[idx + 1..];
+                self.charge_translation_run(thread, region, rest);
+                for op in rest {
                     let m = op.as_mem().expect("runs contain only memory operations");
-                    self.charge_translation_resolved(thread, m.instr, region);
                     if m.mode.is_indirect() {
                         self.cycles += self.sim.cost.indirect_check_cycles;
                     }
@@ -1250,11 +1257,8 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
     ) {
         let k = tail.len() as u64;
         self.counts.shared_accesses += k;
-        for op in tail {
-            let m = op.as_mem().expect("runs contain only memory operations");
-            self.charge_translation_resolved(thread, m.instr, info.region);
-        }
-        self.charge_analysis_run(thread, tail, true);
+        self.charge_translation_run(thread, info.region, tail);
+        self.charge_analysis_run(thread, tail, true, info.page, kind);
         self.cycles += k * self.sim.cost.mirror_redirect_cycles;
         if info.mirror == Vpn::new(u64::MAX) {
             // No mirror translation exists: each access fails exactly like
@@ -1287,10 +1291,57 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
         }
     }
 
+    /// Charges one run of shadow translations in a single batched cache pass
+    /// (one lane lookup instead of one per access). The cache's state
+    /// evolution and statistics are identical to the per-access loop by
+    /// construction — see [`TranslationCache::access_run`] — and the cycle
+    /// total is the same sum grouped by level.
+    fn charge_translation_run(
+        &mut self,
+        thread: ThreadId,
+        region: Option<RegionId>,
+        run: &[Operation],
+    ) {
+        let Some(region) = region else {
+            self.cycles += run.len() as u64 * self.sim.cost.shadow_full_cycles;
+            return;
+        };
+        if run.len() < TRANSLATION_BATCH_MIN {
+            // Short runs dominate these access patterns; the scalar calls
+            // beat the batch setup until the lane hoist amortizes.
+            for op in run {
+                let m = op.as_mem().expect("runs contain only memory operations");
+                let level = self.cache.access(thread, m.instr, region);
+                self.cycles += self.sim.cost.shadow_translation(level);
+            }
+            return;
+        }
+        let levels = self.cache.access_run(
+            thread,
+            region,
+            run.iter().map(|op| {
+                op.as_mem()
+                    .expect("runs contain only memory operations")
+                    .instr
+            }),
+        );
+        self.cycles += levels.inline * self.sim.cost.shadow_translation(CacheLevel::Inline)
+            + levels.thread_local * self.sim.cost.shadow_translation(CacheLevel::ThreadLocal)
+            + levels.full * self.sim.cost.shadow_translation(CacheLevel::Full);
+    }
+
     /// Delivers one run to the analysis in a single batched call and charges
     /// the per-access costs in access order, preserving the contended-cost
-    /// memo's state evolution exactly.
-    fn charge_analysis_run(&mut self, thread: ThreadId, run: &[Operation], shared: bool) {
+    /// memo's state evolution exactly. The run's page and kind ride along so
+    /// slab-backed analyses resolve their metadata slab once per run.
+    fn charge_analysis_run(
+        &mut self,
+        thread: ThreadId,
+        run: &[Operation],
+        shared: bool,
+        page: Vpn,
+        kind: AccessKind,
+    ) {
         // A batch of one is the scalar call (the batched analysis entry point
         // delivers its first element through `on_access`); skip the scratch
         // round-trip. This is the common case — consecutive accesses rarely
@@ -1312,7 +1363,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
             }
         }));
         self.analysis
-            .on_access_batch(&self.cx_scratch, &mut self.cost_scratch);
+            .on_access_run(page, kind, &self.cx_scratch, &mut self.cost_scratch);
         if shared {
             let mut total = 0u64;
             for idx in 0..self.cost_scratch.len() {

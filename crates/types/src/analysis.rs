@@ -6,7 +6,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-use crate::{AccessKind, Addr, InstrId, LockId, ThreadId};
+use crate::{AccessKind, Addr, InstrId, LockId, ThreadId, Vpn};
 
 /// Context for an instrumented memory access delivered to an analysis.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -128,6 +128,25 @@ pub trait SharedDataAnalysis {
             self.on_access(*cx);
             costs.push(self.last_access_cost_cycles());
         }
+    }
+
+    /// Like [`SharedDataAnalysis::on_access_batch`], with two extra
+    /// guarantees the caller vouches for: every access of the run targets
+    /// `page` and performs `kind`. Analyses that keep page-indexed metadata
+    /// (packed shadow slabs) override this to resolve their slab once per run
+    /// instead of once per access; the default simply forwards to the batch
+    /// entry point. Overrides carry the same contract: observably identical
+    /// to the scalar loop — same end state, same reports, same statistics,
+    /// same costs in the same order.
+    fn on_access_run(
+        &mut self,
+        page: Vpn,
+        kind: AccessKind,
+        run: &[AccessContext],
+        costs: &mut Vec<u64>,
+    ) {
+        let _ = (page, kind);
+        self.on_access_batch(run, costs);
     }
 
     /// Called when `thread` acquires `lock`.
@@ -268,6 +287,21 @@ mod tests {
         batched.on_access_batch(&[], &mut costs);
         assert!(costs.is_empty());
         assert_eq!(batched.accesses(), 3);
+    }
+
+    #[test]
+    fn default_run_delivery_forwards_to_the_batch_entry_point() {
+        let mut a = NullAnalysis::new();
+        let run = [cx(), cx()];
+        let mut costs = Vec::new();
+        a.on_access_run(
+            Addr::new(0x2000).page(),
+            AccessKind::Write,
+            &run,
+            &mut costs,
+        );
+        assert_eq!(a.accesses(), 2);
+        assert_eq!(costs, vec![0, 0]);
     }
 
     #[test]

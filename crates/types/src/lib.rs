@@ -29,6 +29,7 @@ mod error;
 mod ids;
 mod ops;
 mod prot;
+pub mod shadow_word;
 
 pub use analysis::{AccessContext, AnalysisReport, NullAnalysis, ReportKind, SharedDataAnalysis};
 pub use chunkmap::ChunkMap;
@@ -36,3 +37,4 @@ pub use error::{AikidoError, Result};
 pub use ids::{Addr, BlockId, InstrId, LockId, ThreadId, Vpn, PAGE_SHIFT, PAGE_SIZE};
 pub use ops::{AccessKind, AddrMode, MemRef, Operation, SyncOp};
 pub use prot::Prot;
+pub use shadow_word::{ShadowSlab, ShadowWord, SlabDirectory, SlabHandle};

@@ -1,0 +1,580 @@
+//! The packed shadow-word metadata plane: one 64-bit word per variable,
+//! stored in page-granular dense slabs.
+//!
+//! FastTrack's insight is that the common-case metadata of a variable is a
+//! single epoch; SmartTrack-style follow-on work collapses the whole
+//! per-variable record into one machine word. This module provides the two
+//! storage primitives that insight needs:
+//!
+//! * [`ShadowWord`] — the bit-packing scheme. A word carries the write epoch
+//!   and the exclusive-read epoch side by side (31 bits each: 24-bit clock +
+//!   7-bit thread), with a tag bit that escapes to a spilled side table when
+//!   the state no longer fits (a promoted read-shared vector clock, a clock
+//!   past 2^24, or a thread id past 2^7). The all-zero word doubles as
+//!   "never tracked", which works because every real access installs an
+//!   epoch with a non-zero clock.
+//! * [`ShadowSlab`] / [`SlabDirectory`] — dense, page-sized slabs of raw
+//!   `u64` words keyed by block index. Unlike [`crate::ChunkMap`], slots are
+//!   bare words (no `Option`, no enum tag), so a probe is two loads and the
+//!   per-entry footprint is exactly 8 bytes. The directory hands out a
+//!   [`SlabHandle`] so a caller processing a *run* of same-page accesses can
+//!   resolve the slab once and index words by slot for the rest of the run.
+
+use std::fmt;
+
+/// log2 of the number of words per slab.
+pub const SLAB_BITS: u32 = 9;
+/// Words per slab (512 — one 4 KiB page of 8-byte blocks).
+pub const SLAB_WORDS: usize = 1 << SLAB_BITS;
+const SLAB_MASK: u64 = (SLAB_WORDS as u64) - 1;
+
+/// Bits per packed epoch field (clock + thread).
+const FIELD_BITS: u32 = 31;
+/// Bits of the clock component within a field.
+const CLOCK_BITS: u32 = 24;
+/// Bits of the thread component within a field.
+const THREAD_BITS: u32 = FIELD_BITS - CLOCK_BITS;
+const FIELD_MASK: u64 = (1 << FIELD_BITS) - 1;
+/// Bit position of the write field (the read field sits at bit 0).
+const WRITE_SHIFT: u32 = FIELD_BITS;
+
+/// One packed shadow word.
+///
+/// Layout (bit 63 down to bit 0):
+///
+/// ```text
+/// | 63: spill tag | 62: spare | 61..31: write epoch | 30..0: read epoch |
+/// ```
+///
+/// Each 31-bit epoch field is `clock << 7 | thread` (24-bit clock, 7-bit
+/// thread). The zero word means "never tracked"; a word with only the spill
+/// tag set means "state lives in the side table".
+#[derive(Copy, Clone, PartialEq, Eq, Default)]
+pub struct ShadowWord(u64);
+
+impl ShadowWord {
+    /// The spill tag bit: the variable's state lives in the side table.
+    pub const SPILL_BIT: u64 = 1 << 63;
+
+    /// The "never tracked" word.
+    pub const EMPTY: ShadowWord = ShadowWord(0);
+
+    /// The marker installed in place of a spilled entry whose side table is
+    /// keyed externally (by block index).
+    pub const SPILLED: ShadowWord = ShadowWord(Self::SPILL_BIT);
+
+    /// A spill marker carrying the side-table slot inline (low 31 bits):
+    /// the spilled access costs one slab load plus one direct index, with
+    /// no second probe. The write-field lane doubles as a *same-epoch
+    /// hint* — see [`ShadowWord::with_spill_hint`].
+    #[inline]
+    pub const fn spill_marker(index: u64) -> ShadowWord {
+        ShadowWord(Self::SPILL_BIT | index)
+    }
+
+    /// The side-table slot of a spilled word (valid only when
+    /// [`ShadowWord::is_spilled`]).
+    #[inline]
+    pub const fn spill_index(self) -> u64 {
+        self.0 & FIELD_MASK
+    }
+
+    /// Replaces the spilled word's same-epoch hint: the epoch field of the
+    /// access that last updated the spilled state (0 = no hint). The hint's
+    /// contract is "a fast-path probe by exactly this epoch would hit", so
+    /// a repeat access by the same thread in the same epoch is satisfied by
+    /// one masked compare on the word, without touching the side table.
+    #[inline]
+    pub const fn with_spill_hint(self, field: u64) -> ShadowWord {
+        ShadowWord((self.0 & !(FIELD_MASK << WRITE_SHIFT)) | (field << WRITE_SHIFT))
+    }
+
+    /// Positions `field` for a one-compare match against a spilled word's
+    /// same-epoch hint (see [`ShadowWord::matches_spill_hint`]).
+    #[inline]
+    pub const fn spill_hint_probe(field: u64) -> u64 {
+        Self::SPILL_BIT | (field << WRITE_SHIFT)
+    }
+
+    /// True if this word is spilled and its same-epoch hint equals the
+    /// probe. An unspilled word can never match because the probe carries
+    /// the spill bit; a hintless spilled word (hint 0) can never match
+    /// because live epoch fields are non-zero (clocks start at 1).
+    #[inline]
+    pub const fn matches_spill_hint(self, probe: u64) -> bool {
+        self.0 & (Self::SPILL_BIT | (FIELD_MASK << WRITE_SHIFT)) == probe
+    }
+
+    /// Wraps a raw word.
+    pub const fn from_raw(raw: u64) -> Self {
+        ShadowWord(raw)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True for the all-zero "never tracked" word.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if the state escaped to the spilled side table.
+    pub const fn is_spilled(self) -> bool {
+        self.0 & Self::SPILL_BIT != 0
+    }
+
+    /// Packs a `(clock, thread)` epoch into a 31-bit field, or `None` when
+    /// either component exceeds its budget (the caller must spill).
+    #[inline]
+    pub const fn pack_field(clock: u32, thread: u32) -> Option<u64> {
+        if clock < (1 << CLOCK_BITS) && thread < (1 << THREAD_BITS) {
+            Some(((clock as u64) << THREAD_BITS) | thread as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The clock component of a packed field.
+    #[inline]
+    pub const fn field_clock(field: u64) -> u32 {
+        (field >> THREAD_BITS) as u32
+    }
+
+    /// The thread component of a packed field.
+    #[inline]
+    pub const fn field_thread(field: u64) -> u32 {
+        (field & ((1 << THREAD_BITS) - 1)) as u32
+    }
+
+    /// Builds an unspilled word from its write and read fields.
+    #[inline]
+    pub const fn from_fields(write: u64, read: u64) -> ShadowWord {
+        ShadowWord((write << WRITE_SHIFT) | read)
+    }
+
+    /// The write epoch field of an unspilled word.
+    #[inline]
+    pub const fn write_field(self) -> u64 {
+        (self.0 >> WRITE_SHIFT) & FIELD_MASK
+    }
+
+    /// The read epoch field of an unspilled word.
+    #[inline]
+    pub const fn read_field(self) -> u64 {
+        self.0 & FIELD_MASK
+    }
+
+    /// Positions `field` for a one-compare match against the word's *read*
+    /// lane (see [`ShadowWord::matches_read`]).
+    #[inline]
+    pub const fn read_probe(field: u64) -> u64 {
+        field
+    }
+
+    /// Positions `field` for a one-compare match against the word's *write*
+    /// lane (see [`ShadowWord::matches_write`]).
+    #[inline]
+    pub const fn write_probe(field: u64) -> u64 {
+        field << WRITE_SHIFT
+    }
+
+    /// True if this word is unspilled and its read field equals the probe.
+    /// One masked compare: a spilled word can never match because the probe
+    /// carries no spill bit.
+    #[inline]
+    pub const fn matches_read(self, probe: u64) -> bool {
+        self.0 & (Self::SPILL_BIT | FIELD_MASK) == probe
+    }
+
+    /// True if this word is unspilled and its write field equals the probe.
+    #[inline]
+    pub const fn matches_write(self, probe: u64) -> bool {
+        self.0 & (Self::SPILL_BIT | (FIELD_MASK << WRITE_SHIFT)) == probe
+    }
+}
+
+impl fmt::Debug for ShadowWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_spilled() {
+            write!(f, "ShadowWord(spilled)")
+        } else {
+            write!(
+                f,
+                "ShadowWord(w={}@{}, r={}@{})",
+                Self::field_clock(self.write_field()),
+                Self::field_thread(self.write_field()),
+                Self::field_clock(self.read_field()),
+                Self::field_thread(self.read_field()),
+            )
+        }
+    }
+}
+
+/// One dense slab: [`SLAB_WORDS`] raw words covering one aligned group of
+/// consecutive block indices (one application page at 8-byte granularity).
+#[derive(Clone)]
+pub struct ShadowSlab {
+    words: [u64; SLAB_WORDS],
+}
+
+impl ShadowSlab {
+    fn new() -> Box<ShadowSlab> {
+        Box::new(ShadowSlab {
+            words: [0; SLAB_WORDS],
+        })
+    }
+
+    /// The word at `slot`.
+    #[inline]
+    pub fn word(&self, slot: usize) -> ShadowWord {
+        ShadowWord(self.words[slot])
+    }
+}
+
+impl fmt::Debug for ShadowSlab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let used = self.words.iter().filter(|&&w| w != 0).count();
+        write!(f, "ShadowSlab({used}/{SLAB_WORDS} words)")
+    }
+}
+
+/// Directory tag meaning "no slab here". Slab indices are `key >> SLAB_BITS`
+/// (< 2^55), so the sentinel can never collide with a real slab.
+const EMPTY_TAG: u64 = u64::MAX;
+/// Initial directory capacity (power of two).
+const INITIAL_DIR: usize = 64;
+/// Directory load factor (in percent) beyond which it doubles.
+const MAX_LOAD_PCT: usize = 70;
+
+/// A resolved slab: an index into the directory, valid until the next
+/// [`SlabDirectory::resolve`] call (which may grow the directory and move
+/// slabs). Callers resolve once per run of same-slab keys and then index
+/// words by slot; spill-table operations never invalidate a handle.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SlabHandle(usize);
+
+/// An open-addressed directory of dense [`ShadowSlab`]s keyed by
+/// `key >> SLAB_BITS` — the storage engine of the packed metadata plane.
+///
+/// Compared to [`crate::ChunkMap`], slots hold bare `u64` words (zero =
+/// absent) instead of `Option<T>`, so the per-entry footprint is 8 bytes and
+/// a lookup never touches an enum tag. The directory itself mirrors the
+/// chunk map's probing scheme: power-of-two tag lane, linear probing,
+/// doubling past 70 % load.
+#[derive(Clone)]
+pub struct SlabDirectory {
+    /// Open-addressed slab tags ([`EMPTY_TAG`] = vacant), probed as a dense
+    /// 8-byte lane.
+    tags: Vec<u64>,
+    /// Slabs, parallel to `tags` (`Some` iff the tag is occupied).
+    slabs: Vec<Option<Box<ShadowSlab>>>,
+    /// `tags.len() - 1`; the directory length is always a power of two.
+    mask: u64,
+    slab_count: usize,
+    /// Number of non-zero words across all slabs.
+    entries: usize,
+}
+
+impl Default for SlabDirectory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for SlabDirectory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SlabDirectory({} slabs, {} words)",
+            self.slab_count, self.entries
+        )
+    }
+}
+
+impl SlabDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        let mut slabs = Vec::with_capacity(INITIAL_DIR);
+        slabs.resize_with(INITIAL_DIR, || None);
+        SlabDirectory {
+            tags: vec![EMPTY_TAG; INITIAL_DIR],
+            slabs,
+            mask: (INITIAL_DIR as u64) - 1,
+            slab_count: 0,
+            entries: 0,
+        }
+    }
+
+    /// Number of non-zero words stored.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True if every word is zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of slabs allocated.
+    pub fn slab_count(&self) -> usize {
+        self.slab_count
+    }
+
+    /// Splits a word key into `(slab index, slot)`.
+    #[inline]
+    pub const fn split(key: u64) -> (u64, usize) {
+        (key >> SLAB_BITS, (key & SLAB_MASK) as usize)
+    }
+
+    /// Directory index holding `chunk`, or the empty slot where it belongs.
+    #[inline]
+    fn probe(&self, chunk: u64) -> usize {
+        let mut i = (chunk & self.mask) as usize;
+        loop {
+            let tag = self.tags[i];
+            if tag == chunk || tag == EMPTY_TAG {
+                return i;
+            }
+            i = (i + 1) & self.mask as usize;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.tags.len() * 2;
+        let mut new_tags = vec![EMPTY_TAG; new_len];
+        let mut new_slabs: Vec<Option<Box<ShadowSlab>>> = Vec::with_capacity(new_len);
+        new_slabs.resize_with(new_len, || None);
+        let new_mask = (new_len as u64) - 1;
+        for (tag, slab) in self.tags.drain(..).zip(self.slabs.drain(..)) {
+            if tag != EMPTY_TAG {
+                let mut i = (tag & new_mask) as usize;
+                while new_tags[i] != EMPTY_TAG {
+                    i = (i + 1) & new_mask as usize;
+                }
+                new_tags[i] = tag;
+                new_slabs[i] = slab;
+            }
+        }
+        self.tags = new_tags;
+        self.slabs = new_slabs;
+        self.mask = new_mask;
+    }
+
+    /// Resolves (allocating if necessary) the slab for `chunk` and returns
+    /// its handle. The handle stays valid until the next `resolve` call.
+    pub fn resolve(&mut self, chunk: u64) -> SlabHandle {
+        let i = self.probe(chunk);
+        if self.tags[i] != EMPTY_TAG {
+            return SlabHandle(i);
+        }
+        if (self.slab_count + 1) * 100 > self.tags.len() * MAX_LOAD_PCT {
+            self.grow();
+        }
+        let i = self.probe(chunk);
+        self.tags[i] = chunk;
+        self.slabs[i] = Some(ShadowSlab::new());
+        self.slab_count += 1;
+        SlabHandle(i)
+    }
+
+    /// The handle of `chunk`'s slab, if one has been allocated.
+    #[inline]
+    pub fn handle(&self, chunk: u64) -> Option<SlabHandle> {
+        let i = self.probe(chunk);
+        (self.tags[i] != EMPTY_TAG).then_some(SlabHandle(i))
+    }
+
+    /// The word at `slot` of a resolved slab: one load, no probing.
+    #[inline]
+    pub fn word_at(&self, handle: SlabHandle, slot: usize) -> ShadowWord {
+        self.slabs[handle.0]
+            .as_ref()
+            .expect("handles only reference occupied directory slots")
+            .word(slot)
+    }
+
+    /// Stores `word` at `slot` of a resolved slab.
+    #[inline]
+    pub fn set_word_at(&mut self, handle: SlabHandle, slot: usize, word: ShadowWord) {
+        let slab = self.slabs[handle.0]
+            .as_mut()
+            .expect("handles only reference occupied directory slots");
+        let old = slab.words[slot];
+        slab.words[slot] = word.raw();
+        self.entries += usize::from(old == 0 && word.raw() != 0);
+        self.entries -= usize::from(old != 0 && word.raw() == 0);
+    }
+
+    /// The word at `key` ([`ShadowWord::EMPTY`] when its slab is absent).
+    #[inline]
+    pub fn get(&self, key: u64) -> ShadowWord {
+        let (chunk, slot) = Self::split(key);
+        match self.handle(chunk) {
+            Some(h) => self.word_at(h, slot),
+            None => ShadowWord::EMPTY,
+        }
+    }
+
+    /// Stores `word` at `key`, allocating the slab if needed.
+    #[inline]
+    pub fn set(&mut self, key: u64, word: ShadowWord) {
+        let (chunk, slot) = Self::split(key);
+        let h = self.resolve(chunk);
+        self.set_word_at(h, slot, word);
+    }
+
+    /// Iterates over `(key, word)` pairs with non-zero words, in ascending
+    /// key order.
+    pub fn iter_nonempty(&self) -> impl Iterator<Item = (u64, ShadowWord)> + '_ {
+        let mut order: Vec<(u64, &ShadowSlab)> = self
+            .tags
+            .iter()
+            .zip(&self.slabs)
+            .filter_map(|(&tag, slab)| slab.as_deref().map(|s| (tag, s)))
+            .collect();
+        order.sort_by_key(|&(tag, _)| tag);
+        order.into_iter().flat_map(|(tag, slab)| {
+            let base = tag << SLAB_BITS;
+            slab.words
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| w != 0)
+                .map(move |(i, &w)| (base + i as u64, ShadowWord::from_raw(w)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_roundtrips_within_the_field_budget() {
+        for (clock, thread) in [(0, 0), (1, 0), (0, 1), ((1 << 24) - 1, (1 << 7) - 1)] {
+            let field = ShadowWord::pack_field(clock, thread).expect("fits");
+            assert_eq!(ShadowWord::field_clock(field), clock);
+            assert_eq!(ShadowWord::field_thread(field), thread);
+        }
+    }
+
+    #[test]
+    fn out_of_budget_components_refuse_to_pack() {
+        assert_eq!(ShadowWord::pack_field(1 << 24, 0), None);
+        assert_eq!(ShadowWord::pack_field(0, 1 << 7), None);
+        assert_eq!(ShadowWord::pack_field(u32::MAX, u32::MAX), None);
+    }
+
+    #[test]
+    fn fields_occupy_disjoint_lanes() {
+        let w = ShadowWord::pack_field(5, 3).unwrap();
+        let r = ShadowWord::pack_field(9, 1).unwrap();
+        let word = ShadowWord::from_fields(w, r);
+        assert_eq!(word.write_field(), w);
+        assert_eq!(word.read_field(), r);
+        assert!(!word.is_spilled());
+        assert!(!word.is_empty());
+    }
+
+    #[test]
+    fn probes_match_only_unspilled_words() {
+        let f = ShadowWord::pack_field(7, 2).unwrap();
+        let word = ShadowWord::from_fields(f, f);
+        assert!(word.matches_read(ShadowWord::read_probe(f)));
+        assert!(word.matches_write(ShadowWord::write_probe(f)));
+        let other = ShadowWord::pack_field(8, 2).unwrap();
+        assert!(!word.matches_read(ShadowWord::read_probe(other)));
+        // A spilled word never matches any probe.
+        assert!(!ShadowWord::SPILLED.matches_read(ShadowWord::read_probe(f)));
+        assert!(!ShadowWord::SPILLED.matches_write(ShadowWord::write_probe(f)));
+        // The empty word only matches the zero probe, which no live epoch
+        // produces (clocks start at 1).
+        assert!(!ShadowWord::EMPTY.matches_read(ShadowWord::read_probe(f)));
+    }
+
+    #[test]
+    fn zero_word_is_empty_and_spill_marker_is_not() {
+        assert!(ShadowWord::EMPTY.is_empty());
+        assert!(!ShadowWord::SPILLED.is_empty());
+        assert!(ShadowWord::SPILLED.is_spilled());
+        assert_eq!(ShadowWord::from_fields(0, 0), ShadowWord::EMPTY);
+    }
+
+    #[test]
+    fn directory_stores_and_reads_words() {
+        let mut d = SlabDirectory::new();
+        assert!(d.is_empty());
+        assert_eq!(d.get(12345), ShadowWord::EMPTY);
+        d.set(12345, ShadowWord::from_raw(7));
+        d.set(12346, ShadowWord::from_raw(8));
+        assert_eq!(d.get(12345).raw(), 7);
+        assert_eq!(d.get(12346).raw(), 8);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.slab_count(), 1);
+        // Overwriting with zero removes the entry from the count.
+        d.set(12345, ShadowWord::EMPTY);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(12345), ShadowWord::EMPTY);
+    }
+
+    #[test]
+    fn handles_index_without_probing() {
+        let mut d = SlabDirectory::new();
+        let key = 0x40_0000u64;
+        let (chunk, slot) = SlabDirectory::split(key);
+        let h = d.resolve(chunk);
+        assert_eq!(d.word_at(h, slot), ShadowWord::EMPTY);
+        d.set_word_at(h, slot, ShadowWord::from_raw(42));
+        assert_eq!(d.get(key).raw(), 42);
+        assert_eq!(d.handle(chunk), Some(h));
+        assert_eq!(d.handle(chunk + 1), None);
+    }
+
+    #[test]
+    fn directory_survives_growth_with_collisions() {
+        let mut d = SlabDirectory::new();
+        // 200 distinct slabs force at least two doublings from 64 slots,
+        // with colliding families probing linearly.
+        for i in 0..200u64 {
+            d.set(i * 64 * SLAB_WORDS as u64, ShadowWord::from_raw(i + 1));
+        }
+        for i in 0..200u64 {
+            assert_eq!(d.get(i * 64 * SLAB_WORDS as u64).raw(), i + 1);
+        }
+        assert_eq!(d.len(), 200);
+    }
+
+    #[test]
+    fn iter_nonempty_is_sorted_and_skips_zero_words() {
+        let mut d = SlabDirectory::new();
+        for &k in &[900u64, 3, 512, 511, 1 << 30] {
+            d.set(k, ShadowWord::from_raw(k + 1));
+        }
+        let got: Vec<u64> = d.iter_nonempty().map(|(k, _)| k).collect();
+        assert_eq!(got, vec![3, 511, 512, 900, 1 << 30]);
+    }
+
+    #[test]
+    fn widely_separated_keys_coexist() {
+        let mut d = SlabDirectory::new();
+        let keys = [0x10_0000u64 >> 3, 0x5000_0000_0000 >> 3, u64::MAX >> 12];
+        for (i, &k) in keys.iter().enumerate() {
+            d.set(k, ShadowWord::from_raw(i as u64 + 1));
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(d.get(k).raw(), i as u64 + 1, "key {k:#x}");
+        }
+    }
+
+    #[test]
+    fn clone_preserves_contents() {
+        let mut d = SlabDirectory::new();
+        d.set(9, ShadowWord::from_raw(1));
+        d.set(1 << 35, ShadowWord::from_raw(2));
+        let c = d.clone();
+        assert_eq!(c.get(9).raw(), 1);
+        assert_eq!(c.get(1 << 35).raw(), 2);
+        assert_eq!(c.len(), 2);
+    }
+}

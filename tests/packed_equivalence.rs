@@ -1,0 +1,110 @@
+//! The packed metadata plane's end-to-end equivalence oracle.
+//!
+//! FastTrack's hot-path storage is one packed 64-bit shadow word per block
+//! (PR 5); the enum-based `ShadowStore` representation is retained behind
+//! `FastTrack::with_packed_words(false)` exactly the way the scalar block
+//! loop is retained behind `Simulator::with_batched_kernels(false)`. This
+//! suite drives both representations through the full pipeline — all six
+//! benchmarks, every execution mode — and requires byte-identical results:
+//! same `RunReport` (cycles included, so the per-access cost stream matched
+//! access by access), same detector statistics, same races, and the same
+//! reconstructed per-block metadata, serialized and compared as JSON.
+//!
+//! The CI `packed-equivalence` lane runs this file in release mode at
+//! `AIKIDO_SCALE=0.05`, the same scale as the throughput lanes.
+
+use aikido::fasttrack::FastTrack;
+use aikido::{Mode, RunReport, Simulator, Workload, WorkloadSpec};
+
+/// The six PARSEC presets the repo's suites exercise end to end.
+const BENCHMARKS: [&str; 6] = [
+    "raytrace",
+    "blackscholes",
+    "vips",
+    "fluidanimate",
+    "swaptions",
+    "canneal",
+];
+
+/// Workload scale: `AIKIDO_SCALE` when set (the CI release lane runs 0.05),
+/// a fast default otherwise.
+fn scale() -> f64 {
+    std::env::var("AIKIDO_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(0.02)
+}
+
+fn run_with(workload: &Workload, mode: Mode, packed: bool) -> (RunReport, FastTrack) {
+    let mut ft = FastTrack::new().with_packed_words(packed);
+    let report = Simulator::default().run_with_analysis(workload, mode, &mut ft);
+    (report, ft)
+}
+
+fn assert_equivalent(workload: &Workload, mode: Mode, context: &str) {
+    let (packed_report, packed) = run_with(workload, mode, true);
+    let (reference_report, reference) = run_with(workload, mode, false);
+    assert_eq!(
+        packed_report, reference_report,
+        "report mismatch ({context})"
+    );
+    assert_eq!(
+        packed.stats(),
+        reference.stats(),
+        "stats mismatch ({context})"
+    );
+    assert_eq!(
+        packed.races(),
+        reference.races(),
+        "races mismatch ({context})"
+    );
+    let packed_states = packed.var_states();
+    let reference_states = reference.var_states();
+    assert_eq!(
+        packed_states, reference_states,
+        "shadow states mismatch ({context})"
+    );
+    // Serialized-byte equality of the reconstructed metadata plane.
+    let packed_json = serde_json::to_string(&packed_states).expect("states serialize");
+    let reference_json = serde_json::to_string(&reference_states).expect("states serialize");
+    assert_eq!(
+        packed_json, reference_json,
+        "serialized states differ ({context})"
+    );
+}
+
+#[test]
+fn packed_words_match_the_reference_store_on_all_six_benchmarks() {
+    let scale = scale();
+    for name in BENCHMARKS {
+        let spec = WorkloadSpec::parsec(name)
+            .expect("benchmark list contains only PARSEC presets")
+            .scaled(scale);
+        let workload = Workload::generate(&spec);
+        for mode in [Mode::Native, Mode::FullInstrumentation, Mode::Aikido] {
+            assert_equivalent(&workload, mode, &format!("{name}, {mode:?}"));
+        }
+    }
+}
+
+#[test]
+fn packed_words_match_the_reference_store_on_racy_and_barrier_workloads() {
+    use aikido::workloads::racy_workload;
+    let racy = Workload::generate(&racy_workload(4));
+    for mode in [Mode::FullInstrumentation, Mode::Aikido] {
+        assert_equivalent(&racy, mode, &format!("racy, {mode:?}"));
+    }
+    let mut spec = WorkloadSpec::parsec("bodytrack").unwrap().scaled(0.02);
+    spec.barrier_every = 10;
+    let barriers = Workload::generate(&spec);
+    assert_equivalent(&barriers, Mode::Aikido, "bodytrack barriers");
+}
+
+#[test]
+fn the_default_pipeline_detector_runs_packed() {
+    // `Simulator::run` constructs its own FastTrack; the packed plane being
+    // its default is what the throughput trajectory measures.
+    assert!(FastTrack::new().packed_words());
+    assert!(!FastTrack::new().with_packed_words(false).packed_words());
+}
