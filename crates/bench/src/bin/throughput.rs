@@ -27,7 +27,10 @@
 
 use std::time::Instant;
 
-use aikido::{parallel_workers_from_env, Mode, RunReport, Simulator, Workload, WorkloadSpec};
+use aikido::staticcheck::CoverageStats;
+use aikido::{
+    parallel_workers_from_env, Mode, RunReport, Simulator, StaticReport, Workload, WorkloadSpec,
+};
 use aikido_bench::scale_from_env;
 use serde::Serialize;
 
@@ -54,6 +57,15 @@ struct Sample {
     races: usize,
 }
 
+/// Static pre-analysis coverage for one benchmark (PR 6): how much of the
+/// program the escape + lockset verifier proved thread-private before the
+/// first simulated instruction ran.
+#[derive(Debug, Serialize)]
+struct StaticCoverage {
+    benchmark: String,
+    coverage: CoverageStats,
+}
+
 /// Accesses/sec geometric means across benchmarks at one worker count.
 #[derive(Debug, Serialize)]
 struct WorkerGeomeans {
@@ -76,6 +88,11 @@ struct Document {
     /// Highest worker count measured (1 when running sequential only).
     parallel_workers: usize,
     samples: Vec<Sample>,
+    /// Per-benchmark static pre-analysis coverage (PR 6). Purely
+    /// informational for the perf gate (which reads the document leniently),
+    /// but tracked in the committed baseline so coverage regressions show up
+    /// in review.
+    static_coverage: Vec<StaticCoverage>,
     /// Accesses/sec geometric mean across benchmarks, per mode label,
     /// measured on the sequential path (stable input for the perf gate).
     aikido_geomean: f64,
@@ -164,6 +181,7 @@ fn main() {
     let reps = repeats();
     let parallel_workers = *counts.last().expect("at least one worker count");
     let mut samples = Vec::new();
+    let mut static_coverage = Vec::new();
     println!("hot-path throughput (scale {scale}, workers {counts:?}, reps {reps}):");
     println!(
         "{:<14} {:>8} {:>7} {:>12} {:>12} {:>14} {:>9} {:>13}",
@@ -181,6 +199,11 @@ fn main() {
             .expect("benchmark list contains only PARSEC presets")
             .scaled(scale);
         let workload = Workload::generate(&spec);
+        let coverage = StaticReport::for_workload(&workload).coverage;
+        static_coverage.push(StaticCoverage {
+            benchmark: name.to_string(),
+            coverage,
+        });
         for mode in [Mode::Native, Mode::FullInstrumentation, Mode::Aikido] {
             let mut sequential_report: Option<RunReport> = None;
             for &workers in &counts {
@@ -235,8 +258,29 @@ fn main() {
         full_geomean: geomean("full", 1),
         native_geomean: geomean("native", 1),
         per_worker_geomeans,
+        static_coverage,
         samples,
     };
+    println!();
+    println!("static pre-analysis coverage (label-free escape + lockset proofs):");
+    for sc in &doc.static_coverage {
+        let c = &sc.coverage;
+        println!(
+            "{:<14} {:>4}/{:<4} work blocks proven private ({:>5.1}%)  \
+             lock {:>3}  ro {:>3}  init {:>3}  may-share {:>3}  \
+             mem instrs statically freed {}/{}",
+            sc.benchmark,
+            c.proven_private,
+            c.work_blocks,
+            100.0 * c.proven_private_fraction,
+            c.lock_protected,
+            c.read_only_shared,
+            c.pre_fork_init,
+            c.may_share,
+            c.proven_private_mem_instrs,
+            c.total_mem_instrs
+        );
+    }
     println!();
     for g in &doc.per_worker_geomeans {
         println!(

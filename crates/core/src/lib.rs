@@ -101,10 +101,15 @@ pub use aikido_workloads as workloads;
 /// The execution engine and cost model (re-export of `aikido-sim`).
 pub use aikido_sim as sim;
 
+/// The static pre-analysis and its runtime audit oracle (re-export of
+/// `aikido-staticcheck`).
+pub use aikido_staticcheck as staticcheck;
+
 pub use aikido_fasttrack::{FastTrack, FastTrackConfig};
 pub use aikido_sim::{
     parallel_workers_from_env, Comparison, CostModel, Mode, RunCounts, RunReport, Simulator,
 };
+pub use aikido_staticcheck::{StaticAudit, StaticReport};
 pub use aikido_types::{
     AccessContext, AccessKind, Addr, AnalysisReport, Prot, ReportKind, SharedDataAnalysis,
     ThreadId, Vpn,

@@ -33,6 +33,34 @@ pub struct BlockExecution {
     /// True if `instr_mask` covers every instruction (block length ≤ 64);
     /// when false, fall back to [`DbiEngine::is_instrumented`] per access.
     pub mask_exact: bool,
+    /// True if the installed [`StaticPlan`] proved every memory access of
+    /// this block thread-private (`false` when no plan is installed). Copied
+    /// from the cached block so dispatch can take the whole-block fast path
+    /// for proven blocks even when `mask_exact` is false.
+    pub static_private: bool,
+}
+
+/// The product of the static pre-analysis (`aikido-staticcheck`), in the
+/// shape the engine consumes: one proven-thread-private bit and one
+/// may-share instrumentation mask per static block, indexed by raw block id.
+///
+/// The plan is *advice*, not authority: installing one never changes which
+/// analysis callbacks are delivered. The engine only uses it to (a) stamp
+/// [`CachedBlock::static_private`](crate::CachedBlock::static_private) on
+/// fresh copies and (b) count claim violations — instrumentation requests
+/// that contradict the plan — in
+/// [`DbiEngine::static_bound_violations`], which a sound analysis keeps at
+/// zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StaticPlan {
+    /// `proven_private[b]` — every memory access of block *b* is proven to
+    /// target memory private to the executing thread.
+    pub proven_private: Vec<bool>,
+    /// `may_share_masks[b]` — bitmask (bit *i* = instruction *i*) of the
+    /// instructions of block *b* that may touch shared memory; the derived
+    /// upper bound on the instrumentation the sharing detector can request.
+    /// Exact only for instruction indices below 64.
+    pub may_share_masks: Vec<u64>,
 }
 
 /// Blocks with a raw id below this bound get a dense bitmask slot; beyond it
@@ -72,6 +100,10 @@ pub struct DbiEngine {
     /// by raw block id. Instructions at index ≥ 64 (none in practice) fall
     /// back to the `instrumented` set.
     masks: Vec<u64>,
+    /// The static pre-analysis plan, if one was installed.
+    plan: Option<StaticPlan>,
+    /// Instrumentation requests that contradicted the installed plan.
+    static_bound_violations: u64,
 }
 
 impl DbiEngine {
@@ -83,6 +115,8 @@ impl DbiEngine {
             cache: CodeCache::new(),
             instrumented: HashSet::new(),
             masks: Vec::new(),
+            plan: None,
+            static_bound_violations: 0,
         }
     }
 
@@ -93,7 +127,31 @@ impl DbiEngine {
             cache: CodeCache::with_hot_threshold(hot_threshold),
             instrumented: HashSet::new(),
             masks: Vec::new(),
+            plan: None,
+            static_bound_violations: 0,
         }
+    }
+
+    /// Installs a static pre-analysis plan. Cached copies built before the
+    /// plan carry stale `static_private` stamps, so the cache is cleared;
+    /// install plans before the first execution to avoid rebuild costs.
+    pub fn install_static_plan(&mut self, plan: StaticPlan) {
+        self.cache.clear();
+        self.plan = Some(plan);
+    }
+
+    /// The installed static plan, if any.
+    pub fn static_plan(&self) -> Option<&StaticPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Number of instrumentation requests that contradicted the installed
+    /// plan — a request for a proven-private block, or for an instruction
+    /// outside the plan's may-share mask. Always zero without a plan, and
+    /// zero with a sound plan; a non-zero count means the static analysis
+    /// (or an injected claim) was unsound. Never affects execution.
+    pub fn static_bound_violations(&self) -> u64 {
+        self.static_bound_violations
     }
 
     /// The static program being executed.
@@ -126,9 +184,17 @@ impl DbiEngine {
     pub fn execute_block(&mut self, block: BlockId) -> BlockExecution {
         let instrumented = &self.instrumented;
         let masks = &self.masks;
-        let (built, cached) = self.cache.execute(&self.program, block, |id| {
-            instr_is_instrumented(masks, instrumented, id)
-        });
+        let static_private = self
+            .plan
+            .as_ref()
+            .and_then(|p| p.proven_private.get(block.raw() as usize))
+            .copied()
+            .unwrap_or(false);
+        let (built, cached) = self
+            .cache
+            .execute(&self.program, block, static_private, |id| {
+                instr_is_instrumented(masks, instrumented, id)
+            });
         BlockExecution {
             block,
             built,
@@ -137,6 +203,7 @@ impl DbiEngine {
             in_trace: cached.in_trace,
             instr_mask: cached.instr_mask,
             mask_exact: cached.mask_is_exact(),
+            static_private: cached.static_private,
         }
     }
 
@@ -147,6 +214,18 @@ impl DbiEngine {
     pub fn request_instrumentation(&mut self, instr: InstrId) -> bool {
         let newly = self.instrumented.insert(instr);
         if newly {
+            if let Some(plan) = &self.plan {
+                let idx = instr.block().raw() as usize;
+                let proven = plan.proven_private.get(idx).copied().unwrap_or(false);
+                let outside_mask = instr.index() < 64
+                    && plan
+                        .may_share_masks
+                        .get(idx)
+                        .is_some_and(|m| m & (1u64 << instr.index()) == 0);
+                if proven || outside_mask {
+                    self.static_bound_violations += 1;
+                }
+            }
             let index = instr.index();
             let idx = instr.block().raw() as usize;
             if index < 64 && idx < MAX_MASK_BLOCKS {
@@ -278,5 +357,76 @@ mod tests {
         let (e, b) = engine();
         assert!(!e.block_up_to_date(b));
         assert_eq!(e.cached_blocks(), 0);
+    }
+
+    #[test]
+    fn installed_plan_stamps_cached_copies_and_clears_the_cache() {
+        let (mut e, b) = engine();
+        let exec = e.execute_block(b);
+        assert!(!exec.static_private, "no plan installed yet");
+        e.install_static_plan(StaticPlan {
+            proven_private: vec![true],
+            may_share_masks: vec![0],
+        });
+        assert_eq!(e.cached_blocks(), 0, "stale stamps are flushed");
+        let exec = e.execute_block(b);
+        assert!(exec.built);
+        assert!(exec.static_private);
+    }
+
+    #[test]
+    fn violating_requests_are_counted_but_still_honoured() {
+        let (mut e, b) = engine();
+        e.install_static_plan(StaticPlan {
+            proven_private: vec![true],
+            may_share_masks: vec![0],
+        });
+        assert_eq!(e.static_bound_violations(), 0);
+        let instr = e.program().block(b).unwrap().instr_id(0);
+        assert!(e.request_instrumentation(instr));
+        assert_eq!(e.static_bound_violations(), 1);
+        // The decision itself is never suppressed: the rebuilt copy carries
+        // the instrumentation even though the claim said it never would.
+        let exec = e.execute_block(b);
+        assert_eq!(exec.instrumented_mem_instrs, 1);
+        // Duplicate requests are not new decisions and count nothing.
+        assert!(!e.request_instrumentation(instr));
+        assert_eq!(e.static_bound_violations(), 1);
+    }
+
+    #[test]
+    fn requests_inside_the_may_share_mask_are_not_violations() {
+        let (mut e, b) = engine();
+        e.install_static_plan(StaticPlan {
+            proven_private: vec![false],
+            may_share_masks: vec![0b101],
+        });
+        let i0 = e.program().block(b).unwrap().instr_id(0);
+        let i2 = e.program().block(b).unwrap().instr_id(2);
+        e.request_instrumentation(i0);
+        e.request_instrumentation(i2);
+        assert_eq!(e.static_bound_violations(), 0);
+        let i1 = e.program().block(b).unwrap().instr_id(1);
+        e.request_instrumentation(i1);
+        assert_eq!(e.static_bound_violations(), 1);
+    }
+
+    #[test]
+    fn blocks_beyond_the_plan_are_unconstrained() {
+        let mut p = Program::new();
+        let _b0 = p.add_block(vec![StaticInstr::Compute]);
+        let b1 = p.add_block(vec![StaticInstr::Mem {
+            kind: AccessKind::Read,
+            mode: AddrMode::Indirect,
+        }]);
+        let mut e = DbiEngine::new(p);
+        e.install_static_plan(StaticPlan {
+            proven_private: vec![false],
+            may_share_masks: vec![0],
+        });
+        let instr = e.program().block(b1).unwrap().instr_id(0);
+        e.request_instrumentation(instr);
+        assert_eq!(e.static_bound_violations(), 0);
+        assert!(!e.execute_block(b1).static_private);
     }
 }

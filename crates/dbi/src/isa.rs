@@ -41,8 +41,28 @@ pub struct StaticBlock {
 }
 
 impl StaticBlock {
+    /// Largest number of instructions a block may hold: instruction indices
+    /// are `u16`s throughout the hot path ([`InstrId`], run metadata, the
+    /// code cache), so a block can address at most indices `0..=u16::MAX`.
+    pub const MAX_INSTRS: usize = u16::MAX as usize + 1;
+
     /// Creates a block. Normally constructed through [`Program::add_block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instrs` holds more than [`StaticBlock::MAX_INSTRS`]
+    /// instructions — indices beyond `u16::MAX` would silently wrap in
+    /// [`StaticBlock::instr_id`] and corrupt every downstream `InstrId`.
+    /// Enforcing the bound at construction keeps the hot-path conversions
+    /// exact without per-access checks.
     pub fn new(id: BlockId, instrs: Vec<StaticInstr>) -> Self {
+        assert!(
+            instrs.len() <= Self::MAX_INSTRS,
+            "block holds {} instructions; instruction indices must fit in u16 \
+             (max {} per block)",
+            instrs.len(),
+            Self::MAX_INSTRS
+        );
         StaticBlock { id, instrs }
     }
 
@@ -70,7 +90,11 @@ impl StaticBlock {
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range for the block.
+    /// Panics if `index` is out of range for the block — the same documented
+    /// always-on panic the rest of the hot path uses, never a silent
+    /// truncation: construction bounds blocks to [`StaticBlock::MAX_INSTRS`]
+    /// instructions, so the `u16` conversion below is exact for every
+    /// in-range index.
     pub fn instr_id(&self, index: usize) -> InstrId {
         assert!(index < self.instrs.len(), "instruction index out of range");
         InstrId::new(self.id, index as u16)
@@ -195,5 +219,28 @@ mod tests {
     fn out_of_range_instr_id_panics() {
         let p = sample_program();
         let _ = p.block(BlockId::new(1)).unwrap().instr_id(5);
+    }
+
+    #[test]
+    fn instr_ids_are_exact_at_the_u16_boundary() {
+        // A block of exactly MAX_INSTRS instructions is legal and its last
+        // index converts exactly (no wrap-around).
+        let block = StaticBlock::new(
+            BlockId::new(0),
+            vec![StaticInstr::Compute; StaticBlock::MAX_INSTRS],
+        );
+        let last = block.instr_id(StaticBlock::MAX_INSTRS - 1);
+        assert_eq!(last.index(), u16::MAX);
+        let (id, _) = block.iter_ids().last().unwrap();
+        assert_eq!(id.index(), u16::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in u16")]
+    fn oversized_blocks_are_rejected_at_construction() {
+        let _ = StaticBlock::new(
+            BlockId::new(0),
+            vec![StaticInstr::Compute; StaticBlock::MAX_INSTRS + 1],
+        );
     }
 }

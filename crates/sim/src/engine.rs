@@ -91,6 +91,7 @@ pub struct Simulator {
     workers: usize,
     batched: bool,
     inline_tlb: bool,
+    static_precheck: bool,
 }
 
 impl Default for Simulator {
@@ -114,6 +115,7 @@ impl Simulator {
             workers: 1,
             batched: true,
             inline_tlb: true,
+            static_precheck: true,
         }
     }
 
@@ -158,6 +160,20 @@ impl Simulator {
     /// property tests pin down.
     pub fn with_inline_tlb(mut self, enabled: bool) -> Self {
         self.inline_tlb = enabled;
+        self
+    }
+
+    /// Enables or disables the static pre-analysis (the default is enabled).
+    /// When enabled, Aikido-mode runs derive a
+    /// [`StaticReport`](aikido_staticcheck::StaticReport) from the workload's
+    /// scenario model and install its plan into the DBI engine before the
+    /// first block executes: proven-private blocks extend the whole-block
+    /// free fast path even when they are too wide for an exact mask. The
+    /// plan never changes which analysis callbacks are delivered, so reports
+    /// are byte-identical with the pre-check on or off (pinned by
+    /// `static_precheck_*` tests and the golden suite).
+    pub fn with_static_precheck(mut self, enabled: bool) -> Self {
+        self.static_precheck = enabled;
         self
     }
 
@@ -459,7 +475,18 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                     sd.attach_region(&mut vm, base, pages)
                         .expect("regions attach cleanly");
                 }
-                self.engine = Some(DbiEngine::new(self.workload.program_arc()));
+                let mut engine = DbiEngine::new(self.workload.program_arc());
+                if self.sim.static_precheck {
+                    // Run the static pre-analysis and hand its derived plan
+                    // to the engine. The plan is advice: it stamps
+                    // proven-private bits onto cached blocks (enabling the
+                    // wide-block free fast path) and bounds the
+                    // instrumentation the detector should ever request, but
+                    // it cannot change what the analysis observes.
+                    let report = aikido_staticcheck::StaticReport::for_workload(self.workload);
+                    engine.install_static_plan(report.plan());
+                }
+                self.engine = Some(engine);
                 self.vm = Some(vm);
                 self.sd = Some(sd);
             }
@@ -935,12 +962,26 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
         // `BlockExec` contract); the length check rejects hand-built
         // executions that carry run metadata but break the alignment, so
         // `mask >> run.start` can never shift past the 64-bit mask.
-        if exec.meta.plain && result.mask_exact && exec.ops.len() == result.instr_count {
+        //
+        // A block is whole-block free when its exact mask is empty, or when
+        // the static pre-analysis proved it thread-private and no fault has
+        // instrumented any of its memory instructions — the latter covers
+        // blocks too wide for an exact mask. The instrumented-count guard
+        // keeps the condition delivery-preserving even under an unsound
+        // claim: any actually-instrumented block falls back to the mask (or
+        // scalar) path, and free runs still probe and fault exactly like the
+        // fallback, so reports cannot depend on the claim being true.
+        let whole_block_free = (result.mask_exact && result.instr_mask == 0)
+            || (result.static_private && result.instrumented_mem_instrs == 0);
+        if exec.meta.plain
+            && exec.ops.len() == result.instr_count
+            && (result.mask_exact || whole_block_free)
+        {
             let computes = u64::from(exec.meta.compute_ops);
             self.counts.dynamic_instrs += computes;
             self.cycles += computes * (self.sim.cost.alu_cycles + self.sim.cost.dbi_overhead(1));
             let mask = result.instr_mask;
-            if mask == 0 {
+            if whole_block_free {
                 // Whole-block free fast path — the steady state for every
                 // block no fault has ever instrumented. Charge the accesses
                 // in one batch and walk the runs with a single borrow of the
@@ -1650,6 +1691,19 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
 
     fn into_report(self) -> RunReport {
         debug_assert_eq!(self.fatal_accesses, 0, "workload produced fatal accesses");
+        // The engine honours instrumentation requests even when they
+        // contradict the installed static plan, so an unsound claim can never
+        // corrupt a run — but in debug builds we refuse to let one pass
+        // silently. (The mutation tests exercise unsound claims through the
+        // audit wrapper, never through the engine's plan.)
+        debug_assert_eq!(
+            self.engine
+                .as_ref()
+                .map(|e| e.static_bound_violations())
+                .unwrap_or(0),
+            0,
+            "static pre-analysis plan contradicted by an instrumentation request"
+        );
         RunReport {
             workload: self.workload.spec().name.clone(),
             mode: self.mode.label().to_string(),
@@ -1859,6 +1913,53 @@ mod tests {
             .run(&w, Mode::Aikido);
         assert_eq!(batched, scalar);
         assert!(batched.counts.sync_ops > 0);
+    }
+
+    #[test]
+    fn static_precheck_changes_no_observable_output() {
+        // The derived plan only widens the whole-block free fast path, whose
+        // charges are identical to the fallback's — so the full report must
+        // not move when the pre-analysis is disabled.
+        for name in ["raytrace", "canneal"] {
+            let w = small(name);
+            for mode in [Mode::FullInstrumentation, Mode::Aikido] {
+                let with_precheck = Simulator::default().run(&w, mode);
+                let without = Simulator::default()
+                    .with_static_precheck(false)
+                    .run(&w, mode);
+                assert_eq!(with_precheck, without, "{name} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_blocks_use_the_proven_private_fast_path_identically() {
+        // 80 memory instructions per block pushes every work block past the
+        // 64-bit exact mask, so proven-private blocks can only take the
+        // whole-block fast path through the static plan. All four
+        // configurations must agree byte for byte.
+        let spec = WorkloadSpec {
+            mem_accesses_per_thread: 2_000,
+            threads: 4,
+            block_mem_instrs: 80,
+            ..WorkloadSpec::default()
+        };
+        let w = Workload::generate(&spec);
+        assert!(
+            w.program().iter().any(|b| b.len() > 64),
+            "spec must produce mask-inexact blocks"
+        );
+        let reference = Simulator::default()
+            .with_static_precheck(false)
+            .with_batched_kernels(false)
+            .run(&w, Mode::Aikido);
+        for (precheck, batched) in [(false, true), (true, false), (true, true)] {
+            let report = Simulator::default()
+                .with_static_precheck(precheck)
+                .with_batched_kernels(batched)
+                .run(&w, Mode::Aikido);
+            assert_eq!(report, reference, "precheck={precheck} batched={batched}");
+        }
     }
 
     #[test]

@@ -44,15 +44,17 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod layout;
+mod scenario;
 mod scenarios;
 mod spec;
 mod trace;
 mod workload;
 
 pub use layout::MemoryLayout;
+pub use scenario::{AccessPattern, AddrWindow, BlockUse, HeldLocks, ScenarioModel, UsePhase};
 pub use scenarios::{
-    first_access_race_workload, producer_consumer_workload, racy_workload,
-    read_only_sharing_workload,
+    aliasing_stress_workload, first_access_race_workload, producer_consumer_workload,
+    racy_workload, read_only_sharing_workload,
 };
 pub use spec::{WorkloadSpec, PARSEC_BENCHMARKS};
 pub use trace::{BlockExec, BlockMeta, MemRun, ThreadTrace};

@@ -83,6 +83,36 @@ pub fn read_only_sharing_workload(threads: u32) -> WorkloadSpec {
     }
 }
 
+/// An adversarial workload for the static pre-analysis: every shared block
+/// aliases private and shared windows (half its accesses fall in the
+/// executing thread's private region, half in shared areas, mixing direct and
+/// indirect addressing), the private region is a single page, and a racy
+/// area is present. A sound analysis must keep every shared block out of the
+/// proven-private set even though most of its dynamic accesses are private,
+/// while still proving the dedicated private blocks.
+pub fn aliasing_stress_workload(threads: u32) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "aliasing_stress".to_string(),
+        threads: threads.max(2),
+        mem_accesses_per_thread: 3_000,
+        instrumented_exec_fraction: 0.6,
+        shared_within_instrumented: 0.5,
+        read_fraction: 0.5,
+        compute_per_mem: 0.5,
+        shared_pages: 8,
+        private_pages_per_thread: 1,
+        locks: 3,
+        locked_shared_fraction: 0.5,
+        critical_section_blocks: 2,
+        racy_pairs: 2,
+        barrier_every: 0,
+        shared_static_blocks: 8,
+        private_static_blocks: 8,
+        block_mem_instrs: 4,
+        seed: 0xA11A5,
+    }
+}
+
 /// The adversarial workload for the §6 discussion: exactly one racy pair
 /// whose *only* accesses are the first two accesses to their page — the
 /// documented false-negative window of the sharing detector.
@@ -120,6 +150,7 @@ mod tests {
             producer_consumer_workload(4),
             read_only_sharing_workload(4),
             first_access_race_workload(2),
+            aliasing_stress_workload(4),
         ] {
             spec.validate().unwrap();
         }

@@ -6,6 +6,7 @@ use aikido_dbi::{Program, StaticInstr};
 use aikido_types::{AccessKind, Addr, AddrMode, BlockId, MemRef, Operation, ThreadId};
 
 use crate::layout::MemoryLayout;
+use crate::scenario::ScenarioModel;
 use crate::spec::WorkloadSpec;
 use crate::trace::ThreadTrace;
 
@@ -53,6 +54,9 @@ pub struct Workload {
     blocks: BlockSets,
     /// One operation skeleton per static block, indexed by raw block id.
     templates: Vec<BlockTemplate>,
+    /// The declarative episode model implied by the spec (see
+    /// [`crate::scenario`]); the input of the static pre-analysis.
+    scenario: ScenarioModel,
 }
 
 impl Workload {
@@ -162,12 +166,15 @@ impl Workload {
             })
             .collect();
 
+        let scenario = crate::scenario::build_model(spec, &layout, &blocks);
+
         Workload {
             spec: spec.clone(),
             layout,
             program: Arc::new(program),
             blocks,
             templates,
+            scenario,
         }
     }
 
@@ -212,13 +219,24 @@ impl Workload {
         ThreadTrace::new(self, thread)
     }
 
-    /// Static blocks whose memory instructions only ever target private
-    /// pages. Exposed for tests and statistics.
+    /// The declarative scenario model: which blocks execute in which phases,
+    /// under which locks, addressing which windows. This — not the label
+    /// lists below — is what the static pre-analysis consumes.
+    pub fn scenario_model(&self) -> &ScenarioModel {
+        &self.scenario
+    }
+
+    /// Static blocks the *generator* labels private (memory instructions only
+    /// ever target private pages). Ground truth for tests and statistics
+    /// only: the instrumentation pipeline never reads these labels — it uses
+    /// the facts `aikido-staticcheck` derives from [`Workload::scenario_model`].
     pub fn private_block_ids(&self) -> &[BlockId] {
         &self.blocks.private_blocks
     }
 
-    /// Static blocks whose memory instructions may target shared pages.
+    /// Static blocks the *generator* labels as possibly shared-touching.
+    /// Like [`Workload::private_block_ids`], exposed for tests and
+    /// statistics, never trusted by the pipeline.
     pub fn shared_block_ids(&self) -> &[BlockId] {
         &self.blocks.shared_blocks
     }

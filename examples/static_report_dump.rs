@@ -1,0 +1,63 @@
+//! Dumps the static pre-analysis verdict for every benchmark the equivalence
+//! suites run, in a deterministic, diff-friendly form.
+//!
+//! For each benchmark this prints the aggregate coverage as JSON plus the
+//! length and FNV-1a digest of the *full* serialised [`StaticReport`]. The
+//! digest pins the entire report — every per-block summary, class and mask —
+//! without committing hundreds of kilobytes of JSON: two processes that
+//! disagree on a single byte of analysis output print different lines. CI's
+//! static-audit lane runs this binary twice and `cmp`s the outputs; the
+//! golden transcript under `tests/golden/` pins the default-scale output
+//! in-repo.
+//!
+//! ```bash
+//! cargo run --example static_report_dump            # default scale 0.02
+//! AIKIDO_SCALE=0.05 cargo run --example static_report_dump
+//! ```
+
+use aikido::{StaticReport, Workload, WorkloadSpec};
+
+const BENCHMARKS: [&str; 6] = [
+    "raytrace",
+    "blackscholes",
+    "vips",
+    "fluidanimate",
+    "swaptions",
+    "canneal",
+];
+
+/// 64-bit FNV-1a over the serialised report bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn main() {
+    let scale = std::env::var("AIKIDO_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(0.02);
+    println!("static pre-analysis reports (scale {scale}):");
+    for name in BENCHMARKS {
+        let spec = WorkloadSpec::parsec(name)
+            .expect("benchmark list contains only PARSEC presets")
+            .scaled(scale);
+        let workload = Workload::generate(&spec);
+        let report = StaticReport::for_workload(&workload);
+        let json = serde_json::to_string(&report).expect("report serialises");
+        println!(
+            "{name}: bytes={} fnv1a={:016x}",
+            json.len(),
+            fnv1a(json.as_bytes())
+        );
+        println!(
+            "{name}: coverage={}",
+            serde_json::to_string(&report.coverage).expect("coverage serialises")
+        );
+    }
+}

@@ -17,6 +17,10 @@ fn run_example(name: &str) {
     let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
     let output = Command::new(cargo)
         .current_dir(manifest_dir)
+        // Golden transcripts are captured at each example's built-in default
+        // scale; don't let an inherited AIKIDO_SCALE (e.g. from a CI lane)
+        // shift scale-aware examples off their transcript.
+        .env_remove("AIKIDO_SCALE")
         .args(["run", "--quiet", "--example", name])
         .output()
         .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
@@ -60,4 +64,9 @@ fn first_access_window_example_runs() {
 #[test]
 fn sharing_profiler_example_runs() {
     run_example("sharing_profiler");
+}
+
+#[test]
+fn static_report_dump_example_runs() {
+    run_example("static_report_dump");
 }
