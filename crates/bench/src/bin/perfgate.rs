@@ -19,6 +19,15 @@
 //! as markdown to `$GITHUB_STEP_SUMMARY`. A missing baseline passes with a
 //! warning (first run on a fork, or a fresh perf machine); the CI workflow
 //! refreshes the committed baseline artifact on `main`.
+//!
+//! Exit codes (see [`aikido_bench::exitcode`]):
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | gate passed (including the missing-baseline warning path) |
+//! | 1    | throughput regressed beyond the tolerance |
+//! | 2    | the fresh throughput document is missing, unreadable or lacks the gated geomeans |
+//! | 4    | the baseline **exists but is corrupt** — unreadable, unparsable, or missing the gated geomeans. A rotten committed artifact must not silently disable the gate, so it fails distinctly instead of passing like a missing baseline. |
 
 use std::fmt::Write as _;
 
@@ -242,11 +251,6 @@ fn fingerprint_warning(fresh: &Value, baseline: &Value) -> Option<String> {
     Some(warning)
 }
 
-fn load(path: &str) -> Option<Value> {
-    let text = std::fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
-}
-
 fn tolerance() -> f64 {
     std::env::var("PERFGATE_TOLERANCE")
         .ok()
@@ -267,28 +271,59 @@ fn main() {
         .unwrap_or("BENCH_baseline.json");
     let tolerance = tolerance();
 
-    let Some(fresh_doc) = load(fresh_path) else {
-        eprintln!("perfgate: cannot read fresh results at {fresh_path}");
-        std::process::exit(2);
+    let fresh_doc = match aikido_bench::read_json_document(fresh_path) {
+        Ok(Some(doc)) => doc,
+        Ok(None) => {
+            eprintln!(
+                "perfgate: no fresh results at {fresh_path} — run the \
+                 throughput bin first"
+            );
+            std::process::exit(aikido_bench::exitcode::FRESH_UNREADABLE);
+        }
+        Err(reason) => {
+            eprintln!("perfgate: cannot read fresh results: {reason}");
+            std::process::exit(aikido_bench::exitcode::FRESH_UNREADABLE);
+        }
     };
     let Some(fresh) = ModeGeomeans::from_document(&fresh_doc) else {
         eprintln!("perfgate: {fresh_path} is missing the per-mode geomeans");
-        std::process::exit(2);
+        std::process::exit(aikido_bench::exitcode::FRESH_UNREADABLE);
     };
 
-    let baseline_doc = load(baseline_path);
-    let baseline = baseline_doc.as_ref().and_then(ModeGeomeans::from_document);
-    let (Some(baseline_doc), Some(baseline)) = (baseline_doc.as_ref(), baseline) else {
-        println!(
-            "perfgate: no baseline at {baseline_path} — passing (run the \
-             throughput bin and commit its output to enable the gate)"
+    // Baseline states diverge on purpose: *missing* means the gate has
+    // nothing to compare against yet (first run on a fork or a fresh perf
+    // machine) and passes with a warning, while *corrupt* means the
+    // committed artifact rotted — passing would silently disable the gate,
+    // so it fails with its own exit code.
+    let baseline_doc = match aikido_bench::read_json_document(baseline_path) {
+        Ok(Some(doc)) => doc,
+        Ok(None) => {
+            println!(
+                "perfgate: no baseline at {baseline_path} — passing (run the \
+                 throughput bin and commit its output to enable the gate)"
+            );
+            return;
+        }
+        Err(reason) => {
+            eprintln!(
+                "perfgate: baseline is corrupt: {reason} — regenerate it \
+                 with the throughput bin and re-commit"
+            );
+            std::process::exit(aikido_bench::exitcode::BASELINE_CORRUPT);
+        }
+    };
+    let Some(baseline) = ModeGeomeans::from_document(&baseline_doc) else {
+        eprintln!(
+            "perfgate: baseline at {baseline_path} parses but is missing the \
+             per-mode geomeans — regenerate it with the throughput bin and \
+             re-commit"
         );
-        return;
+        std::process::exit(aikido_bench::exitcode::BASELINE_CORRUPT);
     };
 
     println!("perfgate: fresh {fresh_path} vs baseline {baseline_path}");
-    let fingerprint_note = fingerprint_warning(&fresh_doc, baseline_doc);
-    let deltas = sample_deltas(&fresh_doc, baseline_doc);
+    let fingerprint_note = fingerprint_warning(&fresh_doc, &baseline_doc);
+    let deltas = sample_deltas(&fresh_doc, &baseline_doc);
     print_delta_table(&deltas);
     println!("{:<14} {:>8} {:>14} {:>14} {:>8}", "", "", "", "", "");
     for (label, base, now) in [
@@ -336,7 +371,7 @@ fn main() {
             regression * 100.0,
             tolerance * 100.0
         );
-        std::process::exit(1);
+        std::process::exit(aikido_bench::exitcode::REGRESSION);
     }
     println!("perfgate: OK");
 }

@@ -24,6 +24,9 @@
 //! In parallel mode every report is asserted equal to the sequential run's —
 //! the wall-clock harness doubles as the cheapest equivalence oracle CI runs
 //! on every push.
+//!
+//! Exit codes (see [`aikido_bench::exitcode`]): 0 on success, 3 when the
+//! output document cannot be written (read-only checkout, bad `BENCH_OUT`).
 
 use std::time::Instant;
 
@@ -291,6 +294,12 @@ fn main() {
 
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
     let json = serde_json::to_string(&doc).expect("document serialises");
-    std::fs::write(&out, json).expect("throughput JSON is writable");
+    // A read-only checkout or a bad BENCH_OUT must not panic the harness
+    // after minutes of measurement: the table above already printed, so
+    // report the failure and exit with the documented code.
+    if let Err(err) = aikido_bench::write_report(&out, &json) {
+        eprintln!("throughput: {err}");
+        std::process::exit(aikido_bench::exitcode::WRITE_FAILED);
+    }
     println!("wrote {out}");
 }

@@ -83,6 +83,62 @@ pub fn machine_fingerprint(scale: f64) -> String {
     format!("host={hostname} cores={cores} scale={scale}")
 }
 
+/// Exit codes shared by the bench binaries, so CI can tell failure classes
+/// apart without parsing stderr:
+///
+/// | code | meaning |
+/// |------|---------|
+/// | 0    | success (including `perfgate` passing with a missing baseline) |
+/// | 1    | `perfgate`: throughput regressed beyond the tolerance |
+/// | 2    | `perfgate`: the fresh throughput document is unreadable |
+/// | 3    | `throughput`: the output document could not be written |
+/// | 4    | `perfgate`: the baseline exists but is corrupt (unreadable, unparsable, or missing the gated geomeans) |
+pub mod exitcode {
+    /// Success.
+    pub const OK: i32 = 0;
+    /// `perfgate`: throughput regressed beyond the tolerance.
+    pub const REGRESSION: i32 = 1;
+    /// `perfgate`: the fresh throughput document is unreadable.
+    pub const FRESH_UNREADABLE: i32 = 2;
+    /// `throughput`: the output document could not be written.
+    pub const WRITE_FAILED: i32 = 3;
+    /// `perfgate`: the baseline exists but is corrupt. Distinct from a
+    /// *missing* baseline (a fresh fork or perf machine), which passes with
+    /// a warning — a baseline that is present but unreadable means the
+    /// committed artifact rotted and the gate would otherwise silently stop
+    /// gating.
+    pub const BASELINE_CORRUPT: i32 = 4;
+}
+
+/// Writes a report document, wrapping any I/O failure in a diagnostic that
+/// names the path, the cause, and the usual remedies. The bins map an `Err`
+/// to [`exitcode::WRITE_FAILED`] instead of panicking mid-harness.
+pub fn write_report(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|err| {
+        format!(
+            "cannot write report to {path}: {err} \
+             (is the directory writable? set BENCH_OUT to redirect the output)"
+        )
+    })
+}
+
+/// Reads a JSON document, distinguishing the three states callers handle
+/// differently:
+///
+/// * `Ok(None)` — the file does not exist,
+/// * `Ok(Some(doc))` — the file parsed,
+/// * `Err(reason)` — the file exists but could not be read or parsed.
+pub fn read_json_document(path: &str) -> Result<Option<serde_json::Value>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(err) => return Err(format!("cannot read {path}: {err}")),
+    };
+    serde_json::from_str(&text)
+        .map(Some)
+        .map_err(|err| format!("{path} is not valid JSON: {err}"))
+}
+
 /// Geometric mean of a sequence of positive values (0.0 for an empty input).
 pub fn geometric_mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -151,6 +207,63 @@ mod tests {
         assert!(fp.contains("cores="), "{fp}");
         assert!(fp.ends_with("scale=0.05"), "{fp}");
         assert!(!fp.contains('\n'));
+    }
+
+    #[test]
+    fn write_report_surfaces_io_failures_with_the_path() {
+        let err = write_report("/nonexistent-dir/out.json", "{}").unwrap_err();
+        assert!(err.contains("/nonexistent-dir/out.json"), "{err}");
+        assert!(err.contains("BENCH_OUT"), "{err}");
+    }
+
+    #[test]
+    fn write_report_round_trips_through_read_json_document() {
+        let path =
+            std::env::temp_dir().join(format!("aikido-bench-io-{}.json", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path").to_string();
+        write_report(&path, r#"{"native_geomean": 1.5}"#).expect("temp dir is writable");
+        let doc = read_json_document(&path)
+            .expect("readable")
+            .expect("present");
+        assert_eq!(
+            doc.get("native_geomean").and_then(|v| v.as_f64()),
+            Some(1.5)
+        );
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn read_json_document_distinguishes_missing_from_corrupt() {
+        // Missing file (including a missing parent directory): Ok(None).
+        assert_eq!(
+            read_json_document("/nonexistent-dir/missing.json").expect("missing is not an error"),
+            None
+        );
+        // Present but not JSON: Err naming the path.
+        let path =
+            std::env::temp_dir().join(format!("aikido-bench-corrupt-{}.json", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path").to_string();
+        std::fs::write(&path, "not json {").expect("temp dir is writable");
+        let err = read_json_document(&path).expect_err("corrupt must be an error");
+        assert!(err.contains(&path), "{err}");
+        assert!(err.contains("not valid JSON"), "{err}");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn exit_codes_are_distinct() {
+        let codes = [
+            exitcode::OK,
+            exitcode::REGRESSION,
+            exitcode::FRESH_UNREADABLE,
+            exitcode::WRITE_FAILED,
+            exitcode::BASELINE_CORRUPT,
+        ];
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 
     #[test]

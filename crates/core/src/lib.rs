@@ -101,13 +101,19 @@ pub use aikido_workloads as workloads;
 /// The execution engine and cost model (re-export of `aikido-sim`).
 pub use aikido_sim as sim;
 
+/// The checkpoint/restore snapshot plane: versioned, checksummed state
+/// images and the fault-injection plans that attack them (re-export of
+/// `aikido-snapshot`).
+pub use aikido_snapshot as snapshot;
+
 /// The static pre-analysis and its runtime audit oracle (re-export of
 /// `aikido-staticcheck`).
 pub use aikido_staticcheck as staticcheck;
 
 pub use aikido_fasttrack::{FastTrack, FastTrackConfig};
 pub use aikido_sim::{
-    parallel_workers_from_env, Comparison, CostModel, Mode, RunCounts, RunReport, Simulator,
+    checkpoint_every_from_env, parallel_workers_from_env, CheckpointOutcome, Comparison, CostModel,
+    FaultPlan, Mode, RunCounts, RunReport, SimError, Simulator, Snapshot, SnapshotError,
 };
 pub use aikido_staticcheck::{StaticAudit, StaticReport};
 pub use aikido_types::{
@@ -119,9 +125,9 @@ pub use aikido_workloads::{Workload, WorkloadSpec, PARSEC_BENCHMARKS};
 /// Everything a typical user needs in scope.
 pub mod prelude {
     pub use crate::{
-        AccessContext, AccessKind, Addr, AikidoSystem, AnalysisReport, Comparison, CostModel,
-        FastTrack, Mode, ReportKind, RunReport, SharedDataAnalysis, Simulator, ThreadId, Workload,
-        WorkloadSpec,
+        AccessContext, AccessKind, Addr, AikidoSystem, AnalysisReport, CheckpointOutcome,
+        Comparison, CostModel, FastTrack, Mode, ReportKind, RunReport, SharedDataAnalysis,
+        SimError, Simulator, Snapshot, SnapshotError, ThreadId, Workload, WorkloadSpec,
     };
 }
 
@@ -188,6 +194,46 @@ impl AikidoSystem {
         analysis: &mut A,
     ) -> RunReport {
         self.simulator.run_with_analysis(workload, mode, analysis)
+    }
+
+    /// Runs `workload` in `mode`, pausing every `AIKIDO_CHECKPOINT_EVERY`
+    /// block executions to serialize, re-validate and restore the full
+    /// simulation state (see [`Simulator::run_checkpointed`]). Without the
+    /// variable this is an ordinary run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if a worker panics or a checkpoint image fails
+    /// its integrity validation.
+    pub fn run_checkpointed(&self, workload: &Workload, mode: Mode) -> Result<RunReport, SimError> {
+        self.simulator.run_checkpointed(workload, mode)
+    }
+
+    /// Runs `workload` in `mode` until `after_blocks` block executions have
+    /// retired, then pauses and serializes the full state (see
+    /// [`Simulator::checkpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the run fails before reaching the target.
+    pub fn checkpoint(
+        &self,
+        workload: &Workload,
+        mode: Mode,
+        after_blocks: u64,
+    ) -> Result<CheckpointOutcome, SimError> {
+        self.simulator.checkpoint(workload, mode, after_blocks)
+    }
+
+    /// Resumes a checkpointed run to completion; the final report is
+    /// byte-identical to the uninterrupted run's (see [`Simulator::resume`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] naming the failing section and offset if the
+    /// snapshot is corrupt or belongs to a different configuration.
+    pub fn resume(&self, workload: &Workload, snapshot: &Snapshot) -> Result<RunReport, SimError> {
+        self.simulator.resume(workload, snapshot)
     }
 
     /// Runs the native / FastTrack / Aikido-FastTrack triple for `workload`.

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
+use aikido_snapshot::{SectionReader, SectionWriter, SnapshotError};
 use aikido_types::{BlockId, InstrId};
 
 use crate::isa::Program;
@@ -273,6 +274,117 @@ impl CodeCache {
     /// Empties the whole cache (used on reset).
     pub fn clear(&mut self) {
         self.blocks.clear();
+    }
+
+    /// Serializes the cache — resident copies, per-slot generation counters,
+    /// promotion threshold and statistics — into `out`.
+    pub(crate) fn encode_snapshot(&self, out: &mut SectionWriter) {
+        out.put_u64(self.hot_threshold);
+        out.put_usize(self.generations.len());
+        for &g in &self.generations {
+            out.put_u32(g);
+        }
+        out.put_usize(self.blocks.len());
+        out.put_usize(self.len());
+        for (idx, slot) in self.blocks.iter().enumerate() {
+            let Some(b) = slot else { continue };
+            out.put_usize(idx);
+            out.put_u32(b.block.raw());
+            out.put_usize(b.instrumented.len());
+            for &flag in &b.instrumented {
+                out.put_bool(flag);
+            }
+            out.put_u64(b.instr_mask);
+            out.put_usize(b.instrumented_mem_instrs);
+            out.put_bool(b.static_private);
+            out.put_u64(b.executions);
+            out.put_u32(b.generation);
+            out.put_bool(b.in_trace);
+        }
+        out.put_u64(self.stats.blocks_built);
+        out.put_u64(self.stats.instrs_emitted);
+        out.put_u64(self.stats.dispatches);
+        out.put_u64(self.stats.linked_dispatches);
+        out.put_u64(self.stats.flush_requests);
+        out.put_u64(self.stats.blocks_flushed);
+        out.put_u64(self.stats.traces_built);
+    }
+
+    /// Rebuilds a cache from its serialized form. Slots are filled directly
+    /// (never through [`CodeCache::execute`]) so statistics and generation
+    /// counters come back exactly as recorded.
+    pub(crate) fn decode_snapshot(r: &mut SectionReader) -> Result<Self, SnapshotError> {
+        let hot_threshold = r.get_u64()?;
+        if hot_threshold == 0 {
+            return Err(SnapshotError::new(
+                r.section_name(),
+                r.offset(),
+                "code cache hot threshold must be non-zero",
+            ));
+        }
+        let gens = r.get_usize()?;
+        let mut generations = Vec::with_capacity(gens.min(1 << 20));
+        for _ in 0..gens {
+            generations.push(r.get_u32()?);
+        }
+        let slots = r.get_usize()?;
+        let resident = r.get_usize()?;
+        let mut blocks: Vec<Option<CachedBlock>> = Vec::new();
+        blocks.resize_with(slots, || None);
+        for _ in 0..resident {
+            let idx = r.get_usize()?;
+            let slot = blocks.get_mut(idx).ok_or_else(|| {
+                SnapshotError::new(
+                    r.section_name(),
+                    r.offset(),
+                    format!("cached block index {idx} out of range (slots {slots})"),
+                )
+            })?;
+            if slot.is_some() {
+                return Err(SnapshotError::new(
+                    r.section_name(),
+                    r.offset(),
+                    format!("duplicate cached block at slot {idx}"),
+                ));
+            }
+            let block = BlockId::new(r.get_u32()?);
+            let instr_count = r.get_usize()?;
+            let mut instrumented = Vec::with_capacity(instr_count.min(1 << 16));
+            for _ in 0..instr_count {
+                instrumented.push(r.get_bool()?);
+            }
+            let instr_mask = r.get_u64()?;
+            let instrumented_mem_instrs = r.get_usize()?;
+            let static_private = r.get_bool()?;
+            let executions = r.get_u64()?;
+            let generation = r.get_u32()?;
+            let in_trace = r.get_bool()?;
+            *slot = Some(CachedBlock {
+                block,
+                instrumented,
+                instr_mask,
+                instrumented_mem_instrs,
+                static_private,
+                executions,
+                generation,
+                in_trace,
+            });
+        }
+        let stats = CodeCacheStats {
+            blocks_built: r.get_u64()?,
+            instrs_emitted: r.get_u64()?,
+            dispatches: r.get_u64()?,
+            linked_dispatches: r.get_u64()?,
+            flush_requests: r.get_u64()?,
+            blocks_flushed: r.get_u64()?,
+            traces_built: r.get_u64()?,
+        };
+        Ok(CodeCache {
+            blocks,
+            generations,
+            hot_threshold,
+            stats,
+        })
     }
 }
 

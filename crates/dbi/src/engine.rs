@@ -4,6 +4,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use aikido_snapshot::{SectionReader, SectionWriter, SnapshotError};
 use aikido_types::{BlockId, InstrId};
 
 use crate::cache::{CodeCache, CodeCacheStats};
@@ -263,6 +264,115 @@ impl DbiEngine {
     pub fn cached_blocks(&self) -> usize {
         self.cache.len()
     }
+
+    /// Serializes the engine's dynamic state — instrumentation decisions,
+    /// bitmask mirror, installed static plan, violation counter and the code
+    /// cache — into `out`. The static [`Program`] is workload input, not
+    /// state, and is *not* serialized; [`DbiEngine::decode_snapshot`] takes
+    /// it back as an argument.
+    pub fn encode_snapshot(&self, out: &mut SectionWriter) {
+        let mut decisions: Vec<InstrId> = self.instrumented.iter().copied().collect();
+        decisions.sort_unstable();
+        out.put_usize(decisions.len());
+        for id in decisions {
+            out.put_u32(id.block().raw());
+            out.put_u16(id.index());
+        }
+        out.put_usize(self.masks.len());
+        for &m in &self.masks {
+            out.put_u64(m);
+        }
+        match &self.plan {
+            None => out.put_u8(0),
+            Some(plan) => {
+                out.put_u8(1);
+                out.put_usize(plan.proven_private.len());
+                for &p in &plan.proven_private {
+                    out.put_bool(p);
+                }
+                out.put_usize(plan.may_share_masks.len());
+                for &m in &plan.may_share_masks {
+                    out.put_u64(m);
+                }
+            }
+        }
+        out.put_u64(self.static_bound_violations);
+        self.cache.encode_snapshot(out);
+    }
+
+    /// Rebuilds an engine over `program` from its serialized form. State is
+    /// reinstated directly — never through [`DbiEngine::request_instrumentation`]
+    /// or [`DbiEngine::install_static_plan`] — so flush statistics, violation
+    /// counts and resident cache copies come back exactly as recorded.
+    pub fn decode_snapshot(
+        program: impl Into<Arc<Program>>,
+        r: &mut SectionReader,
+    ) -> Result<Self, SnapshotError> {
+        let decisions = r.get_usize()?;
+        let mut instrumented = HashSet::with_capacity(decisions.min(1 << 20));
+        let mut prev: Option<InstrId> = None;
+        for _ in 0..decisions {
+            let block = BlockId::new(r.get_u32()?);
+            let id = InstrId::new(block, r.get_u16()?);
+            if prev.is_some_and(|p| p >= id) {
+                return Err(SnapshotError::new(
+                    r.section_name(),
+                    r.offset(),
+                    format!("instrumentation decisions out of order at {id:?}"),
+                ));
+            }
+            prev = Some(id);
+            instrumented.insert(id);
+        }
+        let mask_count = r.get_usize()?;
+        if mask_count > MAX_MASK_BLOCKS {
+            return Err(SnapshotError::new(
+                r.section_name(),
+                r.offset(),
+                format!("mask table of {mask_count} blocks exceeds {MAX_MASK_BLOCKS}"),
+            ));
+        }
+        let mut masks = Vec::with_capacity(mask_count);
+        for _ in 0..mask_count {
+            masks.push(r.get_u64()?);
+        }
+        let plan = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let private = r.get_usize()?;
+                let mut proven_private = Vec::with_capacity(private.min(1 << 20));
+                for _ in 0..private {
+                    proven_private.push(r.get_bool()?);
+                }
+                let share = r.get_usize()?;
+                let mut may_share_masks = Vec::with_capacity(share.min(1 << 20));
+                for _ in 0..share {
+                    may_share_masks.push(r.get_u64()?);
+                }
+                Some(StaticPlan {
+                    proven_private,
+                    may_share_masks,
+                })
+            }
+            tag => {
+                return Err(SnapshotError::new(
+                    r.section_name(),
+                    r.offset(),
+                    format!("unknown static-plan tag {tag}"),
+                ));
+            }
+        };
+        let static_bound_violations = r.get_u64()?;
+        let cache = CodeCache::decode_snapshot(r)?;
+        Ok(DbiEngine {
+            program: program.into(),
+            cache,
+            instrumented,
+            masks,
+            plan,
+            static_bound_violations,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -409,6 +519,60 @@ mod tests {
         let i1 = e.program().block(b).unwrap().instr_id(1);
         e.request_instrumentation(i1);
         assert_eq!(e.static_bound_violations(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_engine_state() {
+        let (mut e, b) = engine();
+        e.install_static_plan(StaticPlan {
+            proven_private: vec![false],
+            may_share_masks: vec![0b101],
+        });
+        // Build up non-trivial state: decisions (one of them a violation),
+        // several executions (so the copy is hot), and a pending flush.
+        for _ in 0..CodeCache::DEFAULT_HOT_THRESHOLD + 2 {
+            e.execute_block(b);
+        }
+        let i0 = e.program().block(b).unwrap().instr_id(0);
+        let i1 = e.program().block(b).unwrap().instr_id(1);
+        e.request_instrumentation(i0);
+        e.execute_block(b);
+        e.request_instrumentation(i1); // violation; leaves the block flushed
+        assert_eq!(e.static_bound_violations(), 1);
+
+        let mut w = aikido_snapshot::SectionWriter::new(*b"DBIE", 1);
+        e.encode_snapshot(&mut w);
+        let mut builder = aikido_snapshot::SnapshotBuilder::new();
+        builder.push(w);
+        let snap = builder.finish();
+        let mut reader = snap.reader().unwrap();
+        let mut section = reader.section(*b"DBIE", 1).unwrap();
+        let mut restored =
+            DbiEngine::decode_snapshot(Arc::clone(&e.program), &mut section).unwrap();
+        section.finish().unwrap();
+        reader.finish().unwrap();
+
+        assert_eq!(restored.instrumented_instrs(), e.instrumented_instrs());
+        assert_eq!(restored.static_plan(), e.static_plan());
+        assert_eq!(restored.static_bound_violations(), 1);
+        assert_eq!(restored.cache_stats(), e.cache_stats());
+        assert_eq!(restored.cached_blocks(), e.cached_blocks());
+        assert_eq!(restored.block_up_to_date(b), e.block_up_to_date(b));
+        // The two engines evolve identically from here.
+        assert_eq!(restored.execute_block(b), e.execute_block(b));
+        assert_eq!(restored.cache_stats(), e.cache_stats());
+        // And re-encoding is byte-stable.
+        let mut w1 = aikido_snapshot::SectionWriter::new(*b"DBIE", 1);
+        e.encode_snapshot(&mut w1);
+        let mut w2 = aikido_snapshot::SectionWriter::new(*b"DBIE", 1);
+        restored.encode_snapshot(&mut w2);
+        let (mut b1, mut b2) = (
+            aikido_snapshot::SnapshotBuilder::new(),
+            aikido_snapshot::SnapshotBuilder::new(),
+        );
+        b1.push(w1);
+        b2.push(w2);
+        assert_eq!(b1.finish().into_bytes(), b2.finish().into_bytes());
     }
 
     #[test]

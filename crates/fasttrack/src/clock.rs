@@ -71,6 +71,17 @@ impl VectorClock {
         Self::default()
     }
 
+    /// The backing clock array, trailing zeros included — the exact
+    /// representation the snapshot plane serializes.
+    pub(crate) fn raw_clocks(&self) -> &[ClockValue] {
+        &self.clocks
+    }
+
+    /// Rebuilds a clock from its exact backing array (snapshot restore).
+    pub(crate) fn from_raw_clocks(clocks: Vec<ClockValue>) -> Self {
+        VectorClock { clocks }
+    }
+
     /// The clock of `thread` (zero if never set).
     pub fn get(&self, thread: ThreadId) -> ClockValue {
         self.clocks.get(thread.index()).copied().unwrap_or(0)

@@ -64,6 +64,19 @@ impl<V> DenseMap<V> {
         }
     }
 
+    /// Iterates every `(key, value)` pair in ascending key order (dense keys
+    /// are all below the spill bound, so dense-then-spill is sorted). This is
+    /// the deterministic serialization order of the snapshot plane.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        let dense = self
+            .dense
+            .iter()
+            .enumerate()
+            .filter_map(|(k, v)| Some((k as u64, v.as_ref()?)));
+        let spill = self.spill.iter().map(|(k, v)| (*k, v));
+        dense.chain(spill)
+    }
+
     /// Mutable access to the value at `key`, inserting `make()` first if the
     /// key is vacant.
     pub fn get_or_insert_with(&mut self, key: u64, make: impl FnOnce() -> V) -> &mut V {

@@ -3,6 +3,7 @@
 use std::collections::HashSet;
 
 use aikido_shadow::ShadowStore;
+use aikido_snapshot::{SectionReader, SectionWriter, SnapshotError};
 use aikido_types::{
     AccessContext, AccessKind, Addr, AnalysisReport, InstrId, LockId, ReportKind, ShadowWord,
     SharedDataAnalysis, SlabHandle, ThreadId, Vpn,
@@ -863,6 +864,267 @@ impl FastTrack {
             message: format!("{kind}: {message}"),
         });
     }
+
+    /// Serializes the detector's complete state — configuration, thread and
+    /// lock clocks, every tracked variable state (storage-independent, via
+    /// [`FastTrack::var_states`]), dedup set, reports, statistics and the
+    /// last-cost memo — into one snapshot section.
+    pub fn encode_snapshot(&self, out: &mut SectionWriter) {
+        out.put_u64(self.config.granularity);
+        out.put_bool(self.config.epoch_optimization);
+        out.put_usize(self.config.max_reports);
+        out.put_bool(self.config.dedup_by_block);
+        out.put_bool(self.packed_words());
+
+        let put_clock = |out: &mut SectionWriter, vc: &VectorClock| {
+            let raw = vc.raw_clocks();
+            out.put_usize(raw.len());
+            for &c in raw {
+                out.put_u32(c);
+            }
+        };
+        for map in [&self.threads, &self.locks] {
+            out.put_usize(map.len());
+            for (key, vc) in map.iter() {
+                out.put_u64(key);
+                put_clock(out, vc);
+            }
+        }
+
+        let put_epoch = |out: &mut SectionWriter, e: Epoch| {
+            out.put_u32(e.clock());
+            out.put_u32(e.thread().raw());
+        };
+        let states = self.var_states();
+        out.put_usize(states.len());
+        for (block, state) in &states {
+            out.put_u64(*block);
+            put_epoch(out, state.write);
+            match &state.read {
+                ReadState::Exclusive(e) => {
+                    out.put_u8(0);
+                    put_epoch(out, *e);
+                }
+                ReadState::Shared(rvc) => {
+                    out.put_u8(1);
+                    put_clock(out, rvc);
+                }
+            }
+        }
+
+        let mut reported: Vec<u64> = self.reported_blocks.iter().copied().collect();
+        reported.sort_unstable();
+        out.put_usize(reported.len());
+        for block in reported {
+            out.put_u64(block);
+        }
+
+        out.put_usize(self.reports.len());
+        for report in &self.reports {
+            out.put_u8(match report.kind {
+                ReportKind::DataRace => 0,
+                ReportKind::AtomicityViolation => 1,
+                ReportKind::Other => 2,
+            });
+            out.put_u64(report.addr.raw());
+            out.put_u32(report.thread.raw());
+            match report.other_thread {
+                None => out.put_u8(0),
+                Some(t) => {
+                    out.put_u8(1);
+                    out.put_u32(t.raw());
+                }
+            }
+            match report.instr {
+                None => out.put_u8(0),
+                Some(i) => {
+                    out.put_u8(1);
+                    out.put_u32(i.block().raw());
+                    out.put_u16(i.index());
+                }
+            }
+            out.put_str(&report.message);
+        }
+
+        for v in [
+            self.stats.reads,
+            self.stats.writes,
+            self.stats.read_same_epoch,
+            self.stats.write_same_epoch,
+            self.stats.read_share_promotions,
+            self.stats.acquires,
+            self.stats.releases,
+            self.stats.forks,
+            self.stats.joins,
+            self.stats.barriers,
+            self.stats.races_detected,
+            self.stats.blocks_tracked,
+        ] {
+            out.put_u64(v);
+        }
+        out.put_u64(self.last_cost);
+    }
+
+    /// Rebuilds a detector from a snapshot section written by
+    /// [`FastTrack::encode_snapshot`]. The restored detector is
+    /// behavior-identical to the serialized one: same clocks, same variable
+    /// states (re-packed into whichever storage was active), same dedup set,
+    /// reports, statistics and cost memo.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on any malformed payload.
+    pub fn decode_snapshot(r: &mut SectionReader<'_>) -> Result<FastTrack, SnapshotError> {
+        let granularity = r.get_u64()?;
+        let epoch_optimization = r.get_bool()?;
+        let max_reports = r.get_usize()?;
+        let dedup_by_block = r.get_bool()?;
+        let packed = r.get_bool()?;
+        if !granularity.is_power_of_two() {
+            return Err(SnapshotError::new(
+                r.section_name(),
+                r.offset(),
+                format!("granularity {granularity} is not a power of two"),
+            ));
+        }
+        let config = FastTrackConfig {
+            granularity,
+            epoch_optimization,
+            max_reports,
+            dedup_by_block,
+        };
+        let mut ft = FastTrack::with_config(config).with_packed_words(packed);
+
+        let get_clock = |r: &mut SectionReader<'_>| -> Result<VectorClock, SnapshotError> {
+            let len = r.get_usize()?;
+            let mut clocks = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                clocks.push(r.get_u32()?);
+            }
+            Ok(VectorClock::from_raw_clocks(clocks))
+        };
+        for map_is_threads in [true, false] {
+            let count = r.get_usize()?;
+            for _ in 0..count {
+                let key = r.get_u64()?;
+                let vc = get_clock(r)?;
+                let map = if map_is_threads {
+                    &mut ft.threads
+                } else {
+                    &mut ft.locks
+                };
+                *map.get_or_insert_with(key, VectorClock::new) = vc;
+            }
+        }
+
+        let get_epoch = |r: &mut SectionReader<'_>| -> Result<Epoch, SnapshotError> {
+            let clock = r.get_u32()?;
+            let thread = r.get_u32()?;
+            Ok(Epoch::new(clock, ThreadId::new(thread)))
+        };
+        let var_count = r.get_usize()?;
+        for _ in 0..var_count {
+            let block = r.get_u64()?;
+            let write = get_epoch(r)?;
+            let read = match r.get_u8()? {
+                0 => ReadState::Exclusive(get_epoch(r)?),
+                1 => ReadState::Shared(Box::new(get_clock(r)?)),
+                other => {
+                    return Err(SnapshotError::new(
+                        r.section_name(),
+                        r.offset(),
+                        format!("invalid read-state tag {other}"),
+                    ))
+                }
+            };
+            let state = VarState { write, read };
+            match &mut ft.vars {
+                VarStorage::Packed(vars) => vars.insert_state(block, state),
+                VarStorage::Reference(store) => {
+                    let shift = granularity.trailing_zeros();
+                    store.insert(Addr::new(block << shift), state);
+                }
+            }
+        }
+
+        let reported_count = r.get_usize()?;
+        for _ in 0..reported_count {
+            ft.reported_blocks.insert(r.get_u64()?);
+        }
+
+        let report_count = r.get_usize()?;
+        for _ in 0..report_count {
+            let kind = match r.get_u8()? {
+                0 => ReportKind::DataRace,
+                1 => ReportKind::AtomicityViolation,
+                2 => ReportKind::Other,
+                other => {
+                    return Err(SnapshotError::new(
+                        r.section_name(),
+                        r.offset(),
+                        format!("invalid report kind {other}"),
+                    ))
+                }
+            };
+            let addr = Addr::new(r.get_u64()?);
+            let thread = ThreadId::new(r.get_u32()?);
+            let other_thread = match r.get_u8()? {
+                0 => None,
+                1 => Some(ThreadId::new(r.get_u32()?)),
+                other => {
+                    return Err(SnapshotError::new(
+                        r.section_name(),
+                        r.offset(),
+                        format!("invalid option tag {other}"),
+                    ))
+                }
+            };
+            let instr = match r.get_u8()? {
+                0 => None,
+                1 => {
+                    let block = r.get_u32()?;
+                    let index = r.get_u16()?;
+                    Some(InstrId::new(aikido_types::BlockId::new(block), index))
+                }
+                other => {
+                    return Err(SnapshotError::new(
+                        r.section_name(),
+                        r.offset(),
+                        format!("invalid option tag {other}"),
+                    ))
+                }
+            };
+            let message = r.get_str()?;
+            ft.reports.push(AnalysisReport {
+                kind,
+                addr,
+                thread,
+                other_thread,
+                instr,
+                message,
+            });
+        }
+
+        let stats = &mut ft.stats;
+        for field in [
+            &mut stats.reads,
+            &mut stats.writes,
+            &mut stats.read_same_epoch,
+            &mut stats.write_same_epoch,
+            &mut stats.read_share_promotions,
+            &mut stats.acquires,
+            &mut stats.releases,
+            &mut stats.forks,
+            &mut stats.joins,
+            &mut stats.barriers,
+            &mut stats.races_detected,
+            &mut stats.blocks_tracked,
+        ] {
+            *field = r.get_u64()?;
+        }
+        ft.last_cost = r.get_u64()?;
+        Ok(ft)
+    }
 }
 
 impl SharedDataAnalysis for FastTrack {
@@ -1406,6 +1668,65 @@ mod tests {
         assert_eq!(run_costs, scalar_costs);
         assert_eq!(run_based.stats(), scalar.stats());
         assert_eq!(run_based.var_states(), scalar.var_states());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_detector_behavior() {
+        for packed in [true, false] {
+            let mut ft = FastTrack::new().with_packed_words(packed);
+            let l = LockId::new(3);
+            ft.fork(t(0), t(1));
+            ft.read(t(0), addr(0x100));
+            ft.read(t(1), addr(0x100)); // shared read state
+            ft.write(t(0), addr(0x200));
+            ft.release(t(0), l);
+            ft.acquire(t(1), l);
+            ft.write(t(1), addr(0x300));
+            ft.read(t(1), addr(0x300));
+            // Unsynchronised racy write pair (t0's post-release write is not
+            // ordered before t1) so reports/reported_blocks are non-empty.
+            ft.write(t(0), addr(0x500));
+            ft.write(t(1), addr(0x500));
+            assert!(!ft.races().is_empty());
+
+            let mut w = SectionWriter::new(*b"FTRK", 1);
+            ft.encode_snapshot(&mut w);
+            let section_len = w.len();
+            let mut snap = aikido_snapshot::SnapshotBuilder::new();
+            snap.push(w);
+            let snap = snap.finish();
+            let mut reader = snap.reader().expect("valid image");
+            let mut section = reader.section(*b"FTRK", 1).expect("section present");
+            let mut restored = FastTrack::decode_snapshot(&mut section).expect("decodes");
+            section.finish().expect("payload fully consumed");
+            reader.finish().expect("no trailing sections");
+
+            assert_eq!(restored.config(), ft.config());
+            assert_eq!(restored.packed_words(), packed);
+            assert_eq!(restored.var_states(), ft.var_states());
+            assert_eq!(restored.races(), ft.races());
+            assert_eq!(restored.stats(), ft.stats());
+            assert_eq!(restored.last_cost, ft.last_cost);
+
+            // Future events evolve identically (clocks survived exactly).
+            for detector in [&mut ft, &mut restored] {
+                detector.read(t(0), addr(0x100));
+                detector.write(t(1), addr(0x100));
+                detector.barrier(&[t(0), t(1)]);
+                detector.write(t(0), addr(0x400));
+            }
+            assert_eq!(restored.var_states(), ft.var_states());
+            assert_eq!(restored.races(), ft.races());
+            assert_eq!(restored.stats(), ft.stats());
+
+            // Re-encoding the restored detector is byte-stable.
+            let mut w2 = SectionWriter::new(*b"FTRK", 1);
+            restored.encode_snapshot(&mut w2);
+            let mut w3 = SectionWriter::new(*b"FTRK", 1);
+            ft.encode_snapshot(&mut w3);
+            assert_eq!(w2.len(), w3.len());
+            assert!(section_len > 0);
+        }
     }
 
     #[test]

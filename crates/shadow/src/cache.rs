@@ -17,6 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use aikido_snapshot::{SectionReader, SectionWriter, SnapshotError};
 use aikido_types::{ChunkMap, InstrId, ThreadId};
 
 use crate::region::RegionId;
@@ -280,6 +281,101 @@ impl TranslationCache {
         self.lanes.clear();
         self.spill_lanes.clear();
     }
+
+    /// Serializes every cache lane (inline tables, spill maps, thread-local
+    /// FIFOs, in order), the statistics and the configured FIFO capacity into
+    /// a snapshot section. The cache layers are *stateful* accelerators —
+    /// which level serves an access decides its simulated cost — so restoring
+    /// them exactly is required for resume-equivalence.
+    pub fn encode_snapshot(&self, out: &mut SectionWriter) {
+        let put_lane = |out: &mut SectionWriter, lane: &ThreadLane| {
+            out.put_bytes(&lane.inline_dense);
+            out.put_usize(lane.inline_spill.len());
+            for (key, region) in lane.inline_spill.iter() {
+                out.put_u64(key);
+                out.put_u32(region.raw());
+            }
+            out.put_usize(lane.recent.len());
+            for region in &lane.recent {
+                out.put_u32(region.raw());
+            }
+        };
+        out.put_usize(self.lanes.len());
+        for lane in &self.lanes {
+            put_lane(out, lane);
+        }
+        out.put_usize(self.spill_lanes.len());
+        for (idx, lane) in &self.spill_lanes {
+            out.put_usize(*idx);
+            put_lane(out, lane);
+        }
+        out.put_u64(self.stats.translations);
+        out.put_u64(self.stats.inline_hits);
+        out.put_u64(self.stats.thread_local_hits);
+        out.put_u64(self.stats.full_lookups);
+        out.put_usize(self.thread_local_entries);
+    }
+
+    /// Rebuilds a cache from a section written by
+    /// [`TranslationCache::encode_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on any malformed payload.
+    pub fn decode_snapshot(
+        r: &mut SectionReader<'_>,
+    ) -> std::result::Result<TranslationCache, SnapshotError> {
+        fn get_lane(r: &mut SectionReader<'_>) -> std::result::Result<ThreadLane, SnapshotError> {
+            let inline_dense = r.get_bytes()?;
+            let mut inline_spill = ChunkMap::new();
+            let spill_count = r.get_usize()?;
+            for _ in 0..spill_count {
+                let key = r.get_u64()?;
+                let region = RegionId::new(r.get_u32()?);
+                inline_spill.insert(key, region);
+            }
+            let recent_count = r.get_usize()?;
+            let mut recent = Vec::with_capacity(recent_count.min(1 << 10));
+            for _ in 0..recent_count {
+                recent.push(RegionId::new(r.get_u32()?));
+            }
+            Ok(ThreadLane {
+                inline_dense,
+                inline_spill,
+                recent,
+            })
+        }
+        let lane_count = r.get_usize()?;
+        let mut lanes = Vec::with_capacity(lane_count.min(1 << 10));
+        for _ in 0..lane_count {
+            lanes.push(get_lane(r)?);
+        }
+        let spill_lane_count = r.get_usize()?;
+        let mut spill_lanes = Vec::with_capacity(spill_lane_count.min(1 << 10));
+        for _ in 0..spill_lane_count {
+            let idx = r.get_usize()?;
+            spill_lanes.push((idx, get_lane(r)?));
+        }
+        let mut stats = ShadowStats::new();
+        stats.translations = r.get_u64()?;
+        stats.inline_hits = r.get_u64()?;
+        stats.thread_local_hits = r.get_u64()?;
+        stats.full_lookups = r.get_u64()?;
+        let thread_local_entries = r.get_usize()?;
+        if thread_local_entries == 0 {
+            return Err(SnapshotError::new(
+                r.section_name(),
+                r.offset(),
+                "thread-local capacity must be at least 1".to_string(),
+            ));
+        }
+        Ok(TranslationCache {
+            lanes,
+            spill_lanes,
+            stats,
+            thread_local_entries,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -416,6 +512,51 @@ mod tests {
         let got = batched.access_run(ThreadId::new(0), RegionId::new(0), std::iter::empty());
         assert_eq!(got, RunLevels::default());
         assert_eq!(*batched.stats(), before);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_cache_levels() {
+        let mut c = TranslationCache::with_thread_local_entries(2);
+        for t in 0..3u32 {
+            for i in 0..8u16 {
+                c.access(ThreadId::new(t), instr(i), RegionId::new(u32::from(i) % 3));
+            }
+        }
+        // A wide-key spill entry too.
+        c.access(
+            ThreadId::new(0),
+            InstrId::new(BlockId::new(2), 907),
+            RegionId::new(1),
+        );
+
+        let mut w = aikido_snapshot::SectionWriter::new(*b"TCCH", 1);
+        c.encode_snapshot(&mut w);
+        let mut b = aikido_snapshot::SnapshotBuilder::new();
+        b.push(w);
+        let snap = b.finish();
+        let mut reader = snap.reader().unwrap();
+        let mut section = reader.section(*b"TCCH", 1).unwrap();
+        let mut restored = TranslationCache::decode_snapshot(&mut section).unwrap();
+        section.finish().unwrap();
+        reader.finish().unwrap();
+
+        assert_eq!(restored.stats(), c.stats());
+        // Every subsequent access must resolve at the same level in both.
+        for t in 0..4u32 {
+            for i in 0..10u16 {
+                let region = RegionId::new(u32::from(i) % 3);
+                assert_eq!(
+                    restored.access(ThreadId::new(t), instr(i), region),
+                    c.access(ThreadId::new(t), instr(i), region),
+                    "thread {t} instr {i}"
+                );
+            }
+        }
+        let wide = InstrId::new(BlockId::new(2), 907);
+        let got = restored.access(ThreadId::new(0), wide, RegionId::new(1));
+        assert_eq!(got, c.access(ThreadId::new(0), wide, RegionId::new(1)));
+        assert_eq!(got, CacheLevel::Inline);
+        assert_eq!(restored.stats(), c.stats());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use aikido_dbi::DbiEngine;
 use aikido_shadow::{DualShadow, RegionId, RegionKind};
+use aikido_snapshot::{SectionReader, SectionWriter, SnapshotError};
 use aikido_types::{Addr, InstrId, Prot, Result, ThreadId, Vpn};
 use aikido_vm::{AikidoFault, AikidoVm, Hypercall};
 
@@ -294,6 +295,124 @@ impl AikidoSd {
             }
         }
     }
+
+    /// Serializes the detector — attached regions, every non-`Unused` page
+    /// state, and the statistics — into a snapshot section.
+    ///
+    /// The dual shadow mapping itself is not serialized byte-by-byte: shadow
+    /// displacements are assigned deterministically at registration, so
+    /// replaying the region registrations in order reproduces the exact
+    /// mapping. Guest-side effects of attachment (mirror mappings, protection
+    /// hypercalls) live in the hypervisor and are restored with it.
+    pub fn encode_snapshot(&self, out: &mut SectionWriter) {
+        let regions: Vec<_> = self.shadow.regions().iter().collect();
+        out.put_usize(regions.len());
+        for region in regions {
+            out.put_u64(region.base.raw());
+            out.put_u64(region.pages);
+            out.put_u8(match region.kind {
+                RegionKind::Stack => 0,
+                RegionKind::Heap => 1,
+                RegionKind::Data => 2,
+                RegionKind::Code => 3,
+                RegionKind::Other => 4,
+            });
+        }
+        out.put_usize(self.pages.iter().count());
+        for (page, state) in self.pages.iter() {
+            out.put_u64(page.raw());
+            match state {
+                PageState::Unused => out.put_u8(0),
+                PageState::Shared => out.put_u8(1),
+                PageState::Private(owner) => {
+                    out.put_u8(2);
+                    out.put_u32(owner.raw());
+                }
+            }
+        }
+        for v in [
+            self.stats.faults_handled,
+            self.stats.private_transitions,
+            self.stats.shared_transitions,
+            self.stats.shared_page_faults,
+            self.stats.spurious_faults,
+            self.stats.instructions_instrumented,
+            self.stats.pages_registered,
+            self.stats.protection_hypercalls,
+        ] {
+            out.put_u64(v);
+        }
+    }
+
+    /// Rebuilds a detector from a section written by
+    /// [`AikidoSd::encode_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on any malformed payload, including region
+    /// registrations that fail to replay (overlaps, shadow-area collisions).
+    pub fn decode_snapshot(
+        r: &mut SectionReader<'_>,
+    ) -> std::result::Result<AikidoSd, SnapshotError> {
+        let mut sd = AikidoSd::new();
+        let region_count = r.get_usize()?;
+        for _ in 0..region_count {
+            let base = Addr::new(r.get_u64()?);
+            let pages = r.get_u64()?;
+            let kind = match r.get_u8()? {
+                0 => RegionKind::Stack,
+                1 => RegionKind::Heap,
+                2 => RegionKind::Data,
+                3 => RegionKind::Code,
+                4 => RegionKind::Other,
+                other => {
+                    return Err(SnapshotError::new(
+                        r.section_name(),
+                        r.offset(),
+                        format!("invalid region kind {other}"),
+                    ))
+                }
+            };
+            sd.shadow.register_region(base, pages, kind).map_err(|e| {
+                SnapshotError::new(
+                    r.section_name(),
+                    r.offset(),
+                    format!("region replay failed: {e}"),
+                )
+            })?;
+        }
+        let page_count = r.get_usize()?;
+        for _ in 0..page_count {
+            let page = Vpn::new(r.get_u64()?);
+            let state = match r.get_u8()? {
+                0 => PageState::Unused,
+                1 => PageState::Shared,
+                2 => PageState::Private(ThreadId::new(r.get_u32()?)),
+                other => {
+                    return Err(SnapshotError::new(
+                        r.section_name(),
+                        r.offset(),
+                        format!("invalid page state tag {other}"),
+                    ))
+                }
+            };
+            sd.pages.restore(page, state);
+        }
+        let stats = &mut sd.stats;
+        for field in [
+            &mut stats.faults_handled,
+            &mut stats.private_transitions,
+            &mut stats.shared_transitions,
+            &mut stats.shared_page_faults,
+            &mut stats.spurious_faults,
+            &mut stats.instructions_instrumented,
+            &mut stats.pages_registered,
+            &mut stats.protection_hypercalls,
+        ] {
+            *field = r.get_u64()?;
+        }
+        Ok(sd)
+    }
 }
 
 #[cfg(test)]
@@ -491,6 +610,62 @@ mod tests {
         access(&mut rig, t0, base.offset(16), AccessKind::Write, i1);
         assert!(rig.sd.read_view().is_shared_page(base.page()));
         assert_eq!(rig.sd.page_state(base.page()), PageState::Shared);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_sharing_state() {
+        let (mut rig, base) = rig(3, 4);
+        let (t0, t1) = (ThreadId::new(0), ThreadId::new(1));
+        let (i0, i1) = (rig.instrs[0], rig.instrs[1]);
+        access(&mut rig, t0, base, AccessKind::Write, i0); // page 0 shared below
+        access(&mut rig, t1, base, AccessKind::Write, i0);
+        access(&mut rig, t0, base.offset(4096), AccessKind::Write, i1); // page 1 private
+
+        let mut w = aikido_snapshot::SectionWriter::new(*b"AKSD", 1);
+        rig.sd.encode_snapshot(&mut w);
+        let mut b = aikido_snapshot::SnapshotBuilder::new();
+        b.push(w);
+        let snap = b.finish();
+        let mut reader = snap.reader().unwrap();
+        let mut section = reader.section(*b"AKSD", 1).unwrap();
+        let restored = AikidoSd::decode_snapshot(&mut section).unwrap();
+        section.finish().unwrap();
+        reader.finish().unwrap();
+
+        assert_eq!(restored.stats(), rig.sd.stats());
+        assert_eq!(restored.page_counts(), rig.sd.page_counts());
+        assert_eq!(restored.page_state(base.page()), PageState::Shared);
+        assert_eq!(
+            restored.page_state(base.offset(4096).page()),
+            PageState::Private(t0)
+        );
+        // The replayed shadow mapping assigns identical displacements.
+        for off in [0u64, 0x123, 4096, 2 * 4096 + 8] {
+            assert_eq!(
+                restored.mirror_addr(base.offset(off)).unwrap(),
+                rig.sd.mirror_addr(base.offset(off)).unwrap()
+            );
+            assert_eq!(
+                restored.metadata_addr(base.offset(off)).unwrap(),
+                rig.sd.metadata_addr(base.offset(off)).unwrap()
+            );
+        }
+        // Future fault handling evolves identically.
+        let mut restored_rig = Rig {
+            vm: rig.vm,
+            engine: rig.engine,
+            sd: restored,
+            instrs: rig.instrs,
+        };
+        let faults = access(
+            &mut restored_rig,
+            ThreadId::new(2),
+            base.offset(4096),
+            AccessKind::Write,
+            i0,
+        );
+        assert_eq!(faults, 1);
+        assert!(restored_rig.sd.is_shared_page(base.offset(4096).page()));
     }
 
     #[test]

@@ -135,6 +135,12 @@ impl PageStateTable {
             .set(page.raw(), ShadowWord::from_raw(encode(state)));
     }
 
+    /// Reinstalls a page state directly, bypassing the fault state machine
+    /// (snapshot restore only — normal operation goes through `on_fault`).
+    pub(crate) fn restore(&mut self, page: Vpn, state: PageState) {
+        self.set(page, state);
+    }
+
     /// Number of pages in each state: `(private, shared)`.
     pub fn counts(&self) -> (usize, usize) {
         let mut private = 0;

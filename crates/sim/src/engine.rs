@@ -4,15 +4,75 @@ use aikido_dbi::DbiEngine;
 use aikido_fasttrack::FastTrack;
 use aikido_shadow::{CacheLevel, DualShadow, RegionId, RegionKind, TranslationCache};
 use aikido_sharing::AikidoSd;
+use aikido_snapshot::{SectionReader, SectionWriter, Snapshot, SnapshotBuilder, SnapshotError};
 use aikido_types::{
-    AccessContext, AccessKind, Addr, MemRef, Operation, Prot, SharedDataAnalysis, SyncOp, ThreadId,
-    Vpn,
+    AccessContext, AccessKind, Addr, LockId, MemRef, Operation, Prot, SharedDataAnalysis, SyncOp,
+    ThreadId, Vpn,
 };
 use aikido_vm::{AikidoVm, TouchOutcome, VmConfig};
-use aikido_workloads::{BlockExec, Workload};
+use aikido_workloads::{BlockExec, Workload, WorkloadSpec};
 
 use crate::cost::CostModel;
+use crate::epoch::TraceSource;
 use crate::report::{RunCounts, RunReport};
+
+/// A recoverable simulation failure surfaced by the `try_` entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An epoch-engine producer worker panicked. The commit thread drained
+    /// the surviving lanes and shut the pool down cleanly; the partial run
+    /// is discarded.
+    WorkerPanic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A snapshot failed validation during [`Simulator::resume`] (corrupt
+    /// image, or state that does not match the workload being resumed).
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::WorkerPanic { message } => {
+                write!(f, "epoch producer worker panicked: {message}")
+            }
+            SimError::Snapshot(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<SnapshotError> for SimError {
+    fn from(err: SnapshotError) -> Self {
+        SimError::Snapshot(err)
+    }
+}
+
+/// What [`Simulator::checkpoint`] (and [`Simulator::resume_until`]) produced:
+/// either the run reached its end before the block target, or it paused at an
+/// epoch boundary with its full state serialized.
+#[derive(Debug)]
+pub enum CheckpointOutcome {
+    /// The workload ran to completion; no snapshot was taken. (Boxed: a
+    /// report is an order of magnitude larger than a snapshot handle.)
+    Completed(Box<RunReport>),
+    /// The run paused once `counts.block_execs` reached the target; resuming
+    /// the snapshot continues it byte-identically.
+    Paused(Snapshot),
+}
+
+/// Reads the periodic-checkpoint policy from `AIKIDO_CHECKPOINT_EVERY`
+/// (`None` when unset, unparsable, or zero): every `N` block executions,
+/// [`Simulator::run_checkpointed`] pauses the run, serializes a snapshot,
+/// re-validates it from its own bytes and resumes from the restored state.
+pub fn checkpoint_every_from_env() -> Option<u64> {
+    std::env::var("AIKIDO_CHECKPOINT_EVERY")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v > 0)
+}
 
 /// How a workload is executed.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -184,37 +244,286 @@ impl Simulator {
 
     /// Runs `workload` in `mode` with a FastTrack race detector as the
     /// analysis (the paper's configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails (see [`Simulator::try_run`] for the
+    /// recoverable form).
     pub fn run(&self, workload: &Workload, mode: Mode) -> RunReport {
+        self.try_run(workload, mode).expect("simulation failed")
+    }
+
+    /// Runs `workload` in `mode` with a FastTrack analysis, surfacing
+    /// failures (such as a panicking epoch producer) as a structured
+    /// [`SimError`] instead of panicking or hanging.
+    pub fn try_run(&self, workload: &Workload, mode: Mode) -> Result<RunReport, SimError> {
         let mut analysis = FastTrack::new();
-        let mut report = self.run_with_analysis(workload, mode, &mut analysis);
+        let mut report = self.try_run_with_analysis(workload, mode, &mut analysis)?;
         report.fasttrack = Some(*analysis.stats());
-        report
+        Ok(report)
     }
 
     /// Runs `workload` in `mode` with a caller-provided analysis tool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails (see
+    /// [`Simulator::try_run_with_analysis`] for the recoverable form).
     pub fn run_with_analysis<A: SharedDataAnalysis>(
         &self,
         workload: &Workload,
         mode: Mode,
         analysis: &mut A,
     ) -> RunReport {
+        self.try_run_with_analysis(workload, mode, analysis)
+            .expect("simulation failed")
+    }
+
+    /// Runs `workload` in `mode` with a caller-provided analysis tool,
+    /// surfacing failures as a structured [`SimError`].
+    pub fn try_run_with_analysis<A: SharedDataAnalysis>(
+        &self,
+        workload: &Workload,
+        mode: Mode,
+        analysis: &mut A,
+    ) -> Result<RunReport, SimError> {
         let mut run = Run::new(self, workload, mode, analysis);
-        if self.workers <= 1 || workload.threads().len() <= 1 {
-            let mut feed = SeqFeed::new(workload);
-            run.execute(&mut feed);
-        } else {
-            let threads = workload.threads();
-            std::thread::scope(|scope| {
-                let mut feed =
-                    crate::epoch::spawn_producers(scope, workload, &threads, self.workers);
-                run.execute(&mut feed);
-                // Dropping the feed disconnects every lane, letting any
-                // producer that ran ahead of the commit clock exit before the
-                // scope joins it.
-                drop(feed);
-            });
+        let mut states = run.initial_states();
+        self.drive(workload, workload, &mut run, &mut states, None, false)?;
+        Ok(run.into_report())
+    }
+
+    /// Runs `workload` in `mode` under the periodic checkpoint policy from
+    /// [`checkpoint_every_from_env`]: every `AIKIDO_CHECKPOINT_EVERY` block
+    /// executions the run pauses at an epoch boundary, serializes its full
+    /// state, re-validates the image from its own bytes (every section
+    /// checksum is re-verified) and resumes from the *restored* state. With
+    /// the variable unset this is exactly [`Simulator::try_run`]; with it
+    /// set, the final report is still byte-identical to an uninterrupted
+    /// run — that equivalence is what the crash-recovery suite pins.
+    pub fn run_checkpointed(&self, workload: &Workload, mode: Mode) -> Result<RunReport, SimError> {
+        let Some(every) = checkpoint_every_from_env() else {
+            return self.try_run(workload, mode);
+        };
+        let mut target = every;
+        let mut outcome = self.checkpoint(workload, mode, target)?;
+        loop {
+            match outcome {
+                CheckpointOutcome::Completed(report) => return Ok(*report),
+                CheckpointOutcome::Paused(snapshot) => {
+                    // Round-trip through raw bytes so every period re-runs
+                    // the full integrity validation a crash recovery would.
+                    let snapshot =
+                        Snapshot::from_bytes(snapshot.into_bytes()).map_err(SimError::Snapshot)?;
+                    target += every;
+                    outcome = self.resume_until(workload, &snapshot, target)?;
+                }
+            }
         }
-        run.into_report()
+    }
+
+    /// Runs `workload` in `mode` with a FastTrack analysis until the run
+    /// retires `after_blocks` block executions (a cumulative count), then
+    /// pauses at the next scheduling-round boundary and serializes the full
+    /// simulation state — scheduler, analysis clocks, hypervisor, sharing
+    /// detector, DBI engine and translation cache. Returns
+    /// [`CheckpointOutcome::Completed`] when the workload finishes first.
+    pub fn checkpoint(
+        &self,
+        workload: &Workload,
+        mode: Mode,
+        after_blocks: u64,
+    ) -> Result<CheckpointOutcome, SimError> {
+        let mut analysis = FastTrack::new();
+        let mut run = Run::new(self, workload, mode, &mut analysis);
+        let mut states = run.initial_states();
+        let status = self.drive(
+            workload,
+            workload,
+            &mut run,
+            &mut states,
+            Some(after_blocks),
+            false,
+        )?;
+        Ok(match status {
+            ExecStatus::Paused => CheckpointOutcome::Paused(run.encode_snapshot(&states)),
+            ExecStatus::Completed => {
+                let mut report = run.into_report();
+                report.fasttrack = Some(*analysis.stats());
+                CheckpointOutcome::Completed(Box::new(report))
+            }
+        })
+    }
+
+    /// Resumes a run from `snapshot` and drives it to completion. The final
+    /// report is byte-identical to the uninterrupted run's, at any worker
+    /// count. The snapshot must have been taken for the same workload,
+    /// scheduling quantum and cost model — a mismatch (or any corruption the
+    /// container checksums missed) returns a structured
+    /// [`SnapshotError`] naming the failing section and offset.
+    pub fn resume(&self, workload: &Workload, snapshot: &Snapshot) -> Result<RunReport, SimError> {
+        match self.resume_inner(workload, snapshot, None)? {
+            CheckpointOutcome::Completed(report) => Ok(*report),
+            CheckpointOutcome::Paused(_) => unreachable!("no block target was set"),
+        }
+    }
+
+    /// Resumes a run from `snapshot` until it retires `after_blocks` *total*
+    /// block executions (the same cumulative clock
+    /// [`Simulator::checkpoint`] uses), pausing again at the next round
+    /// boundary. Chained checkpoints compose: pause, serialize, restore,
+    /// pause again — the final report never moves.
+    pub fn resume_until(
+        &self,
+        workload: &Workload,
+        snapshot: &Snapshot,
+        after_blocks: u64,
+    ) -> Result<CheckpointOutcome, SimError> {
+        self.resume_inner(workload, snapshot, Some(after_blocks))
+    }
+
+    fn resume_inner(
+        &self,
+        workload: &Workload,
+        snapshot: &Snapshot,
+        stop_after: Option<u64>,
+    ) -> Result<CheckpointOutcome, SimError> {
+        let mut reader = snapshot.reader()?;
+        let mut meta = reader.section(*b"META", META_VERSION)?;
+        let recorded = meta.get_str()?;
+        let mode = [Mode::Native, Mode::FullInstrumentation, Mode::Aikido]
+            .into_iter()
+            .find(|&mode| snapshot_meta_json(self, workload, mode) == recorded)
+            .ok_or_else(|| {
+                SnapshotError::new(
+                    "META",
+                    0,
+                    "snapshot metadata does not match this run: workload spec, \
+                     scheduling quantum or cost model differ",
+                )
+            })?;
+        meta.finish()?;
+
+        let mut schd = reader.section(*b"SCHD", SCHD_VERSION)?;
+        let sched = SchedState::decode(&mut schd, workload.threads().len())?;
+        schd.finish()?;
+
+        let mut ftrk = reader.section(*b"FTRK", FTRK_VERSION)?;
+        let mut analysis = FastTrack::decode_snapshot(&mut ftrk)?;
+        ftrk.finish()?;
+
+        let mut tcch = reader.section(*b"TCCH", TCCH_VERSION)?;
+        let cache = TranslationCache::decode_snapshot(&mut tcch)?;
+        tcch.finish()?;
+
+        let engine = if mode == Mode::Native {
+            None
+        } else {
+            let mut dbie = reader.section(*b"DBIE", DBIE_VERSION)?;
+            let engine = DbiEngine::decode_snapshot(workload.program_arc(), &mut dbie)?;
+            dbie.finish()?;
+            Some(engine)
+        };
+        let (vm, sd) = if mode == Mode::Aikido {
+            let mut akvm = reader.section(*b"AKVM", AKVM_VERSION)?;
+            let vm = AikidoVm::decode_snapshot(&mut akvm)?;
+            akvm.finish()?;
+            let mut aksd = reader.section(*b"AKSD", AKSD_VERSION)?;
+            let sd = AikidoSd::decode_snapshot(&mut aksd)?;
+            aksd.finish()?;
+            (Some(vm), Some(sd))
+        } else {
+            (None, None)
+        };
+        reader.finish()?;
+
+        let (mut run, mut states) = Run::from_restored(
+            self,
+            workload,
+            mode,
+            &mut analysis,
+            vm,
+            sd,
+            engine,
+            cache,
+            sched,
+        );
+        let status = self.drive(workload, workload, &mut run, &mut states, stop_after, true)?;
+        Ok(match status {
+            ExecStatus::Paused => CheckpointOutcome::Paused(run.encode_snapshot(&states)),
+            ExecStatus::Completed => {
+                let mut report = run.into_report();
+                report.fasttrack = Some(*analysis.stats());
+                CheckpointOutcome::Completed(Box::new(report))
+            }
+        })
+    }
+
+    /// Drives `run` to completion (or to the `stop_after` block target) over
+    /// the configured feed: sequential for one worker, the epoch-parallel
+    /// engine otherwise. `source` supplies the per-thread block streams
+    /// (always the workload itself outside tests). When `fast_forward` is
+    /// set, each slot's stream is first replayed past the executions a
+    /// restored scheduler already consumed.
+    fn drive<'w, A: SharedDataAnalysis, S: TraceSource + ?Sized>(
+        &self,
+        workload: &'w Workload,
+        source: &S,
+        run: &mut Run<'_, 'w, A>,
+        states: &mut [ThreadState],
+        stop_after: Option<u64>,
+        fast_forward: bool,
+    ) -> Result<ExecStatus, SimError> {
+        let threads = workload.threads();
+        if self.workers <= 1 || threads.len() <= 1 {
+            let mut feed = SeqFeed::new(source, &threads);
+            if fast_forward {
+                fast_forward_feed(&mut feed, states)?;
+            }
+            return Ok(run.execute(&mut feed, states, stop_after));
+        }
+        let (status, panic) = std::thread::scope(|scope| {
+            let mut feed = crate::epoch::spawn_producers(scope, source, &threads, self.workers);
+            let panic = feed.panic_handle();
+            let status = (|| -> Result<ExecStatus, SimError> {
+                if fast_forward {
+                    fast_forward_feed(&mut feed, states)?;
+                }
+                Ok(run.execute(&mut feed, states, stop_after))
+            })();
+            // Dropping the feed disconnects every lane, letting any
+            // producer that ran ahead of the commit clock exit before the
+            // scope joins it.
+            drop(feed);
+            (status, panic)
+        });
+        // Every producer has joined: the record is final. A recorded panic
+        // outranks whatever the commit side salvaged — the run is truncated.
+        let recorded = panic
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take();
+        if let Some(message) = recorded {
+            return Err(SimError::WorkerPanic { message });
+        }
+        status
+    }
+
+    /// Test seam: runs `workload` but pulls the per-thread block streams from
+    /// `source` instead — how the fault-injection tests plant a panicking
+    /// producer without touching the workload generator.
+    #[cfg(test)]
+    fn try_run_with_source<S: TraceSource + ?Sized>(
+        &self,
+        workload: &Workload,
+        source: &S,
+        mode: Mode,
+    ) -> Result<RunReport, SimError> {
+        let mut analysis = FastTrack::new();
+        let mut run = Run::new(self, workload, mode, &mut analysis);
+        let mut states = run.initial_states();
+        self.drive(workload, source, &mut run, &mut states, None, false)?;
+        Ok(run.into_report())
     }
 
     /// Runs the native / full / Aikido triple the paper compares for every
@@ -239,26 +548,23 @@ pub(crate) trait BlockFeed {
     fn next_into(&mut self, slot: usize, out: &mut BlockExec) -> bool;
 }
 
-/// The sequential feed: one [`aikido_workloads::ThreadTrace`] per slot,
-/// consumed in place on the scheduler thread. This is the reference path the
-/// parallel engine is proven byte-identical against.
-struct SeqFeed<'w> {
-    traces: Vec<aikido_workloads::ThreadTrace<'w>>,
+/// The sequential feed: one block stream per slot (a
+/// [`aikido_workloads::ThreadTrace`] in production), consumed in place on
+/// the scheduler thread. This is the reference path the parallel engine is
+/// proven byte-identical against.
+struct SeqFeed<T> {
+    traces: Vec<T>,
 }
 
-impl<'w> SeqFeed<'w> {
-    fn new(workload: &'w Workload) -> Self {
+impl<'s, T: crate::epoch::BlockStream> SeqFeed<T> {
+    fn new<S: TraceSource<Stream<'s> = T> + ?Sized>(source: &'s S, threads: &[ThreadId]) -> Self {
         SeqFeed {
-            traces: workload
-                .threads()
-                .into_iter()
-                .map(|id| workload.thread_trace(id))
-                .collect(),
+            traces: threads.iter().map(|&id| source.stream(id)).collect(),
         }
     }
 }
 
-impl BlockFeed for SeqFeed<'_> {
+impl<T: crate::epoch::BlockStream> BlockFeed for SeqFeed<T> {
     #[inline]
     fn next_into(&mut self, slot: usize, out: &mut BlockExec) -> bool {
         self.traces[slot].next_into(out)
@@ -277,6 +583,20 @@ struct ThreadState {
     /// True if `exec` holds a produced-but-unconsumed execution (a blocked
     /// synchronisation operation waiting to retry).
     has_exec: bool,
+    /// Successful feed pulls so far. Because every feed yields the same
+    /// per-slot stream (a pure function of the workload), this count is all
+    /// a snapshot needs to reposition a fresh feed on resume: re-pull this
+    /// many executions, keeping the last one when `has_exec` is set.
+    pulled: u64,
+}
+
+/// How [`Run::execute`] returned.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum ExecStatus {
+    /// Every started thread ran to completion.
+    Completed,
+    /// The block target was reached; the run paused at a round boundary.
+    Paused,
 }
 
 struct Run<'a, 'w, A: SharedDataAnalysis> {
@@ -493,9 +813,84 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
         }
     }
 
-    fn execute<F: BlockFeed>(&mut self, feed: &mut F) {
-        let mut states: Vec<ThreadState> = self
-            .threads
+    /// Reassembles a run from restored components, bypassing [`Run::setup`]
+    /// entirely — the decoded VM, sharing detector, DBI engine, translation
+    /// cache and scheduler state *are* the setup, exactly as they stood at
+    /// the pause. Derived structures (region table, shared-range bounds,
+    /// contention factor) are rebuilt from the workload, and the droppable
+    /// memos (inline-check tables, shared-page memo, contended-cost memo)
+    /// restart cold: all of them are pure accelerations whose absence is
+    /// proven unobservable, so the resumed run stays byte-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn from_restored(
+        sim: &'a Simulator,
+        workload: &'w Workload,
+        mode: Mode,
+        analysis: &'a mut A,
+        vm: Option<AikidoVm>,
+        sd: Option<AikidoSd>,
+        engine: Option<DbiEngine>,
+        cache: TranslationCache,
+        sched: SchedState,
+    ) -> (Self, Vec<ThreadState>) {
+        let threads = workload.threads();
+        let layout = workload.layout();
+        let shared_range = (
+            layout.shared_base().raw(),
+            layout.shared_base().raw() + layout.shared_bytes(),
+        );
+        let contention = sim.cost.contention_factor(threads.len() as u32);
+        let mut region_lookup = DualShadow::new();
+        for (base, pages) in layout.regions() {
+            region_lookup
+                .register_region(base, pages, RegionKind::Other)
+                .expect("workload regions are disjoint");
+        }
+        let states = threads
+            .iter()
+            .zip(&sched.slots)
+            .map(|(&id, slot)| ThreadState {
+                id,
+                started: slot.started,
+                finished: slot.finished,
+                exec: BlockExec::default(),
+                has_exec: slot.has_exec,
+                pulled: slot.pulled,
+            })
+            .collect();
+        let run = Run {
+            sim,
+            workload,
+            mode,
+            analysis,
+            threads,
+            cycles: sched.cycles,
+            counts: sched.counts,
+            vm,
+            sd,
+            engine,
+            cache,
+            region_lookup,
+            shared_range,
+            contention,
+            last_scheduled: sched.last_scheduled,
+            barrier_arrivals: sched.barrier_arrivals,
+            barriers_done: sched.barriers_done,
+            lock_owners: sched.lock_owners,
+            lock_owner_spill: sched.lock_owner_spill,
+            fatal_accesses: sched.fatal_accesses,
+            inline_tlb: Vec::new(),
+            last_contended_cost: (u64::MAX, 0),
+            cx_scratch: Vec::new(),
+            cost_scratch: Vec::new(),
+            shared_pages: vec![SharedPageInfo::EMPTY; SHARED_PAGE_ENTRIES],
+        };
+        (run, states)
+    }
+
+    /// The per-slot scheduling states a fresh run starts from.
+    fn initial_states(&self) -> Vec<ThreadState> {
+        self.threads
             .iter()
             .map(|&id| ThreadState {
                 id,
@@ -503,9 +898,23 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                 finished: false,
                 exec: BlockExec::default(),
                 has_exec: false,
+                pulled: 0,
             })
-            .collect();
+            .collect()
+    }
 
+    /// Drives the round-robin scheduler until every started thread finishes
+    /// ([`ExecStatus::Completed`]) or — when `stop_after` is set — until the
+    /// run has retired that many block executions in total, pausing at the
+    /// end of the scheduling round ([`ExecStatus::Paused`]). Pausing only at
+    /// round boundaries keeps the checkpoint surface small: no thread is
+    /// mid-quantum, so `states` plus the components is the whole state.
+    fn execute<F: BlockFeed>(
+        &mut self,
+        feed: &mut F,
+        states: &mut [ThreadState],
+        stop_after: Option<u64>,
+    ) -> ExecStatus {
         loop {
             let mut progress = false;
             for i in 0..states.len() {
@@ -522,6 +931,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                             break;
                         }
                         st.has_exec = true;
+                        st.pulled += 1;
                     }
                     match self.classify(&states[i].exec) {
                         BlockKind::Work => {
@@ -532,7 +942,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                         }
                         BlockKind::Sync(op) => {
                             let thread = states[i].id;
-                            match self.execute_sync(thread, op, &mut states) {
+                            match self.execute_sync(thread, op, &mut *states) {
                                 SyncOutcome::Done => {
                                     states[i].has_exec = false;
                                     executed += 1;
@@ -557,11 +967,19 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
             if !progress {
                 break;
             }
+            if let Some(stop) = stop_after {
+                if self.counts.block_execs >= stop
+                    && states.iter().any(|s| s.started && !s.finished)
+                {
+                    return ExecStatus::Paused;
+                }
+            }
         }
         debug_assert!(
             states.iter().all(|s| !s.started || s.finished),
             "scheduler ended with runnable threads (deadlock in the generated workload?)"
         );
+        ExecStatus::Completed
     }
 
     fn classify(&self, exec: &BlockExec) -> BlockKind {
@@ -1723,6 +2141,298 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint/restore plumbing
+// ----------------------------------------------------------------------
+
+/// Section format versions. Bumped whenever a section's wire layout changes;
+/// restore rejects any mismatch with a structured error.
+const META_VERSION: u16 = 1;
+const SCHD_VERSION: u16 = 1;
+const FTRK_VERSION: u16 = 1;
+const TCCH_VERSION: u16 = 1;
+const DBIE_VERSION: u16 = 1;
+const AKVM_VERSION: u16 = 1;
+const AKSD_VERSION: u16 = 1;
+
+/// The identity a snapshot was taken under, serialized as canonical JSON.
+/// Everything that must match for a resumed run to be byte-identical is in
+/// here: the full workload spec, the mode, the scheduling quantum and the
+/// cost model. Worker count, batched kernels, the inline TLB and the static
+/// pre-check are deliberately absent — all four are proven observably
+/// inert, so a snapshot resumes cleanly across those configurations.
+#[derive(serde::Serialize)]
+struct SnapshotMeta {
+    format: &'static str,
+    workload: WorkloadSpec,
+    mode: &'static str,
+    quantum: u32,
+    cost: CostModel,
+}
+
+/// Renders the META payload for `(simulator, workload, mode)`. Restore
+/// validates by *string equality* against each candidate mode's rendering:
+/// `serde_json` output is deterministic for a fixed struct, so a single
+/// comparison covers every field at once.
+fn snapshot_meta_json(sim: &Simulator, workload: &Workload, mode: Mode) -> String {
+    serde_json::to_string(&SnapshotMeta {
+        format: "aikido-checkpoint",
+        workload: workload.spec().clone(),
+        mode: mode.label(),
+        quantum: sim.quantum,
+        cost: sim.cost.clone(),
+    })
+    .expect("snapshot metadata serializes")
+}
+
+/// One [`ThreadState`]'s serializable core (the `exec` shell is recreated by
+/// replaying the feed on resume).
+struct SlotState {
+    started: bool,
+    finished: bool,
+    has_exec: bool,
+    pulled: u64,
+}
+
+/// The scheduler's serialized state: everything [`Run`] owns that is not a
+/// component, a derived structure, or a droppable memo.
+struct SchedState {
+    cycles: u64,
+    counts: RunCounts,
+    fatal_accesses: u64,
+    last_scheduled: Option<ThreadId>,
+    barriers_done: Vec<bool>,
+    barrier_arrivals: Vec<ArrivalSet>,
+    lock_owners: Vec<Option<ThreadId>>,
+    lock_owner_spill: Vec<(LockId, ThreadId)>,
+    slots: Vec<SlotState>,
+}
+
+impl SchedState {
+    fn decode(r: &mut SectionReader, expected_slots: usize) -> Result<Self, SnapshotError> {
+        let cycles = r.get_u64()?;
+        let counts = RunCounts {
+            dynamic_instrs: r.get_u64()?,
+            mem_accesses: r.get_u64()?,
+            instrumented_accesses: r.get_u64()?,
+            shared_accesses: r.get_u64()?,
+            segfaults: r.get_u64()?,
+            sync_ops: r.get_u64()?,
+            block_execs: r.get_u64()?,
+        };
+        let fatal_accesses = r.get_u64()?;
+        let last_scheduled = match r.get_u8()? {
+            0 => None,
+            1 => Some(ThreadId::new(r.get_u32()?)),
+            tag => {
+                return Err(SnapshotError::new(
+                    r.section_name(),
+                    r.offset(),
+                    format!("unknown last-scheduled tag {tag}"),
+                ));
+            }
+        };
+        let done = r.get_usize()?;
+        let mut barriers_done = Vec::with_capacity(done.min(1 << 16));
+        for _ in 0..done {
+            barriers_done.push(r.get_bool()?);
+        }
+        let arrivals = r.get_usize()?;
+        let mut barrier_arrivals = Vec::with_capacity(arrivals.min(1 << 16));
+        for _ in 0..arrivals {
+            let len = r.get_usize()?;
+            let mut arrived = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                arrived.push(r.get_bool()?);
+            }
+            let count = arrived.iter().filter(|&&a| a).count();
+            barrier_arrivals.push(ArrivalSet { arrived, count });
+        }
+        let owners = r.get_usize()?;
+        let mut lock_owners = Vec::with_capacity(owners.min(DENSE_LOCKS as usize));
+        for _ in 0..owners {
+            lock_owners.push(match r.get_u8()? {
+                0 => None,
+                1 => Some(ThreadId::new(r.get_u32()?)),
+                tag => {
+                    return Err(SnapshotError::new(
+                        r.section_name(),
+                        r.offset(),
+                        format!("unknown lock-owner tag {tag}"),
+                    ));
+                }
+            });
+        }
+        let spills = r.get_usize()?;
+        let mut lock_owner_spill = Vec::with_capacity(spills.min(1 << 16));
+        for _ in 0..spills {
+            let lock = LockId::new(r.get_u64()?);
+            lock_owner_spill.push((lock, ThreadId::new(r.get_u32()?)));
+        }
+        let slots = r.get_usize()?;
+        if slots != expected_slots {
+            return Err(SnapshotError::new(
+                r.section_name(),
+                r.offset(),
+                format!("snapshot holds {slots} thread slots, workload has {expected_slots}"),
+            ));
+        }
+        let mut slot_states = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            let started = r.get_bool()?;
+            let finished = r.get_bool()?;
+            let has_exec = r.get_bool()?;
+            let pulled = r.get_u64()?;
+            if has_exec && pulled == 0 {
+                return Err(SnapshotError::new(
+                    r.section_name(),
+                    r.offset(),
+                    "slot claims a stashed execution but recorded zero pulls",
+                ));
+            }
+            slot_states.push(SlotState {
+                started,
+                finished,
+                has_exec,
+                pulled,
+            });
+        }
+        Ok(SchedState {
+            cycles,
+            counts,
+            fatal_accesses,
+            last_scheduled,
+            barriers_done,
+            barrier_arrivals,
+            lock_owners,
+            lock_owner_spill,
+            slots: slot_states,
+        })
+    }
+}
+
+/// Repositions a fresh feed to where a restored scheduler paused: each
+/// slot's stream re-pulls the executions the original run already consumed.
+/// When the slot had a stashed (produced-but-blocked) execution, the final
+/// re-pull lands in `st.exec` — exactly the block the resumed scheduler
+/// retries first.
+fn fast_forward_feed<F: BlockFeed>(
+    feed: &mut F,
+    states: &mut [ThreadState],
+) -> Result<(), SnapshotError> {
+    for (i, st) in states.iter_mut().enumerate() {
+        for n in 0..st.pulled {
+            if !feed.next_into(i, &mut st.exec) {
+                return Err(SnapshotError::new(
+                    "SCHD",
+                    0,
+                    format!(
+                        "slot {i}: trace exhausted after {n} of {} recorded pulls \
+                         (snapshot does not belong to this workload)",
+                        st.pulled
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl<'w> Run<'_, 'w, FastTrack> {
+    /// Serializes the paused run — scheduler plus every component — into a
+    /// versioned, checksummed snapshot image. Section order is fixed:
+    /// `META`, `SCHD`, `FTRK`, `TCCH`, then `DBIE`/`AKVM`/`AKSD` as the
+    /// mode requires; restore walks the same order and rejects deviations.
+    fn encode_snapshot(&self, states: &[ThreadState]) -> Snapshot {
+        let mut builder = SnapshotBuilder::new();
+
+        let mut meta = SectionWriter::new(*b"META", META_VERSION);
+        meta.put_str(&snapshot_meta_json(self.sim, self.workload, self.mode));
+        builder.push(meta);
+
+        let mut schd = SectionWriter::new(*b"SCHD", SCHD_VERSION);
+        self.encode_sched(states, &mut schd);
+        builder.push(schd);
+
+        let mut ftrk = SectionWriter::new(*b"FTRK", FTRK_VERSION);
+        self.analysis.encode_snapshot(&mut ftrk);
+        builder.push(ftrk);
+
+        let mut tcch = SectionWriter::new(*b"TCCH", TCCH_VERSION);
+        self.cache.encode_snapshot(&mut tcch);
+        builder.push(tcch);
+
+        if let Some(engine) = &self.engine {
+            let mut dbie = SectionWriter::new(*b"DBIE", DBIE_VERSION);
+            engine.encode_snapshot(&mut dbie);
+            builder.push(dbie);
+        }
+        if let Some(vm) = &self.vm {
+            let mut akvm = SectionWriter::new(*b"AKVM", AKVM_VERSION);
+            vm.encode_snapshot(&mut akvm);
+            builder.push(akvm);
+        }
+        if let Some(sd) = &self.sd {
+            let mut aksd = SectionWriter::new(*b"AKSD", AKSD_VERSION);
+            sd.encode_snapshot(&mut aksd);
+            builder.push(aksd);
+        }
+        builder.finish()
+    }
+
+    fn encode_sched(&self, states: &[ThreadState], out: &mut SectionWriter) {
+        out.put_u64(self.cycles);
+        out.put_u64(self.counts.dynamic_instrs);
+        out.put_u64(self.counts.mem_accesses);
+        out.put_u64(self.counts.instrumented_accesses);
+        out.put_u64(self.counts.shared_accesses);
+        out.put_u64(self.counts.segfaults);
+        out.put_u64(self.counts.sync_ops);
+        out.put_u64(self.counts.block_execs);
+        out.put_u64(self.fatal_accesses);
+        match self.last_scheduled {
+            None => out.put_u8(0),
+            Some(thread) => {
+                out.put_u8(1);
+                out.put_u32(thread.raw());
+            }
+        }
+        out.put_usize(self.barriers_done.len());
+        for &done in &self.barriers_done {
+            out.put_bool(done);
+        }
+        out.put_usize(self.barrier_arrivals.len());
+        for set in &self.barrier_arrivals {
+            out.put_usize(set.arrived.len());
+            for &arrived in &set.arrived {
+                out.put_bool(arrived);
+            }
+        }
+        out.put_usize(self.lock_owners.len());
+        for owner in &self.lock_owners {
+            match owner {
+                None => out.put_u8(0),
+                Some(thread) => {
+                    out.put_u8(1);
+                    out.put_u32(thread.raw());
+                }
+            }
+        }
+        out.put_usize(self.lock_owner_spill.len());
+        for &(lock, owner) in &self.lock_owner_spill {
+            out.put_u64(lock.raw());
+            out.put_u32(owner.raw());
+        }
+        out.put_usize(states.len());
+        for st in states {
+            out.put_bool(st.started);
+            out.put_bool(st.finished);
+            out.put_bool(st.has_exec);
+            out.put_u64(st.pulled);
+        }
+    }
+}
+
 enum BlockKind {
     Work,
     Sync(SyncEvent),
@@ -2044,5 +2754,251 @@ mod tests {
             eight > two,
             "8-thread slowdown {eight:.1} <= 2-thread {two:.1}"
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint/restore and fault containment
+    // ------------------------------------------------------------------
+
+    use crate::epoch::{BlockStream, TraceSource};
+    use aikido_workloads::ThreadTrace;
+
+    /// A [`TraceSource`] that hands out the workload's real streams but makes
+    /// one thread's stream panic after a fixed number of pulls — the injected
+    /// fault the parallel engine must contain.
+    struct PanicSource<'w> {
+        workload: &'w Workload,
+        victim: ThreadId,
+        after: u32,
+    }
+
+    struct PanicStream<'s> {
+        inner: ThreadTrace<'s>,
+        armed: bool,
+        remaining: u32,
+    }
+
+    impl PanicStream<'_> {
+        fn tick(&mut self) {
+            if self.armed {
+                if self.remaining == 0 {
+                    panic!("injected producer panic");
+                }
+                self.remaining -= 1;
+            }
+        }
+    }
+
+    impl TraceSource for PanicSource<'_> {
+        type Stream<'s>
+            = PanicStream<'s>
+        where
+            Self: 's;
+
+        fn stream(&self, thread: ThreadId) -> PanicStream<'_> {
+            PanicStream {
+                inner: self.workload.thread_trace(thread),
+                armed: thread == self.victim,
+                remaining: self.after,
+            }
+        }
+    }
+
+    impl BlockStream for PanicStream<'_> {
+        fn fill_batch(&mut self, batch: &mut Vec<BlockExec>, target: usize) -> bool {
+            self.tick();
+            self.inner.fill_batch(batch, target)
+        }
+
+        fn next_into(&mut self, out: &mut BlockExec) -> bool {
+            self.tick();
+            self.inner.next_into(out)
+        }
+    }
+
+    #[test]
+    fn a_panicking_producer_surfaces_as_a_structured_error() {
+        let w = small("blackscholes");
+        // A whole epoch batch can swallow a small trace in one pull, so the
+        // panic must be armed for the very first one.
+        let source = PanicSource {
+            workload: &w,
+            victim: w.threads()[1],
+            after: 0,
+        };
+        for workers in [2, 4] {
+            let sim = Simulator::default().with_workers(workers);
+            let err = sim
+                .try_run_with_source(&w, &source, Mode::Aikido)
+                .expect_err("the injected panic must fail the run");
+            match err {
+                SimError::WorkerPanic { ref message } => {
+                    assert!(
+                        message.contains("injected producer panic"),
+                        "panic payload lost: {message:?}"
+                    );
+                }
+                ref other => panic!("expected WorkerPanic, got {other:?}"),
+            }
+            assert!(err.to_string().contains("injected producer panic"));
+        }
+    }
+
+    #[test]
+    fn an_untampered_source_reproduces_the_production_run() {
+        // The test seam itself must be inert: driving the run through the
+        // TraceSource indirection (panic disarmed) changes nothing.
+        let w = small("canneal");
+        let source = PanicSource {
+            workload: &w,
+            victim: ThreadId::new(u32::MAX),
+            after: 0,
+        };
+        let via_seam = Simulator::default()
+            .try_run_with_source(&w, &source, Mode::Aikido)
+            .unwrap();
+        let mut direct = Simulator::default().run(&w, Mode::Aikido);
+        direct.fasttrack = None; // the seam helper runs without stats capture
+        assert_eq!(via_seam, direct);
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_the_uninterrupted_run() {
+        let w = small("blackscholes");
+        for mode in [Mode::Native, Mode::FullInstrumentation, Mode::Aikido] {
+            let sim = Simulator::default();
+            let uninterrupted = sim.run(&w, mode);
+            let midpoint = uninterrupted.counts.block_execs / 2;
+            let outcome = sim.checkpoint(&w, mode, midpoint).unwrap();
+            let CheckpointOutcome::Paused(snapshot) = outcome else {
+                panic!("midpoint checkpoint must pause");
+            };
+            // Round-trip through raw bytes: resume validates a re-parsed image.
+            let snapshot = Snapshot::from_bytes(snapshot.into_bytes()).unwrap();
+            let resumed = sim.resume(&w, &snapshot).unwrap();
+            assert_eq!(resumed, uninterrupted, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn snapshots_resume_across_worker_counts() {
+        let w = small("fluidanimate");
+        let seq = Simulator::default();
+        let par = Simulator::default().with_workers(4);
+        let uninterrupted = seq.run(&w, Mode::Aikido);
+        let midpoint = uninterrupted.counts.block_execs / 2;
+
+        // Sequential checkpoint, parallel resume…
+        let CheckpointOutcome::Paused(snap) = seq.checkpoint(&w, Mode::Aikido, midpoint).unwrap()
+        else {
+            panic!("midpoint checkpoint must pause");
+        };
+        assert_eq!(par.resume(&w, &snap).unwrap(), uninterrupted);
+
+        // …and parallel checkpoint, sequential resume.
+        let CheckpointOutcome::Paused(snap) = par.checkpoint(&w, Mode::Aikido, midpoint).unwrap()
+        else {
+            panic!("midpoint checkpoint must pause");
+        };
+        assert_eq!(seq.resume(&w, &snap).unwrap(), uninterrupted);
+    }
+
+    #[test]
+    fn chained_checkpoints_compose() {
+        let w = small("swaptions");
+        let sim = Simulator::default();
+        let uninterrupted = sim.run(&w, Mode::Aikido);
+        let total = uninterrupted.counts.block_execs;
+        let mut outcome = sim.checkpoint(&w, Mode::Aikido, total / 4).unwrap();
+        let mut target = total / 4;
+        let mut pauses = 0;
+        let report = loop {
+            match outcome {
+                CheckpointOutcome::Completed(report) => break *report,
+                CheckpointOutcome::Paused(snapshot) => {
+                    pauses += 1;
+                    let snapshot = Snapshot::from_bytes(snapshot.into_bytes()).unwrap();
+                    target += total / 4;
+                    outcome = sim.resume_until(&w, &snapshot, target).unwrap();
+                }
+            }
+        };
+        assert!(pauses >= 2, "only {pauses} pauses across {total} blocks");
+        assert_eq!(report, uninterrupted);
+    }
+
+    #[test]
+    fn a_checkpoint_past_the_end_completes() {
+        let w = small("raytrace");
+        let sim = Simulator::default();
+        let uninterrupted = sim.run(&w, Mode::Native);
+        let outcome = sim
+            .checkpoint(&w, Mode::Native, uninterrupted.counts.block_execs * 2)
+            .unwrap();
+        match outcome {
+            CheckpointOutcome::Completed(report) => assert_eq!(*report, uninterrupted),
+            CheckpointOutcome::Paused(_) => panic!("nothing left to pause for"),
+        }
+    }
+
+    #[test]
+    fn resume_rejects_a_snapshot_from_a_different_configuration() {
+        let w = small("vips");
+        let sim = Simulator::default();
+        let report = sim.run(&w, Mode::Aikido);
+        let CheckpointOutcome::Paused(snapshot) = sim
+            .checkpoint(&w, Mode::Aikido, report.counts.block_execs / 2)
+            .unwrap()
+        else {
+            panic!("midpoint checkpoint must pause");
+        };
+
+        // Different workload.
+        let other = small("canneal");
+        let err = sim.resume(&other, &snapshot).unwrap_err();
+        let SimError::Snapshot(err) = err else {
+            panic!("expected a snapshot error, got {err:?}");
+        };
+        assert_eq!(err.section, "META");
+
+        // Different scheduling quantum.
+        let err = Simulator::default()
+            .with_quantum(3)
+            .resume(&w, &snapshot)
+            .unwrap_err();
+        let SimError::Snapshot(err) = err else {
+            panic!("expected a snapshot error, got {err:?}");
+        };
+        assert_eq!(err.section, "META");
+
+        // Worker count is *not* identity: the same snapshot still resumes.
+        assert!(Simulator::default()
+            .with_workers(3)
+            .resume(&w, &snapshot)
+            .is_ok());
+    }
+
+    #[test]
+    fn run_checkpointed_honors_the_env_policy() {
+        // The only in-process reader of AIKIDO_CHECKPOINT_EVERY, so mutating
+        // it here races with nothing.
+        std::env::remove_var("AIKIDO_CHECKPOINT_EVERY");
+        assert_eq!(checkpoint_every_from_env(), None);
+        std::env::set_var("AIKIDO_CHECKPOINT_EVERY", "0");
+        assert_eq!(checkpoint_every_from_env(), None, "0 disables the policy");
+        std::env::set_var("AIKIDO_CHECKPOINT_EVERY", "not-a-number");
+        assert_eq!(checkpoint_every_from_env(), None);
+        std::env::set_var("AIKIDO_CHECKPOINT_EVERY", "300");
+        assert_eq!(checkpoint_every_from_env(), Some(300));
+
+        let w = small("raytrace");
+        let sim = Simulator::default();
+        let uninterrupted = sim.run(&w, Mode::Aikido);
+        let checkpointed = sim.run_checkpointed(&w, Mode::Aikido).unwrap();
+        assert_eq!(checkpointed, uninterrupted);
+
+        std::env::remove_var("AIKIDO_CHECKPOINT_EVERY");
+        let plain = sim.run_checkpointed(&w, Mode::Aikido).unwrap();
+        assert_eq!(plain, uninterrupted);
     }
 }

@@ -39,13 +39,75 @@
 //! unbounded recycle lane, so the steady state allocates nothing on either
 //! side (mirroring the sequential scheduler's buffer reuse).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::thread::Scope;
 
 use aikido_types::ThreadId;
 use aikido_workloads::{BlockExec, ThreadTrace, Workload};
 
 use crate::engine::BlockFeed;
+
+/// Where a run's per-thread block streams come from. The production
+/// implementation is [`Workload`] (each stream is a [`ThreadTrace`]); tests
+/// inject faulty sources to prove the engine contains producer panics
+/// instead of hanging or tearing down the process.
+pub(crate) trait TraceSource: Sync {
+    /// One guest thread's block stream.
+    type Stream<'s>: BlockStream + Send
+    where
+        Self: 's;
+
+    /// Opens `thread`'s stream from the beginning.
+    fn stream(&self, thread: ThreadId) -> Self::Stream<'_>;
+}
+
+/// One guest thread's stream of block executions (the producer half of
+/// [`BlockFeed`]).
+pub(crate) trait BlockStream {
+    /// Appends up to `target` executions to `batch` (recycling its shells);
+    /// returns `false` once the stream is exhausted.
+    fn fill_batch(&mut self, batch: &mut Vec<BlockExec>, target: usize) -> bool;
+
+    /// Produces the next execution into `out` (recycling its buffers);
+    /// returns `false` once the stream is exhausted.
+    fn next_into(&mut self, out: &mut BlockExec) -> bool;
+}
+
+impl TraceSource for Workload {
+    type Stream<'s> = ThreadTrace<'s>;
+
+    fn stream(&self, thread: ThreadId) -> ThreadTrace<'_> {
+        self.thread_trace(thread)
+    }
+}
+
+impl BlockStream for ThreadTrace<'_> {
+    fn fill_batch(&mut self, batch: &mut Vec<BlockExec>, target: usize) -> bool {
+        ThreadTrace::fill_batch(self, batch, target)
+    }
+
+    fn next_into(&mut self, out: &mut BlockExec) -> bool {
+        ThreadTrace::next_into(self, out)
+    }
+}
+
+/// Shared record of the first producer panic: the worker writes it before
+/// exiting, the commit side inspects it once every producer has joined.
+pub(crate) type PanicRecord = Arc<Mutex<Option<String>>>;
+
+/// Renders a `catch_unwind` payload into the human-readable message carried
+/// by [`SimError::WorkerPanic`](crate::SimError::WorkerPanic).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "producer panicked with a non-string payload".to_string()
+    }
+}
 
 /// Block executions per produced batch (one epoch's worth for one guest
 /// thread). Large enough to amortise channel traffic, small enough that the
@@ -82,6 +144,18 @@ impl Lane {
 /// have genuinely not caught up yet.
 pub(crate) struct ParallelFeed {
     lanes: Vec<Lane>,
+    panic: PanicRecord,
+}
+
+impl ParallelFeed {
+    /// A handle to the producers' panic record, inspected after every
+    /// producer has joined (i.e. outside the thread scope). A closed lane and
+    /// a panicked producer are indistinguishable mid-run — both drop the
+    /// sender — so only the joined record separates "trace exhausted" from
+    /// "producer died".
+    pub(crate) fn panic_handle(&self) -> PanicRecord {
+        Arc::clone(&self.panic)
+    }
 }
 
 impl BlockFeed for ParallelFeed {
@@ -108,8 +182,8 @@ impl BlockFeed for ParallelFeed {
 }
 
 /// Producer-side state for one owned guest thread.
-struct ProducerLane<'w> {
-    trace: ThreadTrace<'w>,
+struct ProducerLane<S> {
+    trace: S,
     /// `None` once the trace is exhausted (dropping the sender is what tells
     /// the commit thread the lane is done).
     tx: Option<SyncSender<Vec<BlockExec>>>,
@@ -123,7 +197,7 @@ struct ProducerLane<'w> {
 /// keeps a full lane from ever blocking the worker's other lanes, which is
 /// what makes the pool deadlock-free: the commit thread only ever waits on a
 /// lane whose producer is guaranteed to reach it again.
-fn producer_loop(mut lanes: Vec<ProducerLane<'_>>) {
+fn producer_loop<S: BlockStream>(mut lanes: Vec<ProducerLane<S>>) {
     // When every open lane is full the worker has outrun the commit clock by
     // LANE_BATCHES whole epochs; sleep with backoff instead of spinning so an
     // oversubscribed machine (CI runners, the 1-core case) gives the core
@@ -187,15 +261,16 @@ fn producer_loop(mut lanes: Vec<ProducerLane<'_>>) {
 /// Spawns `workers` producer threads inside `scope`, partitioning the
 /// workload's guest threads round-robin across them, and returns the commit
 /// thread's feed. `threads` must be the same slot order the scheduler uses.
-pub(crate) fn spawn_producers<'scope, 'w: 'scope>(
+pub(crate) fn spawn_producers<'scope, 'w: 'scope, S: TraceSource + ?Sized>(
     scope: &'scope Scope<'scope, '_>,
-    workload: &'w Workload,
+    source: &'w S,
     threads: &[ThreadId],
     workers: usize,
 ) -> ParallelFeed {
     let workers = workers.clamp(1, threads.len().max(1));
     let mut commit_lanes = Vec::with_capacity(threads.len());
-    let mut producer_lanes: Vec<Vec<ProducerLane<'w>>> = (0..workers).map(|_| Vec::new()).collect();
+    let mut producer_lanes: Vec<Vec<ProducerLane<S::Stream<'w>>>> =
+        (0..workers).map(|_| Vec::new()).collect();
     for (slot, &thread) in threads.iter().enumerate() {
         let (tx, rx) = sync_channel(LANE_BATCHES);
         // Recycle capacity mirrors the data lane: at most LANE_BATCHES + 1
@@ -209,16 +284,35 @@ pub(crate) fn spawn_producers<'scope, 'w: 'scope>(
             exhausted: false,
         });
         producer_lanes[slot % workers].push(ProducerLane {
-            trace: workload.thread_trace(thread),
+            trace: source.stream(thread),
             tx: Some(tx),
             recycle_rx,
             pending: None,
         });
     }
+    let panic: PanicRecord = Arc::new(Mutex::new(None));
     for lanes in producer_lanes {
-        scope.spawn(move || producer_loop(lanes));
+        let record = Arc::clone(&panic);
+        scope.spawn(move || {
+            // A panicking stream must not tear down the whole process (or
+            // deadlock the commit thread): the unwind drops the worker's
+            // lanes — disconnecting every owned guest thread, which the
+            // commit side reads as exhaustion and drains normally — and the
+            // first payload is recorded for `Simulator::try_run` to surface
+            // as a structured `SimError::WorkerPanic`.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| producer_loop(lanes))) {
+                let message = panic_message(payload);
+                let mut slot = record
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                if slot.is_none() {
+                    *slot = Some(message);
+                }
+            }
+        });
     }
     ParallelFeed {
         lanes: commit_lanes,
+        panic,
     }
 }

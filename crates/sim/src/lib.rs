@@ -48,6 +48,10 @@ mod engine;
 mod epoch;
 mod report;
 
+pub use aikido_snapshot::{FaultPlan, Snapshot, SnapshotError};
 pub use cost::CostModel;
-pub use engine::{parallel_workers_from_env, Comparison, Mode, Simulator};
+pub use engine::{
+    checkpoint_every_from_env, parallel_workers_from_env, CheckpointOutcome, Comparison, Mode,
+    SimError, Simulator,
+};
 pub use report::{RunCounts, RunReport};

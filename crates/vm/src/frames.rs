@@ -64,6 +64,12 @@ impl FrameAllocator {
     pub fn allocated(&self) -> u64 {
         self.next
     }
+
+    /// Rebuilds an allocator whose next `alloc` continues after `allocated`
+    /// frames (snapshot restore).
+    pub(crate) fn with_allocated(allocated: u64) -> Self {
+        FrameAllocator { next: allocated }
+    }
 }
 
 #[cfg(test)]

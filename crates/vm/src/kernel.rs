@@ -17,9 +17,15 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+use aikido_snapshot::{SectionReader, SectionWriter, SnapshotError};
 use aikido_types::{AccessKind, Addr, AikidoError, ChunkMap, Prot, Result, Vpn};
 
 use crate::frames::{FrameAllocator, FrameId};
+use crate::snap::{get_prot, put_prot};
+
+/// Alias distinguishing decode results from the crate's [`Result`] (which is
+/// fixed to [`AikidoError`]).
+type Result2<T, E> = std::result::Result<T, E>;
 
 /// Identity of a backing object (an anonymous region or backing file).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -292,6 +298,140 @@ impl GuestKernel {
     /// True if there are undrained page-table updates.
     pub fn has_pending_events(&self) -> bool {
         !self.pending_events.is_empty()
+    }
+
+    /// Serializes the whole guest-OS model — VMAs, the guest page table, the
+    /// backing-object frame maps, the frame allocator cursor and any
+    /// undrained page-table events — into a snapshot section.
+    pub fn encode_snapshot(&self, out: &mut SectionWriter) {
+        out.put_usize(self.vmas.len());
+        for vma in &self.vmas {
+            out.put_u64(vma.start.raw());
+            out.put_u64(vma.pages);
+            put_prot(out, vma.prot);
+            match vma.backing {
+                VmaBacking::Private(id) => {
+                    out.put_u8(0);
+                    out.put_u64(id.0);
+                }
+                VmaBacking::Shared(id) => {
+                    out.put_u8(1);
+                    out.put_u64(id.0);
+                }
+            }
+        }
+        out.put_usize(self.page_table.len());
+        for (page, pte) in self.page_table.iter() {
+            out.put_u64(page);
+            out.put_u64(pte.frame.raw());
+            put_prot(out, pte.prot);
+        }
+        out.put_usize(self.backings.len());
+        for (id, frames) in &self.backings {
+            out.put_u64(id.0);
+            out.put_usize(frames.len());
+            for (offset, frame) in frames {
+                out.put_u64(*offset);
+                out.put_u64(frame.raw());
+            }
+        }
+        out.put_u64(self.next_backing);
+        out.put_u64(self.frames.allocated());
+        out.put_usize(self.pending_events.len());
+        for event in &self.pending_events {
+            match event {
+                KernelEvent::PteInstalled { page, pte } => {
+                    out.put_u8(0);
+                    out.put_u64(page.raw());
+                    out.put_u64(pte.frame.raw());
+                    put_prot(out, pte.prot);
+                }
+                KernelEvent::PteRemoved { page } => {
+                    out.put_u8(1);
+                    out.put_u64(page.raw());
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a guest kernel from a section written by
+    /// [`GuestKernel::encode_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on any malformed payload.
+    pub fn decode_snapshot(r: &mut SectionReader<'_>) -> Result2<GuestKernel, SnapshotError> {
+        let mut kernel = GuestKernel::new();
+        let vma_count = r.get_usize()?;
+        for _ in 0..vma_count {
+            let start = Vpn::new(r.get_u64()?);
+            let pages = r.get_u64()?;
+            let prot = get_prot(r)?;
+            let backing = match r.get_u8()? {
+                0 => VmaBacking::Private(BackingId(r.get_u64()?)),
+                1 => VmaBacking::Shared(BackingId(r.get_u64()?)),
+                other => {
+                    return Err(SnapshotError::new(
+                        r.section_name(),
+                        r.offset(),
+                        format!("invalid VMA backing tag {other}"),
+                    ))
+                }
+            };
+            kernel.vmas.push(Vma {
+                start,
+                pages,
+                prot,
+                backing,
+            });
+        }
+        let pte_count = r.get_usize()?;
+        for _ in 0..pte_count {
+            let page = r.get_u64()?;
+            let frame = FrameId::new(r.get_u64()?);
+            let prot = get_prot(r)?;
+            kernel.page_table.insert(page, GuestPte { frame, prot });
+        }
+        let backing_count = r.get_usize()?;
+        for _ in 0..backing_count {
+            let id = BackingId(r.get_u64()?);
+            let frame_count = r.get_usize()?;
+            let mut frames = BTreeMap::new();
+            for _ in 0..frame_count {
+                let offset = r.get_u64()?;
+                let frame = FrameId::new(r.get_u64()?);
+                frames.insert(offset, frame);
+            }
+            kernel.backings.insert(id, frames);
+        }
+        kernel.next_backing = r.get_u64()?;
+        kernel.frames = FrameAllocator::with_allocated(r.get_u64()?);
+        let event_count = r.get_usize()?;
+        for _ in 0..event_count {
+            let event = match r.get_u8()? {
+                0 => {
+                    let page = Vpn::new(r.get_u64()?);
+                    let frame = FrameId::new(r.get_u64()?);
+                    let prot = get_prot(r)?;
+                    KernelEvent::PteInstalled {
+                        page,
+                        pte: GuestPte { frame, prot },
+                    }
+                }
+                1 => KernelEvent::PteRemoved {
+                    page: Vpn::new(r.get_u64()?),
+                },
+                other => {
+                    return Err(SnapshotError::new(
+                        r.section_name(),
+                        r.offset(),
+                        format!("invalid kernel event tag {other}"),
+                    ))
+                }
+            };
+            kernel.pending_events.push(event);
+        }
+        Ok(kernel)
     }
 }
 

@@ -87,6 +87,7 @@ mod kernel;
 mod prot_table;
 mod shadow_pt;
 mod shard;
+mod snap;
 mod stats;
 mod vm;
 

@@ -1,0 +1,49 @@
+//! Shared field codecs for this crate's snapshot sections.
+//!
+//! `Prot` and `AccessKind` appear in several serialized structures (guest
+//! PTEs, VMAs, shadow entries, the fault mailbox); these helpers keep their
+//! wire encoding in one place so every section agrees on it.
+
+use aikido_snapshot::{SectionReader, SectionWriter, SnapshotError};
+use aikido_types::{AccessKind, Prot};
+
+/// Encodes a protection as a single bit-packed byte (`read | write<<1 |
+/// user<<2`).
+pub(crate) fn put_prot(out: &mut SectionWriter, prot: Prot) {
+    let bits = (prot.read() as u8) | ((prot.write() as u8) << 1) | ((prot.user() as u8) << 2);
+    out.put_u8(bits);
+}
+
+/// Decodes a protection written by [`put_prot`].
+pub(crate) fn get_prot(r: &mut SectionReader<'_>) -> Result<Prot, SnapshotError> {
+    let bits = r.get_u8()?;
+    if bits > 7 {
+        return Err(SnapshotError::new(
+            r.section_name(),
+            r.offset(),
+            format!("invalid protection bits {bits:#x}"),
+        ));
+    }
+    Ok(Prot::from_bits(bits & 1 != 0, bits & 2 != 0, bits & 4 != 0))
+}
+
+/// Encodes an access kind (`Read` = 0, `Write` = 1).
+pub(crate) fn put_kind(out: &mut SectionWriter, kind: AccessKind) {
+    out.put_u8(match kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+    });
+}
+
+/// Decodes an access kind written by [`put_kind`].
+pub(crate) fn get_kind(r: &mut SectionReader<'_>) -> Result<AccessKind, SnapshotError> {
+    match r.get_u8()? {
+        0 => Ok(AccessKind::Read),
+        1 => Ok(AccessKind::Write),
+        other => Err(SnapshotError::new(
+            r.section_name(),
+            r.offset(),
+            format!("invalid access kind {other}"),
+        )),
+    }
+}

@@ -13,6 +13,7 @@
 //!   translation, so the dominant "same page, access allowed" case is a
 //!   compare and two loads before falling into the slow fault loop.
 
+use aikido_snapshot::{SectionReader, SectionWriter, SnapshotError};
 use aikido_types::{AccessKind, Addr, AikidoError, Prot, Result, ThreadId, Vpn};
 
 use crate::fault::{AikidoFault, Segv};
@@ -21,6 +22,7 @@ use crate::hypercall::{AikidoLib, FaultMailbox, Hypercall};
 use crate::kernel::{GuestKernel, KernelEvent, KernelFaultResolution, Vma};
 use crate::shadow_pt::ShadowPte;
 use crate::shard::ThreadShard;
+use crate::snap::{get_kind, get_prot, put_kind, put_prot};
 use crate::stats::VmStats;
 
 /// Configuration of the hypervisor model.
@@ -721,6 +723,225 @@ impl AikidoVm {
             kind,
         }
     }
+
+    /// Serializes the entire hypervisor — configuration, the guest kernel,
+    /// every thread shard (shadow page table and protection table; the
+    /// per-thread software TLBs are pure accelerators and are rebuilt empty
+    /// on restore), the fault mailbox, the temporarily-unprotected page list
+    /// and the statistics — into one snapshot section.
+    pub fn encode_snapshot(&self, out: &mut SectionWriter) {
+        out.put_u64(self.config.fake_read_fault_page.raw());
+        out.put_u64(self.config.fake_write_fault_page.raw());
+        out.put_u64(self.config.mailbox_addr.raw());
+        out.put_bool(self.config.auto_init);
+
+        self.kernel.encode_snapshot(out);
+
+        out.put_usize(self.threads.len());
+        for shard in &self.threads {
+            out.put_u32(shard.id.raw());
+            out.put_usize(shard.shadow.len());
+            for (page, pte) in shard.shadow.iter() {
+                out.put_u64(page.raw());
+                out.put_u64(pte.frame.raw());
+                put_prot(out, pte.prot);
+            }
+            out.put_usize(shard.prot.len());
+            for (page, prot) in shard.prot.iter() {
+                out.put_u64(page.raw());
+                put_prot(out, prot);
+            }
+        }
+
+        out.put_u64(self.mailbox.read_fault_page.raw());
+        out.put_u64(self.mailbox.write_fault_page.raw());
+        out.put_u64(self.mailbox.mailbox.raw());
+        match self.mailbox.last_true_addr {
+            None => out.put_u8(0),
+            Some(addr) => {
+                out.put_u8(1);
+                out.put_u64(addr.raw());
+            }
+        }
+        match self.mailbox.last_kind {
+            None => out.put_u8(0),
+            Some(kind) => {
+                out.put_u8(1);
+                put_kind(out, kind);
+            }
+        }
+
+        out.put_bool(self.initialized);
+        match self.current_thread {
+            None => out.put_u8(0),
+            Some(t) => {
+                out.put_u8(1);
+                out.put_u32(t.raw());
+            }
+        }
+        out.put_usize(self.temp_unprotected.len());
+        for page in &self.temp_unprotected {
+            out.put_u64(page.raw());
+        }
+
+        for v in [
+            self.stats.vm_exits,
+            self.stats.aikido_faults_delivered,
+            self.stats.native_faults,
+            self.stats.fatal_faults,
+            self.stats.shadow_syncs,
+            self.stats.shadow_misses,
+            self.stats.hypercalls,
+            self.stats.context_switches,
+            self.stats.kernel_emulations,
+            self.stats.temp_unprotections,
+            self.stats.temp_reprotections,
+            self.stats.guest_pte_writes,
+        ] {
+            out.put_u64(v);
+        }
+    }
+
+    /// Rebuilds a hypervisor from a section written by
+    /// [`AikidoVm::encode_snapshot`]. Thread registration slots are recomputed
+    /// from the serialized shard order and every software TLB starts empty
+    /// (TLB hits and misses are proven outcome-identical, so this cannot
+    /// change behavior).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on any malformed payload.
+    pub fn decode_snapshot(
+        r: &mut SectionReader<'_>,
+    ) -> std::result::Result<AikidoVm, SnapshotError> {
+        let config = VmConfig {
+            fake_read_fault_page: Addr::new(r.get_u64()?),
+            fake_write_fault_page: Addr::new(r.get_u64()?),
+            mailbox_addr: Addr::new(r.get_u64()?),
+            auto_init: r.get_bool()?,
+        };
+        let kernel = GuestKernel::decode_snapshot(r)?;
+
+        let shard_count = r.get_usize()?;
+        let mut threads = Vec::with_capacity(shard_count.min(1 << 10));
+        let mut slots = Vec::new();
+        for slot in 0..shard_count {
+            let id = ThreadId::new(r.get_u32()?);
+            let mut shard = ThreadShard::new(id);
+            let shadow_count = r.get_usize()?;
+            for _ in 0..shadow_count {
+                let page = Vpn::new(r.get_u64()?);
+                let frame = FrameId::new(r.get_u64()?);
+                let prot = get_prot(r)?;
+                shard.shadow.install(page, ShadowPte { frame, prot });
+            }
+            let prot_count = r.get_usize()?;
+            for _ in 0..prot_count {
+                let page = Vpn::new(r.get_u64()?);
+                let prot = get_prot(r)?;
+                shard.prot.set(page, prot);
+            }
+            let idx = id.index();
+            if idx < MAX_DENSE_THREAD_INDEX {
+                if idx >= slots.len() {
+                    slots.resize(idx + 1, NO_SLOT);
+                }
+                if slots[idx] != NO_SLOT {
+                    return Err(SnapshotError::new(
+                        r.section_name(),
+                        r.offset(),
+                        format!("thread {} appears in two shards", id.raw()),
+                    ));
+                }
+                slots[idx] = slot as u32;
+            }
+            threads.push(shard);
+        }
+
+        let mailbox = FaultMailbox {
+            read_fault_page: Addr::new(r.get_u64()?),
+            write_fault_page: Addr::new(r.get_u64()?),
+            mailbox: Addr::new(r.get_u64()?),
+            last_true_addr: match r.get_u8()? {
+                0 => None,
+                1 => Some(Addr::new(r.get_u64()?)),
+                other => {
+                    return Err(SnapshotError::new(
+                        r.section_name(),
+                        r.offset(),
+                        format!("invalid option tag {other}"),
+                    ))
+                }
+            },
+            last_kind: match r.get_u8()? {
+                0 => None,
+                1 => Some(get_kind(r)?),
+                other => {
+                    return Err(SnapshotError::new(
+                        r.section_name(),
+                        r.offset(),
+                        format!("invalid option tag {other}"),
+                    ))
+                }
+            },
+        };
+
+        let initialized = r.get_bool()?;
+        let current_thread = match r.get_u8()? {
+            0 => None,
+            1 => Some(ThreadId::new(r.get_u32()?)),
+            other => {
+                return Err(SnapshotError::new(
+                    r.section_name(),
+                    r.offset(),
+                    format!("invalid option tag {other}"),
+                ))
+            }
+        };
+        let temp_count = r.get_usize()?;
+        let mut temp_unprotected = Vec::with_capacity(temp_count.min(1 << 10));
+        for _ in 0..temp_count {
+            temp_unprotected.push(Vpn::new(r.get_u64()?));
+        }
+        if !temp_unprotected.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SnapshotError::new(
+                r.section_name(),
+                r.offset(),
+                "temporarily-unprotected page list is not strictly sorted".to_string(),
+            ));
+        }
+
+        let mut stats = VmStats::new();
+        for field in [
+            &mut stats.vm_exits,
+            &mut stats.aikido_faults_delivered,
+            &mut stats.native_faults,
+            &mut stats.fatal_faults,
+            &mut stats.shadow_syncs,
+            &mut stats.shadow_misses,
+            &mut stats.hypercalls,
+            &mut stats.context_switches,
+            &mut stats.kernel_emulations,
+            &mut stats.temp_unprotections,
+            &mut stats.temp_reprotections,
+            &mut stats.guest_pte_writes,
+        ] {
+            *field = r.get_u64()?;
+        }
+
+        Ok(AikidoVm {
+            config,
+            kernel,
+            threads,
+            slots,
+            mailbox,
+            initialized,
+            current_thread,
+            temp_unprotected,
+            restore_scratch: Vec::new(),
+            stats,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -894,6 +1115,78 @@ mod tests {
             ));
         }
         assert_eq!(vm.stats().aikido_faults_delivered, 3);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_hypervisor_behavior() {
+        let (mut vm, t) = setup(2);
+        let base = page_addr(300);
+        vm.mmap(base, 4, Prot::RW_USER).unwrap();
+        vm.mmap_mirror(base, page_addr(4096)).unwrap();
+        vm.touch(t[0], base, AccessKind::Write).unwrap();
+        vm.touch(t[1], base.offset(0x1000), AccessKind::Read)
+            .unwrap();
+        vm.hypercall(Hypercall::ProtectRange {
+            thread: t[0],
+            base,
+            pages: 1,
+            prot: Prot::NONE,
+        })
+        .unwrap();
+        // Populate the mailbox and the temp-unprotected list.
+        assert!(matches!(
+            vm.touch(t[0], base.offset(0x8), AccessKind::Read)
+                .unwrap()
+                .outcome,
+            TouchOutcome::AikidoFault(_)
+        ));
+        assert!(vm.kernel_touch(t[0], base, AccessKind::Read).unwrap());
+        assert!(!vm.temp_unprotected_pages().is_empty());
+
+        let mut w = aikido_snapshot::SectionWriter::new(*b"AKVM", 1);
+        vm.encode_snapshot(&mut w);
+        let mut b = aikido_snapshot::SnapshotBuilder::new();
+        b.push(w);
+        let snap = b.finish();
+        let mut reader = snap.reader().unwrap();
+        let mut section = reader.section(*b"AKVM", 1).unwrap();
+        let mut restored = AikidoVm::decode_snapshot(&mut section).unwrap();
+        section.finish().unwrap();
+        reader.finish().unwrap();
+
+        assert_eq!(restored.stats(), vm.stats());
+        assert_eq!(restored.threads(), vm.threads());
+        assert_eq!(
+            restored.temp_unprotected_pages(),
+            vm.temp_unprotected_pages()
+        );
+        assert_eq!(
+            restored.aikido_lib().true_fault_addr(),
+            vm.aikido_lib().true_fault_addr()
+        );
+        assert_eq!(
+            restored.kernel().installed_ptes(),
+            vm.kernel().installed_ptes()
+        );
+        assert_eq!(restored.kernel().vmas(), vm.kernel().vmas());
+
+        // Future accesses behave identically (including the temp-reprotection
+        // path, demand paging of untouched pages, and the Aikido fault path).
+        for vm in [&mut vm, &mut restored] {
+            let a = vm.touch(t[1], base, AccessKind::Write).unwrap();
+            let b = vm.touch(t[0], base, AccessKind::Write).unwrap();
+            let c = vm
+                .touch(t[0], base.offset(0x3000), AccessKind::Write)
+                .unwrap();
+            assert!(matches!(a.outcome, TouchOutcome::Ok));
+            assert!(matches!(b.outcome, TouchOutcome::AikidoFault(_)));
+            assert!(matches!(c.outcome, TouchOutcome::Ok));
+        }
+        assert_eq!(restored.stats(), vm.stats());
+        assert_eq!(
+            restored.effective_prot(t[0], base.page()).unwrap(),
+            vm.effective_prot(t[0], base.page()).unwrap()
+        );
     }
 
     #[test]

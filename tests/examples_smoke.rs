@@ -70,3 +70,8 @@ fn sharing_profiler_example_runs() {
 fn static_report_dump_example_runs() {
     run_example("static_report_dump");
 }
+
+#[test]
+fn snapshot_roundtrip_example_runs() {
+    run_example("snapshot_roundtrip");
+}

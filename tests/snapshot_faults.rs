@@ -1,0 +1,189 @@
+//! Fault injection against the snapshot plane (PR 7), in the style of
+//! `static_mutation.rs`: take a *valid* checkpoint image, corrupt it with
+//! every [`FaultPlan`] family — bit flips, truncation, section reordering,
+//! duplicated sections, stale version headers — and require **100%
+//! detection**: every injected corruption must surface as a structured
+//! [`aikido::SnapshotError`], either when the image is re-parsed or when the
+//! resume walks its sections. A single silently-accepted corruption fails
+//! the exact-count assertion.
+//!
+//! The harness's fifth fault family — a worker thread panicking mid-run —
+//! is exercised at the engine layer (`aikido-sim`'s
+//! `a_panicking_producer_surfaces_as_a_structured_error`), where the
+//! panicking block stream can be planted behind the trace-source seam.
+
+use aikido::snapshot::FaultPlan;
+use aikido::{CheckpointOutcome, Mode, Simulator, Snapshot, Workload, WorkloadSpec};
+
+fn small(name: &str) -> Workload {
+    let spec = WorkloadSpec::parsec(name)
+        .expect("known PARSEC preset")
+        .scaled(0.02)
+        .with_threads(4);
+    Workload::generate(&spec)
+}
+
+/// A valid midpoint checkpoint image for `w` under `mode`.
+fn midpoint_image(sim: &Simulator, w: &Workload, mode: Mode) -> Vec<u8> {
+    let total = sim.run(w, mode).counts.block_execs;
+    match sim.checkpoint(w, mode, total / 2).expect("checkpoint") {
+        CheckpointOutcome::Paused(snapshot) => snapshot.into_bytes(),
+        CheckpointOutcome::Completed(_) => panic!("midpoint checkpoint must pause"),
+    }
+}
+
+/// True when the corrupted image is *detected*: rejected while re-parsing
+/// the container, or rejected by the resume's section walk. A resume that
+/// succeeds on tampered bytes is a silent divergence — the one outcome the
+/// snapshot plane must never produce.
+fn detected(sim: &Simulator, w: &Workload, corrupted: Vec<u8>) -> bool {
+    match Snapshot::from_bytes(corrupted) {
+        Err(_) => true,
+        Ok(snapshot) => sim.resume(w, &snapshot).is_err(),
+    }
+}
+
+/// The number of sections in a valid image (by magic + walking headers is
+/// the snapshot crate's job; here we just need an upper bound to enumerate
+/// section-level plans, and 8 covers every mode's layout: META, SCHD, FTRK,
+/// TCCH, DBIE, AKVM, AKSD).
+const SECTION_BOUND: usize = 8;
+
+#[test]
+fn every_fault_family_is_detected_in_every_mode() {
+    let w = small("blackscholes");
+    for mode in [Mode::Native, Mode::FullInstrumentation, Mode::Aikido] {
+        let sim = Simulator::default();
+        let image = midpoint_image(&sim, &w, mode);
+
+        // Sanity: the untampered image restores.
+        let clean = Snapshot::from_bytes(image.clone()).expect("valid image parses");
+        assert!(sim.resume(&w, &clean).is_ok(), "{mode:?}: clean resume");
+
+        let mut plans: Vec<FaultPlan> = Vec::new();
+        // Bit flips spread across the whole image, every bit position.
+        let stride = (image.len() / 97).max(1);
+        for (i, offset) in (0..image.len()).step_by(stride).enumerate() {
+            plans.push(FaultPlan::BitFlip {
+                offset,
+                bit: (i % 8) as u8,
+            });
+        }
+        // Truncations: headers, mid-section, and just short of complete.
+        for len in [0, 7, 8, image.len() / 3, image.len() / 2, image.len() - 1] {
+            plans.push(FaultPlan::Truncate { len });
+        }
+        // Every section pair swapped, every section duplicated or staled.
+        for a in 0..SECTION_BOUND {
+            for b in (a + 1)..SECTION_BOUND {
+                plans.push(FaultPlan::SwapSections { a, b });
+            }
+            plans.push(FaultPlan::DuplicateSection { index: a });
+            plans.push(FaultPlan::BumpVersion { index: a });
+        }
+
+        let mut injected = 0u32;
+        let mut caught = 0u32;
+        for plan in &plans {
+            // `apply` returns None when the plan degenerates (e.g. a swap
+            // whose indices alias the same section) — nothing was injected.
+            let Some(corrupted) = plan.apply(&image) else {
+                continue;
+            };
+            assert_ne!(corrupted, image, "{mode:?}: {plan} left the image intact");
+            injected += 1;
+            if detected(&sim, &w, corrupted) {
+                caught += 1;
+            } else {
+                panic!("{mode:?}: {plan} was NOT detected");
+            }
+        }
+        assert_eq!(caught, injected, "{mode:?}: detection must be 100%");
+        assert!(
+            injected > 100,
+            "{mode:?}: only {injected} faults injected — harness lost coverage"
+        );
+    }
+}
+
+#[test]
+fn every_benchmark_rejects_a_corrupted_midpoint_image() {
+    // A cheaper cross-benchmark sweep: one representative of each fault
+    // family per benchmark, all against the Aikido-mode image (the one with
+    // the most sections and the richest state).
+    for name in [
+        "raytrace",
+        "blackscholes",
+        "vips",
+        "fluidanimate",
+        "swaptions",
+        "canneal",
+    ] {
+        let w = small(name);
+        let sim = Simulator::default();
+        let image = midpoint_image(&sim, &w, Mode::Aikido);
+        let plans = [
+            FaultPlan::BitFlip {
+                offset: image.len() / 2,
+                bit: 3,
+            },
+            FaultPlan::Truncate {
+                len: image.len() - 9,
+            },
+            FaultPlan::SwapSections { a: 1, b: 2 },
+            FaultPlan::DuplicateSection { index: 0 },
+            FaultPlan::BumpVersion { index: 2 },
+        ];
+        for plan in &plans {
+            let corrupted = plan.apply(&image).expect("plan applies");
+            assert!(
+                detected(&sim, &w, corrupted),
+                "{name}: {plan} was NOT detected"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_snapshot_for_one_workload_cannot_resume_another() {
+    // Cross-restore is a *semantic* corruption: both images are pristine, so
+    // only the META identity check can catch the mismatch.
+    let sim = Simulator::default();
+    let a = small("raytrace");
+    let b = small("canneal");
+    let image = midpoint_image(&sim, &a, Mode::Aikido);
+    let snapshot = Snapshot::from_bytes(image).expect("valid image parses");
+    let err = sim.resume(&b, &snapshot).expect_err("must be rejected");
+    let aikido::SimError::Snapshot(err) = err else {
+        panic!("expected a snapshot error, got {err:?}");
+    };
+    assert_eq!(err.section, "META");
+    assert!(err.reason.contains("does not match"), "{}", err.reason);
+}
+
+#[test]
+fn resume_identity_covers_quantum_and_cost_model() {
+    // The mode is *recorded in* the snapshot (resume auto-detects it from
+    // META), but the scheduling quantum and the cost model are properties of
+    // the simulator doing the resuming — both shape the report, so both are
+    // part of the snapshot identity and a mismatch must be rejected.
+    let w = small("vips");
+    let sim = Simulator::default();
+    let image = midpoint_image(&sim, &w, Mode::Aikido);
+    let snapshot = Snapshot::from_bytes(image).expect("valid image parses");
+
+    let mut skewed_cost = sim.cost_model().clone();
+    skewed_cost.vm_exit_cycles += 1;
+    for mismatched in [
+        Simulator::default().with_quantum(5),
+        Simulator::new(skewed_cost),
+    ] {
+        let err = mismatched
+            .resume(&w, &snapshot)
+            .expect_err("must be rejected");
+        let aikido::SimError::Snapshot(err) = err else {
+            panic!("expected a snapshot error, got {err:?}");
+        };
+        assert_eq!(err.section, "META");
+    }
+}
