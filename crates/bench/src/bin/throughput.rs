@@ -31,9 +31,7 @@
 use std::time::Instant;
 
 use aikido::staticcheck::CoverageStats;
-use aikido::{
-    parallel_workers_from_env, Mode, RunReport, Simulator, StaticReport, Workload, WorkloadSpec,
-};
+use aikido::{Mode, RunReport, SimConfig, Simulator, StaticReport, Workload, WorkloadSpec};
 use aikido_bench::scale_from_env;
 use serde::Serialize;
 
@@ -164,7 +162,7 @@ fn measure(workload: &Workload, mode: Mode, workers: usize, reps: u32) -> (Sampl
 /// Worker counts to measure: `--parallel N` (or `AIKIDO_PARALLEL=N`) adds a
 /// parallel lane next to the sequential reference.
 fn worker_counts() -> Vec<usize> {
-    let mut parallel = parallel_workers_from_env();
+    let mut parallel = SimConfig::from_env_overrides().workers;
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--parallel") {
         if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {

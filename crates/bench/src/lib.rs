@@ -19,7 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use aikido::{Comparison, Mode, RunReport, Simulator, Workload, WorkloadSpec};
+use aikido::{Comparison, Mode, RunReport, SimConfig, Simulator, Workload, WorkloadSpec};
 
 /// Workload scale used by the harnesses when the `AIKIDO_SCALE` environment
 /// variable is not set. 1.0 is the calibrated default size (a few hundred
@@ -28,12 +28,10 @@ pub const DEFAULT_SCALE: f64 = 1.0;
 
 /// Reads the workload scale from `AIKIDO_SCALE` (falling back to
 /// [`DEFAULT_SCALE`]). The harnesses use this so CI can run quick passes.
+/// Delegates to [`SimConfig::from_env_overrides`] — the one place the
+/// simulator's environment variables are parsed.
 pub fn scale_from_env() -> f64 {
-    std::env::var("AIKIDO_SCALE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .filter(|v| *v > 0.0)
-        .unwrap_or(DEFAULT_SCALE)
+    SimConfig::from_env_overrides().scale
 }
 
 /// Runs the native / FastTrack / Aikido-FastTrack comparison for one PARSEC
@@ -93,6 +91,7 @@ pub fn machine_fingerprint(scale: f64) -> String {
 /// | 2    | `perfgate`: the fresh throughput document is unreadable |
 /// | 3    | `throughput`: the output document could not be written |
 /// | 4    | `perfgate`: the baseline exists but is corrupt (unreadable, unparsable, or missing the gated geomeans) |
+/// | 5    | `loadgen`: a service report diverged from its direct run, or a fleet invariant broke |
 pub mod exitcode {
     /// Success.
     pub const OK: i32 = 0;
@@ -108,6 +107,10 @@ pub mod exitcode {
     /// committed artifact rotted and the gate would otherwise silently stop
     /// gating.
     pub const BASELINE_CORRUPT: i32 = 4;
+    /// `loadgen`: a service-delivered report diverged from the direct
+    /// `Simulator` run of the same request, or the fleet violated one of its
+    /// invariants (placement determinism, admission accounting).
+    pub const SERVICE_MISMATCH: i32 = 5;
 }
 
 /// Writes a report document, wrapping any I/O failure in a diagnostic that
@@ -258,6 +261,7 @@ mod tests {
             exitcode::FRESH_UNREADABLE,
             exitcode::WRITE_FAILED,
             exitcode::BASELINE_CORRUPT,
+            exitcode::SERVICE_MISMATCH,
         ];
         for (i, a) in codes.iter().enumerate() {
             for b in &codes[i + 1..] {

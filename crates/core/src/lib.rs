@@ -111,9 +111,11 @@ pub use aikido_snapshot as snapshot;
 pub use aikido_staticcheck as staticcheck;
 
 pub use aikido_fasttrack::{FastTrack, FastTrackConfig};
+#[allow(deprecated)]
+pub use aikido_sim::{checkpoint_every_from_env, parallel_workers_from_env};
 pub use aikido_sim::{
-    checkpoint_every_from_env, parallel_workers_from_env, CheckpointOutcome, Comparison, CostModel,
-    FaultPlan, Mode, RunCounts, RunReport, SimError, Simulator, Snapshot, SnapshotError,
+    CheckpointOutcome, Comparison, CostModel, FaultPlan, Mode, RunCounts, RunReport, SimConfig,
+    SimConfigError, SimError, Simulator, Snapshot, SnapshotError,
 };
 pub use aikido_staticcheck::{StaticAudit, StaticReport};
 pub use aikido_types::{
@@ -127,7 +129,8 @@ pub mod prelude {
     pub use crate::{
         AccessContext, AccessKind, Addr, AikidoSystem, AnalysisReport, CheckpointOutcome,
         Comparison, CostModel, FastTrack, Mode, ReportKind, RunReport, SharedDataAnalysis,
-        SimError, Simulator, Snapshot, SnapshotError, ThreadId, Workload, WorkloadSpec,
+        SimConfig, SimConfigError, SimError, Simulator, Snapshot, SnapshotError, ThreadId,
+        Workload, WorkloadSpec,
     };
 }
 
@@ -154,6 +157,18 @@ impl AikidoSystem {
         }
     }
 
+    /// Creates a system from a validated [`SimConfig`] (see
+    /// [`Simulator::from_config`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimConfigError`] naming the first invalid field.
+    pub fn from_config(config: SimConfig) -> Result<Self, SimConfigError> {
+        Ok(AikidoSystem {
+            simulator: Simulator::from_config(config)?,
+        })
+    }
+
     /// Sets the scheduling quantum (basic-block executions per thread before
     /// the simulated scheduler switches threads).
     pub fn quantum(mut self, quantum: u32) -> Self {
@@ -171,8 +186,17 @@ impl AikidoSystem {
 
     /// Reads the worker count from the `AIKIDO_PARALLEL` environment
     /// variable (sequential when unset).
+    ///
+    /// Deprecated: library behaviour should be a pure function of arguments.
+    /// Binaries and examples that want environment-driven configuration
+    /// should build from [`SimConfig::from_env_overrides`] and use
+    /// [`AikidoSystem::from_config`].
+    #[deprecated(
+        since = "0.8.0",
+        note = "use AikidoSystem::from_config(SimConfig::from_env_overrides()) from bins/examples"
+    )]
     pub fn workers_from_env(self) -> Self {
-        let workers = aikido_sim::parallel_workers_from_env();
+        let workers = SimConfig::from_env_overrides().workers;
         self.workers(workers)
     }
 
@@ -196,10 +220,10 @@ impl AikidoSystem {
         self.simulator.run_with_analysis(workload, mode, analysis)
     }
 
-    /// Runs `workload` in `mode`, pausing every `AIKIDO_CHECKPOINT_EVERY`
+    /// Runs `workload` in `mode`, pausing every `SimConfig::checkpoint_every`
     /// block executions to serialize, re-validate and restore the full
-    /// simulation state (see [`Simulator::run_checkpointed`]). Without the
-    /// variable this is an ordinary run.
+    /// simulation state (see [`Simulator::run_checkpointed`]). Without a
+    /// configured policy this is an ordinary run.
     ///
     /// # Errors
     ///

@@ -1,0 +1,218 @@
+//! Per-tenant budgets and the structured admission errors they produce.
+
+use aikido_sim::SimConfigError;
+use serde::Serialize;
+
+/// What one tenant is allowed to do to the fleet.
+///
+/// `max_queued` caps the tenant's backlog, `max_in_flight` caps its total
+/// outstanding work (queued + executing), and `access_quota` caps the
+/// cumulative simulated memory accesses the tenant may spend over the
+/// service's lifetime (charged at admission, from the scaled workload size).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TenantBudget {
+    /// Maximum runs waiting in the queue for this tenant.
+    pub max_queued: usize,
+    /// Maximum outstanding runs (queued + in flight) for this tenant.
+    pub max_in_flight: usize,
+    /// Cumulative simulated-access quota; `u64::MAX` is effectively
+    /// unlimited.
+    pub access_quota: u64,
+}
+
+impl Default for TenantBudget {
+    fn default() -> Self {
+        TenantBudget {
+            max_queued: 64,
+            max_in_flight: 128,
+            access_quota: u64::MAX,
+        }
+    }
+}
+
+impl TenantBudget {
+    /// Builder: caps the tenant's queue backlog.
+    pub fn with_max_queued(mut self, max_queued: usize) -> Self {
+        self.max_queued = max_queued;
+        self
+    }
+
+    /// Builder: caps the tenant's outstanding runs.
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Builder: caps the tenant's cumulative simulated-access spend.
+    pub fn with_access_quota(mut self, access_quota: u64) -> Self {
+        self.access_quota = access_quota;
+        self
+    }
+}
+
+/// Why the control plane refused a request. Always a structured value — a
+/// refused request never panics and never hangs the caller — and every
+/// variant carries the numbers the caller needs to react (back off, shrink
+/// the request, or give up).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum AdmitError {
+    /// The workload spec failed [`WorkloadSpec::validate`](aikido_workloads::WorkloadSpec::validate)
+    /// (`aikido_workloads::WorkloadSpec::validate`).
+    InvalidSpec {
+        /// What the validator rejected.
+        reason: String,
+    },
+    /// The embedded `SimConfig` failed validation.
+    InvalidConfig {
+        /// The offending config field.
+        field: String,
+        /// What the validator rejected.
+        reason: String,
+    },
+    /// The global queue is at capacity; every tenant is affected.
+    QueueFull {
+        /// The configured global queue capacity.
+        capacity: usize,
+    },
+    /// This tenant's backlog is at its `max_queued` cap.
+    TenantQueueFull {
+        /// The refused tenant.
+        tenant: String,
+        /// The tenant's backlog cap.
+        max_queued: usize,
+    },
+    /// This tenant's outstanding work (queued + in flight) is at its
+    /// `max_in_flight` cap.
+    TenantInFlightFull {
+        /// The refused tenant.
+        tenant: String,
+        /// The tenant's outstanding-run cap.
+        max_in_flight: usize,
+    },
+    /// Admitting the run would overdraw the tenant's cumulative
+    /// simulated-access quota.
+    QuotaExhausted {
+        /// The refused tenant.
+        tenant: String,
+        /// The tenant's lifetime quota.
+        quota: u64,
+        /// Accesses already charged to the tenant.
+        spent: u64,
+        /// What this request would have cost.
+        requested: u64,
+    },
+}
+
+impl AdmitError {
+    /// A short machine-readable category label, recorded in rejection
+    /// metrics so dashboards can break refusals down without parsing the
+    /// human-readable message.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdmitError::InvalidSpec { .. } => "invalid_spec",
+            AdmitError::InvalidConfig { .. } => "invalid_config",
+            AdmitError::QueueFull { .. } => "queue_full",
+            AdmitError::TenantQueueFull { .. } => "tenant_queue_full",
+            AdmitError::TenantInFlightFull { .. } => "tenant_in_flight_full",
+            AdmitError::QuotaExhausted { .. } => "quota_exhausted",
+        }
+    }
+}
+
+impl From<SimConfigError> for AdmitError {
+    fn from(err: SimConfigError) -> Self {
+        AdmitError::InvalidConfig {
+            field: err.field.to_string(),
+            reason: err.reason,
+        }
+    }
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::InvalidSpec { reason } => write!(f, "invalid workload spec: {reason}"),
+            AdmitError::InvalidConfig { field, reason } => {
+                write!(f, "invalid SimConfig.{field}: {reason}")
+            }
+            AdmitError::QueueFull { capacity } => {
+                write!(f, "service queue is full (capacity {capacity})")
+            }
+            AdmitError::TenantQueueFull { tenant, max_queued } => {
+                write!(
+                    f,
+                    "tenant '{tenant}' backlog is full (max_queued {max_queued})"
+                )
+            }
+            AdmitError::TenantInFlightFull {
+                tenant,
+                max_in_flight,
+            } => write!(
+                f,
+                "tenant '{tenant}' outstanding runs at cap (max_in_flight {max_in_flight})"
+            ),
+            AdmitError::QuotaExhausted {
+                tenant,
+                quota,
+                spent,
+                requested,
+            } => write!(
+                f,
+                "tenant '{tenant}' access quota exhausted: \
+                 spent {spent} + requested {requested} > quota {quota}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_has_a_distinct_kind_and_a_display() {
+        let errors = [
+            AdmitError::InvalidSpec { reason: "r".into() },
+            AdmitError::InvalidConfig {
+                field: "workers".into(),
+                reason: "r".into(),
+            },
+            AdmitError::QueueFull { capacity: 8 },
+            AdmitError::TenantQueueFull {
+                tenant: "t".into(),
+                max_queued: 2,
+            },
+            AdmitError::TenantInFlightFull {
+                tenant: "t".into(),
+                max_in_flight: 2,
+            },
+            AdmitError::QuotaExhausted {
+                tenant: "t".into(),
+                quota: 10,
+                spent: 8,
+                requested: 5,
+            },
+        ];
+        let kinds: std::collections::BTreeSet<&str> = errors.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), errors.len());
+        for err in &errors {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn quota_error_carries_the_arithmetic() {
+        let err = AdmitError::QuotaExhausted {
+            tenant: "umbrella".into(),
+            quota: 1_000,
+            spent: 900,
+            requested: 200,
+        };
+        let msg = err.to_string();
+        for needle in ["umbrella", "1000", "900", "200"] {
+            assert!(msg.contains(needle), "{msg}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Logical time for the control plane.
+//!
+//! Every timestamp in a [`FleetReport`](crate::FleetReport) is *logical*: a
+//! monotonically increasing event counter, never a wall clock. That is what
+//! makes fleet reports byte-for-byte deterministic — two services fed the
+//! same request sequence produce identical reports regardless of machine
+//! speed — and what keeps the admission/budget unit tests free of wall-clock
+//! flakiness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A source of logical timestamps for control-plane events.
+pub trait ServiceClock: std::fmt::Debug + Send {
+    /// The timestamp for the event happening now. Must be monotonically
+    /// non-decreasing across calls.
+    fn now(&mut self) -> u64;
+}
+
+/// The default clock: every observed event gets the next integer, so a
+/// timestamp is simply the event's position in the control plane's history.
+#[derive(Debug, Default)]
+pub struct EventClock {
+    next: u64,
+}
+
+impl ServiceClock for EventClock {
+    fn now(&mut self) -> u64 {
+        let t = self.next;
+        self.next += 1;
+        t
+    }
+}
+
+/// A manually driven clock for tests: the control plane reads whatever time
+/// the test last set, and the cloneable handle lets the test advance time
+/// while the plane holds the clock.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `ticks`.
+    pub fn advance(&self, ticks: u64) {
+        self.now.fetch_add(ticks, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute time.
+    pub fn set(&self, now: u64) {
+        self.now.store(now, Ordering::SeqCst);
+    }
+
+    /// The current virtual time.
+    pub fn current(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+impl ServiceClock for VirtualClock {
+    fn now(&mut self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_clock_counts_events() {
+        let mut clock = EventClock::default();
+        assert_eq!(clock.now(), 0);
+        assert_eq!(clock.now(), 1);
+        assert_eq!(clock.now(), 2);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_told() {
+        let handle = VirtualClock::new();
+        let mut clock = handle.clone();
+        assert_eq!(clock.now(), 0);
+        assert_eq!(clock.now(), 0, "no flakiness: time is frozen");
+        handle.advance(5);
+        assert_eq!(clock.now(), 5);
+        handle.set(100);
+        assert_eq!(clock.now(), 100);
+        assert_eq!(handle.current(), 100);
+    }
+}

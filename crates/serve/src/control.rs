@@ -1,0 +1,616 @@
+//! The control plane: a deterministic admission/placement/accounting state
+//! machine.
+//!
+//! The control plane is single-threaded plain data on purpose. Every
+//! decision — admit or refuse, which shard, which timestamps — is a pure
+//! function of the request sequence and the service configuration, which is
+//! what makes fleet reports reproducible. The worker fleet
+//! ([`SimService`](crate::SimService)) is the only concurrent part, and it
+//! reports completions back here in run-id order.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::budget::{AdmitError, TenantBudget};
+use crate::clock::{EventClock, ServiceClock};
+use crate::placement;
+use crate::report::{
+    FleetReport, QueueMetrics, RejectionRecord, RunOutcome, ShardMetrics, TenantUsage,
+};
+use crate::request::RunRequest;
+use serde::Serialize;
+
+/// Static service configuration: pool sizes and the default tenant budget.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServiceConfig {
+    /// Simulator shards runs are placed onto.
+    pub shards: usize,
+    /// OS worker threads the fleet executes runs on.
+    pub fleet_workers: usize,
+    /// Global queue capacity (across all tenants).
+    pub queue_capacity: usize,
+    /// Pending runs per shard before the load-aware placement override
+    /// diverts new work elsewhere.
+    pub shard_capacity: usize,
+    /// Budget applied to tenants without an explicit one.
+    pub default_budget: TenantBudget,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            fleet_workers: 4,
+            queue_capacity: 1024,
+            shard_capacity: 64,
+            default_budget: TenantBudget::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("shards must be at least 1".into());
+        }
+        if self.fleet_workers == 0 {
+            return Err("fleet_workers must be at least 1".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be at least 1".into());
+        }
+        if self.shard_capacity == 0 {
+            return Err("shard_capacity must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Proof of admission: the identifiers the caller needs to correlate the
+/// eventual [`RunOutcome`](crate::RunOutcome) with their request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RunTicket {
+    /// Fleet-wide run id (admission order, starting at 0).
+    pub run_id: u64,
+    /// The tenant billed.
+    pub tenant: String,
+    /// The shard the run was placed on.
+    pub shard: usize,
+    /// Whether the load-aware override diverted placement.
+    pub overridden: bool,
+    /// Logical admission timestamp.
+    pub admitted_at: u64,
+}
+
+/// An admitted run waiting for a fleet worker.
+#[derive(Debug, Clone)]
+pub struct QueuedRun {
+    /// The admission ticket.
+    pub ticket: RunTicket,
+    /// The admitted request, verbatim.
+    pub request: RunRequest,
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    budget: TenantBudget,
+    queued: usize,
+    in_flight: usize,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    spent: u64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct ShardState {
+    assigned: u64,
+    completed: u64,
+    failed: u64,
+    overridden: u64,
+    pending: usize,
+    peak_pending: usize,
+}
+
+/// The deterministic admission / placement / accounting state machine.
+pub struct ControlPlane {
+    config: ServiceConfig,
+    clock: Box<dyn ServiceClock>,
+    tenants: BTreeMap<String, TenantState>,
+    shards: Vec<ShardState>,
+    queue: VecDeque<QueuedRun>,
+    outcomes: Vec<RunOutcome>,
+    rejections: Vec<RejectionRecord>,
+    next_run_id: u64,
+    submitted: u64,
+    peak_queue_depth: usize,
+}
+
+impl std::fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("config", &self.config)
+            .field("tenants", &self.tenants.len())
+            .field("queue_depth", &self.queue.len())
+            .field("next_run_id", &self.next_run_id)
+            .finish()
+    }
+}
+
+impl ControlPlane {
+    /// A control plane with the default [`EventClock`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure if `config` is invalid.
+    pub fn new(config: ServiceConfig) -> Result<Self, String> {
+        Self::with_clock(config, Box::<EventClock>::default())
+    }
+
+    /// A control plane stamping events from a caller-provided clock (tests
+    /// use [`VirtualClock`](crate::VirtualClock) for deterministic
+    /// timestamps).
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure if `config` is invalid.
+    pub fn with_clock(config: ServiceConfig, clock: Box<dyn ServiceClock>) -> Result<Self, String> {
+        config.validate()?;
+        let shards = vec![ShardState::default(); config.shards];
+        Ok(ControlPlane {
+            config,
+            clock,
+            tenants: BTreeMap::new(),
+            shards,
+            queue: VecDeque::new(),
+            outcomes: Vec::new(),
+            rejections: Vec::new(),
+            next_run_id: 0,
+            submitted: 0,
+            peak_queue_depth: 0,
+        })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Installs an explicit budget for `tenant` (otherwise the default
+    /// budget applies on first contact). Replaces any previous budget;
+    /// accounting state is kept.
+    pub fn set_budget(&mut self, tenant: impl Into<String>, budget: TenantBudget) {
+        let default = self.config.default_budget.clone();
+        self.tenants
+            .entry(tenant.into())
+            .or_insert_with(|| TenantState {
+                budget: default,
+                ..TenantState::default()
+            })
+            .budget = budget;
+    }
+
+    /// Admits or refuses `request`. Admission validates the request, checks
+    /// the global queue, the tenant's backlog and outstanding caps, and the
+    /// tenant's access quota (charged here, at admission), then places the
+    /// run on a shard via rendezvous hashing with the load-aware override.
+    ///
+    /// # Errors
+    ///
+    /// A structured [`AdmitError`]; the refusal is also recorded in the
+    /// rejection log. Never panics, never blocks.
+    pub fn submit(&mut self, request: RunRequest) -> Result<RunTicket, AdmitError> {
+        self.submitted += 1;
+        match self.admit(request) {
+            Ok(ticket) => Ok(ticket),
+            Err((tenant, err)) => {
+                let at = self.clock.now();
+                self.rejections.push(RejectionRecord {
+                    tenant: tenant.clone(),
+                    at,
+                    kind: err.kind().to_string(),
+                    reason: err.to_string(),
+                });
+                let default = self.config.default_budget.clone();
+                self.tenants
+                    .entry(tenant)
+                    .or_insert_with(|| TenantState {
+                        budget: default,
+                        ..TenantState::default()
+                    })
+                    .rejected += 1;
+                Err(err)
+            }
+        }
+    }
+
+    fn admit(&mut self, request: RunRequest) -> Result<RunTicket, (String, AdmitError)> {
+        let tenant_name = request.tenant.clone();
+        let refuse = |err| (tenant_name.clone(), err);
+
+        if let Err(reason) = request.spec.validate() {
+            return Err(refuse(AdmitError::InvalidSpec { reason }));
+        }
+        if let Err(err) = request.config.validate() {
+            return Err(refuse(err.into()));
+        }
+        if self.queue.len() >= self.config.queue_capacity {
+            return Err(refuse(AdmitError::QueueFull {
+                capacity: self.config.queue_capacity,
+            }));
+        }
+
+        let default = self.config.default_budget.clone();
+        let tenant = self
+            .tenants
+            .entry(tenant_name.clone())
+            .or_insert_with(|| TenantState {
+                budget: default,
+                ..TenantState::default()
+            });
+        if tenant.queued >= tenant.budget.max_queued {
+            return Err((
+                tenant_name.clone(),
+                AdmitError::TenantQueueFull {
+                    tenant: tenant_name,
+                    max_queued: tenant.budget.max_queued,
+                },
+            ));
+        }
+        if tenant.queued + tenant.in_flight >= tenant.budget.max_in_flight {
+            return Err((
+                tenant_name.clone(),
+                AdmitError::TenantInFlightFull {
+                    tenant: tenant_name,
+                    max_in_flight: tenant.budget.max_in_flight,
+                },
+            ));
+        }
+        let cost = request.cost_accesses();
+        if tenant.spent.saturating_add(cost) > tenant.budget.access_quota {
+            return Err((
+                tenant_name.clone(),
+                AdmitError::QuotaExhausted {
+                    tenant: tenant_name,
+                    quota: tenant.budget.access_quota,
+                    spent: tenant.spent,
+                    requested: cost,
+                },
+            ));
+        }
+
+        // Admitted: charge the quota now, place, queue.
+        tenant.spent += cost;
+        tenant.queued += 1;
+        let tenant_seq = tenant.admitted;
+        tenant.admitted += 1;
+
+        let pending: Vec<usize> = self.shards.iter().map(|s| s.pending).collect();
+        let key = format!("{tenant_name}#{tenant_seq}");
+        let placement = placement::place(&key, &pending, self.config.shard_capacity);
+        let shard = &mut self.shards[placement.shard];
+        shard.assigned += 1;
+        shard.pending += 1;
+        shard.peak_pending = shard.peak_pending.max(shard.pending);
+        if placement.overridden {
+            shard.overridden += 1;
+        }
+
+        let ticket = RunTicket {
+            run_id: self.next_run_id,
+            tenant: tenant_name,
+            shard: placement.shard,
+            overridden: placement.overridden,
+            admitted_at: self.clock.now(),
+        };
+        self.next_run_id += 1;
+        self.queue.push_back(QueuedRun {
+            ticket: ticket.clone(),
+            request,
+        });
+        self.peak_queue_depth = self.peak_queue_depth.max(self.queue.len());
+        Ok(ticket)
+    }
+
+    /// Hands the oldest queued run to the fleet, moving the tenant's count
+    /// from queued to in-flight.
+    pub fn take_queued(&mut self) -> Option<QueuedRun> {
+        let run = self.queue.pop_front()?;
+        let tenant = self
+            .tenants
+            .get_mut(&run.ticket.tenant)
+            .expect("queued runs belong to known tenants");
+        tenant.queued -= 1;
+        tenant.in_flight += 1;
+        Some(run)
+    }
+
+    /// Records a finished run. The fleet calls this in run-id order so the
+    /// resulting report is independent of worker scheduling.
+    pub fn complete(&mut self, outcome: RunOutcome) {
+        let tenant = self
+            .tenants
+            .get_mut(&outcome.tenant)
+            .expect("completions belong to known tenants");
+        tenant.in_flight -= 1;
+        let shard = &mut self.shards[outcome.shard];
+        shard.pending -= 1;
+        if outcome.report.is_some() {
+            tenant.completed += 1;
+            shard.completed += 1;
+        } else {
+            tenant.failed += 1;
+            shard.failed += 1;
+        }
+        self.outcomes.push(outcome);
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The aggregated fleet report: every outcome in run-id order plus shard
+    /// / tenant / queue metrics and the rejection log. Deterministic for a
+    /// fixed request sequence.
+    pub fn report(&self) -> FleetReport {
+        let mut runs = self.outcomes.clone();
+        runs.sort_by_key(|r| r.run_id);
+        FleetReport {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(shard, s)| ShardMetrics {
+                    shard,
+                    assigned: s.assigned,
+                    completed: s.completed,
+                    failed: s.failed,
+                    overridden: s.overridden,
+                    peak_pending: s.peak_pending,
+                    pending: s.pending,
+                })
+                .collect(),
+            tenants: self
+                .tenants
+                .iter()
+                .map(|(name, t)| TenantUsage {
+                    tenant: name.clone(),
+                    admitted: t.admitted,
+                    rejected: t.rejected,
+                    completed: t.completed,
+                    failed: t.failed,
+                    spent_accesses: t.spent,
+                    access_quota: t.budget.access_quota,
+                })
+                .collect(),
+            queue: QueueMetrics {
+                capacity: self.config.queue_capacity,
+                submitted: self.submitted,
+                admitted: self.next_run_id,
+                rejected: self.rejections.len() as u64,
+                peak_depth: self.peak_queue_depth,
+                depth: self.queue.len(),
+            },
+            rejections: self.rejections.clone(),
+            runs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use aikido_sim::{Mode, SimConfig};
+    use aikido_workloads::WorkloadSpec;
+
+    fn request(tenant: &str) -> RunRequest {
+        RunRequest::new(
+            tenant,
+            WorkloadSpec::parsec("blackscholes").unwrap(),
+            Mode::Native,
+        )
+        .with_config(SimConfig::default().with_scale(0.05))
+    }
+
+    fn plane(config: ServiceConfig) -> (ControlPlane, VirtualClock) {
+        let clock = VirtualClock::new();
+        let plane = ControlPlane::with_clock(config, Box::new(clock.clone())).unwrap();
+        (plane, clock)
+    }
+
+    #[test]
+    fn rejects_invalid_service_configs() {
+        for config in [
+            ServiceConfig {
+                shards: 0,
+                ..ServiceConfig::default()
+            },
+            ServiceConfig {
+                fleet_workers: 0,
+                ..ServiceConfig::default()
+            },
+            ServiceConfig {
+                queue_capacity: 0,
+                ..ServiceConfig::default()
+            },
+            ServiceConfig {
+                shard_capacity: 0,
+                ..ServiceConfig::default()
+            },
+        ] {
+            assert!(ControlPlane::new(config).is_err());
+        }
+    }
+
+    #[test]
+    fn admission_stamps_tickets_from_the_virtual_clock() {
+        let (mut plane, clock) = plane(ServiceConfig::default());
+        clock.set(41);
+        let ticket = plane.submit(request("acme")).unwrap();
+        assert_eq!(ticket.run_id, 0);
+        assert_eq!(ticket.admitted_at, 41);
+        clock.advance(9);
+        let ticket = plane.submit(request("acme")).unwrap();
+        assert_eq!(ticket.run_id, 1);
+        assert_eq!(ticket.admitted_at, 50);
+    }
+
+    #[test]
+    fn invalid_spec_and_config_are_refused_up_front() {
+        let (mut plane, _clock) = plane(ServiceConfig::default());
+        let mut bad_spec = request("acme");
+        bad_spec.spec.threads = 0;
+        let err = plane.submit(bad_spec).unwrap_err();
+        assert_eq!(err.kind(), "invalid_spec");
+
+        let bad_config = request("acme").with_config(SimConfig::default().with_quantum(0));
+        let err = plane.submit(bad_config).unwrap_err();
+        assert!(
+            matches!(&err, AdmitError::InvalidConfig { field, .. } if field == "quantum"),
+            "{err}"
+        );
+
+        // Both refusals were logged with the tenant attributed.
+        let report = plane.report();
+        assert_eq!(report.queue.rejected, 2);
+        assert_eq!(report.tenants[0].rejected, 2);
+        assert_eq!(report.tenants[0].admitted, 0);
+    }
+
+    #[test]
+    fn global_queue_capacity_refuses_everyone() {
+        let config = ServiceConfig {
+            queue_capacity: 2,
+            ..ServiceConfig::default()
+        };
+        let (mut plane, _clock) = plane(config);
+        plane.submit(request("a")).unwrap();
+        plane.submit(request("b")).unwrap();
+        let err = plane.submit(request("c")).unwrap_err();
+        assert_eq!(err, AdmitError::QueueFull { capacity: 2 });
+    }
+
+    #[test]
+    fn tenant_backlog_and_outstanding_caps_apply_per_tenant() {
+        let config = ServiceConfig {
+            default_budget: TenantBudget::default()
+                .with_max_queued(2)
+                .with_max_in_flight(3),
+            ..ServiceConfig::default()
+        };
+        let (mut plane, _clock) = plane(config);
+        plane.submit(request("greedy")).unwrap();
+        plane.submit(request("greedy")).unwrap();
+        let err = plane.submit(request("greedy")).unwrap_err();
+        assert_eq!(
+            err,
+            AdmitError::TenantQueueFull {
+                tenant: "greedy".into(),
+                max_queued: 2
+            }
+        );
+        // Another tenant is unaffected.
+        plane.submit(request("patient")).unwrap();
+
+        // Move both greedy runs in flight: the backlog is empty again, but
+        // the outstanding cap (queued + in flight) still binds, so the
+        // refusal switches to TenantInFlightFull.
+        for expected in ["greedy", "greedy"] {
+            assert_eq!(plane.take_queued().unwrap().ticket.tenant, expected);
+        }
+        plane.submit(request("greedy")).unwrap();
+        let err = plane.submit(request("greedy")).unwrap_err();
+        assert_eq!(
+            err,
+            AdmitError::TenantInFlightFull {
+                tenant: "greedy".into(),
+                max_in_flight: 3
+            }
+        );
+    }
+
+    #[test]
+    fn quota_is_charged_at_admission_and_refuses_overdraw() {
+        let cost = request("umbrella").cost_accesses();
+        let config = ServiceConfig {
+            default_budget: TenantBudget::default().with_access_quota(cost * 2),
+            ..ServiceConfig::default()
+        };
+        let (mut plane, _clock) = plane(config);
+        plane.submit(request("umbrella")).unwrap();
+        plane.submit(request("umbrella")).unwrap();
+        let err = plane.submit(request("umbrella")).unwrap_err();
+        assert_eq!(
+            err,
+            AdmitError::QuotaExhausted {
+                tenant: "umbrella".into(),
+                quota: cost * 2,
+                spent: cost * 2,
+                requested: cost,
+            }
+        );
+        let report = plane.report();
+        let usage = &report.tenants[0];
+        assert_eq!(usage.spent_accesses, cost * 2);
+        assert_eq!(usage.admitted, 2);
+        assert_eq!(usage.rejected, 1);
+    }
+
+    #[test]
+    fn explicit_budgets_override_the_default() {
+        let (mut plane, _clock) = plane(ServiceConfig::default());
+        plane.set_budget("vip", TenantBudget::default().with_access_quota(0));
+        let err = plane.submit(request("vip")).unwrap_err();
+        assert_eq!(err.kind(), "quota_exhausted");
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_spreads_load() {
+        let submit_all = || {
+            let (mut plane, _clock) = plane(ServiceConfig::default());
+            let mut shards = Vec::new();
+            for i in 0..64 {
+                let tenant = format!("tenant-{}", i % 5);
+                shards.push(plane.submit(request(&tenant)).unwrap().shard);
+            }
+            shards
+        };
+        let first = submit_all();
+        let second = submit_all();
+        assert_eq!(first, second, "same sequence, same placement");
+        let distinct: std::collections::BTreeSet<usize> = first.iter().copied().collect();
+        assert!(
+            distinct.len() >= 3,
+            "64 runs over 4 shards should spread: {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn override_engages_when_the_preferred_shard_saturates() {
+        let config = ServiceConfig {
+            shard_capacity: 1,
+            ..ServiceConfig::default()
+        };
+        let (mut plane, _clock) = plane(config);
+        let mut overridden = 0;
+        for _ in 0..16 {
+            if plane.submit(request("acme")).unwrap().overridden {
+                overridden += 1;
+            }
+        }
+        assert!(
+            overridden > 0,
+            "16 pending runs at shard_capacity 1 must divert some placements"
+        );
+        let report = plane.report();
+        let total: u64 = report.shards.iter().map(|s| s.overridden).sum();
+        assert_eq!(total, overridden);
+        for shard in &report.shards {
+            assert!(shard.pending > 0, "override should have spread the load");
+        }
+    }
+}

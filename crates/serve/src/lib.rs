@@ -1,0 +1,57 @@
+//! Multi-tenant simulation service: the serving layer over the Aikido
+//! reproduction's re-entrant [`Simulator`](aikido_sim::Simulator).
+//!
+//! The engine itself has been safe to run many-at-once since the epoch
+//! engine landed (multiple `Simulator` instances on concurrent threads
+//! produce byte-identical reports); this crate adds everything *around* that
+//! property that a production service needs — the request lifecycle is
+//!
+//! ```text
+//!            admit                place                 run        aggregate
+//! RunRequest ──────► RunTicket ─────────► shard queue ──────► RunOutcome ──► FleetReport
+//!      │  validate spec+config      HRW hash + load     bounded scoped
+//!      │  queue / tenant caps       override            worker fleet,
+//!      └─► AdmitError (structured   (deterministic)     Simulator::from_config
+//!          rejection, never a                           per run
+//!          panic or hang)
+//! ```
+//!
+//! * [`RunRequest`] — the unified request API: tenant, workload spec,
+//!   mode, and a [`SimConfig`](aikido_sim::SimConfig) embedded verbatim.
+//! * [`ControlPlane`] — deterministic admission against per-tenant
+//!   [`TenantBudget`]s (backlog, outstanding, cumulative access quota;
+//!   structured [`AdmitError`] refusals), rendezvous-hashed shard placement
+//!   with a load-aware override, and all fleet accounting.
+//! * [`SimService`] — the control plane plus a bounded worker fleet
+//!   (`std::thread::scope` + bounded mpsc, the epoch engine's idiom):
+//!   `submit` requests, `drain` the queue, read the [`FleetReport`].
+//! * [`FleetReport`] — per-run reports (each byte-identical to a direct
+//!   `Simulator` run of the same request) plus queue depth, per-shard
+//!   occupancy and per-tenant spend. Deterministic: logical clocks only,
+//!   outcomes applied in run-id order.
+//!
+//! The `loadgen` harness in `aikido-bench` drives hundreds of concurrent
+//! scaled-down runs through a service and `cmp`s every delivered report
+//! against a direct run; the `service_equivalence` integration suite pins
+//! the same property in-tree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod budget;
+mod clock;
+mod control;
+mod fleet;
+mod placement;
+mod report;
+mod request;
+
+pub use budget::{AdmitError, TenantBudget};
+pub use clock::{EventClock, ServiceClock, VirtualClock};
+pub use control::{ControlPlane, QueuedRun, RunTicket, ServiceConfig};
+pub use fleet::SimService;
+pub use placement::{hrw_shard, place, Placement};
+pub use report::{
+    FleetReport, QueueMetrics, RejectionRecord, RunOutcome, ShardMetrics, TenantUsage,
+};
+pub use request::RunRequest;

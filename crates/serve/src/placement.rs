@@ -1,0 +1,144 @@
+//! Shard placement: rendezvous (highest-random-weight) hashing with a
+//! load-aware override.
+//!
+//! HRW hashing gives every (key, shard) pair an independent pseudo-random
+//! score and places the key on the highest-scoring shard. Compared to
+//! modulo placement it has the two properties a simulation fleet wants:
+//! placement is a pure function of the key (deterministic, no coordination)
+//! and resizing the shard pool moves only the keys whose winner changed.
+//! The control plane layers a load-aware override on top — when the winning
+//! shard's pending work is at capacity, the run is diverted to the least
+//! loaded shard — mirroring the pool-metrics-driven placement policy of the
+//! sharding runtimes the ROADMAP references.
+
+/// Where a run was placed and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The shard the run was assigned to.
+    pub shard: usize,
+    /// The shard rendezvous hashing preferred before load was considered.
+    pub preferred: usize,
+    /// Whether the load-aware override diverted the run off its preferred
+    /// shard.
+    pub overridden: bool,
+}
+
+/// The rendezvous winner for `key` over `shards` shards (shard 0 when the
+/// pool is empty). Deterministic: a pure function of the key bytes and the
+/// shard count.
+pub fn hrw_shard(key: &str, shards: usize) -> usize {
+    (0..shards)
+        .max_by_key(|&shard| (score(key, shard), std::cmp::Reverse(shard)))
+        .unwrap_or(0)
+}
+
+/// Places `key` given per-shard pending-run counts: the rendezvous winner
+/// unless its pending load is at `shard_capacity`, in which case the least
+/// loaded shard (lowest index on ties) takes the run. `pending.len()` is the
+/// shard count.
+pub fn place(key: &str, pending: &[usize], shard_capacity: usize) -> Placement {
+    let preferred = hrw_shard(key, pending.len());
+    if pending.is_empty() || pending[preferred] < shard_capacity {
+        return Placement {
+            shard: preferred,
+            preferred,
+            overridden: false,
+        };
+    }
+    let least_loaded = (0..pending.len())
+        .min_by_key(|&shard| (pending[shard], shard))
+        .expect("pool is non-empty");
+    Placement {
+        shard: least_loaded,
+        preferred,
+        overridden: least_loaded != preferred,
+    }
+}
+
+/// FNV-1a over the key bytes and the shard index, giving each (key, shard)
+/// pair an independent 64-bit score.
+fn score(key: &str, shard: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    for b in (shard as u64).to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic() {
+        for key in ["a#0", "tenant#17", "z"] {
+            assert_eq!(hrw_shard(key, 8), hrw_shard(key, 8));
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_the_pool() {
+        let shards = 8;
+        let mut hits = vec![0usize; shards];
+        for i in 0..1_000 {
+            hits[hrw_shard(&format!("tenant-{}#{}", i % 7, i), shards)] += 1;
+        }
+        for (shard, &count) in hits.iter().enumerate() {
+            assert!(count > 0, "shard {shard} never chosen");
+            // A uniform spread would be 125 per shard; allow a wide band.
+            assert!(count < 400, "shard {shard} absorbed {count}/1000 keys");
+        }
+    }
+
+    #[test]
+    fn resizing_moves_only_displaced_keys() {
+        // The rendezvous property: growing the pool from 4 to 5 shards only
+        // relocates keys whose new winner IS the new shard.
+        for i in 0..200 {
+            let key = format!("k{i}");
+            let before = hrw_shard(&key, 4);
+            let after = hrw_shard(&key, 5);
+            assert!(after == before || after == 4, "{key}: {before} -> {after}");
+        }
+    }
+
+    #[test]
+    fn override_diverts_to_the_least_loaded_shard() {
+        let key = "hot";
+        let shards = 4;
+        let preferred = hrw_shard(key, shards);
+        let mut pending = vec![1usize; shards];
+
+        // Under capacity: the preferred shard wins, no override.
+        let p = place(key, &pending, 8);
+        assert_eq!(
+            p,
+            Placement {
+                shard: preferred,
+                preferred,
+                overridden: false
+            }
+        );
+
+        // Preferred at capacity: the least loaded shard takes the run.
+        pending[preferred] = 8;
+        let least = (0..shards).find(|&s| s != preferred).unwrap();
+        pending[least] = 0;
+        let p = place(key, &pending, 8);
+        assert_eq!(p.shard, least);
+        assert_eq!(p.preferred, preferred);
+        assert!(p.overridden);
+
+        // Everything at capacity: still places (least loaded, lowest index),
+        // never refuses or panics — admission caps load, placement only
+        // spreads it.
+        let p = place(key, &vec![8; shards], 8);
+        assert_eq!(p.shard, 0, "uniform load ties break to the lowest index");
+        assert_eq!(p.overridden, preferred != p.shard);
+    }
+}

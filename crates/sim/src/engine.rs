@@ -12,6 +12,7 @@ use aikido_types::{
 use aikido_vm::{AikidoVm, TouchOutcome, VmConfig};
 use aikido_workloads::{BlockExec, Workload, WorkloadSpec};
 
+use crate::config::{SimConfig, SimConfigError};
 use crate::cost::CostModel;
 use crate::epoch::TraceSource;
 use crate::report::{RunCounts, RunReport};
@@ -64,14 +65,18 @@ pub enum CheckpointOutcome {
 }
 
 /// Reads the periodic-checkpoint policy from `AIKIDO_CHECKPOINT_EVERY`
-/// (`None` when unset, unparsable, or zero): every `N` block executions,
-/// [`Simulator::run_checkpointed`] pauses the run, serializes a snapshot,
-/// re-validates it from its own bytes and resumes from the restored state.
+/// (`None` when unset, unparsable, or zero).
+///
+/// Deprecated: library code no longer reads the environment. Binaries and
+/// examples should start from [`SimConfig::from_env_overrides`] (which parses
+/// the same variable into `checkpoint_every`) and hand the config to
+/// [`Simulator::from_config`].
+#[deprecated(
+    since = "0.8.0",
+    note = "use SimConfig::from_env_overrides().checkpoint_every from bins/examples"
+)]
 pub fn checkpoint_every_from_env() -> Option<u64> {
-    std::env::var("AIKIDO_CHECKPOINT_EVERY")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .filter(|&v| v > 0)
+    SimConfig::from_env_overrides().checkpoint_every
 }
 
 /// How a workload is executed.
@@ -95,6 +100,24 @@ impl Mode {
             Mode::FullInstrumentation => "full",
             Mode::Aikido => "aikido",
         }
+    }
+
+    /// Parses a mode from its [`Mode::label`] string — the inverse used by
+    /// request-shaped APIs (the service control plane's `RunRequest` carries
+    /// the label on the wire).
+    pub fn from_label(label: &str) -> Option<Mode> {
+        match label {
+            "native" => Some(Mode::Native),
+            "full" => Some(Mode::FullInstrumentation),
+            "aikido" => Some(Mode::Aikido),
+            _ => None,
+        }
+    }
+}
+
+impl serde::Serialize for Mode {
+    fn json_write(&self, out: &mut String) {
+        serde::write_json_string(self.label(), out);
     }
 }
 
@@ -131,15 +154,18 @@ impl Comparison {
 }
 
 /// Reads the parallel worker count from the `AIKIDO_PARALLEL` environment
-/// variable (1, i.e. sequential, when unset or unparsable). The benchmark
-/// harnesses and CI lanes use this to opt whole runs into the epoch-parallel
-/// engine without touching call sites.
+/// variable (1, i.e. sequential, when unset or unparsable).
+///
+/// Deprecated: library code no longer reads the environment. Binaries and
+/// examples should start from [`SimConfig::from_env_overrides`] (which parses
+/// the same variable into `workers`) and hand the config to
+/// [`Simulator::from_config`].
+#[deprecated(
+    since = "0.8.0",
+    note = "use SimConfig::from_env_overrides().workers from bins/examples"
+)]
 pub fn parallel_workers_from_env() -> usize {
-    std::env::var("AIKIDO_PARALLEL")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&v| v >= 1)
-        .unwrap_or(1)
+    SimConfig::from_env_overrides().workers
 }
 
 /// Drives workloads through the Aikido stack (or its baselines) and produces
@@ -147,11 +173,7 @@ pub fn parallel_workers_from_env() -> usize {
 #[derive(Debug, Clone)]
 pub struct Simulator {
     cost: CostModel,
-    quantum: u32,
-    workers: usize,
-    batched: bool,
-    inline_tlb: bool,
-    static_precheck: bool,
+    config: SimConfig,
 }
 
 impl Default for Simulator {
@@ -167,22 +189,41 @@ impl Simulator {
     pub const INLINE_TLB_ENTRIES: usize = SIM_TLB_ENTRIES;
 
     /// Creates a simulator with the given cost model and the default
-    /// scheduling quantum, running sequentially (one worker).
+    /// [`SimConfig`] (scheduling quantum 8, sequential, all fast paths on).
     pub fn new(cost: CostModel) -> Self {
         Simulator {
             cost,
-            quantum: 8,
-            workers: 1,
-            batched: true,
-            inline_tlb: true,
-            static_precheck: true,
+            config: SimConfig::default(),
         }
+    }
+
+    /// Creates a simulator from a validated [`SimConfig`] with the default
+    /// cost model. This is the request-shaped entry point: a serialized
+    /// config (for example the `config` member of a service `RunRequest`)
+    /// fully determines the simulator, and an invalid one is a structured
+    /// [`SimConfigError`] instead of a clamp or a panic.
+    pub fn from_config(config: SimConfig) -> Result<Self, SimConfigError> {
+        Self::from_config_with_cost(config, CostModel::default())
+    }
+
+    /// [`Simulator::from_config`] with an explicit cost model.
+    pub fn from_config_with_cost(
+        config: SimConfig,
+        cost: CostModel,
+    ) -> Result<Self, SimConfigError> {
+        config.validate()?;
+        Ok(Simulator { cost, config })
+    }
+
+    /// The full configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
     }
 
     /// Sets how many basic-block executions a thread runs before the
     /// round-robin scheduler switches to the next thread.
     pub fn with_quantum(mut self, quantum: u32) -> Self {
-        self.quantum = quantum.max(1);
+        self.config.quantum = quantum.max(1);
         self
     }
 
@@ -193,13 +234,13 @@ impl Simulator {
     /// byte-identical at every worker count (see the `epoch` module docs —
     /// the `parallel_equivalence` integration suite pins this).
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
+        self.config.workers = workers.max(1);
         self
     }
 
     /// The configured worker count (1 = sequential).
     pub fn workers(&self) -> usize {
-        self.workers
+        self.config.workers
     }
 
     /// Selects between the batched per-mode block kernels (the default) and
@@ -208,7 +249,7 @@ impl Simulator {
     /// tests and the `block_kernels` benchmark compare against, not as a
     /// user-facing feature.
     pub fn with_batched_kernels(mut self, batched: bool) -> Self {
-        self.batched = batched;
+        self.config.batched_kernels = batched;
         self
     }
 
@@ -219,7 +260,7 @@ impl Simulator {
     /// byte-identical either way — which is exactly what the TLB-aliasing
     /// property tests pin down.
     pub fn with_inline_tlb(mut self, enabled: bool) -> Self {
-        self.inline_tlb = enabled;
+        self.config.inline_tlb = enabled;
         self
     }
 
@@ -233,13 +274,37 @@ impl Simulator {
     /// are byte-identical with the pre-check on or off (pinned by
     /// `static_precheck_*` tests and the golden suite).
     pub fn with_static_precheck(mut self, enabled: bool) -> Self {
-        self.static_precheck = enabled;
+        self.config.static_precheck = enabled;
+        self
+    }
+
+    /// Selects the packed shadow-word plane (the default) or the reference
+    /// enum store for the built-in FastTrack analysis — the simulator-level
+    /// spelling of [`FastTrack::with_packed_words`]. Reports are
+    /// byte-identical either way (the `packed_equivalence` suite pins it).
+    pub fn with_packed_words(mut self, packed: bool) -> Self {
+        self.config.packed_words = packed;
+        self
+    }
+
+    /// Sets the periodic checkpoint policy [`Simulator::run_checkpointed`]
+    /// follows (`None`, the default, disables it; `Some(0)` is clamped to
+    /// `Some(1)` to mirror the other builders' lenient clamping — use
+    /// [`SimConfig::validate`] for strict rejection).
+    pub fn with_checkpoint_every(mut self, every: Option<u64>) -> Self {
+        self.config.checkpoint_every = every.map(|n| n.max(1));
         self
     }
 
     /// The cost model in use.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// The FastTrack instance the built-in-analysis entry points construct,
+    /// honouring the configured shadow-word representation.
+    fn new_fasttrack(&self) -> FastTrack {
+        FastTrack::new().with_packed_words(self.config.packed_words)
     }
 
     /// Runs `workload` in `mode` with a FastTrack race detector as the
@@ -257,7 +322,7 @@ impl Simulator {
     /// failures (such as a panicking epoch producer) as a structured
     /// [`SimError`] instead of panicking or hanging.
     pub fn try_run(&self, workload: &Workload, mode: Mode) -> Result<RunReport, SimError> {
-        let mut analysis = FastTrack::new();
+        let mut analysis = self.new_fasttrack();
         let mut report = self.try_run_with_analysis(workload, mode, &mut analysis)?;
         report.fasttrack = Some(*analysis.stats());
         Ok(report)
@@ -293,16 +358,18 @@ impl Simulator {
         Ok(run.into_report())
     }
 
-    /// Runs `workload` in `mode` under the periodic checkpoint policy from
-    /// [`checkpoint_every_from_env`]: every `AIKIDO_CHECKPOINT_EVERY` block
-    /// executions the run pauses at an epoch boundary, serializes its full
-    /// state, re-validates the image from its own bytes (every section
-    /// checksum is re-verified) and resumes from the *restored* state. With
-    /// the variable unset this is exactly [`Simulator::try_run`]; with it
-    /// set, the final report is still byte-identical to an uninterrupted
-    /// run — that equivalence is what the crash-recovery suite pins.
+    /// Runs `workload` in `mode` under the configured periodic checkpoint
+    /// policy (`SimConfig::checkpoint_every`, settable from the
+    /// `AIKIDO_CHECKPOINT_EVERY` variable via
+    /// [`SimConfig::from_env_overrides`]): every `N` block executions the run
+    /// pauses at an epoch boundary, serializes its full state, re-validates
+    /// the image from its own bytes (every section checksum is re-verified)
+    /// and resumes from the *restored* state. With the policy unset this is
+    /// exactly [`Simulator::try_run`]; with it set, the final report is
+    /// still byte-identical to an uninterrupted run — that equivalence is
+    /// what the crash-recovery suite pins.
     pub fn run_checkpointed(&self, workload: &Workload, mode: Mode) -> Result<RunReport, SimError> {
-        let Some(every) = checkpoint_every_from_env() else {
+        let Some(every) = self.config.checkpoint_every else {
             return self.try_run(workload, mode);
         };
         let mut target = every;
@@ -334,7 +401,7 @@ impl Simulator {
         mode: Mode,
         after_blocks: u64,
     ) -> Result<CheckpointOutcome, SimError> {
-        let mut analysis = FastTrack::new();
+        let mut analysis = self.new_fasttrack();
         let mut run = Run::new(self, workload, mode, &mut analysis);
         let mut states = run.initial_states();
         let status = self.drive(
@@ -475,7 +542,7 @@ impl Simulator {
         fast_forward: bool,
     ) -> Result<ExecStatus, SimError> {
         let threads = workload.threads();
-        if self.workers <= 1 || threads.len() <= 1 {
+        if self.config.workers <= 1 || threads.len() <= 1 {
             let mut feed = SeqFeed::new(source, &threads);
             if fast_forward {
                 fast_forward_feed(&mut feed, states)?;
@@ -483,7 +550,8 @@ impl Simulator {
             return Ok(run.execute(&mut feed, states, stop_after));
         }
         let (status, panic) = std::thread::scope(|scope| {
-            let mut feed = crate::epoch::spawn_producers(scope, source, &threads, self.workers);
+            let mut feed =
+                crate::epoch::spawn_producers(scope, source, &threads, self.config.workers);
             let panic = feed.panic_handle();
             let status = (|| -> Result<ExecStatus, SimError> {
                 if fast_forward {
@@ -796,7 +864,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                         .expect("regions attach cleanly");
                 }
                 let mut engine = DbiEngine::new(self.workload.program_arc());
-                if self.sim.static_precheck {
+                if self.sim.config.static_precheck {
                     // Run the static pre-analysis and hand its derived plan
                     // to the engine. The plan is advice: it stamps
                     // proven-private bits onto cached blocks (enabling the
@@ -923,7 +991,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                 }
                 self.context_switch_to(states[i].id);
                 let mut executed = 0;
-                while executed < self.sim.quantum {
+                while executed < self.sim.config.quantum {
                     if !states[i].has_exec {
                         let st = &mut states[i];
                         if !feed.next_into(i, &mut st.exec) {
@@ -1166,7 +1234,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
     /// tests and the `block_kernels` benchmark rely on exactly that.
     fn execute_work_block(&mut self, thread: ThreadId, exec: &BlockExec) {
         self.counts.block_execs += 1;
-        if !self.sim.batched {
+        if !self.sim.config.batched_kernels {
             return self.execute_work_block_scalar(thread, exec);
         }
         match self.mode {
@@ -1410,7 +1478,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
                 self.counts.mem_accesses += mems;
                 self.cycles += mems * (self.sim.cost.mem_cycles + self.sim.cost.dbi_overhead(1));
                 let mut first_miss = None;
-                if !self.sim.inline_tlb {
+                if !self.sim.config.inline_tlb {
                     first_miss = Some(0);
                 } else if let Some(lane) = self.inline_tlb.get(thread.index()) {
                     for (ri, run) in exec.meta.runs.iter().enumerate() {
@@ -1845,7 +1913,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
     /// True if the inline check proves this access free (no VM involvement).
     #[inline]
     fn inline_tlb_hit(&self, thread: ThreadId, page: Vpn, kind: AccessKind) -> bool {
-        if !self.sim.inline_tlb {
+        if !self.sim.config.inline_tlb {
             return false;
         }
         match self.inline_tlb.get(thread.index()) {
@@ -1860,7 +1928,7 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
     /// Records a proven-free `(thread, page, kind)` access.
     #[inline]
     fn inline_tlb_fill(&mut self, thread: ThreadId, page: Vpn, kind: AccessKind) {
-        if !self.sim.inline_tlb {
+        if !self.sim.config.inline_tlb {
             return;
         }
         let idx = thread.index();
@@ -2179,7 +2247,7 @@ fn snapshot_meta_json(sim: &Simulator, workload: &Workload, mode: Mode) -> Strin
         format: "aikido-checkpoint",
         workload: workload.spec().clone(),
         mode: mode.label(),
-        quantum: sim.quantum,
+        quantum: sim.config.quantum,
         cost: sim.cost.clone(),
     })
     .expect("snapshot metadata serializes")
@@ -2697,18 +2765,70 @@ mod tests {
     }
 
     #[test]
-    fn env_worker_count_parses_and_defaults_to_sequential() {
-        // The only in-process reader of AIKIDO_PARALLEL, so mutating it here
-        // races with nothing.
-        std::env::remove_var("AIKIDO_PARALLEL");
+    #[allow(deprecated)]
+    fn env_overrides_parse_every_variable_in_one_place() {
+        // The ONLY test that mutates the simulator environment variables —
+        // every other path is config-driven — so mutating them here races
+        // with nothing.
+        for var in ["AIKIDO_PARALLEL", "AIKIDO_CHECKPOINT_EVERY", "AIKIDO_SCALE"] {
+            std::env::remove_var(var);
+        }
+        assert_eq!(SimConfig::from_env_overrides(), SimConfig::default());
         assert_eq!(parallel_workers_from_env(), 1);
+        assert_eq!(checkpoint_every_from_env(), None);
+
         std::env::set_var("AIKIDO_PARALLEL", "4");
+        std::env::set_var("AIKIDO_CHECKPOINT_EVERY", "300");
+        std::env::set_var("AIKIDO_SCALE", "0.25");
+        let config = SimConfig::from_env_overrides();
+        assert_eq!(config.workers, 4);
+        assert_eq!(config.checkpoint_every, Some(300));
+        assert_eq!(config.scale, 0.25);
+        // The deprecated free functions stay faithful delegates for one
+        // release.
         assert_eq!(parallel_workers_from_env(), 4);
+        assert_eq!(checkpoint_every_from_env(), Some(300));
+
         std::env::set_var("AIKIDO_PARALLEL", "0");
-        assert_eq!(parallel_workers_from_env(), 1, "0 is not a worker count");
+        std::env::set_var("AIKIDO_CHECKPOINT_EVERY", "0");
+        std::env::set_var("AIKIDO_SCALE", "-1");
+        let config = SimConfig::from_env_overrides();
+        assert_eq!(config.workers, 1, "0 is not a worker count");
+        assert_eq!(config.checkpoint_every, None, "0 disables the policy");
+        assert_eq!(config.scale, 1.0, "non-positive scales are ignored");
+
         std::env::set_var("AIKIDO_PARALLEL", "not-a-number");
-        assert_eq!(parallel_workers_from_env(), 1);
-        std::env::remove_var("AIKIDO_PARALLEL");
+        std::env::set_var("AIKIDO_CHECKPOINT_EVERY", "not-a-number");
+        std::env::set_var("AIKIDO_SCALE", "not-a-number");
+        assert_eq!(SimConfig::from_env_overrides(), SimConfig::default());
+
+        for var in ["AIKIDO_PARALLEL", "AIKIDO_CHECKPOINT_EVERY", "AIKIDO_SCALE"] {
+            std::env::remove_var(var);
+        }
+    }
+
+    #[test]
+    fn from_config_matches_the_builder_chain_and_rejects_invalid_configs() {
+        let w = small("freqmine");
+        let config = SimConfig::default()
+            .with_quantum(3)
+            .with_workers(2)
+            .with_batched_kernels(false)
+            .with_packed_words(false);
+        let from_config = Simulator::from_config(config).unwrap();
+        let chained = Simulator::default()
+            .with_quantum(3)
+            .with_workers(2)
+            .with_batched_kernels(false)
+            .with_packed_words(false);
+        assert_eq!(from_config.config(), chained.config());
+        assert_eq!(
+            from_config.run(&w, Mode::Aikido),
+            chained.run(&w, Mode::Aikido)
+        );
+
+        let err = Simulator::from_config(SimConfig::default().with_workers(0)).unwrap_err();
+        assert_eq!(err.field, "workers");
     }
 
     #[test]
@@ -2979,25 +3099,15 @@ mod tests {
     }
 
     #[test]
-    fn run_checkpointed_honors_the_env_policy() {
-        // The only in-process reader of AIKIDO_CHECKPOINT_EVERY, so mutating
-        // it here races with nothing.
-        std::env::remove_var("AIKIDO_CHECKPOINT_EVERY");
-        assert_eq!(checkpoint_every_from_env(), None);
-        std::env::set_var("AIKIDO_CHECKPOINT_EVERY", "0");
-        assert_eq!(checkpoint_every_from_env(), None, "0 disables the policy");
-        std::env::set_var("AIKIDO_CHECKPOINT_EVERY", "not-a-number");
-        assert_eq!(checkpoint_every_from_env(), None);
-        std::env::set_var("AIKIDO_CHECKPOINT_EVERY", "300");
-        assert_eq!(checkpoint_every_from_env(), Some(300));
-
+    fn run_checkpointed_honors_the_configured_policy() {
         let w = small("raytrace");
-        let sim = Simulator::default();
-        let uninterrupted = sim.run(&w, Mode::Aikido);
+        let uninterrupted = Simulator::default().run(&w, Mode::Aikido);
+
+        let sim = Simulator::default().with_checkpoint_every(Some(300));
         let checkpointed = sim.run_checkpointed(&w, Mode::Aikido).unwrap();
         assert_eq!(checkpointed, uninterrupted);
 
-        std::env::remove_var("AIKIDO_CHECKPOINT_EVERY");
+        let sim = Simulator::default();
         let plain = sim.run_checkpointed(&w, Mode::Aikido).unwrap();
         assert_eq!(plain, uninterrupted);
     }

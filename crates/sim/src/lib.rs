@@ -43,15 +43,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod config;
 mod cost;
 mod engine;
 mod epoch;
 mod report;
 
 pub use aikido_snapshot::{FaultPlan, Snapshot, SnapshotError};
+pub use config::{SimConfig, SimConfigError};
 pub use cost::CostModel;
-pub use engine::{
-    checkpoint_every_from_env, parallel_workers_from_env, CheckpointOutcome, Comparison, Mode,
-    SimError, Simulator,
-};
+#[allow(deprecated)]
+pub use engine::{checkpoint_every_from_env, parallel_workers_from_env};
+pub use engine::{CheckpointOutcome, Comparison, Mode, SimError, Simulator};
 pub use report::{RunCounts, RunReport};

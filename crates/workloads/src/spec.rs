@@ -278,6 +278,59 @@ impl WorkloadSpec {
         self
     }
 
+    /// Parses a spec from its request-API wire format: a JSON object naming
+    /// a PARSEC `preset` plus optional integer overrides. Preset-based on
+    /// purpose — presets carry the calibrated fractions and the derived
+    /// 64-bit seed, which a float-typed JSON number could not transport
+    /// losslessly — so a request selects a preset and tweaks its shape:
+    ///
+    /// ```json
+    /// {"preset": "vips", "threads": 4, "racy_pairs": 1}
+    /// ```
+    ///
+    /// Recognised overrides: `threads`, `mem_accesses_per_thread`,
+    /// `racy_pairs`, `barrier_every`. Unknown keys, type mismatches, unknown
+    /// presets and overrides that fail [`WorkloadSpec::validate`] are all
+    /// errors — a service admission layer rejects the request instead of
+    /// running a workload the caller did not describe.
+    pub fn from_json_value(value: &serde_json::Value) -> Result<Self, String> {
+        let serde_json::Value::Object(entries) = value else {
+            return Err("workload spec must be a JSON object".into());
+        };
+        let preset = entries
+            .iter()
+            .find(|(k, _)| k == "preset")
+            .ok_or("workload spec is missing the 'preset' field")?
+            .1
+            .as_str()
+            .ok_or("'preset' must be a JSON string")?;
+        let mut spec =
+            Self::parsec(preset).ok_or_else(|| format!("unknown PARSEC preset '{preset}'"))?;
+        for (key, value) in entries {
+            let int = |field: &str| {
+                let n = value
+                    .as_f64()
+                    .ok_or_else(|| format!("'{field}' must be a JSON number"))?;
+                if n < 0.0 || n.fract() != 0.0 {
+                    return Err(format!("'{field}' must be a non-negative integer, got {n}"));
+                }
+                Ok(n as u64)
+            };
+            match key.as_str() {
+                "preset" => {}
+                "threads" => spec.threads = int("threads")?.min(u32::MAX as u64) as u32,
+                "mem_accesses_per_thread" => {
+                    spec.mem_accesses_per_thread = int("mem_accesses_per_thread")?
+                }
+                "racy_pairs" => spec.racy_pairs = int("racy_pairs")?.min(u32::MAX as u64) as u32,
+                "barrier_every" => spec.barrier_every = int("barrier_every")?,
+                unknown => return Err(format!("unknown workload spec field '{unknown}'")),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
     /// The expected fraction of dynamic memory accesses that target shared
     /// pages (the quantity plotted in Figure 6).
     pub fn expected_shared_access_fraction(&self) -> f64 {
@@ -420,6 +473,26 @@ mod tests {
             assert!(spec.validate().is_err());
         }
         assert!(WorkloadSpec::default().validate().is_ok());
+    }
+
+    #[test]
+    fn from_json_value_selects_a_preset_and_applies_overrides() {
+        let value = serde_json::from_str(r#"{"preset": "vips", "threads": 4}"#).unwrap();
+        let spec = WorkloadSpec::from_json_value(&value).unwrap();
+        let expected = WorkloadSpec::parsec("vips").unwrap().with_threads(4);
+        assert_eq!(spec, expected, "preset + override, seed included");
+
+        for bad in [
+            r#"{"threads": 4}"#,
+            r#"{"preset": "doesnotexist"}"#,
+            r#"{"preset": "vips", "threads": 0}"#,
+            r#"{"preset": "vips", "threads": 1.5}"#,
+            r#"{"preset": "vips", "seed": 7}"#,
+            "[]",
+        ] {
+            let value = serde_json::from_str(bad).unwrap();
+            assert!(WorkloadSpec::from_json_value(&value).is_err(), "{bad}");
+        }
     }
 
     #[test]
