@@ -12,7 +12,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use aikido::fasttrack::{Epoch, VarState};
+use aikido::fasttrack::{Epoch, FastTrack, VarState};
 use aikido::shadow::ShadowStore;
 use aikido::types::{Addr, ShadowWord, SlabDirectory, ThreadId};
 
@@ -114,11 +114,48 @@ fn bench_distribution(c: &mut Criterion, label: &str, pages: u64, run_len: usize
     });
 }
 
+/// Drives the full detector (public API, same binary) through a spill-heavy
+/// read-shared distribution: every shared block is promoted to a read-shared
+/// history, and a barrier between rounds advances every thread's epoch so
+/// each round's first read per block misses the packed fast path and lands
+/// in the spill slot. The two sides differ only in ONE thread index: the
+/// `inline_lanes` set (0..=7) fits the slot's inline epoch lanes, while the
+/// `boxed_clock` set swaps thread 7 for thread 8 — one past the lane budget
+/// — forcing every history onto the boxed `VectorClock` fallback. Identical
+/// thread count, read count and barrier cadence, so the delta is exactly the
+/// inline-clock-vs-boxed-clock cost the PR 9 spill rebuild targets.
+fn bench_spill_clocks(c: &mut Criterion) {
+    const BLOCKS: u64 = 64;
+    const ROUNDS: u32 = 8;
+    let base = 0x40_0000u64;
+    for (label, last_thread) in [("inline_lanes", 7u32), ("boxed_clock", 8u32)] {
+        let threads: Vec<ThreadId> = (0..7u32)
+            .chain(std::iter::once(last_thread))
+            .map(ThreadId::new)
+            .collect();
+        c.bench_function(&format!("shadow_words/spill_read_shared/{label}"), |b| {
+            b.iter(|| {
+                let mut ft = FastTrack::new();
+                for _ in 0..ROUNDS {
+                    for t in &threads {
+                        for blk in 0..BLOCKS {
+                            ft.read_at(*t, Addr::new(base + blk * 8), None);
+                        }
+                    }
+                    ft.barrier(&threads);
+                }
+                black_box(ft.spill_stats().spills)
+            })
+        });
+    }
+}
+
 fn bench_shadow_words(c: &mut Criterion) {
     // raytrace-shaped: a small hot page set, long same-page runs.
     bench_distribution(c, "raytrace", 48, 24);
     // vips-shaped: a wide page set, short runs.
     bench_distribution(c, "vips", 512, 3);
+    bench_spill_clocks(c);
 }
 
 criterion_group!(benches, bench_shadow_words);

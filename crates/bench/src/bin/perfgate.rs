@@ -9,23 +9,29 @@
 //! PERFGATE_TOLERANCE=0.4 cargo run --release -p aikido-bench --bin perfgate
 //! ```
 //!
-//! The gated quantity is the geometric mean of the three per-mode
-//! accesses/sec geomeans (native, full, aikido) measured on the sequential
-//! path — one number that moves only when the engine itself gets slower.
-//! For diagnosis the gate also prints a benchmark × mode table of baseline
-//! versus fresh accesses/sec (so a localized regression is visible without
-//! downloading artifacts), names the worst per-benchmark offender when it
-//! fails, and — when running under GitHub Actions — appends the same table
-//! as markdown to `$GITHUB_STEP_SUMMARY`. A missing baseline passes with a
-//! warning (first run on a fork, or a fresh perf machine); the CI workflow
-//! refreshes the committed baseline artifact on `main`.
+//! Two quantities are gated. The headline is the geometric mean of the
+//! three per-mode accesses/sec geomeans (native, full, aikido) measured on
+//! the sequential path — one number that moves only when the engine itself
+//! gets slower. On top of that, every individual **aikido-mode benchmark**
+//! is gated at the same tolerance: the geomean across eight benchmarks can
+//! absorb one benchmark losing a third of its throughput (exactly how the
+//! PR 9 spill-plane work could regress a spill-heavy benchmark while the
+//! average still passes), so a single aikido sample below `1 - tolerance`
+//! fails the gate even when the geomean is fine. For diagnosis the gate
+//! prints a benchmark × mode table of baseline versus fresh accesses/sec
+//! (so a localized regression is visible without downloading artifacts),
+//! names every offender when it fails, and — when running under GitHub
+//! Actions — appends the same table as markdown to `$GITHUB_STEP_SUMMARY`.
+//! A missing baseline passes with a warning (first run on a fork, or a
+//! fresh perf machine); the CI workflow refreshes the committed baseline
+//! artifact on `main`.
 //!
 //! Exit codes (see [`aikido_bench::exitcode`]):
 //!
 //! | code | meaning |
 //! |------|---------|
 //! | 0    | gate passed (including the missing-baseline warning path) |
-//! | 1    | throughput regressed beyond the tolerance |
+//! | 1    | throughput regressed beyond the tolerance — overall geomean, or any single aikido-mode benchmark |
 //! | 2    | the fresh throughput document is missing, unreadable or lacks the gated geomeans |
 //! | 4    | the baseline **exists but is corrupt** — unreadable, unparsable, or missing the gated geomeans. A rotten committed artifact must not silently disable the gate, so it fails distinctly instead of passing like a missing baseline. |
 
@@ -124,6 +130,16 @@ fn sample_deltas(fresh: &Value, baseline: &Value) -> Vec<SampleDelta> {
         .collect()
 }
 
+/// The aikido-mode samples whose own ratio regresses past the tolerance.
+/// Gated individually: the overall geomean averages across benchmarks, so
+/// it can absorb one spill-heavy benchmark cratering while the rest hold.
+fn aikido_offenders(deltas: &[SampleDelta], tolerance: f64) -> Vec<&SampleDelta> {
+    deltas
+        .iter()
+        .filter(|d| d.mode == "aikido" && d.ratio() < 1.0 - tolerance)
+        .collect()
+}
+
 /// Renders the benchmark × mode comparison as an aligned text table.
 fn print_delta_table(deltas: &[SampleDelta]) {
     if deltas.is_empty() {
@@ -151,6 +167,7 @@ fn print_delta_table(deltas: &[SampleDelta]) {
 /// The same comparison as a markdown table for `$GITHUB_STEP_SUMMARY`.
 fn markdown_summary(
     deltas: &[SampleDelta],
+    offenders: &[&SampleDelta],
     fresh: &ModeGeomeans,
     baseline: &ModeGeomeans,
     ratio: f64,
@@ -161,9 +178,28 @@ fn markdown_summary(
     let _ = writeln!(md, "## Perf gate: {}", if passed { "OK" } else { "FAIL" });
     let _ = writeln!(
         md,
-        "\nOverall geomean ratio **{ratio:.3}** (fails below {:.3}).\n",
+        "\nOverall geomean ratio **{ratio:.3}** (fails below {:.3}); every \
+         aikido-mode benchmark is also gated individually at the same \
+         threshold.\n",
         1.0 - tolerance
     );
+    if !offenders.is_empty() {
+        let _ = writeln!(
+            md,
+            "**Per-benchmark aikido regressions** (each alone fails the gate):\n"
+        );
+        for d in offenders {
+            let _ = writeln!(
+                md,
+                "- `{}` at ratio **{:.3}** ({:.0} → {:.0} accesses/sec)",
+                d.benchmark,
+                d.ratio(),
+                d.baseline,
+                d.fresh
+            );
+        }
+        let _ = writeln!(md);
+    }
     let _ = writeln!(md, "| mode | baseline | fresh | ratio |");
     let _ = writeln!(md, "|---|---:|---:|---:|");
     for (label, base, now) in [
@@ -341,12 +377,17 @@ fn main() {
 
     let ratio = fresh.overall() / baseline.overall();
     let regression = 1.0 - ratio;
-    let passed = regression <= tolerance;
+    let offenders = aikido_offenders(&deltas, tolerance);
+    let geomean_passed = regression <= tolerance;
+    let passed = geomean_passed && offenders.is_empty();
     println!(
-        "overall geomean ratio {ratio:.3} (tolerance: up to {:.0}% regression)",
+        "overall geomean ratio {ratio:.3} (tolerance: up to {:.0}% regression, \
+         overall and per aikido benchmark)",
         tolerance * 100.0
     );
-    let mut summary = markdown_summary(&deltas, &fresh, &baseline, ratio, tolerance, passed);
+    let mut summary = markdown_summary(
+        &deltas, &offenders, &fresh, &baseline, ratio, tolerance, passed,
+    );
     if let Some(note) = &fingerprint_note {
         summary.push_str("\n> ");
         summary.push_str(&note.replace('\n', "\n> "));
@@ -354,23 +395,42 @@ fn main() {
     }
     write_step_summary(&summary);
     if !passed {
-        let worst = deltas.iter().min_by(|a, b| a.ratio().total_cmp(&b.ratio()));
-        if let Some(worst) = worst {
+        for d in &offenders {
             eprintln!(
-                "perfgate: worst offender: {} ({} mode) at ratio {:.3} \
+                "perfgate: aikido benchmark regressed: {} at ratio {:.3} \
                  ({:.0} -> {:.0} accesses/sec)",
-                worst.benchmark,
-                worst.mode,
-                worst.ratio(),
-                worst.baseline,
-                worst.fresh
+                d.benchmark,
+                d.ratio(),
+                d.baseline,
+                d.fresh
             );
         }
-        eprintln!(
-            "perfgate: FAIL — throughput regressed {:.1}% (> {:.0}%)",
-            regression * 100.0,
-            tolerance * 100.0
-        );
+        if !geomean_passed {
+            let worst = deltas.iter().min_by(|a, b| a.ratio().total_cmp(&b.ratio()));
+            if let Some(worst) = worst {
+                eprintln!(
+                    "perfgate: worst offender: {} ({} mode) at ratio {:.3} \
+                     ({:.0} -> {:.0} accesses/sec)",
+                    worst.benchmark,
+                    worst.mode,
+                    worst.ratio(),
+                    worst.baseline,
+                    worst.fresh
+                );
+            }
+            eprintln!(
+                "perfgate: FAIL — throughput regressed {:.1}% (> {:.0}%)",
+                regression * 100.0,
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!(
+                "perfgate: FAIL — {} aikido benchmark(s) regressed more than \
+                 {:.0}% while the geomean passed",
+                offenders.len(),
+                tolerance * 100.0
+            );
+        }
         std::process::exit(aikido_bench::exitcode::REGRESSION);
     }
     println!("perfgate: OK");

@@ -111,8 +111,6 @@ pub use aikido_snapshot as snapshot;
 pub use aikido_staticcheck as staticcheck;
 
 pub use aikido_fasttrack::{FastTrack, FastTrackConfig};
-#[allow(deprecated)]
-pub use aikido_sim::{checkpoint_every_from_env, parallel_workers_from_env};
 pub use aikido_sim::{
     CheckpointOutcome, Comparison, CostModel, FaultPlan, Mode, RunCounts, RunReport, SimConfig,
     SimConfigError, SimError, Simulator, Snapshot, SnapshotError,
@@ -182,22 +180,6 @@ impl AikidoSystem {
     pub fn workers(mut self, workers: usize) -> Self {
         self.simulator = self.simulator.clone().with_workers(workers);
         self
-    }
-
-    /// Reads the worker count from the `AIKIDO_PARALLEL` environment
-    /// variable (sequential when unset).
-    ///
-    /// Deprecated: library behaviour should be a pure function of arguments.
-    /// Binaries and examples that want environment-driven configuration
-    /// should build from [`SimConfig::from_env_overrides`] and use
-    /// [`AikidoSystem::from_config`].
-    #[deprecated(
-        since = "0.8.0",
-        note = "use AikidoSystem::from_config(SimConfig::from_env_overrides()) from bins/examples"
-    )]
-    pub fn workers_from_env(self) -> Self {
-        let workers = SimConfig::from_env_overrides().workers;
-        self.workers(workers)
     }
 
     /// The underlying simulator.

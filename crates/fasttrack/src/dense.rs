@@ -78,7 +78,10 @@ impl<V> DenseMap<V> {
     }
 
     /// Mutable access to the value at `key`, inserting `make()` first if the
-    /// key is vacant.
+    /// key is vacant. Inlined like the plain accessors: the thread-clock
+    /// lookup drives this once per event, and the dense arm is a bounds
+    /// check plus an index in the common already-present case.
+    #[inline]
     pub fn get_or_insert_with(&mut self, key: u64, make: impl FnOnce() -> V) -> &mut V {
         if key < MAX_DENSE {
             let idx = key as usize;

@@ -12,9 +12,9 @@ use aikido_types::{
 use crate::clock::{Epoch, VectorClock};
 use crate::config::FastTrackConfig;
 use crate::dense::DenseMap;
-use crate::packed::{decode_word, encode_state, pack_epoch, PackedVars};
+use crate::packed::{decode_word, encode_state, pack_epoch, PackedVars, INLINE_LANES};
 use crate::state::{ReadState, VarState};
-use crate::stats::FastTrackStats;
+use crate::stats::{FastTrackStats, SpillStats};
 
 /// Where per-variable metadata lives. The packed plane (the default) keeps
 /// one bit-packed [`ShadowWord`] per block in page-granular dense slabs with
@@ -61,7 +61,7 @@ pub struct FastTrack {
 /// instrumentation of every access lands in the paper's tens-to-hundreds-of-x
 /// slowdown band, with the vector-clock slow paths (which grow with thread
 /// count) substantially more expensive than the epoch fast path.
-mod cost {
+pub(crate) mod cost {
     /// Same-epoch fast path (one comparison).
     pub const SAME_EPOCH: u64 = 30;
     /// Exclusive-epoch check and update.
@@ -88,22 +88,29 @@ fn read_fast_path(state: &VarState, thread: ThreadId, epoch: Epoch) -> bool {
     }
 }
 
-/// A thread epoch pre-positioned for the packed read fast path: one probe
-/// for the unspilled read lane and one for the spilled same-epoch hint, so
-/// both checks are a single masked compare each. `None` when the epoch
+/// A thread epoch pre-positioned for every packed fast path: one probe for
+/// the unspilled read lane, one for the spilled same-epoch hint, one for
+/// the unspilled write lane and one for the spilled *owned*-write check —
+/// each a single masked compare. Packed once per access (and, in
+/// [`FastTrack::on_access_run`], hoisted once per run, so the ownership
+/// check is batched along with everything else). `None` when the epoch
 /// exceeds the packing budget — exactly when no packed word can match it.
 #[derive(Copy, Clone)]
-struct ReadProbes {
+struct EpochProbes {
     read: u64,
     hint: u64,
+    write: u64,
+    owned: u64,
 }
 
-impl ReadProbes {
+impl EpochProbes {
     #[inline]
-    fn pack(epoch: Epoch) -> Option<ReadProbes> {
-        pack_epoch(epoch).map(|field| ReadProbes {
+    fn pack(epoch: Epoch) -> Option<EpochProbes> {
+        pack_epoch(epoch).map(|field| EpochProbes {
             read: ShadowWord::read_probe(field),
             hint: ShadowWord::spill_hint_probe(field),
+            write: ShadowWord::write_probe(field),
+            owned: ShadowWord::owned_write_probe(field),
         })
     }
 }
@@ -122,13 +129,27 @@ fn spill_hint_after(state: &VarState, read_epoch: Option<Epoch>) -> u64 {
     pack_epoch(epoch).unwrap_or(0)
 }
 
+/// The ownership-tagged word to install on a still-spilled block: `field`
+/// is the same-epoch hint and the owner tag is set exactly when the hint
+/// epoch equals the block's write epoch — the condition under which the
+/// hint's thread *owns* the block and its repeat writes can be answered by
+/// the word-level [`ShadowWord::matches_owned_write`] compare without
+/// touching the arena (packing is injective, so comparing packed fields
+/// compares the epochs).
+#[inline]
+fn ownership_word(word: ShadowWord, write: Epoch, field: u64) -> ShadowWord {
+    let owned = field != 0 && pack_epoch(write) == Some(field);
+    word.with_ownership(field, owned)
+}
+
 /// What the slow read path did to a variable's state; the caller applies the
-/// statistics, cost and report.
-struct ReadOutcome {
-    cost: u64,
-    promoted: bool,
-    write_race: bool,
-    prior_writer: ThreadId,
+/// statistics, cost and report. Produced by both [`read_slow`] and the spill
+/// slot's in-place [`crate::packed::SpillSlot::read_update`].
+pub(crate) struct ReadOutcome {
+    pub(crate) cost: u64,
+    pub(crate) promoted: bool,
+    pub(crate) write_race: bool,
+    pub(crate) prior_writer: ThreadId,
 }
 
 /// The read update: write-read race check plus read-history update, exactly
@@ -180,13 +201,14 @@ fn read_slow(
     }
 }
 
-/// What the slow write path did to a variable's state.
-struct WriteOutcome {
-    cost: u64,
-    write_race: bool,
-    prior_writer: ThreadId,
-    read_race: bool,
-    prior_reader: Option<ThreadId>,
+/// What the slow write path did to a variable's state. Produced by both
+/// [`write_slow`] and [`crate::packed::SpillSlot::write_update`].
+pub(crate) struct WriteOutcome {
+    pub(crate) cost: u64,
+    pub(crate) write_race: bool,
+    pub(crate) prior_writer: ThreadId,
+    pub(crate) read_race: bool,
+    pub(crate) prior_reader: Option<ThreadId>,
 }
 
 /// The write update: write-write and read-write race checks plus the write
@@ -331,6 +353,17 @@ impl FastTrack {
         &self.stats
     }
 
+    /// Spill/ownership counters of the packed plane's representation —
+    /// zeros when the reference store is active (it has no arena). Unlike
+    /// [`FastTrack::stats`], these are not part of the packed-vs-reference
+    /// equivalence surface.
+    pub fn spill_stats(&self) -> SpillStats {
+        match &self.vars {
+            VarStorage::Packed(vars) => vars.spill_stats(),
+            VarStorage::Reference(_) => SpillStats::default(),
+        }
+    }
+
     /// All race reports recorded so far.
     pub fn races(&self) -> &[AnalysisReport] {
         &self.reports
@@ -391,7 +424,7 @@ impl FastTrack {
             }
             VarStorage::Packed(vars) => {
                 let (handle, slot, _block) = vars.locate(addr);
-                let probes = ReadProbes::pack(epoch);
+                let probes = EpochProbes::pack(epoch);
                 self.read_packed(
                     handle,
                     slot,
@@ -457,7 +490,7 @@ impl FastTrack {
         addr: Addr,
         instr: Option<InstrId>,
         epoch: Epoch,
-        probes: Option<ReadProbes>,
+        probes: Option<EpochProbes>,
         threads_known: u64,
     ) {
         let use_epochs = self.config.epoch_optimization;
@@ -471,8 +504,9 @@ impl FastTrack {
 
         // Same-epoch fast path, decided on the packed word alone: one
         // masked compare covers "unspilled ∧ exclusive-read epoch equals
-        // ours", a second covers "spilled ∧ same-epoch hint equals ours" —
-        // either way the side arena is never touched.
+        // ours", a second covers "spilled ∧ same-epoch hint equals ours"
+        // (owner tag excluded from the mask, so the hint answers whichever
+        // thread it names) — either way the side arena is never touched.
         if use_epochs {
             if let Some(probes) = probes {
                 if word.matches_read(probes.read) || word.matches_spill_hint(probes.hint) {
@@ -486,15 +520,15 @@ impl FastTrack {
         if word.is_spilled() {
             // Full state in the side arena — one direct index, no second
             // probe. The fast path still applies even when the word hint
-            // belongs to another thread: for the first INLINE_FAST threads
-            // the slot's memoized clock answers it without chasing the
-            // boxed vector clock (the memo is exact — see `SpillSlot`).
+            // belongs to another thread: for the first INLINE_LANES threads
+            // the slot's epoch lane answers it without chasing any vector
+            // clock (the lane is exact — see `SpillSlot`).
             let entry = vars.spill_slot_mut(word);
             let fast = use_epochs
-                && if thread.index() < crate::packed::INLINE_FAST {
-                    entry.fast_clock(thread.index()) == epoch.clock()
+                && if thread.index() < INLINE_LANES {
+                    entry.lane_clock(thread.index()) == epoch.clock()
                 } else {
-                    read_fast_path(&entry.state, thread, epoch)
+                    entry.read_fast_path(thread, epoch)
                 };
             if fast {
                 self.stats.read_same_epoch += 1;
@@ -505,30 +539,49 @@ impl FastTrack {
                 .threads
                 .get(thread.index() as u64)
                 .expect("caller ensured the thread clock");
-            let out = read_slow(
-                &mut entry.state,
-                vc,
-                thread,
-                epoch,
-                use_epochs,
-                threads_known,
-            );
-            let repacked = encode_state(&entry.state);
-            if repacked.is_none() {
-                entry.refresh();
-            }
+            let was_boxed = entry.is_boxed();
+            let out = entry.read_update(vc, thread, epoch, use_epochs, threads_known);
+            let repacked = entry.repack();
+            // Sticky ownership: when the word's hint belongs to another
+            // thread whose fast path is *still* valid after this update
+            // (its epoch lane still carries the hinted clock), keep it —
+            // the owner's repeat reads stay on the one-compare word path
+            // while we pay the arena hop, and the word store is skipped
+            // entirely. Otherwise this thread claims the hint.
+            let cur = word.spill_hint_field();
+            let keep = repacked.is_none() && cur != 0 && {
+                let owner = ShadowWord::field_thread(cur) as usize;
+                owner != thread.index()
+                    && owner < INLINE_LANES
+                    && entry.lane_clock(owner) == ShadowWord::field_clock(cur)
+            };
+            let entry_write = entry.write_epoch();
+            let now_boxed = entry.is_boxed();
             match repacked {
                 Some(repacked) => {
                     // The state collapsed back into the word: un-spill.
                     vars.unspill(word);
                     vars.set_word_at(handle, slot, repacked);
                 }
+                None if keep => {
+                    // Reads change neither the write epoch nor (when the
+                    // keep check passes) the owner's lane, so the word —
+                    // hint, owner tag and spill index — stays valid as-is.
+                    vars.spill_stats_mut().ownership_keeps += 1;
+                }
                 None => {
                     // Still spilled: the read just recorded `epoch` in the
                     // read history, so it becomes the new same-epoch hint.
-                    let hint = pack_epoch(epoch).unwrap_or(0);
-                    vars.set_word_at(handle, slot, word.with_spill_hint(hint));
+                    let field = pack_epoch(epoch).unwrap_or(0);
+                    vars.spill_stats_mut().ownership_claims += 1;
+                    vars.set_word_at(handle, slot, ownership_word(word, entry_write, field));
                 }
+            }
+            if now_boxed && !was_boxed {
+                vars.spill_stats_mut().boxed_overflows += 1;
+            }
+            if out.promoted && !now_boxed {
+                vars.spill_stats_mut().inline_promotions += 1;
             }
             self.apply_read_outcome(out, thread, addr, instr);
         } else {
@@ -542,8 +595,12 @@ impl FastTrack {
                 Some(word) => vars.set_word_at(handle, slot, word),
                 None => {
                     let hint = spill_hint_after(&state, Some(epoch));
+                    let write = state.write;
                     let marker = vars.spill(state);
-                    vars.set_word_at(handle, slot, marker.with_spill_hint(hint));
+                    if out.promoted && !vars.spill_slot(marker).is_boxed() {
+                        vars.spill_stats_mut().inline_promotions += 1;
+                    }
+                    vars.set_word_at(handle, slot, ownership_word(marker, write, hint));
                 }
             }
             self.apply_read_outcome(out, thread, addr, instr);
@@ -606,7 +663,7 @@ impl FastTrack {
             }
             VarStorage::Packed(vars) => {
                 let (handle, slot, _block) = vars.locate(addr);
-                let probe = pack_epoch(epoch).map(ShadowWord::write_probe);
+                let probes = EpochProbes::pack(epoch);
                 self.write_packed(
                     handle,
                     slot,
@@ -614,7 +671,7 @@ impl FastTrack {
                     addr,
                     instr,
                     epoch,
-                    probe,
+                    probes,
                     threads_known,
                 );
             }
@@ -667,7 +724,7 @@ impl FastTrack {
         addr: Addr,
         instr: Option<InstrId>,
         epoch: Epoch,
-        probe: Option<u64>,
+        probes: Option<EpochProbes>,
         threads_known: u64,
     ) {
         let use_epochs = self.config.epoch_optimization;
@@ -679,10 +736,14 @@ impl FastTrack {
             self.stats.blocks_tracked += 1;
         }
 
-        // Same-epoch fast path: one masked compare against the write lane.
+        // Same-epoch fast path: one masked compare against the write lane,
+        // plus the ownership-epoch compare for spilled blocks — a spilled
+        // word whose owner tag is set carries a hint equal to the block's
+        // write epoch, so the owner's repeat write is answered by the word
+        // alone, never touching the arena.
         if use_epochs {
-            if let Some(probe) = probe {
-                if word.matches_write(probe) {
+            if let Some(probes) = probes {
+                if word.matches_write(probes.write) || word.matches_owned_write(probes.owned) {
                     self.stats.write_same_epoch += 1;
                     self.last_cost = cost::SAME_EPOCH;
                     return;
@@ -692,7 +753,7 @@ impl FastTrack {
 
         if word.is_spilled() {
             let entry = vars.spill_slot_mut(word);
-            if use_epochs && entry.state.write == epoch {
+            if use_epochs && entry.write_epoch() == epoch {
                 self.stats.write_same_epoch += 1;
                 self.last_cost = cost::SAME_EPOCH;
                 return;
@@ -701,12 +762,10 @@ impl FastTrack {
                 .threads
                 .get(thread.index() as u64)
                 .expect("caller ensured the thread clock");
-            let out = write_slow(&mut entry.state, vc, epoch, threads_known);
-            let hint = spill_hint_after(&entry.state, None);
-            let repacked = encode_state(&entry.state);
-            if repacked.is_none() {
-                entry.refresh();
-            }
+            let out = entry.write_update(vc, epoch, threads_known);
+            let repacked = entry.repack();
+            let hint_epoch = entry.exclusive_read_epoch();
+            let entry_write = entry.write_epoch();
             match repacked {
                 Some(repacked) => {
                     // A write collapses read-shared histories, so the state
@@ -716,9 +775,10 @@ impl FastTrack {
                 }
                 None => {
                     // Still spilled (an oversized epoch keeps the state in
-                    // the arena): the stale hint and memo must not survive
-                    // the rewritten read history.
-                    vars.set_word_at(handle, slot, word.with_spill_hint(hint));
+                    // the arena): the stale hint, owner tag and lanes must
+                    // not survive the rewritten read history.
+                    let field = hint_epoch.and_then(pack_epoch).unwrap_or(0);
+                    vars.set_word_at(handle, slot, ownership_word(word, entry_write, field));
                 }
             }
             self.apply_write_outcome(out, thread, addr, instr);
@@ -733,8 +793,9 @@ impl FastTrack {
                 Some(word) => vars.set_word_at(handle, slot, word),
                 None => {
                     let hint = spill_hint_after(&state, None);
+                    let write = state.write;
                     let marker = vars.spill(state);
-                    vars.set_word_at(handle, slot, marker.with_spill_hint(hint));
+                    vars.set_word_at(handle, slot, ownership_word(marker, write, hint));
                 }
             }
             self.apply_write_outcome(out, thread, addr, instr);
@@ -1232,8 +1293,11 @@ impl SharedDataAnalysis for FastTrack {
                 };
                 vars.resolve_block(first.addr.raw() >> shift)
             };
-            let read_probes = ReadProbes::pack(epoch);
-            let write_probe = pack_epoch(epoch).map(ShadowWord::write_probe);
+            // One probe pack covers all four fast-path compares of the run —
+            // read lane, spill hint, write lane and the ownership-epoch
+            // owned-write check — so the per-access ownership test is a
+            // single masked compare against a hoisted constant.
+            let probes = EpochProbes::pack(epoch);
             for cx in rest {
                 debug_assert_eq!(cx.thread, thread, "a run belongs to one thread");
                 debug_assert_eq!(cx.addr.page(), page, "a run stays on one page");
@@ -1248,7 +1312,7 @@ impl SharedDataAnalysis for FastTrack {
                             cx.addr,
                             Some(cx.instr),
                             epoch,
-                            read_probes,
+                            probes,
                             threads_known,
                         );
                     }
@@ -1261,7 +1325,7 @@ impl SharedDataAnalysis for FastTrack {
                             cx.addr,
                             Some(cx.instr),
                             epoch,
-                            write_probe,
+                            probes,
                             threads_known,
                         );
                     }
@@ -1689,14 +1753,14 @@ mod tests {
             ft.write(t(1), addr(0x500));
             assert!(!ft.races().is_empty());
 
-            let mut w = SectionWriter::new(*b"FTRK", 1);
+            let mut w = SectionWriter::new(*b"FTRK", 2);
             ft.encode_snapshot(&mut w);
             let section_len = w.len();
             let mut snap = aikido_snapshot::SnapshotBuilder::new();
             snap.push(w);
             let snap = snap.finish();
             let mut reader = snap.reader().expect("valid image");
-            let mut section = reader.section(*b"FTRK", 1).expect("section present");
+            let mut section = reader.section(*b"FTRK", 2).expect("section present");
             let mut restored = FastTrack::decode_snapshot(&mut section).expect("decodes");
             section.finish().expect("payload fully consumed");
             reader.finish().expect("no trailing sections");
@@ -1720,9 +1784,9 @@ mod tests {
             assert_eq!(restored.stats(), ft.stats());
 
             // Re-encoding the restored detector is byte-stable.
-            let mut w2 = SectionWriter::new(*b"FTRK", 1);
+            let mut w2 = SectionWriter::new(*b"FTRK", 2);
             restored.encode_snapshot(&mut w2);
-            let mut w3 = SectionWriter::new(*b"FTRK", 1);
+            let mut w3 = SectionWriter::new(*b"FTRK", 2);
             ft.encode_snapshot(&mut w3);
             assert_eq!(w2.len(), w3.len());
             assert!(section_len > 0);

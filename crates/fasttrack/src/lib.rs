@@ -74,4 +74,4 @@ pub use clock::{Epoch, VectorClock};
 pub use config::FastTrackConfig;
 pub use detector::FastTrack;
 pub use state::{ReadState, VarState};
-pub use stats::FastTrackStats;
+pub use stats::{FastTrackStats, SpillStats};

@@ -4,8 +4,17 @@
 //! [`ShadowWord`] in a page-granular dense slab: write epoch and
 //! exclusive-read epoch bit-packed side by side. States that no longer fit —
 //! a promoted read-shared vector clock, a clock past 2^24 or a thread id
-//! past 2^7 — escape through the word's spill tag into a side table that
-//! keeps the full enum representation. The enum-based
+//! past 2^7 — escape through the word's spill tag into a side arena of
+//! fixed-stride [`SpillSlot`]s.
+//!
+//! The spill slot is itself a packed structure: the first [`INLINE_LANES`]
+//! per-thread read clocks live as flat *epoch lanes* directly in the slot,
+//! so a read-shared history touched only by low-index threads (the
+//! overwhelmingly common case — PARSEC-style workloads run a handful of
+//! worker threads) is updated and race-checked entirely within the slot's
+//! cache lines, never chasing a boxed [`VectorClock`]. Only when a thread
+//! past the lane budget participates does the history fall back to the
+//! dense boxed clock, preserving exact FastTrack semantics. The enum-based
 //! [`aikido_shadow::ShadowStore`] storage is retained as the reference
 //! oracle behind [`crate::FastTrack::with_packed_words`]; the two are proven
 //! equivalent by the `packed_words_model` property suite and by the
@@ -14,8 +23,10 @@
 use aikido_shadow::ShadowSlabs;
 use aikido_types::{Addr, ShadowWord, SlabHandle, ThreadId};
 
-use crate::clock::Epoch;
+use crate::clock::{Epoch, VectorClock};
+use crate::detector::{cost, ReadOutcome, WriteOutcome};
 use crate::state::{ReadState, VarState};
+use crate::stats::SpillStats;
 
 /// Packs an epoch into a 31-bit word field, or `None` when it exceeds the
 /// clock/thread budget (the state must spill).
@@ -57,60 +68,322 @@ pub(crate) fn decode_word(word: ShadowWord) -> VarState {
     }
 }
 
-/// Thread indices whose fast-path clock is cached inline in a spill slot.
-pub(crate) const INLINE_FAST: usize = 8;
+/// Thread indices whose read clock is kept inline in a spill slot's epoch
+/// lanes.
+pub(crate) const INLINE_LANES: usize = 8;
 
-/// One spilled entry: the canonical state plus an inline fast-path memo.
+/// How a spill slot represents the read history.
 ///
-/// `fast[i]` is the clock at which a read by thread `i` (for `i <
-/// INLINE_FAST`) would hit FastTrack's same-epoch fast path — `rvc[i]` for
+/// The slot's `lanes` array carries, for every kind, the fast-path read
+/// clock of the first [`INLINE_LANES`] threads; the kind decides what is
+/// authoritative:
+///
+/// * `Exclusive` — reads are totally ordered; the epoch is authoritative
+///   and its clock is mirrored into its thread's lane.
+/// * `Inline` — read-shared with every participating thread inside the
+///   lanes. The lanes *are* the vector clock: `lanes[..width]` is exactly
+///   the backing array the reference's boxed clock would hold (`width` =
+///   highest set index + 1, so reconstruction is byte-identical, trailing
+///   zeros included).
+/// * `Boxed` — a thread past the lane budget participates; the dense clock
+///   is authoritative and the lanes memoize its first entries.
+#[derive(Debug, Clone)]
+enum SpillRead {
+    /// Totally ordered reads (the state spilled for another reason: an
+    /// oversized clock or thread id).
+    Exclusive(Epoch),
+    /// Read-shared, held entirely in the inline lanes.
+    Inline {
+        /// Length of the equivalent clock vector (highest set index + 1).
+        width: u32,
+    },
+    /// Read-shared overflow: the boxed dense clock is authoritative.
+    Boxed(Box<VectorClock>),
+}
+
+/// One spilled entry: write epoch, read-history kind and the inline epoch
+/// lanes.
+///
+/// Invariant (all kinds): `lanes[i]` is the clock at which a read by thread
+/// `i < INLINE_LANES` hits FastTrack's same-epoch fast path — `rvc[i]` for
 /// read-shared histories, the exclusive epoch's clock on its own thread's
-/// slot otherwise, 0 (never matched; live clocks start at 1) elsewhere. The
-/// memo is refreshed after every mutation of a still-spilled state, so for
-/// the first [`INLINE_FAST`] threads the fast-path decision never chases
-/// the boxed vector clock: it reads this slot's cache line and stops.
+/// lane otherwise, 0 (never matches; live clocks start at 1) elsewhere.
+/// Maintained incrementally by every update, so both the fast-path decision
+/// *and* (for `Inline`) the full update/race-check logic stay within the
+/// slot.
 #[derive(Debug, Clone)]
 pub(crate) struct SpillSlot {
-    /// The canonical state; all update logic runs on this.
-    pub state: VarState,
-    fast: [u32; INLINE_FAST],
+    write: Epoch,
+    read: SpillRead,
+    lanes: [u32; INLINE_LANES],
 }
 
 impl SpillSlot {
+    /// Builds a slot from a canonical state (taking ownership of a shared
+    /// history's boxed clock when it overflows the lanes).
     fn new(state: VarState) -> SpillSlot {
-        let mut slot = SpillSlot {
-            state,
-            fast: [0; INLINE_FAST],
-        };
-        slot.refresh();
-        slot
-    }
-
-    /// Rebuilds the fast-path memo from the canonical state. Must be called
-    /// after every mutation of a slot that stays spilled.
-    pub fn refresh(&mut self) {
-        self.fast = [0; INLINE_FAST];
-        match &self.state.read {
+        let mut lanes = [0u32; INLINE_LANES];
+        let read = match state.read {
             ReadState::Exclusive(e) => {
-                let idx = e.thread().index();
-                if idx < INLINE_FAST {
-                    self.fast[idx] = e.clock();
+                if e.thread().index() < INLINE_LANES {
+                    lanes[e.thread().index()] = e.clock();
                 }
+                SpillRead::Exclusive(e)
             }
             ReadState::Shared(rvc) => {
-                for (i, slot) in self.fast.iter_mut().enumerate() {
-                    *slot = rvc.get(ThreadId::new(i as u32));
+                for (i, lane) in lanes.iter_mut().enumerate() {
+                    *lane = rvc.get(ThreadId::new(i as u32));
+                }
+                let width = rvc.raw_clocks().len();
+                if width <= INLINE_LANES {
+                    SpillRead::Inline {
+                        width: width as u32,
+                    }
+                } else {
+                    SpillRead::Boxed(rvc)
                 }
             }
+        };
+        SpillSlot {
+            write: state.write,
+            read,
+            lanes,
         }
     }
 
-    /// The memoized fast-path clock of thread index `idx`
-    /// (`idx < INLINE_FAST`). Exact: equality with a live probe clock holds
+    /// Reconstructs the canonical state — byte-identical to what the
+    /// reference detector holds, including the exact backing-array length
+    /// of a shared history's clock.
+    pub fn to_state(&self) -> VarState {
+        let read = match &self.read {
+            SpillRead::Exclusive(e) => ReadState::Exclusive(*e),
+            SpillRead::Inline { width } => ReadState::Shared(Box::new(
+                VectorClock::from_raw_clocks(self.lanes[..*width as usize].to_vec()),
+            )),
+            SpillRead::Boxed(rvc) => ReadState::Shared(rvc.clone()),
+        };
+        VarState {
+            write: self.write,
+            read,
+        }
+    }
+
+    /// The spilled state's write epoch.
+    #[inline]
+    pub fn write_epoch(&self) -> Epoch {
+        self.write
+    }
+
+    /// The fast-path read clock of thread index `idx < INLINE_LANES` (see
+    /// the slot invariant). Exact: equality with a live probe clock holds
     /// iff [`crate::FastTrack`]'s read fast path would hit.
     #[inline]
-    pub fn fast_clock(&self, idx: usize) -> u32 {
-        self.fast[idx]
+    pub fn lane_clock(&self, idx: usize) -> u32 {
+        self.lanes[idx]
+    }
+
+    /// The general read fast-path check, for threads past the lane budget
+    /// (low-index threads use [`SpillSlot::lane_clock`] directly).
+    pub fn read_fast_path(&self, thread: ThreadId, epoch: Epoch) -> bool {
+        match &self.read {
+            SpillRead::Exclusive(e) => *e == epoch,
+            // Every participant of an inline history is inside the lanes, so
+            // a lane-less thread has clock 0, which no live epoch matches.
+            SpillRead::Inline { .. } => {
+                thread.index() < INLINE_LANES && self.lanes[thread.index()] == epoch.clock()
+            }
+            SpillRead::Boxed(rvc) => rvc.get(thread) == epoch.clock(),
+        }
+    }
+
+    /// The read epoch a still-spilled word's same-epoch hint can point at
+    /// after a write (`None` for shared histories).
+    #[inline]
+    pub fn exclusive_read_epoch(&self) -> Option<Epoch> {
+        match &self.read {
+            SpillRead::Exclusive(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// True if the read history overflowed the lanes into a boxed clock.
+    #[inline]
+    pub fn is_boxed(&self) -> bool {
+        matches!(self.read, SpillRead::Boxed(_))
+    }
+
+    /// Re-encodes the state into an unspilled word when it fits again.
+    /// Exactly `encode_state(&self.to_state())`, without materializing the
+    /// state.
+    pub fn repack(&self) -> Option<ShadowWord> {
+        match &self.read {
+            SpillRead::Exclusive(e) => {
+                let write = pack_epoch(self.write)?;
+                let read = pack_epoch(*e)?;
+                Some(ShadowWord::from_fields(write, read))
+            }
+            _ => None,
+        }
+    }
+
+    /// The slow read update, mirroring the reference `read_slow`
+    /// branch-for-branch on the packed representation: write-read race check
+    /// plus read-history update. For histories inside the lanes this never
+    /// touches (or allocates) a boxed clock.
+    pub fn read_update(
+        &mut self,
+        vc: &VectorClock,
+        thread: ThreadId,
+        epoch: Epoch,
+        use_epochs: bool,
+        threads_known: u64,
+    ) -> ReadOutcome {
+        let mut cost = cost::EXCLUSIVE;
+        let mut promoted = false;
+
+        // Write-read race check: the last write must happen-before this read.
+        let write_race = !self.write.happens_before(vc);
+        let prior_writer = self.write.thread();
+
+        match &mut self.read {
+            SpillRead::Exclusive(e) if use_epochs && e.happens_before(vc) => {
+                // Still totally ordered: the new epoch replaces the old, and
+                // the lane mirror moves with it.
+                let old = *e;
+                *e = epoch;
+                if old.thread().index() < INLINE_LANES {
+                    self.lanes[old.thread().index()] = 0;
+                }
+                if thread.index() < INLINE_LANES {
+                    self.lanes[thread.index()] = epoch.clock();
+                }
+            }
+            SpillRead::Exclusive(e) => {
+                // Concurrent (or epoch optimisation disabled): promote. The
+                // reference builds `rvc` by setting (e.thread, e.clock) when
+                // e.clock > 0, then (thread, epoch.clock); the lanes
+                // reproduce exactly that vector (including its length) when
+                // both indices fit, else the boxed clock is built directly.
+                let e = *e;
+                promoted = true;
+                cost = cost::PROMOTE_SHARED;
+                self.lanes = [0; INLINE_LANES];
+                let prior_fits = e.clock() == 0 || e.thread().index() < INLINE_LANES;
+                if prior_fits && thread.index() < INLINE_LANES {
+                    let mut width = 0usize;
+                    if e.clock() > 0 {
+                        self.lanes[e.thread().index()] = e.clock();
+                        width = e.thread().index() + 1;
+                    }
+                    self.lanes[thread.index()] = epoch.clock();
+                    width = width.max(thread.index() + 1);
+                    self.read = SpillRead::Inline {
+                        width: width as u32,
+                    };
+                } else {
+                    let mut rvc = VectorClock::new();
+                    if e.clock() > 0 {
+                        rvc.set(e.thread(), e.clock());
+                        if e.thread().index() < INLINE_LANES {
+                            self.lanes[e.thread().index()] = e.clock();
+                        }
+                    }
+                    rvc.set(thread, epoch.clock());
+                    if thread.index() < INLINE_LANES {
+                        self.lanes[thread.index()] = epoch.clock();
+                    }
+                    self.read = SpillRead::Boxed(Box::new(rvc));
+                }
+            }
+            SpillRead::Inline { width } => {
+                cost = cost::SHARED_BASE + cost::SHARED_PER_THREAD * threads_known;
+                let idx = thread.index();
+                if idx < INLINE_LANES {
+                    self.lanes[idx] = epoch.clock();
+                    *width = (*width).max(idx as u32 + 1);
+                } else {
+                    // A thread past the lane budget joined: overflow into
+                    // the dense clock (`set` resizes to idx + 1, exactly
+                    // like the reference's).
+                    let mut rvc =
+                        VectorClock::from_raw_clocks(self.lanes[..*width as usize].to_vec());
+                    rvc.set(thread, epoch.clock());
+                    self.read = SpillRead::Boxed(Box::new(rvc));
+                }
+            }
+            SpillRead::Boxed(rvc) => {
+                cost = cost::SHARED_BASE + cost::SHARED_PER_THREAD * threads_known;
+                rvc.set(thread, epoch.clock());
+                if thread.index() < INLINE_LANES {
+                    self.lanes[thread.index()] = epoch.clock();
+                }
+            }
+        }
+
+        ReadOutcome {
+            cost,
+            promoted,
+            write_race,
+            prior_writer,
+        }
+    }
+
+    /// The slow write update, mirroring the reference `write_slow`: both
+    /// race checks, the write record and the read-history collapse. The
+    /// read-write check of an inline history scans the lanes — same
+    /// ascending order, same first-concurrent-reader answer as the
+    /// reference's clock iteration.
+    pub fn write_update(
+        &mut self,
+        vc: &VectorClock,
+        epoch: Epoch,
+        threads_known: u64,
+    ) -> WriteOutcome {
+        let shared = !matches!(self.read, SpillRead::Exclusive(_));
+        let cost = if shared {
+            cost::SHARED_BASE + cost::SHARED_PER_THREAD * threads_known
+        } else {
+            cost::EXCLUSIVE
+        };
+        let write_race = !self.write.happens_before(vc);
+        let prior_writer = self.write.thread();
+        let (read_race, prior_reader) = match &self.read {
+            SpillRead::Exclusive(e) => (!e.happens_before(vc), Some(e.thread())),
+            SpillRead::Inline { width } => {
+                // First lane whose clock exceeds the writer's view, in
+                // ascending thread order (zero lanes can never exceed).
+                let concurrent = self.lanes[..*width as usize]
+                    .iter()
+                    .enumerate()
+                    .find(|&(i, &c)| c > vc.get(ThreadId::new(i as u32)))
+                    .map(|(i, _)| ThreadId::new(i as u32));
+                (concurrent.is_some(), concurrent)
+            }
+            SpillRead::Boxed(rvc) => (
+                !rvc.le(vc),
+                rvc.iter().find(|(t, c)| *c > vc.get(*t)).map(|(t, _)| t),
+            ),
+        };
+
+        // Update: record this write; once all concurrent reads have been
+        // checked the read history can collapse back to the writer's epoch
+        // (FastTrack's "write shared" rule).
+        self.write = epoch;
+        if shared {
+            self.read = SpillRead::Exclusive(epoch);
+            self.lanes = [0; INLINE_LANES];
+            if epoch.thread().index() < INLINE_LANES {
+                self.lanes[epoch.thread().index()] = epoch.clock();
+            }
+        }
+
+        WriteOutcome {
+            cost,
+            write_race,
+            prior_writer,
+            read_race,
+            prior_reader,
+        }
     }
 }
 
@@ -135,6 +408,8 @@ pub(crate) struct PackedVars {
     arena: Vec<SpillSlot>,
     /// Recycled arena slots (their stale states are dead until reused).
     free: Vec<u32>,
+    /// Representation counters (never part of the equivalence surface).
+    stats: SpillStats,
 }
 
 impl PackedVars {
@@ -153,6 +428,7 @@ impl PackedVars {
             slabs: ShadowSlabs::new(),
             arena: Vec::new(),
             free: Vec::new(),
+            stats: SpillStats::default(),
         }
     }
 
@@ -206,11 +482,15 @@ impl PackedVars {
         &self.arena[word.spill_index() as usize]
     }
 
-    /// Moves `state` into the arena (memo refreshed) and returns the spill
-    /// marker word to install in its slab slot.
+    /// Moves `state` into the arena and returns the spill marker word to
+    /// install in its slab slot.
     #[inline]
     pub fn spill(&mut self, state: VarState) -> ShadowWord {
+        self.stats.spills += 1;
         let slot = SpillSlot::new(state);
+        if slot.is_boxed() {
+            self.stats.boxed_overflows += 1;
+        }
         let index = match self.free.pop() {
             Some(index) => {
                 self.arena[index as usize] = slot;
@@ -229,7 +509,20 @@ impl PackedVars {
     #[inline]
     pub fn unspill(&mut self, word: ShadowWord) {
         debug_assert!(word.is_spilled());
+        self.stats.unspills += 1;
         self.free.push(word.spill_index() as u32);
+    }
+
+    /// Representation counters accumulated so far.
+    #[inline]
+    pub fn spill_stats(&self) -> SpillStats {
+        self.stats
+    }
+
+    /// Mutable representation counters (slow-path bookkeeping only).
+    #[inline]
+    pub fn spill_stats_mut(&mut self) -> &mut SpillStats {
+        &mut self.stats
     }
 
     /// Number of tracked blocks (every tracked block has a non-empty word;
@@ -257,7 +550,7 @@ impl PackedVars {
             .iter()
             .map(|(block, word)| {
                 let state = if word.is_spilled() {
-                    self.spill_slot(word).state.clone()
+                    self.spill_slot(word).to_state()
                 } else {
                     decode_word(word)
                 };
@@ -330,6 +623,99 @@ mod tests {
     }
 
     #[test]
+    fn small_shared_histories_stay_inline_and_reconstruct_exactly() {
+        // A shared clock whose backing array ends in a zero entry: the
+        // inline lanes must preserve the exact vector length.
+        let rvc: VectorClock = [(t(3), 7), (t(1), 2)].into_iter().collect();
+        assert_eq!(rvc.raw_clocks(), &[0, 2, 0, 7]);
+        let state = VarState {
+            write: Epoch::new(4, t(0)),
+            read: ReadState::Shared(Box::new(rvc)),
+        };
+        let slot = SpillSlot::new(state.clone());
+        assert!(
+            !slot.is_boxed(),
+            "history of low-index threads stays inline"
+        );
+        assert_eq!(slot.to_state(), state);
+        assert_eq!(slot.lane_clock(1), 2);
+        assert_eq!(slot.lane_clock(3), 7);
+        assert_eq!(slot.lane_clock(0), 0);
+    }
+
+    #[test]
+    fn lane_overflow_falls_back_to_the_boxed_clock() {
+        let rvc: VectorClock = [(t(0), 1), (t(INLINE_LANES as u32), 5)]
+            .into_iter()
+            .collect();
+        let state = VarState {
+            write: Epoch::new(2, t(0)),
+            read: ReadState::Shared(Box::new(rvc)),
+        };
+        let slot = SpillSlot::new(state.clone());
+        assert!(slot.is_boxed());
+        assert_eq!(slot.to_state(), state);
+        // The lanes still memoize the low-index entries.
+        assert_eq!(slot.lane_clock(0), 1);
+        assert!(slot.read_fast_path(
+            t(INLINE_LANES as u32),
+            Epoch::new(5, t(INLINE_LANES as u32))
+        ));
+    }
+
+    #[test]
+    fn inline_read_update_crossing_the_lane_budget_overflows() {
+        let vc_reader: VectorClock = [(t(INLINE_LANES as u32), 3)].into_iter().collect();
+        let rvc: VectorClock = [(t(0), 1), (t(1), 2)].into_iter().collect();
+        let mut slot = SpillSlot::new(VarState {
+            write: Epoch::ZERO,
+            read: ReadState::Shared(Box::new(rvc)),
+        });
+        assert!(!slot.is_boxed());
+        let big = t(INLINE_LANES as u32);
+        slot.read_update(&vc_reader, big, Epoch::new(3, big), true, 3);
+        assert!(slot.is_boxed());
+        let expected: VectorClock = [(t(0), 1), (t(1), 2), (big, 3)].into_iter().collect();
+        assert_eq!(
+            slot.to_state().read,
+            ReadState::Shared(Box::new(expected)),
+            "overflow preserves the exact clock the reference would hold"
+        );
+    }
+
+    #[test]
+    fn write_update_collapses_shared_lanes_to_the_writer() {
+        let rvc: VectorClock = [(t(0), 1), (t(2), 4)].into_iter().collect();
+        let mut slot = SpillSlot::new(VarState {
+            write: Epoch::ZERO,
+            read: ReadState::Shared(Box::new(rvc)),
+        });
+        // Writer has seen both readers.
+        let vc: VectorClock = [(t(0), 1), (t(1), 9), (t(2), 4)].into_iter().collect();
+        let out = slot.write_update(&vc, Epoch::new(9, t(1)), 3);
+        assert!(!out.read_race);
+        assert_eq!(out.prior_reader, None);
+        assert_eq!(slot.exclusive_read_epoch(), Some(Epoch::new(9, t(1))));
+        assert_eq!(slot.lane_clock(1), 9);
+        assert_eq!(slot.lane_clock(0), 0, "collapsed lanes are cleared");
+        assert_eq!(slot.repack(), encode_state(&slot.to_state()));
+    }
+
+    #[test]
+    fn inline_write_race_reports_the_first_concurrent_reader() {
+        let rvc: VectorClock = [(t(1), 2), (t(3), 5)].into_iter().collect();
+        let mut slot = SpillSlot::new(VarState {
+            write: Epoch::ZERO,
+            read: ReadState::Shared(Box::new(rvc)),
+        });
+        // Writer has seen neither reader: ascending thread order picks t1.
+        let vc: VectorClock = [(t(0), 7)].into_iter().collect();
+        let out = slot.write_update(&vc, Epoch::new(7, t(0)), 3);
+        assert!(out.read_race);
+        assert_eq!(out.prior_reader, Some(t(1)));
+    }
+
+    #[test]
     fn locate_is_stable_across_spill_operations() {
         let mut vars = PackedVars::new(8);
         let (handle, slot, _block) = vars.locate(Addr::new(0x2000));
@@ -339,6 +725,8 @@ mod tests {
         vars.unspill(marker);
         vars.set_word_at(handle, slot, ShadowWord::from_fields(1, 1));
         assert_eq!(vars.word_at(handle, slot), ShadowWord::from_fields(1, 1));
+        assert_eq!(vars.spill_stats().spills, 1);
+        assert_eq!(vars.spill_stats().unspills, 1);
     }
 
     #[test]
@@ -353,6 +741,6 @@ mod tests {
             read: ReadState::default(),
         });
         assert_eq!(c.spill_index(), a.spill_index(), "freed slot reused");
-        assert_eq!(vars.spill_slot(c).state.write, Epoch::new(9, t(1)));
+        assert_eq!(vars.spill_slot(c).write_epoch(), Epoch::new(9, t(1)));
     }
 }

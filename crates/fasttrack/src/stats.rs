@@ -68,6 +68,38 @@ impl FastTrackStats {
     }
 }
 
+/// Counters for the packed plane's spill-arena *representation*: how often
+/// states escape their word, how read-shared histories are laid out (inline
+/// epoch lanes vs the boxed overflow clock) and how ownership hints move
+/// between threads.
+///
+/// Deliberately **not** part of [`FastTrackStats`]: that struct is compared
+/// whole against the reference detector by the equivalence oracle and is
+/// serialized into snapshots, while these counters describe the packed
+/// storage representation only (the reference store has no arena — its
+/// counters stay zero). Like the arena free list, they are invisible to the
+/// equivalence surface: updated exclusively on slow paths, never serialized,
+/// never costed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpillStats {
+    /// States moved from their word into the side arena.
+    pub spills: u64,
+    /// Spilled states that collapsed back into their word.
+    pub unspills: u64,
+    /// Read-shared promotions served entirely by the inline epoch lanes
+    /// (no boxed clock was built).
+    pub inline_promotions: u64,
+    /// Read histories that overflowed the inline lanes into a boxed clock
+    /// (a participating thread index past the lane budget).
+    pub boxed_overflows: u64,
+    /// Slow reads that kept another thread's still-valid ownership hint on
+    /// the word instead of claiming it (the hint stays sticky, so the
+    /// owner's repeat accesses keep hitting the word).
+    pub ownership_keeps: u64,
+    /// Hints (re)claimed by the accessing thread after a slow access.
+    pub ownership_claims: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,10 +21,13 @@ enum Event {
     Barrier,
 }
 
-/// Threads drawn to cross the packed field's 7-bit budget: small dense ids
-/// plus one far past 127, so histories mix packable and spilled epochs.
+/// Threads drawn to cross the packed field's 7-bit budget *and* the spill
+/// slot's inline-lane budget: small dense ids, ids either side of the
+/// 8-lane boundary (7 fills the last lane, 8 forces the boxed overflow
+/// clock), plus one far past 127 so histories mix packable and spilled
+/// epochs.
 fn arb_thread() -> impl Strategy<Value = u32> {
-    prop::sample::select(vec![0u32, 1, 2, 3, 200])
+    prop::sample::select(vec![0u32, 1, 2, 3, 7, 8, 200])
 }
 
 /// Addresses clustered on a handful of blocks across two pages plus one far
@@ -55,7 +58,7 @@ fn arb_events() -> impl Strategy<Value = Vec<Event>> {
 /// Tracked locks, so releases only follow acquires (the detector tolerates
 /// unmatched releases, but matched histories exercise more transfer edges).
 fn apply(ft: &mut FastTrack, events: &[Event]) {
-    let threads: Vec<ThreadId> = [0u32, 1, 2, 3, 200]
+    let threads: Vec<ThreadId> = [0u32, 1, 2, 3, 7, 8, 200]
         .iter()
         .map(|&t| ThreadId::new(t))
         .collect();
@@ -106,6 +109,50 @@ fn spilling_thread_ids_round_trip_through_the_side_table() {
         Event::Write(200, 0x1008),
     ];
     assert_model_equal(&events);
+}
+
+#[test]
+fn inline_lanes_exactly_full_stay_off_the_boxed_clock() {
+    // Eight reader threads — indices 0..=7, exactly the spill slot's inline
+    // lane budget — promote a block to read-shared and keep churning it
+    // across barrier epochs. The history must stay in the inline lanes (no
+    // boxed overflow) and remain byte-identical to the reference, including
+    // after a write collapses it back to an epoch.
+    let mut events: Vec<Event> = (0u32..8).map(|t| Event::Read(t, 0x1000)).collect();
+    events.push(Event::Barrier);
+    events.extend((0u32..8).rev().map(|t| Event::Read(t, 0x1000)));
+    events.push(Event::Barrier);
+    events.push(Event::Write(3, 0x1000));
+    events.push(Event::Write(3, 0x1000));
+    assert_model_equal(&events);
+
+    let mut packed = FastTrack::new();
+    apply(&mut packed, &events);
+    let stats = packed.spill_stats();
+    assert!(stats.spills > 0, "the promotion spilled");
+    assert!(stats.inline_promotions > 0, "promotion served by the lanes");
+    assert_eq!(stats.boxed_overflows, 0, "eight threads fit the lanes");
+    assert!(stats.unspills > 0, "the collapse re-packed the word");
+}
+
+#[test]
+fn a_ninth_thread_overflows_the_inline_lanes_into_the_boxed_clock() {
+    // Thread index 8 is one past the lane budget: the moment it joins the
+    // read-shared history, the slot must fall back to the dense boxed clock
+    // — and still reconstruct the exact vector the reference holds.
+    let mut events: Vec<Event> = (0u32..9).map(|t| Event::Read(t, 0x1000)).collect();
+    events.push(Event::Barrier);
+    // Post-overflow churn: lane-resident and lane-less threads both update
+    // the boxed history, then a write collapses it.
+    events.push(Event::Read(8, 0x1000));
+    events.push(Event::Read(0, 0x1000));
+    events.push(Event::Write(8, 0x1000));
+    assert_model_equal(&events);
+
+    let mut packed = FastTrack::new();
+    apply(&mut packed, &events);
+    let stats = packed.spill_stats();
+    assert!(stats.boxed_overflows > 0, "the ninth thread overflowed");
 }
 
 #[test]

@@ -64,21 +64,6 @@ pub enum CheckpointOutcome {
     Paused(Snapshot),
 }
 
-/// Reads the periodic-checkpoint policy from `AIKIDO_CHECKPOINT_EVERY`
-/// (`None` when unset, unparsable, or zero).
-///
-/// Deprecated: library code no longer reads the environment. Binaries and
-/// examples should start from [`SimConfig::from_env_overrides`] (which parses
-/// the same variable into `checkpoint_every`) and hand the config to
-/// [`Simulator::from_config`].
-#[deprecated(
-    since = "0.8.0",
-    note = "use SimConfig::from_env_overrides().checkpoint_every from bins/examples"
-)]
-pub fn checkpoint_every_from_env() -> Option<u64> {
-    SimConfig::from_env_overrides().checkpoint_every
-}
-
 /// How a workload is executed.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Mode {
@@ -151,21 +136,6 @@ impl Comparison {
             self.full.cycles as f64 / self.aikido.cycles as f64
         }
     }
-}
-
-/// Reads the parallel worker count from the `AIKIDO_PARALLEL` environment
-/// variable (1, i.e. sequential, when unset or unparsable).
-///
-/// Deprecated: library code no longer reads the environment. Binaries and
-/// examples should start from [`SimConfig::from_env_overrides`] (which parses
-/// the same variable into `workers`) and hand the config to
-/// [`Simulator::from_config`].
-#[deprecated(
-    since = "0.8.0",
-    note = "use SimConfig::from_env_overrides().workers from bins/examples"
-)]
-pub fn parallel_workers_from_env() -> usize {
-    SimConfig::from_env_overrides().workers
 }
 
 /// Drives workloads through the Aikido stack (or its baselines) and produces
@@ -2217,7 +2187,11 @@ impl<'a, 'w, A: SharedDataAnalysis> Run<'a, 'w, A> {
 /// restore rejects any mismatch with a structured error.
 const META_VERSION: u16 = 1;
 const SCHD_VERSION: u16 = 1;
-const FTRK_VERSION: u16 = 1;
+/// v2: the detector's spill plane moved to inline epoch lanes + ownership
+/// epochs (PR 9). The serialized payload is unchanged byte-for-byte, but
+/// restore behavior (word hints, owner tags, arena layout) is not — v1
+/// images must not silently restore into the new plane.
+const FTRK_VERSION: u16 = 2;
 const TCCH_VERSION: u16 = 1;
 const DBIE_VERSION: u16 = 1;
 const AKVM_VERSION: u16 = 1;
@@ -2765,7 +2739,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn env_overrides_parse_every_variable_in_one_place() {
         // The ONLY test that mutates the simulator environment variables —
         // every other path is config-driven — so mutating them here races
@@ -2774,8 +2747,6 @@ mod tests {
             std::env::remove_var(var);
         }
         assert_eq!(SimConfig::from_env_overrides(), SimConfig::default());
-        assert_eq!(parallel_workers_from_env(), 1);
-        assert_eq!(checkpoint_every_from_env(), None);
 
         std::env::set_var("AIKIDO_PARALLEL", "4");
         std::env::set_var("AIKIDO_CHECKPOINT_EVERY", "300");
@@ -2784,10 +2755,6 @@ mod tests {
         assert_eq!(config.workers, 4);
         assert_eq!(config.checkpoint_every, Some(300));
         assert_eq!(config.scale, 0.25);
-        // The deprecated free functions stay faithful delegates for one
-        // release.
-        assert_eq!(parallel_workers_from_env(), 4);
-        assert_eq!(checkpoint_every_from_env(), Some(300));
 
         std::env::set_var("AIKIDO_PARALLEL", "0");
         std::env::set_var("AIKIDO_CHECKPOINT_EVERY", "0");

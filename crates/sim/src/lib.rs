@@ -52,7 +52,5 @@ mod report;
 pub use aikido_snapshot::{FaultPlan, Snapshot, SnapshotError};
 pub use config::{SimConfig, SimConfigError};
 pub use cost::CostModel;
-#[allow(deprecated)]
-pub use engine::{checkpoint_every_from_env, parallel_workers_from_env};
 pub use engine::{CheckpointOutcome, Comparison, Mode, SimError, Simulator};
 pub use report::{RunCounts, RunReport};

@@ -43,18 +43,31 @@ const WRITE_SHIFT: u32 = FIELD_BITS;
 /// Layout (bit 63 down to bit 0):
 ///
 /// ```text
-/// | 63: spill tag | 62: spare | 61..31: write epoch | 30..0: read epoch |
+/// | 63: spill tag | 62: owner tag | 61..31: write epoch | 30..0: read epoch |
 /// ```
 ///
 /// Each 31-bit epoch field is `clock << 7 | thread` (24-bit clock, 7-bit
 /// thread). The zero word means "never tracked"; a word with only the spill
 /// tag set means "state lives in the side table".
+///
+/// On a spilled word the write lane doubles as the *same-epoch hint* (the
+/// epoch whose fast-path probe would hit — see
+/// [`ShadowWord::with_spill_hint`]) and the owner tag marks an *ownership
+/// epoch* in the SmartTrack sense: the hint epoch is also the spilled
+/// state's write epoch, so a repeat **write** by that owner in that epoch is
+/// answered by one masked compare on the word
+/// ([`ShadowWord::matches_owned_write`]) without touching the side table.
 #[derive(Copy, Clone, PartialEq, Eq, Default)]
 pub struct ShadowWord(u64);
 
 impl ShadowWord {
     /// The spill tag bit: the variable's state lives in the side table.
     pub const SPILL_BIT: u64 = 1 << 63;
+
+    /// The owner tag bit (meaningful only on spilled words): the same-epoch
+    /// hint is an *ownership epoch* — it equals the spilled state's write
+    /// epoch, so the owner's repeat writes match the word directly.
+    pub const OWNED_BIT: u64 = 1 << 62;
 
     /// The "never tracked" word.
     pub const EMPTY: ShadowWord = ShadowWord(0);
@@ -84,9 +97,23 @@ impl ShadowWord {
     /// contract is "a fast-path probe by exactly this epoch would hit", so
     /// a repeat access by the same thread in the same epoch is satisfied by
     /// one masked compare on the word, without touching the side table.
+    /// Clears the owner tag — use [`ShadowWord::with_ownership`] to install
+    /// a hint that is also an ownership epoch.
     #[inline]
     pub const fn with_spill_hint(self, field: u64) -> ShadowWord {
-        ShadowWord((self.0 & !(FIELD_MASK << WRITE_SHIFT)) | (field << WRITE_SHIFT))
+        self.with_ownership(field, false)
+    }
+
+    /// Replaces the spilled word's same-epoch hint *and* owner tag in one
+    /// store. `owned` asserts the hint epoch equals the spilled state's
+    /// write epoch (the ownership-epoch invariant behind
+    /// [`ShadowWord::matches_owned_write`]); the caller is responsible for
+    /// only passing `true` when that holds.
+    #[inline]
+    pub const fn with_ownership(self, field: u64, owned: bool) -> ShadowWord {
+        let cleared = self.0 & !(Self::OWNED_BIT | (FIELD_MASK << WRITE_SHIFT));
+        let owner = if owned { Self::OWNED_BIT } else { 0 };
+        ShadowWord(cleared | owner | (field << WRITE_SHIFT))
     }
 
     /// Positions `field` for a one-compare match against a spilled word's
@@ -99,10 +126,41 @@ impl ShadowWord {
     /// True if this word is spilled and its same-epoch hint equals the
     /// probe. An unspilled word can never match because the probe carries
     /// the spill bit; a hintless spilled word (hint 0) can never match
-    /// because live epoch fields are non-zero (clocks start at 1).
+    /// because live epoch fields are non-zero (clocks start at 1). The
+    /// mask excludes the owner tag: the read-side hint matches whether or
+    /// not the hint is also an ownership epoch.
     #[inline]
     pub const fn matches_spill_hint(self, probe: u64) -> bool {
         self.0 & (Self::SPILL_BIT | (FIELD_MASK << WRITE_SHIFT)) == probe
+    }
+
+    /// The spilled word's same-epoch hint field (0 = no hint). Shares the
+    /// write lane — meaningful only when [`ShadowWord::is_spilled`].
+    #[inline]
+    pub const fn spill_hint_field(self) -> u64 {
+        (self.0 >> WRITE_SHIFT) & FIELD_MASK
+    }
+
+    /// True if the spilled word's hint carries the owner tag.
+    #[inline]
+    pub const fn is_owned(self) -> bool {
+        self.0 & Self::OWNED_BIT != 0
+    }
+
+    /// Positions `field` for a one-compare match against a spilled word's
+    /// ownership epoch (see [`ShadowWord::matches_owned_write`]).
+    #[inline]
+    pub const fn owned_write_probe(field: u64) -> u64 {
+        Self::SPILL_BIT | Self::OWNED_BIT | (field << WRITE_SHIFT)
+    }
+
+    /// True if this word is spilled, owner-tagged, and its ownership epoch
+    /// equals the probe — the owner's repeat write in the same epoch,
+    /// answered without touching the side table. An unspilled or unowned
+    /// word can never match because the probe carries both tag bits.
+    #[inline]
+    pub const fn matches_owned_write(self, probe: u64) -> bool {
+        self.0 & (Self::SPILL_BIT | Self::OWNED_BIT | (FIELD_MASK << WRITE_SHIFT)) == probe
     }
 
     /// Wraps a raw word.
@@ -198,7 +256,14 @@ impl ShadowWord {
 impl fmt::Debug for ShadowWord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_spilled() {
-            write!(f, "ShadowWord(spilled)")
+            write!(
+                f,
+                "ShadowWord(spilled slot {}{}, hint {}@{})",
+                self.spill_index(),
+                if self.is_owned() { ", owned" } else { "" },
+                Self::field_clock(self.spill_hint_field()),
+                Self::field_thread(self.spill_hint_field()),
+            )
         } else {
             write!(
                 f,
@@ -491,6 +556,50 @@ mod tests {
         // The empty word only matches the zero probe, which no live epoch
         // produces (clocks start at 1).
         assert!(!ShadowWord::EMPTY.matches_read(ShadowWord::read_probe(f)));
+    }
+
+    #[test]
+    fn spill_hint_survives_in_the_write_lane() {
+        let f = ShadowWord::pack_field(4, 1).unwrap();
+        let marker = ShadowWord::spill_marker(17).with_spill_hint(f);
+        assert!(marker.is_spilled());
+        assert_eq!(marker.spill_index(), 17);
+        assert_eq!(marker.spill_hint_field(), f);
+        assert!(marker.matches_spill_hint(ShadowWord::spill_hint_probe(f)));
+        let other = ShadowWord::pack_field(5, 1).unwrap();
+        assert!(!marker.matches_spill_hint(ShadowWord::spill_hint_probe(other)));
+        // Replacing the hint keeps the slot index intact.
+        let replaced = marker.with_spill_hint(other);
+        assert_eq!(replaced.spill_index(), 17);
+        assert!(replaced.matches_spill_hint(ShadowWord::spill_hint_probe(other)));
+    }
+
+    #[test]
+    fn owner_tag_gates_the_owned_write_match() {
+        let f = ShadowWord::pack_field(9, 3).unwrap();
+        let owned = ShadowWord::spill_marker(5).with_ownership(f, true);
+        let unowned = ShadowWord::spill_marker(5).with_ownership(f, false);
+        assert!(owned.is_owned());
+        assert!(!unowned.is_owned());
+        // Both match the read-side hint probe: the owner tag is excluded
+        // from that mask.
+        let hint = ShadowWord::spill_hint_probe(f);
+        assert!(owned.matches_spill_hint(hint));
+        assert!(unowned.matches_spill_hint(hint));
+        // Only the owner-tagged word matches the owned-write probe.
+        let probe = ShadowWord::owned_write_probe(f);
+        assert!(owned.matches_owned_write(probe));
+        assert!(!unowned.matches_owned_write(probe));
+        let other = ShadowWord::pack_field(10, 3).unwrap();
+        assert!(!owned.matches_owned_write(ShadowWord::owned_write_probe(other)));
+        // An unspilled word never matches: the probe carries the spill bit.
+        let word = ShadowWord::from_fields(f, f);
+        assert!(!word.matches_owned_write(probe));
+        // Installing a plain hint clears a stale owner tag.
+        assert!(!owned.with_spill_hint(f).is_owned());
+        // The slot index survives ownership changes.
+        assert_eq!(owned.spill_index(), 5);
+        assert_eq!(owned.with_ownership(other, false).spill_index(), 5);
     }
 
     #[test]

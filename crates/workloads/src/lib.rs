@@ -54,7 +54,7 @@ pub use layout::MemoryLayout;
 pub use scenario::{AccessPattern, AddrWindow, BlockUse, HeldLocks, ScenarioModel, UsePhase};
 pub use scenarios::{
     aliasing_stress_workload, first_access_race_workload, producer_consumer_workload,
-    racy_workload, read_only_sharing_workload,
+    racy_workload, read_only_sharing_workload, spill_pressure_workload,
 };
 pub use spec::{WorkloadSpec, PARSEC_BENCHMARKS};
 pub use trace::{BlockExec, BlockMeta, MemRun, ThreadTrace};

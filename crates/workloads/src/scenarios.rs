@@ -113,6 +113,40 @@ pub fn aliasing_stress_workload(threads: u32) -> WorkloadSpec {
     }
 }
 
+/// An adversarial spill-pressure workload for the packed FastTrack plane:
+/// nearly every access is an instrumented shared *read*, short blocks (one
+/// access each) keep delivery runs tiny, and a frequent barrier advances
+/// every thread's epoch so reads keep missing the same-epoch fast path and
+/// re-dirtying the promoted (spilled) read-shared clocks. A handful of
+/// shared pages focuses all threads on the same blocks, maximizing
+/// word→arena traffic and alternating-thread hint churn — the worst case
+/// for the spill slot's inline epoch lanes and ownership hints. Race-free
+/// by construction (no racy pairs; the barrier orders rounds), so any
+/// report difference between the packed and reference planes is a
+/// representation bug, not scheduling noise.
+pub fn spill_pressure_workload(threads: u32) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "spill_pressure".to_string(),
+        threads: threads.max(2),
+        mem_accesses_per_thread: 5_000,
+        instrumented_exec_fraction: 0.8,
+        shared_within_instrumented: 0.95,
+        read_fraction: 0.97,
+        compute_per_mem: 0.2,
+        shared_pages: 4,
+        private_pages_per_thread: 2,
+        locks: 1,
+        locked_shared_fraction: 0.1,
+        critical_section_blocks: 1,
+        racy_pairs: 0,
+        barrier_every: 16,
+        shared_static_blocks: 32,
+        private_static_blocks: 4,
+        block_mem_instrs: 1,
+        seed: 0x5B111,
+    }
+}
+
 /// The adversarial workload for the §6 discussion: exactly one racy pair
 /// whose *only* accesses are the first two accesses to their page — the
 /// documented false-negative window of the sharing detector.
@@ -151,6 +185,7 @@ mod tests {
             read_only_sharing_workload(4),
             first_access_race_workload(2),
             aliasing_stress_workload(4),
+            spill_pressure_workload(4),
         ] {
             spec.validate().unwrap();
         }
@@ -169,5 +204,18 @@ mod tests {
         assert!(first_access_race_workload(2).racy_pairs > 0);
         assert_eq!(producer_consumer_workload(4).racy_pairs, 0);
         assert_eq!(read_only_sharing_workload(4).racy_pairs, 0);
+        assert_eq!(spill_pressure_workload(4).racy_pairs, 0);
+    }
+
+    #[test]
+    fn spill_pressure_maximizes_read_shared_traffic() {
+        let spec = spill_pressure_workload(9);
+        assert_eq!(spec.threads, 9, "odd counts cross the inline-lane budget");
+        assert!(spec.read_fraction > 0.9, "reads dominate");
+        assert!(
+            spec.barrier_every > 0,
+            "barriers defeat the same-epoch path"
+        );
+        assert_eq!(spec.block_mem_instrs, 1, "short runs maximize dispatch");
     }
 }

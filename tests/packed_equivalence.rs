@@ -102,6 +102,26 @@ fn packed_words_match_the_reference_store_on_racy_and_barrier_workloads() {
 }
 
 #[test]
+fn packed_words_match_the_reference_store_under_spill_pressure() {
+    // The adversarial spill-pressure scenario: alternating-thread shared
+    // reads in one-access runs with frequent barrier epochs, maximizing
+    // word→arena traffic and ownership-hint churn. Thread counts straddle
+    // the spill slot's inline-lane budget: 4 (inside), 8 (exactly full) and
+    // 9 (one thread past the lanes, forcing the boxed overflow clock).
+    use aikido::workloads::spill_pressure_workload;
+    for threads in [4, 8, 9] {
+        let workload = Workload::generate(&spill_pressure_workload(threads));
+        for mode in [Mode::FullInstrumentation, Mode::Aikido] {
+            assert_equivalent(
+                &workload,
+                mode,
+                &format!("spill_pressure x{threads}, {mode:?}"),
+            );
+        }
+    }
+}
+
+#[test]
 fn the_default_pipeline_detector_runs_packed() {
     // `Simulator::run` constructs its own FastTrack; the packed plane being
     // its default is what the throughput trajectory measures.

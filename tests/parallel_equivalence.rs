@@ -90,6 +90,29 @@ fn racy_and_barrier_heavy_workloads_stay_identical() {
     }
 }
 
+#[test]
+fn spill_pressure_workloads_stay_identical_across_the_lane_boundary() {
+    // The packed plane's adversarial scenario (alternating-thread shared
+    // reads, maximal spill traffic) at thread counts inside, exactly at,
+    // and one past the spill slot's inline-lane budget — the parallel
+    // scheduler must not perturb the ownership-hint churn.
+    use aikido::workloads::spill_pressure_workload;
+    for threads in [4, 8, 9] {
+        let workload = Workload::generate(&spill_pressure_workload(threads));
+        for mode in [Mode::FullInstrumentation, Mode::Aikido] {
+            let seq = run(&workload, mode, 1);
+            for workers in WORKER_COUNTS {
+                let par = run(&workload, mode, workers);
+                assert_byte_identical(
+                    &seq,
+                    &par,
+                    &format!("spill_pressure x{threads}, {mode:?}, {workers} workers"),
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

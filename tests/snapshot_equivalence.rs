@@ -149,6 +149,55 @@ fn early_and_late_checkpoints_both_round_trip() {
 }
 
 #[test]
+fn stale_ftrk_section_versions_are_rejected_with_a_structured_error() {
+    // PR 9 rebuilt the detector's spill plane (inline epoch lanes +
+    // ownership epochs) and bumped the FTRK section to v2; a v1 image must
+    // be refused by the version validation, not silently restored into the
+    // new plane. Hand-patch a valid image's FTRK header back to v1 and fix
+    // its checksum, so only the version check can catch the mismatch.
+    use aikido::SimError;
+
+    let w = small("raytrace");
+    let sim = Simulator::default();
+    let report = sim.run(&w, Mode::Aikido);
+    let mut bytes = snapshot_at(&sim, &w, Mode::Aikido, report.counts.block_execs / 2);
+
+    // Walk the container framing — magic(8) + container version(2), then
+    // tag(4)/version(2)/length(8)/payload/checksum(8) per section — to the
+    // FTRK section.
+    let mut at = 10;
+    let (start, end) = loop {
+        assert!(at + 22 <= bytes.len(), "image ended before an FTRK section");
+        let len = u64::from_le_bytes(bytes[at + 6..at + 14].try_into().unwrap()) as usize;
+        let end = at + 14 + len + 8;
+        if &bytes[at..at + 4] == b"FTRK" {
+            break (at, end);
+        }
+        at = end;
+    };
+    assert_eq!(
+        u16::from_le_bytes(bytes[start + 4..start + 6].try_into().unwrap()),
+        2,
+        "the detector writes FTRK v2 since the spill-plane rebuild"
+    );
+    bytes[start + 4..start + 6].copy_from_slice(&1u16.to_le_bytes());
+    let checksum = aikido::snapshot::fnv1a(&bytes[start..end - 8]);
+    bytes[end - 8..end].copy_from_slice(&checksum.to_le_bytes());
+
+    let snapshot = Snapshot::from_bytes(bytes).expect("checksum-valid image");
+    let err = sim
+        .resume(&w, &snapshot)
+        .expect_err("a v1 FTRK section must not restore");
+    let SimError::Snapshot(err) = err else {
+        panic!("expected a structured snapshot error, got {err:?}");
+    };
+    assert_eq!(err.section, "FTRK", "{err}");
+    assert_eq!(err.offset, (start + 4) as u64, "{err}");
+    assert!(err.reason.contains("version 1"), "{err}");
+    assert!(err.reason.contains("expected version 2"), "{err}");
+}
+
+#[test]
 fn snapshot_images_are_deterministic() {
     // Two checkpoints of the same run at the same block target must produce
     // byte-identical images — the property the CI crash-recovery lane's

@@ -80,9 +80,18 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable through the `PROPTEST_CASES` environment
+    /// variable (matching real proptest) so CI lanes can raise the case
+    /// count without editing test sources. An explicit
+    /// [`ProptestConfig::with_cases`] still wins over the environment.
     fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
         ProptestConfig {
-            cases: 64,
+            cases,
             max_global_rejects: 4096,
         }
     }
