@@ -19,7 +19,10 @@
 //! average still passes), so a single aikido sample below `1 - tolerance`
 //! fails the gate even when the geomean is fine. For diagnosis the gate
 //! prints a benchmark × mode table of baseline versus fresh accesses/sec
-//! (so a localized regression is visible without downloading artifacts),
+//! (so a localized regression is visible without downloading artifacts) —
+//! each full/aikido row carrying the same benchmark's **native-mode ratio
+//! as a control** (native runs no instrumentation, so a delta that merely
+//! tracks its control is machine noise, not an engine regression),
 //! names every offender when it fails, and — when running under GitHub
 //! Actions — appends the same table as markdown to `$GITHUB_STEP_SUMMARY`.
 //! A missing baseline passes with a warning (first run on a fork, or a
@@ -140,6 +143,29 @@ fn aikido_offenders(deltas: &[SampleDelta], tolerance: f64) -> Vec<&SampleDelta>
         .collect()
 }
 
+/// The same benchmark's native-mode ratio — the control for an aikido/full
+/// delta. Native runs no instrumentation, so its ratio moves only with the
+/// machine: an aikido regression whose native control moved just as much is
+/// scheduler noise, while one whose control held at ~1.0 is the engine.
+fn native_control(deltas: &[SampleDelta], benchmark: &str) -> Option<f64> {
+    deltas
+        .iter()
+        .find(|d| d.benchmark == benchmark && d.mode == "native")
+        .map(SampleDelta::ratio)
+}
+
+/// Renders the native control ratio for a table cell; native rows are their
+/// own control, so they show a dash.
+fn control_cell(deltas: &[SampleDelta], d: &SampleDelta) -> String {
+    if d.mode == "native" {
+        return "-".to_string();
+    }
+    match native_control(deltas, &d.benchmark) {
+        Some(ctl) => format!("{ctl:.3}"),
+        None => "n/a".to_string(),
+    }
+}
+
 /// Renders the benchmark × mode comparison as an aligned text table.
 fn print_delta_table(deltas: &[SampleDelta]) {
     if deltas.is_empty() {
@@ -147,18 +173,19 @@ fn print_delta_table(deltas: &[SampleDelta]) {
         return;
     }
     println!(
-        "{:<14} {:>8} {:>14} {:>14} {:>8}",
-        "benchmark", "mode", "baseline", "fresh", "ratio"
+        "{:<14} {:>8} {:>14} {:>14} {:>8} {:>10}",
+        "benchmark", "mode", "baseline", "fresh", "ratio", "native-ctl"
     );
     for mode in MODES {
         for d in deltas.iter().filter(|d| d.mode == mode) {
             println!(
-                "{:<14} {:>8} {:>14.0} {:>14.0} {:>8.3}",
+                "{:<14} {:>8} {:>14.0} {:>14.0} {:>8.3} {:>10}",
                 d.benchmark,
                 d.mode,
                 d.baseline,
                 d.fresh,
-                d.ratio()
+                d.ratio(),
+                control_cell(deltas, d)
             );
         }
     }
@@ -214,21 +241,31 @@ fn markdown_summary(
         );
     }
     if !deltas.is_empty() {
-        let _ = writeln!(md, "\n| benchmark | mode | baseline | fresh | ratio |");
-        let _ = writeln!(md, "|---|---|---:|---:|---:|");
+        let _ = writeln!(
+            md,
+            "\n| benchmark | mode | baseline | fresh | ratio | native ctl |"
+        );
+        let _ = writeln!(md, "|---|---|---:|---:|---:|---:|");
         for mode in MODES {
             for d in deltas.iter().filter(|d| d.mode == mode) {
                 let _ = writeln!(
                     md,
-                    "| {} | {} | {:.0} | {:.0} | {:.3} |",
+                    "| {} | {} | {:.0} | {:.0} | {:.3} | {} |",
                     d.benchmark,
                     d.mode,
                     d.baseline,
                     d.fresh,
-                    d.ratio()
+                    d.ratio(),
+                    control_cell(deltas, d)
                 );
             }
         }
+        let _ = writeln!(
+            md,
+            "\n*native ctl* is the same benchmark's native-mode ratio — an \
+             instrumentation-free control: a delta that tracks its control is \
+             machine noise, one that diverges from it is the engine."
+        );
     }
     md
 }

@@ -82,6 +82,14 @@ pub struct SimConfig {
     /// in the FastTrack analysis (`FastTrack::with_packed_words`). Reports
     /// are byte-identical either way.
     pub packed_words: bool,
+    /// Sharded parallel analysis (`Simulator::with_sharded_analysis`): when
+    /// running with `workers > 1` in an analysed mode, FastTrack work for
+    /// pages owned by a single worker partition is analysed on per-shard
+    /// replicas drained by pool threads, with contended pages escalated to
+    /// the commit thread and shard state merged deterministically. Reports
+    /// are byte-identical either way; `false` retains the commit-thread-only
+    /// path as the equivalence oracle. Inert at `workers == 1`.
+    pub sharded_analysis: bool,
     /// Periodic checkpoint policy for
     /// [`Simulator::run_checkpointed`](crate::Simulator::run_checkpointed):
     /// every `N` block executions the run pauses, serializes, re-validates
@@ -106,6 +114,7 @@ impl Default for SimConfig {
             inline_tlb: true,
             static_precheck: true,
             packed_words: true,
+            sharded_analysis: true,
             checkpoint_every: None,
             scale: 1.0,
         }
@@ -153,6 +162,13 @@ impl SimConfig {
     /// enum store for the FastTrack analysis.
     pub fn with_packed_words(mut self, packed: bool) -> Self {
         self.packed_words = packed;
+        self
+    }
+
+    /// Builder: enables or disables sharded parallel analysis (`false`
+    /// retains the commit-thread-only oracle path).
+    pub fn with_sharded_analysis(mut self, sharded: bool) -> Self {
+        self.sharded_analysis = sharded;
         self
     }
 
@@ -205,6 +221,7 @@ impl SimConfig {
     /// | `AIKIDO_PARALLEL` | `workers` | integer ≥ 1; otherwise ignored |
     /// | `AIKIDO_CHECKPOINT_EVERY` | `checkpoint_every` | integer ≥ 1; 0, unset or unparsable disable the policy |
     /// | `AIKIDO_SCALE` | `scale` | float > 0; otherwise ignored |
+    /// | `AIKIDO_SHARDED` | `sharded_analysis` | `1`/`true` or `0`/`false`; otherwise ignored |
     pub fn from_env_overrides() -> Self {
         Self::default().with_env_overrides()
     }
@@ -222,6 +239,15 @@ impl SimConfig {
         if let Some(scale) = parse_env::<f64>("AIKIDO_SCALE").filter(|s| s.is_finite() && *s > 0.0)
         {
             self.scale = scale;
+        }
+        if let Some(sharded) =
+            parse_env::<String>("AIKIDO_SHARDED").and_then(|v| match v.as_str() {
+                "1" | "true" => Some(true),
+                "0" | "false" => Some(false),
+                _ => None,
+            })
+        {
+            self.sharded_analysis = sharded;
         }
         self
     }
@@ -246,6 +272,9 @@ impl SimConfig {
                 "inline_tlb" => config.inline_tlb = json_bool(value, "inline_tlb")?,
                 "static_precheck" => config.static_precheck = json_bool(value, "static_precheck")?,
                 "packed_words" => config.packed_words = json_bool(value, "packed_words")?,
+                "sharded_analysis" => {
+                    config.sharded_analysis = json_bool(value, "sharded_analysis")?
+                }
                 "checkpoint_every" => {
                     config.checkpoint_every = match value {
                         serde_json::Value::Null => None,
@@ -312,6 +341,7 @@ mod tests {
         assert!(config.inline_tlb);
         assert!(config.static_precheck);
         assert!(config.packed_words);
+        assert!(config.sharded_analysis);
         assert_eq!(config.checkpoint_every, None);
         assert_eq!(config.scale, 1.0);
     }
@@ -344,6 +374,7 @@ mod tests {
             .with_inline_tlb(false)
             .with_static_precheck(false)
             .with_packed_words(false)
+            .with_sharded_analysis(false)
             .with_checkpoint_every(Some(512))
             .with_scale(0.25);
         let json = serde_json::to_string(&config).unwrap();

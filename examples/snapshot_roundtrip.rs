@@ -17,6 +17,12 @@
 //! scaled by `AIKIDO_SCALE` (default 0.05). Reports are serialized as
 //! canonical JSON, so `cmp` on the two report files is a byte-level
 //! equivalence check across process boundaries.
+//!
+//! The simulator is built from [`SimConfig::from_env_overrides`], so the CI
+//! lanes can steer each *process* independently: `AIKIDO_PARALLEL=4
+//! AIKIDO_SHARDED=1` produces a sharded parallel run whose report file must
+//! `cmp` equal to a sequential process's — the cross-process spelling of the
+//! PR 10 sharded-analysis equivalence contract.
 
 use aikido::prelude::*;
 use aikido::CheckpointOutcome;
@@ -83,7 +89,12 @@ fn report_json(report: &RunReport) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let sim = Simulator::default();
+    // Env-driven configuration (AIKIDO_PARALLEL, AIKIDO_SHARDED, …) so the
+    // CI lanes can compare differently-configured processes byte for byte.
+    let sim = match Simulator::from_config(SimConfig::from_env_overrides()) {
+        Ok(sim) => sim,
+        Err(err) => fail(format!("invalid configuration: {err}")),
+    };
     let w = workload();
 
     match args.get(1).map(String::as_str) {
